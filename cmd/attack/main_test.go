@@ -1,0 +1,74 @@
+package main
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	cfg := trace.DefaultConfig()
+	cfg.NumUsers = 8
+	cfg.MaxCheckIns = 300
+	ds, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.jsonl")
+	if err := trace.WriteFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseLevel(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    float64
+		wantErr bool
+	}{
+		{"ln2", math.Ln2, false},
+		{"ln4", math.Log(4), false},
+		{"ln6", math.Log(6), false},
+		{"none", 0, false},
+		{"1.5", 1.5, false},
+		{"-2", 0, true},
+		{"garbage", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := parseLevel(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseLevel(%q) error = %v", tt.in, err)
+			continue
+		}
+		if err == nil && math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("parseLevel(%q) = %g, want %g", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRunAttackOnDataset(t *testing.T) {
+	path := writeDataset(t)
+	if err := run([]string{"-data", path, "-level", "ln4", "-top", "1"}); err != nil {
+		t.Fatalf("obfuscated attack: %v", err)
+	}
+	if err := run([]string{"-data", path, "-level", "none"}); err != nil {
+		t.Fatalf("raw attack: %v", err)
+	}
+}
+
+func TestRunAttackErrors(t *testing.T) {
+	if err := run([]string{"-data", "/does/not/exist.jsonl"}); err == nil {
+		t.Error("missing dataset expected error")
+	}
+	path := writeDataset(t)
+	if err := run([]string{"-data", path, "-level", "bogus"}); err == nil {
+		t.Error("bad level expected error")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("unknown flag expected error")
+	}
+}

@@ -1,0 +1,144 @@
+// Command edged runs an Edge-PrivLocAd edge device as an HTTP service,
+// backed by an in-process ad network seeded with synthetic radius-targeted
+// campaigns.
+//
+// Usage:
+//
+//	edged -addr 127.0.0.1:8080 -campaigns 500 -epsilon 1 -n 10
+//
+// Endpoints: POST /v1/report, POST /v1/ads, POST /v1/rebuild,
+// GET /v1/profile?user=..., GET /healthz.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"math"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/adnet"
+	"repro/internal/core"
+	"repro/internal/edge"
+	"repro/internal/geo"
+	"repro/internal/geoind"
+	"repro/internal/randx"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "edged:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	flags := flag.NewFlagSet("edged", flag.ContinueOnError)
+	var (
+		addr      = flags.String("addr", "127.0.0.1:8080", "listen address")
+		campaigns = flags.Int("campaigns", 500, "synthetic radius-targeted campaigns to register")
+		epsilon   = flags.Float64("epsilon", 1, "privacy budget epsilon of the n-fold mechanism")
+		radius    = flags.Float64("radius", 500, "indistinguishability radius r in metres")
+		delta     = flags.Float64("delta", 0.01, "privacy slack delta")
+		nFold     = flags.Int("n", 10, "number of obfuscated candidates per top location")
+		seed      = flags.Uint64("seed", 1, "randomness seed")
+		statePath = flags.String("state", "", "snapshot file: restored at startup when present, written on shutdown (keeps the obfuscation table permanent across restarts)")
+	)
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+
+	mech, err := geoind.NewNFoldGaussian(geoind.Params{
+		Radius: *radius, Epsilon: *epsilon, Delta: *delta, N: *nFold,
+	})
+	if err != nil {
+		return fmt.Errorf("building n-fold mechanism: %w", err)
+	}
+	nomadic, err := geoind.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		return fmt.Errorf("building nomadic mechanism: %w", err)
+	}
+	engine, err := core.NewEngine(core.Config{
+		Mechanism:        mech,
+		NomadicMechanism: nomadic,
+		Seed:             *seed,
+	})
+	if err != nil {
+		return fmt.Errorf("building engine: %w", err)
+	}
+	if *statePath != "" {
+		switch err := engine.RestoreFile(*statePath); {
+		case err == nil:
+			log.Printf("edged: restored state from %s", *statePath)
+		case errors.Is(err, fs.ErrNotExist):
+			log.Printf("edged: no previous state at %s, starting fresh", *statePath)
+		default:
+			return fmt.Errorf("restoring state: %w", err)
+		}
+	}
+
+	limit := adnet.PlatformLimits()[0] // Google: 5–65 km
+	network, err := adnet.NewNetwork(&limit)
+	if err != nil {
+		return fmt.Errorf("building ad network: %w", err)
+	}
+	region := trace.DefaultConfig().Region
+	rnd := randx.New(*seed, 0xEDEDED)
+	for i := 0; i < *campaigns; i++ {
+		loc := privRandomInRegion(rnd, region)
+		if err := network.Register(adnet.Campaign{
+			ID:       fmt.Sprintf("campaign-%05d", i),
+			Location: loc,
+			Radius:   limit.MinRadius + rnd.Float64()*(25_000-limit.MinRadius),
+			Ad: adnet.Ad{
+				ID:       fmt.Sprintf("ad-%05d", i),
+				Title:    fmt.Sprintf("Offer #%d", i),
+				Location: loc,
+			},
+		}); err != nil {
+			return fmt.Errorf("registering campaign %d: %w", i, err)
+		}
+	}
+
+	logger := log.New(os.Stderr, "edged: ", log.LstdFlags)
+	server, err := edge.NewServer(engine, network, nil, logger)
+	if err != nil {
+		return fmt.Errorf("building server: %w", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", *addr, err)
+	}
+	logger.Printf("serving on http://%s with %d campaigns (n=%d, eps=%g, r=%g m, delta=%g)",
+		ln.Addr(), *campaigns, *nFold, *epsilon, *radius, *delta)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := server.Serve(ctx, ln); err != nil {
+		return fmt.Errorf("serving: %w", err)
+	}
+	if *statePath != "" {
+		if err := engine.SnapshotFile(*statePath); err != nil {
+			return fmt.Errorf("persisting state: %w", err)
+		}
+		logger.Printf("state persisted to %s", *statePath)
+	}
+	logger.Printf("shut down cleanly; served %d bid requests", network.LogSize())
+	return nil
+}
+
+// privRandomInRegion draws a uniform point inside the bounding box.
+func privRandomInRegion(rnd *randx.Rand, b geo.BBox) geo.Point {
+	return geo.Point{
+		X: b.MinX + rnd.Float64()*b.Width(),
+		Y: b.MinY + rnd.Float64()*b.Height(),
+	}
+}

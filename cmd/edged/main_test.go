@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunValidationErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"bad flag", []string{"-epsilon", "x"}},
+		{"zero epsilon", []string{"-epsilon", "0"}},
+		{"bad delta", []string{"-delta", "1"}},
+		{"zero n", []string{"-n", "0"}},
+		{"campaign radius out of platform range rejected upstream", []string{"-addr", "127.0.0.1:0", "-campaigns", "1", "-radius", "-5"}},
+		{"unlistenable addr", []string{"-addr", "256.256.256.256:99999", "-campaigns", "0"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}

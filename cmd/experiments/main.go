@@ -1,0 +1,107 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section on the synthetic workload.
+//
+// Usage:
+//
+//	experiments -run all                       # every experiment, default scale
+//	experiments -run fig6 -users 2000          # one experiment, larger population
+//	experiments -run all -markdown EXPERIMENTS.md
+//	experiments -run all -paper                # paper-scale (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		runID    = fs.String("run", "all", "experiment id (table1, fig2..fig9, table2, table3) or 'all'")
+		users    = fs.Int("users", 0, "population size override (0 = default)")
+		trials   = fs.Int("trials", 0, "Monte-Carlo trials override (0 = default)")
+		maxCk    = fs.Int("max-checkins", 0, "per-user check-in cap override (0 = default)")
+		seed     = fs.Uint64("seed", 1, "randomness seed")
+		paper    = fs.Bool("paper", false, "use paper-scale options (37262 users, 100000 trials; slow)")
+		markdown = fs.String("markdown", "", "also write results as a markdown report to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiments.DefaultOptions()
+	if *paper {
+		opts = experiments.PaperOptions()
+	}
+	if *users > 0 {
+		opts.Users = *users
+	}
+	if *trials > 0 {
+		opts.Trials = *trials
+	}
+	if *maxCk > 0 {
+		opts.MaxCheckIns = *maxCk
+	}
+	opts.Seed = *seed
+
+	ids := experiments.IDs()
+	if *runID != "all" {
+		found := false
+		for _, id := range ids {
+			if id == *runID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown experiment %q (available: %s, all)", *runID, strings.Join(ids, ", "))
+		}
+		ids = []string{*runID}
+	}
+
+	var md io.Writer
+	if *markdown != "" {
+		f, err := os.Create(*markdown)
+		if err != nil {
+			return fmt.Errorf("creating %q: %w", *markdown, err)
+		}
+		defer f.Close()
+		md = f
+		header := fmt.Sprintf("# Experiment results\n\nGenerated %s with users=%d, trials=%d, max-checkins=%d, seed=%d.\n\n",
+			time.Now().UTC().Format(time.RFC3339), opts.Users, opts.Trials, opts.MaxCheckIns, opts.Seed)
+		if _, err := io.WriteString(md, header); err != nil {
+			return fmt.Errorf("writing markdown header: %w", err)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, opts)
+		if err != nil {
+			return fmt.Errorf("running %s: %w", id, err)
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			return fmt.Errorf("rendering %s: %w", id, err)
+		}
+		fmt.Printf("(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if md != nil {
+			if err := res.MarkdownRender(md); err != nil {
+				return fmt.Errorf("writing %s markdown: %w", id, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-run", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithMarkdownOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "results.md")
+	err := run([]string{"-run", "fig4", "-users", "20", "-trials", "50", "-markdown", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{"# Experiment results", "### fig4", "| window |"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-run", "fig99"}); err == nil {
+		t.Error("unknown experiment expected error")
+	}
+	if err := run([]string{"-markdown", "/nonexistent-dir/out.md", "-run", "table1"}); err == nil {
+		t.Error("unwritable markdown path expected error")
+	}
+	if err := run([]string{"-trials", "NaN"}); err == nil {
+		t.Error("bad flag expected error")
+	}
+}

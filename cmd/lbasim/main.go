@@ -1,0 +1,200 @@
+// Command lbasim runs the full Edge-PrivLocAd pipeline end to end in one
+// process: it synthesizes a user population, stands up an edge HTTP
+// service backed by an ad network with radius-targeted campaigns, replays
+// every user's trace through real HTTP clients, and finally mounts the
+// longitudinal attack on the ad network's bid log — demonstrating that
+// the observable stream does not reveal top locations.
+//
+// Usage:
+//
+//	lbasim -users 50 -campaigns 200
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"repro/internal/adnet"
+	"repro/internal/attack"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/edge"
+	"repro/internal/geo"
+	"repro/internal/geoind"
+	"repro/internal/randx"
+	"repro/internal/rtb"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lbasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lbasim", flag.ContinueOnError)
+	var (
+		users     = fs.Int("users", 50, "users to simulate")
+		maxCk     = fs.Int("max-checkins", 800, "max check-ins per user")
+		campaigns = fs.Int("campaigns", 200, "campaigns to register")
+		seed      = fs.Uint64("seed", 1, "randomness seed")
+		useRTB    = fs.Bool("rtb", false, "serve ads through second-price RTB auctions instead of direct matching")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Workload.
+	cfg := trace.DefaultConfig()
+	cfg.NumUsers = *users
+	cfg.MaxCheckIns = *maxCk
+	cfg.Seed = *seed
+	ds, err := trace.Generate(cfg)
+	if err != nil {
+		return fmt.Errorf("generating users: %w", err)
+	}
+
+	// Untrusted side: either a direct-matching ad network or an RTB
+	// exchange with budgeted campaign bidders.
+	network, err := adnet.NewNetwork(nil)
+	if err != nil {
+		return fmt.Errorf("building network: %w", err)
+	}
+	exchange, err := rtb.NewExchange(100*time.Millisecond, 0.05)
+	if err != nil {
+		return fmt.Errorf("building exchange: %w", err)
+	}
+	rnd := randx.New(*seed, 0x51A151)
+	for i := 0; i < *campaigns; i++ {
+		loc := geo.Point{
+			X: cfg.Region.MinX + rnd.Float64()*cfg.Region.Width(),
+			Y: cfg.Region.MinY + rnd.Float64()*cfg.Region.Height(),
+		}
+		campaign := adnet.Campaign{
+			ID:       fmt.Sprintf("c%05d", i),
+			Location: loc,
+			Radius:   5000 + rnd.Float64()*20000,
+			Ad:       adnet.Ad{ID: fmt.Sprintf("ad%05d", i), Title: fmt.Sprintf("Offer %d", i), Location: loc},
+		}
+		if err := network.Register(campaign); err != nil {
+			return fmt.Errorf("registering campaign: %w", err)
+		}
+		if *useRTB {
+			bidder, err := rtb.NewCampaignBidder(campaign, 0.5+rnd.Float64()*4, 1e6)
+			if err != nil {
+				return fmt.Errorf("building bidder: %w", err)
+			}
+			if err := exchange.Register(bidder); err != nil {
+				return fmt.Errorf("registering bidder: %w", err)
+			}
+		}
+	}
+
+	// Trusted side: edge engine + HTTP service.
+	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
+	if err != nil {
+		return fmt.Errorf("building mechanism: %w", err)
+	}
+	nomadic, err := geoind.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		return fmt.Errorf("building nomadic mechanism: %w", err)
+	}
+	engine, err := core.NewEngine(core.Config{Mechanism: mech, NomadicMechanism: nomadic, Seed: *seed})
+	if err != nil {
+		return fmt.Errorf("building engine: %w", err)
+	}
+	// observer is the attacker's view of the provider-side bid log.
+	type observer interface {
+		ObservedLocations(userID string) []geo.Point
+		LogSize() int
+	}
+	var (
+		provider edge.AdProvider = network
+		attacker observer        = network
+	)
+	if *useRTB {
+		rtbProvider, err := rtb.NewProvider(exchange)
+		if err != nil {
+			return fmt.Errorf("building RTB provider: %w", err)
+		}
+		provider = rtbProvider
+		attacker = rtbProvider
+		fmt.Printf("serving ads via RTB second-price auctions (%d bidders, 100 ms deadline)\n", exchange.Bidders())
+	}
+
+	server, err := edge.NewServer(engine, provider, nil, nil)
+	if err != nil {
+		return fmt.Errorf("building server: %w", err)
+	}
+	ts := httptest.NewServer(server.Handler())
+	defer ts.Close()
+
+	cl, err := client.New(ts.URL, nil)
+	if err != nil {
+		return fmt.Errorf("building client: %w", err)
+	}
+	ctx := context.Background()
+
+	// Replay: report every check-in, rebuild profiles, then issue one ad
+	// request per check-in position.
+	start := time.Now()
+	var adsDelivered, adsFetched, requests int
+	for _, u := range ds.Users {
+		for _, c := range u.CheckIns {
+			if err := cl.Report(ctx, u.ID, c.Pos, c.Time); err != nil {
+				return fmt.Errorf("reporting for %s: %w", u.ID, err)
+			}
+		}
+		if err := cl.Rebuild(ctx, u.ID, cfg.End); err != nil {
+			return fmt.Errorf("rebuilding %s: %w", u.ID, err)
+		}
+		for _, c := range u.CheckIns {
+			resp, err := cl.RequestAds(ctx, u.ID, c.Pos, 10)
+			if err != nil {
+				return fmt.Errorf("requesting ads for %s: %w", u.ID, err)
+			}
+			adsDelivered += len(resp.Ads)
+			adsFetched += resp.Fetched
+			requests++
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("replayed %d users, %d ad requests in %s (%.0f req/s)\n",
+		len(ds.Users), requests, elapsed.Round(time.Millisecond), float64(requests)/elapsed.Seconds())
+	fmt.Printf("ads fetched from provider: %d; delivered after AOI filtering: %d (%.1f%% bandwidth saved)\n",
+		adsFetched, adsDelivered, 100*(1-float64(adsDelivered)/math.Max(1, float64(adsFetched))))
+
+	// The attacker's view: mine the bid log.
+	rAlpha, err := mech.ConfidenceRadius(0.05)
+	if err != nil {
+		return fmt.Errorf("confidence radius: %w", err)
+	}
+	opts := attack.Options{Theta: 500, ClusterRadius: rAlpha}
+	hits200, hits500 := 0, 0
+	for _, u := range ds.Users {
+		observed := attacker.ObservedLocations(u.ID)
+		inferred, err := attack.TopN(observed, 1, opts)
+		if err != nil {
+			return fmt.Errorf("attacking %s: %w", u.ID, err)
+		}
+		truth := []geo.Point{u.TrueTops[0].Pos}
+		if attack.Succeeds(inferred, truth, 1, 200) {
+			hits200++
+		}
+		if attack.Succeeds(inferred, truth, 1, 500) {
+			hits500++
+		}
+	}
+	fmt.Printf("longitudinal attack on the bid log (%d records): top-1 recovered within 200 m for %d/%d users, within 500 m for %d/%d\n",
+		attacker.LogSize(), hits200, len(ds.Users), hits500, len(ds.Users))
+	fmt.Println("(with one-time geo-IND instead of Edge-PrivLocAd, the same attack recovers 75-93% of top-1 locations — see cmd/attack)")
+	return nil
+}

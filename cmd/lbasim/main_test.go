@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunSmallSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulation")
+	}
+	err := run([]string{"-users", "5", "-max-checkins", "120", "-campaigns", "30", "-seed", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSmallSimulationWithRTB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulation")
+	}
+	err := run([]string{"-users", "4", "-max-checkins", "100", "-campaigns", "20", "-seed", "3", "-rtb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-users", "x"}); err == nil {
+		t.Error("bad flag expected error")
+	}
+	if err := run([]string{"-users", "0"}); err == nil {
+		t.Error("zero users expected error")
+	}
+}

@@ -1,0 +1,60 @@
+// Command tracegen synthesizes a mobility-trace dataset calibrated to the
+// paper's RTB transaction-log statistics and writes it as JSON lines.
+//
+// Usage:
+//
+//	tracegen -users 1000 -max-checkins 11435 -seed 1 -out dataset.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		users       = fs.Int("users", 1000, "number of users to synthesize (paper: 37262)")
+		minCheckIns = fs.Int("min-checkins", 20, "minimum check-ins per user")
+		maxCheckIns = fs.Int("max-checkins", 11435, "maximum check-ins per user")
+		seed        = fs.Uint64("seed", 1, "generator seed")
+		out         = fs.String("out", "dataset.jsonl", "output path ('-' for stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := trace.DefaultConfig()
+	cfg.NumUsers = *users
+	cfg.MinCheckIns = *minCheckIns
+	cfg.MaxCheckIns = *maxCheckIns
+	cfg.Seed = *seed
+
+	ds, err := trace.Generate(cfg)
+	if err != nil {
+		return fmt.Errorf("generating dataset: %w", err)
+	}
+
+	if *out == "-" {
+		if err := trace.Write(os.Stdout, ds); err != nil {
+			return fmt.Errorf("writing dataset: %w", err)
+		}
+	} else if err := trace.WriteFile(*out, ds); err != nil {
+		return fmt.Errorf("writing dataset: %w", err)
+	}
+
+	stats := trace.ComputeStats(ds)
+	fmt.Fprintf(os.Stderr, "wrote %d users, %d check-ins (min %d, max %d, mean %.1f) to %s\n",
+		stats.Users, stats.TotalCheckIns, stats.MinCheckIns, stats.MaxCheckIns, stats.MeanCheckIns, *out)
+	return nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunGeneratesDataset(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ds.jsonl")
+	err := run([]string{"-users", "5", "-max-checkins", "100", "-seed", "7", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := trace.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Users) != 5 {
+		t.Errorf("users = %d", len(ds.Users))
+	}
+	for _, u := range ds.Users {
+		if len(u.CheckIns) < 20 || len(u.CheckIns) > 100 {
+			t.Errorf("user %s has %d check-ins", u.ID, len(u.CheckIns))
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-users", "notanumber"}); err == nil {
+		t.Error("bad flag value expected error")
+	}
+	if err := run([]string{"-users", "0", "-out", filepath.Join(t.TempDir(), "x.jsonl")}); err == nil {
+		t.Error("zero users expected error")
+	}
+	if err := run([]string{"-users", "2", "-out", "/nonexistent-dir/x.jsonl"}); err == nil {
+		t.Error("unwritable path expected error")
+	}
+}

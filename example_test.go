@@ -1,0 +1,126 @@
+package privlocad_test
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro"
+)
+
+// ExampleNewNFoldGaussian shows the paper's mechanism generating a
+// permanent candidate set for a sensitive location.
+func ExampleNewNFoldGaussian() {
+	mech, err := privlocad.NewNFoldGaussian(privlocad.MechanismParams{
+		Radius: 500, Epsilon: 1, Delta: 0.01, N: 10,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	home := privlocad.Point{X: 0, Y: 0}
+	rnd := privlocad.NewRand(42, 0)
+	candidates, err := mech.Obfuscate(rnd, home)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("candidates: %d\n", len(candidates))
+	fmt.Printf("noise deviation: %.0f m\n", mech.Sigma())
+	// All future exposures of home reuse these candidates, so a
+	// longitudinal attacker never accumulates fresh observations.
+
+	// Output:
+	// candidates: 10
+	// noise deviation: 5052 m
+}
+
+// ExampleNewEngine walks the full Edge-PrivLocAd flow: report, profile,
+// request.
+func ExampleNewEngine() {
+	mech, err := privlocad.NewNFoldGaussian(privlocad.MechanismParams{
+		Radius: 500, Epsilon: 1, Delta: 0.01, N: 10,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	nomadic, err := privlocad.NewPlanarLaplace(math.Ln2, 200)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	engine, err := privlocad.NewEngine(privlocad.EngineConfig{
+		Mechanism: mech, NomadicMechanism: nomadic, Seed: 1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	home := privlocad.Point{X: 0, Y: 0}
+	rnd := privlocad.NewRand(1, 1)
+	at := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 100; i++ {
+		at = at.Add(time.Hour)
+		if err := engine.Report("alice", home.Add(rnd.GaussianPolar(12)), at); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	if err := engine.RebuildProfile("alice", at); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	exposed, fromTable, err := engine.Request("alice", home)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("served from permanent table: %v\n", fromTable)
+	fmt.Printf("true location leaked: %v\n", exposed == home)
+
+	// Output:
+	// served from permanent table: true
+	// true location leaked: false
+}
+
+// ExampleAttackTopN demonstrates the longitudinal attack against
+// one-time geo-IND obfuscation.
+func ExampleAttackTopN() {
+	mech, err := privlocad.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	home := privlocad.Point{X: 0, Y: 0}
+	rnd := privlocad.NewRand(7, 7)
+	// A year of obfuscated exposures of the same location.
+	observed := make([]privlocad.Point, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		out, err := mech.Obfuscate(rnd, home)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		observed = append(observed, out[0])
+	}
+	rAlpha, err := mech.ConfidenceRadius(0.05)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	inferred, err := privlocad.AttackTopN(observed, 1, privlocad.AttackOptions{
+		Theta: 150, ClusterRadius: rAlpha,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("top-1 recovered within 200 m: %v\n",
+		privlocad.AttackSucceeds(inferred, []privlocad.Point{home}, 1, 200))
+
+	// Output:
+	// top-1 recovered within 200 m: true
+}

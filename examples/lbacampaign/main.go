@@ -1,0 +1,96 @@
+// Lbacampaign: an advertiser's view of Edge-PrivLocAd. A coffee chain
+// runs a radius-targeted campaign; we measure how many privacy-protected
+// users it still reaches (the paper's utilization-rate story, Defn. 4-5)
+// under each location-privacy mechanism.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/adnet"
+	"repro/internal/geoind"
+	"repro/internal/metrics"
+	"repro/internal/randx"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lbacampaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		targetRadius = 5000.0 // the common minimum across LBA platforms
+		population   = 2000   // users whose true location is in the AOI
+	)
+
+	// The business and its campaign.
+	shop := privlocad.Point{X: 0, Y: 0}
+	campaign := adnet.Campaign{
+		ID:       "espresso-5k",
+		Location: shop,
+		Radius:   targetRadius,
+		Ad:       adnet.Ad{ID: "ad-espresso", Title: "Espresso happy hour", Location: shop},
+	}
+	limit := adnet.PlatformLimits()[0] // Google: radius must be 5-65 km
+	if err := campaign.Validate(&limit); err != nil {
+		return fmt.Errorf("campaign rejected by platform: %w", err)
+	}
+	fmt.Printf("campaign %q: radius %.0f km around the shop (platform-valid)\n\n",
+		campaign.ID, campaign.Radius/1000)
+
+	params := privlocad.MechanismParams{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10}
+	mechs := []struct {
+		name  string
+		build func() (privlocad.Mechanism, error)
+	}{
+		{"n-fold Gaussian (paper)", func() (privlocad.Mechanism, error) {
+			return geoind.NewNFoldGaussian(params)
+		}},
+		{"naive post-process", func() (privlocad.Mechanism, error) {
+			return geoind.NewNaivePostProcess(params, 0)
+		}},
+		{"plain composition", func() (privlocad.Mechanism, error) {
+			return geoind.NewPlainComposition(params)
+		}},
+	}
+
+	fmt.Printf("%-26s %-12s %-12s\n", "mechanism", "reach", "mean UR")
+	for mi, m := range mechs {
+		mech, err := m.build()
+		if err != nil {
+			return fmt.Errorf("building %s: %w", m.name, err)
+		}
+		rnd := randx.New(11, uint64(mi))
+		reached := 0
+		var urSum float64
+		for u := 0; u < population; u++ {
+			// A user whose true location is uniform in the campaign area.
+			user := shop.Add(rnd.UniformDisk(targetRadius))
+			candidates, err := mech.Obfuscate(rnd, user)
+			if err != nil {
+				return fmt.Errorf("obfuscating: %w", err)
+			}
+			// The user is reached if ANY permanent candidate falls inside
+			// the campaign's targeting circle.
+			for _, c := range candidates {
+				if c.Dist(shop) <= campaign.Radius {
+					reached++
+					break
+				}
+			}
+			urSum += metrics.UtilizationRate(rnd, user, candidates, targetRadius, 256)
+		}
+		fmt.Printf("%-26s %-12s %-12.3f\n", m.name,
+			fmt.Sprintf("%.1f%%", 100*float64(reached)/population),
+			urSum/population)
+	}
+
+	fmt.Println("\nreach = users in the targeting area whose obfuscated candidates still match the campaign")
+	fmt.Println("the n-fold mechanism keeps advertisers' reach high at the same (r, eps, delta, n) privacy level")
+	return nil
+}

@@ -1,0 +1,106 @@
+// Multiedge: a user roams between edge devices. Each edge only ever sees
+// a part of the trace; a periodic secure merge (pairwise-masking secure
+// aggregation) combines the partial profiles, the merged top locations
+// are obfuscated exactly once, and the permanent candidates replicate to
+// every edge — so the user gets consistent privacy no matter which edge
+// answers (paper Section V-B).
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/edgecluster"
+	"repro/internal/geo"
+	"repro/internal/geoind"
+	"repro/internal/randx"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "multiedge:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
+	if err != nil {
+		return fmt.Errorf("building mechanism: %w", err)
+	}
+	nomadic, err := geoind.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		return fmt.Errorf("building nomadic mechanism: %w", err)
+	}
+
+	// Three edges: home district, office district, shopping district.
+	cluster, err := edgecluster.New(edgecluster.Config{
+		Engine: core.Config{Mechanism: mech, NomadicMechanism: nomadic},
+		Coverage: []geo.Circle{
+			{Center: geo.Point{X: 0, Y: 0}, Radius: 10_000},
+			{Center: geo.Point{X: 20_000, Y: 0}, Radius: 10_000},
+			{Center: geo.Point{X: 0, Y: 20_000}, Radius: 10_000},
+		},
+		MergeRegion: geo.BBox{MinX: -30_000, MinY: -30_000, MaxX: 50_000, MaxY: 50_000},
+		Seed:        11,
+	})
+	if err != nil {
+		return fmt.Errorf("building cluster: %w", err)
+	}
+
+	home := geo.Point{X: 500, Y: 500}
+	office := geo.Point{X: 19_500, Y: 200}
+	mall := geo.Point{X: 300, Y: 19_800}
+	rnd := randx.New(8, 1)
+	now := time.Date(2021, 4, 1, 7, 0, 0, 0, time.UTC)
+
+	// A month of commuting: home ↔ office daily, the mall on weekends.
+	perEdge := map[string]int{}
+	for day := 0; day < 30; day++ {
+		visits := []geo.Point{home, office, home}
+		if day%7 >= 5 {
+			visits = []geo.Point{home, mall, home}
+		}
+		for _, v := range visits {
+			now = now.Add(5 * time.Hour)
+			edgeID, err := cluster.Report("worker", v.Add(rnd.GaussianPolar(12)), now)
+			if err != nil {
+				return fmt.Errorf("reporting: %w", err)
+			}
+			perEdge[edgeID]++
+		}
+	}
+	fmt.Println("check-ins recorded per edge (each edge sees only its district):")
+	for _, n := range cluster.Nodes() {
+		fmt.Printf("  %s: %d check-ins\n", n.ID, perEdge[n.ID])
+	}
+
+	// The periodic secure merge.
+	tops, err := cluster.MergeProfiles("worker", now)
+	if err != nil {
+		return fmt.Errorf("merging: %w", err)
+	}
+	fmt.Printf("\nsecurely merged profile: %d top locations\n", len(tops))
+	for i, lf := range tops {
+		fmt.Printf("  top-%d: (%.0f, %.0f) with %d visits\n", i+1, lf.Loc.X, lf.Loc.Y, lf.Freq)
+	}
+
+	// Requests at any edge come from the same permanent candidate set.
+	outHome, fromTable, err := cluster.Request("worker", home)
+	if err != nil {
+		return fmt.Errorf("requesting at home: %w", err)
+	}
+	outOffice, _, err := cluster.Request("worker", office)
+	if err != nil {
+		return fmt.Errorf("requesting at office: %w", err)
+	}
+	fmt.Printf("\nad request at home   → exposes (%.0f, %.0f), from permanent table: %v\n",
+		outHome.X, outHome.Y, fromTable)
+	fmt.Printf("ad request at office → exposes (%.0f, %.0f)\n", outOffice.X, outOffice.Y)
+	fmt.Println("\nthe obfuscation happened exactly once (at the designated edge) and was replicated —")
+	fmt.Println("roaming across edges can never leak more than the single (r, eps, delta, n) release")
+	return nil
+}

@@ -1,0 +1,238 @@
+// Package adnet implements the location-based advertising substrate of
+// the paper (Section II-A): advertisers registering radius-targeted
+// campaigns, an ad network matching ad requests to campaigns whose
+// targeting circle covers the reported location, and the bid-request log
+// that a longitudinal attacker (an honest-but-curious provider or any
+// third-party observer of the bidding stream) mines for user locations.
+package adnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/spatial"
+)
+
+// Errors returned by the network.
+var (
+	// ErrDuplicateCampaign reports a campaign ID registered twice.
+	ErrDuplicateCampaign = errors.New("adnet: duplicate campaign id")
+	// ErrInvalidCampaign reports a campaign outside the platform limits.
+	ErrInvalidCampaign = errors.New("adnet: invalid campaign")
+)
+
+// PlatformLimit is one row of the paper's Table I: the radius-targeting
+// range offered by a major LBA platform.
+type PlatformLimit struct {
+	Company   string
+	MinRadius float64 // metres
+	MaxRadius float64 // metres
+}
+
+// PlatformLimits returns the paper's Table I survey data.
+func PlatformLimits() []PlatformLimit {
+	return []PlatformLimit{
+		{Company: "Google", MinRadius: 5_000, MaxRadius: 65_000},
+		{Company: "Microsoft", MinRadius: 1_000, MaxRadius: 800_000},
+		{Company: "Facebook", MinRadius: 1_609, MaxRadius: 80_467}, // 1–50 miles
+		{Company: "Tencent", MinRadius: 500, MaxRadius: 25_000},
+	}
+}
+
+// CommonRadiusInterval returns the radius interval supported by all four
+// surveyed platforms: [5 km, 25 km]. The paper evaluates at its minimum,
+// R = 5 km, the hardest setting for utility.
+func CommonRadiusInterval() (min, max float64) {
+	limits := PlatformLimits()
+	min, max = limits[0].MinRadius, limits[0].MaxRadius
+	for _, l := range limits[1:] {
+		min = math.Max(min, l.MinRadius)
+		max = math.Min(max, l.MaxRadius)
+	}
+	return min, max
+}
+
+// Ad is the creative delivered to users; its location is the advertised
+// business location.
+type Ad struct {
+	ID       string    `json:"id"`
+	Title    string    `json:"title"`
+	Location geo.Point `json:"location"`
+}
+
+// Campaign is a radius-targeted advertising campaign: deliver Ad to every
+// user reporting a location within Radius of the business Location.
+type Campaign struct {
+	ID       string    `json:"id"`
+	Location geo.Point `json:"location"`
+	Radius   float64   `json:"radius_m"`
+	Ad       Ad        `json:"ad"`
+}
+
+// Validate checks the campaign against the given platform limits (nil
+// limits only require a positive radius).
+func (c Campaign) Validate(limit *PlatformLimit) error {
+	if c.ID == "" {
+		return fmt.Errorf("%w: empty id", ErrInvalidCampaign)
+	}
+	if !(c.Radius > 0) || math.IsInf(c.Radius, 0) {
+		return fmt.Errorf("%w: radius %g must be positive and finite", ErrInvalidCampaign, c.Radius)
+	}
+	if limit != nil && (c.Radius < limit.MinRadius || c.Radius > limit.MaxRadius) {
+		return fmt.Errorf("%w: radius %g outside platform range [%g, %g]",
+			ErrInvalidCampaign, c.Radius, limit.MinRadius, limit.MaxRadius)
+	}
+	return nil
+}
+
+// BidRecord is one entry of the bid-request log: what a longitudinal
+// attacker observing the ad exchange sees for every request — a stable
+// user identifier (e.g. Android ID / IDFA) and the reported location.
+type BidRecord struct {
+	UserID string    `json:"user_id"`
+	Loc    geo.Point `json:"loc"`
+	Time   time.Time `json:"time"`
+}
+
+// Network is an in-memory ad network with radius-targeted matching. It is
+// safe for concurrent use.
+type Network struct {
+	limit *PlatformLimit
+
+	mu        sync.RWMutex
+	campaigns map[string]Campaign
+	index     *spatial.Grid
+	order     []string // campaign ids in registration order, for the index
+	maxRadius float64
+	log       []BidRecord
+}
+
+// NewNetwork creates a network enforcing the given platform limits on
+// campaign radii; a nil limit accepts any positive radius.
+func NewNetwork(limit *PlatformLimit) (*Network, error) {
+	// Cell size trades index fan-out against query cost; targeting radii
+	// are kilometres, so a 2 km cell keeps neighbourhoods small.
+	index, err := spatial.NewGrid(2_000)
+	if err != nil {
+		return nil, fmt.Errorf("adnet: building campaign index: %w", err)
+	}
+	var lim *PlatformLimit
+	if limit != nil {
+		l := *limit
+		lim = &l
+	}
+	return &Network{
+		limit:     lim,
+		campaigns: make(map[string]Campaign),
+		index:     index,
+	}, nil
+}
+
+// Register adds a campaign.
+func (n *Network) Register(c Campaign) error {
+	if err := c.Validate(n.limit); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.campaigns[c.ID]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateCampaign, c.ID)
+	}
+	n.campaigns[c.ID] = c
+	n.index.Insert(len(n.order), c.Location)
+	n.order = append(n.order, c.ID)
+	if c.Radius > n.maxRadius {
+		n.maxRadius = c.Radius
+	}
+	return nil
+}
+
+// Campaigns returns the number of registered campaigns.
+func (n *Network) Campaigns() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.campaigns)
+}
+
+// Match returns the campaigns whose targeting circle contains loc, in
+// ascending distance order (nearest business first).
+func (n *Network) Match(loc geo.Point) []Campaign {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	type hit struct {
+		c Campaign
+		d float64
+	}
+	var hits []hit
+	n.index.ForEachWithin(loc, n.maxRadius, func(id int, center geo.Point) {
+		c := n.campaigns[n.order[id]]
+		if d := center.Dist(loc); d <= c.Radius {
+			hits = append(hits, hit{c: c, d: d})
+		}
+	})
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].d != hits[b].d {
+			return hits[a].d < hits[b].d
+		}
+		return hits[a].c.ID < hits[b].c.ID
+	})
+	out := make([]Campaign, len(hits))
+	for i, h := range hits {
+		out[i] = h.c
+	}
+	return out
+}
+
+// RequestAds serves an ad request: it logs the bid record (what the
+// attacker observes) and returns up to limit matched ads, nearest first.
+// limit <= 0 returns all matches.
+func (n *Network) RequestAds(userID string, loc geo.Point, at time.Time, limit int) []Ad {
+	n.mu.Lock()
+	n.log = append(n.log, BidRecord{UserID: userID, Loc: loc, Time: at})
+	n.mu.Unlock()
+
+	matches := n.Match(loc)
+	if limit > 0 && len(matches) > limit {
+		matches = matches[:limit]
+	}
+	ads := make([]Ad, len(matches))
+	for i, c := range matches {
+		ads[i] = c.Ad
+	}
+	return ads
+}
+
+// BidLog returns a copy of the full bid-request log.
+func (n *Network) BidLog() []BidRecord {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]BidRecord, len(n.log))
+	copy(out, n.log)
+	return out
+}
+
+// ObservedLocations returns the locations a longitudinal attacker has
+// collected for one user, in request order. This is the attack's input.
+func (n *Network) ObservedLocations(userID string) []geo.Point {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var out []geo.Point
+	for _, rec := range n.log {
+		if rec.UserID == userID {
+			out = append(out, rec.Loc)
+		}
+	}
+	return out
+}
+
+// LogSize returns the number of logged bid requests.
+func (n *Network) LogSize() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.log)
+}

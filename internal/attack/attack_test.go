@@ -1,0 +1,240 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/geoind"
+	"repro/internal/randx"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	valid := Options{Theta: 50, ClusterRadius: 500}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	bad := []Options{
+		{Theta: 0, ClusterRadius: 500},
+		{Theta: -1, ClusterRadius: 500},
+		{Theta: 50, ClusterRadius: 0},
+		{Theta: math.Inf(1), ClusterRadius: 500},
+		{Theta: 50, ClusterRadius: math.NaN()},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("options %+v expected error", o)
+		}
+	}
+}
+
+func TestTopNArgErrors(t *testing.T) {
+	pts := []geo.Point{{X: 1, Y: 1}}
+	if _, err := TopN(pts, 0, Options{Theta: 50, ClusterRadius: 500}); err == nil {
+		t.Error("n=0 expected error")
+	}
+	if _, err := TopN(pts, 1, Options{}); err == nil {
+		t.Error("zero options expected error")
+	}
+}
+
+func TestTopNEmptyObservations(t *testing.T) {
+	got, err := TopN(nil, 3, Options{Theta: 50, ClusterRadius: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("inferred %v from nothing", got)
+	}
+}
+
+// TestTopNRawCheckIns: on unobfuscated check-ins the attack recovers the
+// top locations almost exactly (the profiling attack of Section III-B.1).
+func TestTopNRawCheckIns(t *testing.T) {
+	rnd := randx.New(1, 2)
+	home := geo.Point{X: 0, Y: 0}
+	work := geo.Point{X: 6000, Y: 2000}
+	gym := geo.Point{X: -3000, Y: 4000}
+	var pts []geo.Point
+	for i := 0; i < 500; i++ {
+		pts = append(pts, home.Add(rnd.GaussianPolar(12)))
+	}
+	for i := 0; i < 300; i++ {
+		pts = append(pts, work.Add(rnd.GaussianPolar(12)))
+	}
+	for i := 0; i < 50; i++ {
+		pts = append(pts, gym.Add(rnd.GaussianPolar(12)))
+	}
+	inferred, err := TopN(pts, 3, Options{Theta: 50, ClusterRadius: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inferred) != 3 {
+		t.Fatalf("inferred %d locations, want 3", len(inferred))
+	}
+	truth := []geo.Point{home, work, gym}
+	for rank := 1; rank <= 3; rank++ {
+		if d := InferenceDistance(inferred, truth, rank); d > 10 {
+			t.Errorf("rank %d inferred %g m away", rank, d)
+		}
+	}
+}
+
+// TestTopNDeObfuscation: the paper's headline attack — against one-time
+// planar-Laplace obfuscation with l = ln4, r = 200 m, a year of check-ins
+// lets the attacker recover the top-1 location within 200 m.
+func TestTopNDeObfuscation(t *testing.T) {
+	rnd := randx.New(7, 3)
+	mech, err := geoind.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := geo.Point{X: 1000, Y: -500}
+	work := geo.Point{X: 9000, Y: 4000}
+	var observed []geo.Point
+	emit := func(p geo.Point, times int) {
+		for i := 0; i < times; i++ {
+			out, err := mech.Obfuscate(rnd, p.Add(rnd.GaussianPolar(12)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			observed = append(observed, out[0])
+		}
+	}
+	emit(home, 1200)
+	emit(work, 500)
+
+	rAlpha, err := mech.ConfidenceRadius(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inferred, err := TopN(observed, 2, Options{Theta: 120, ClusterRadius: rAlpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []geo.Point{home, work}
+	if d := InferenceDistance(inferred, truth, 1); d > 200 {
+		t.Errorf("top-1 recovered %g m away, want <= 200 m", d)
+	}
+	if d := InferenceDistance(inferred, truth, 2); d > 300 {
+		t.Errorf("top-2 recovered %g m away, want <= 300 m", d)
+	}
+}
+
+// TestTopNMoreObservationsSharper: the longitudinal effect (Fig. 4) —
+// inference distance shrinks as the observation window grows.
+func TestTopNMoreObservationsSharper(t *testing.T) {
+	mech, err := geoind.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAlpha, err := mech.ConfidenceRadius(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := geo.Point{X: 0, Y: 0}
+	truth := []geo.Point{home}
+
+	distanceWith := func(observations int) float64 {
+		// Average over several trials to damp Monte-Carlo noise.
+		const trials = 8
+		var sum float64
+		for trial := 0; trial < trials; trial++ {
+			rnd := randx.New(uint64(trial+1), uint64(observations))
+			var observed []geo.Point
+			for i := 0; i < observations; i++ {
+				out, err := mech.Obfuscate(rnd, home.Add(rnd.GaussianPolar(12)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				observed = append(observed, out[0])
+			}
+			inferred, err := TopN(observed, 1, Options{Theta: 150, ClusterRadius: rAlpha})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += InferenceDistance(inferred, truth, 1)
+		}
+		return sum / trials
+	}
+
+	week := distanceWith(40)
+	year := distanceWith(1600)
+	if year >= week {
+		t.Errorf("inference distance did not shrink with observations: week %g m, year %g m", week, year)
+	}
+	if year > 60 {
+		t.Errorf("full-year inference distance %g m, want < 60 m (paper: < 50 m)", year)
+	}
+}
+
+func TestInferenceDistanceMissingRanks(t *testing.T) {
+	inferred := []geo.Point{{X: 0, Y: 0}}
+	truth := []geo.Point{{X: 0, Y: 0}, {X: 100, Y: 0}}
+	if d := InferenceDistance(inferred, truth, 2); !math.IsInf(d, 1) {
+		t.Errorf("missing inferred rank: d = %g, want +Inf", d)
+	}
+	if d := InferenceDistance(inferred, truth, 0); !math.IsInf(d, 1) {
+		t.Errorf("rank 0: d = %g, want +Inf", d)
+	}
+	if d := InferenceDistance(truth, inferred, 2); !math.IsInf(d, 1) {
+		t.Errorf("missing truth rank: d = %g, want +Inf", d)
+	}
+	if Succeeds(inferred, truth, 2, 1e12) {
+		t.Error("missing rank should never succeed")
+	}
+}
+
+func TestSuccessRate(t *testing.T) {
+	truths := [][]geo.Point{
+		{{X: 0, Y: 0}},
+		{{X: 100, Y: 0}},
+		{{X: 0, Y: 100}, {X: 500, Y: 500}},
+	}
+	results := [][]geo.Point{
+		{{X: 10, Y: 0}},   // hit at 50m threshold
+		{{X: 300, Y: 0}},  // miss
+		{{X: 0, Y: 1000}}, // miss at rank 1, missing rank 2
+	}
+	got := SuccessRate(results, truths, 1, 50)
+	if math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("rank-1 success = %g, want 1/3", got)
+	}
+	// Rank 2: only user 3 is eligible, and its rank-2 inference is absent.
+	got = SuccessRate(results, truths, 2, 1000)
+	if got != 0 {
+		t.Errorf("rank-2 success = %g, want 0", got)
+	}
+	// No eligible users at rank 3.
+	if got := SuccessRate(results, truths, 3, 1000); !math.IsNaN(got) {
+		t.Errorf("rank-3 success = %g, want NaN", got)
+	}
+}
+
+func BenchmarkTopNDeObfuscation(b *testing.B) {
+	rnd := randx.New(1, 1)
+	mech, err := geoind.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	home := geo.Point{X: 0, Y: 0}
+	observed := make([]geo.Point, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		out, err := mech.Obfuscate(rnd, home)
+		if err != nil {
+			b.Fatal(err)
+		}
+		observed = append(observed, out[0])
+	}
+	rAlpha, err := mech.ConfidenceRadius(0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{Theta: 150, ClusterRadius: rAlpha}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TopN(observed, 1, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// Semantic is an inferred meaning of a top location. The paper's threat
+// statement (Sections I and III) includes inferring "location semantics
+// (e.g., home and work place)" from collected traces; this implements
+// that step on top of the top-location attack output.
+type Semantic int
+
+// Semantic labels. Enums start at one so the zero value is unlabeled.
+const (
+	// SemanticUnknown means the evidence was insufficient.
+	SemanticUnknown Semantic = iota + 1
+	// SemanticHome marks a location dominated by night-time visits.
+	SemanticHome
+	// SemanticWork marks a location dominated by weekday business-hour
+	// visits.
+	SemanticWork
+)
+
+// String implements fmt.Stringer.
+func (s Semantic) String() string {
+	switch s {
+	case SemanticUnknown:
+		return "unknown"
+	case SemanticHome:
+		return "home"
+	case SemanticWork:
+		return "work"
+	default:
+		return fmt.Sprintf("Semantic(%d)", int(s))
+	}
+}
+
+// SemanticsOptions parameterises semantic labelling.
+type SemanticsOptions struct {
+	// AssignRadius attributes a check-in to a top location when within
+	// this distance (metres). Required.
+	AssignRadius float64
+	// MinEvidence is the minimum number of attributed check-ins before a
+	// location gets a non-unknown label (default 10).
+	MinEvidence int
+	// DominanceRatio is how strongly one time-bucket must dominate the
+	// other for a label (default 1.5).
+	DominanceRatio float64
+}
+
+func (o SemanticsOptions) withDefaults() SemanticsOptions {
+	if o.MinEvidence <= 0 {
+		o.MinEvidence = 10
+	}
+	if o.DominanceRatio <= 1 {
+		o.DominanceRatio = 1.5
+	}
+	return o
+}
+
+// LabelSemantics labels each top location as home, work, or unknown from
+// the timestamps of the check-ins attributed to it: check-ins between
+// 22:00 and 06:00 are home evidence, weekday check-ins between 09:00 and
+// 18:00 are work evidence. Timestamps are interpreted in their own
+// location (the trace generator produces UTC; a real attacker would use
+// the victim's timezone).
+func LabelSemantics(checkIns []trace.CheckIn, tops []geo.Point, opts SemanticsOptions) ([]Semantic, error) {
+	if !(opts.AssignRadius > 0) || math.IsInf(opts.AssignRadius, 0) {
+		return nil, fmt.Errorf("attack: assign radius %g must be positive and finite", opts.AssignRadius)
+	}
+	opts = opts.withDefaults()
+
+	type evidence struct {
+		night int
+		work  int
+		total int
+	}
+	ev := make([]evidence, len(tops))
+	r2 := opts.AssignRadius * opts.AssignRadius
+	for _, c := range checkIns {
+		best := -1
+		bestD2 := r2
+		for i, top := range tops {
+			if d2 := c.Pos.Dist2(top); d2 <= bestD2 {
+				best = i
+				bestD2 = d2
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		ev[best].total++
+		hour := c.Time.Hour()
+		weekday := c.Time.Weekday()
+		if hour >= 22 || hour < 6 {
+			ev[best].night++
+		}
+		if weekday >= 1 && weekday <= 5 && hour >= 9 && hour < 18 {
+			ev[best].work++
+		}
+	}
+
+	labels := make([]Semantic, len(tops))
+	for i, e := range ev {
+		labels[i] = SemanticUnknown
+		if e.total < opts.MinEvidence {
+			continue
+		}
+		night := float64(e.night)
+		work := float64(e.work)
+		switch {
+		case night >= opts.DominanceRatio*work && e.night > 0:
+			labels[i] = SemanticHome
+		case work >= opts.DominanceRatio*night && e.work > 0:
+			labels[i] = SemanticWork
+		}
+	}
+	return labels, nil
+}

@@ -1,0 +1,174 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/randx"
+	"repro/internal/trace"
+)
+
+func TestSemanticString(t *testing.T) {
+	tests := []struct {
+		s    Semantic
+		want string
+	}{
+		{SemanticUnknown, "unknown"},
+		{SemanticHome, "home"},
+		{SemanticWork, "work"},
+		{Semantic(99), "Semantic(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.s), got, tt.want)
+		}
+	}
+}
+
+// buildCommuterTrace synthesizes a commuter: nights at home, weekday
+// business hours at the office.
+func buildCommuterTrace(t *testing.T, home, office geo.Point) []trace.CheckIn {
+	t.Helper()
+	rnd := randx.New(3, 3)
+	var cs []trace.CheckIn
+	day := time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC) // a Monday
+	for d := 0; d < 28; d++ {
+		date := day.AddDate(0, 0, d)
+		// Night at home: 23:00 and 05:00.
+		for _, h := range []int{23, 5} {
+			cs = append(cs, trace.CheckIn{
+				Pos:  home.Add(rnd.GaussianPolar(10)),
+				Time: time.Date(date.Year(), date.Month(), date.Day(), h, 0, 0, 0, time.UTC),
+			})
+		}
+		// Weekday office hours: 10:00 and 15:00.
+		if wd := date.Weekday(); wd >= time.Monday && wd <= time.Friday {
+			for _, h := range []int{10, 15} {
+				cs = append(cs, trace.CheckIn{
+					Pos:  office.Add(rnd.GaussianPolar(10)),
+					Time: time.Date(date.Year(), date.Month(), date.Day(), h, 0, 0, 0, time.UTC),
+				})
+			}
+		}
+	}
+	return cs
+}
+
+func TestLabelSemanticsCommuter(t *testing.T) {
+	home := geo.Point{X: 0, Y: 0}
+	office := geo.Point{X: 8000, Y: 0}
+	cs := buildCommuterTrace(t, home, office)
+	labels, err := LabelSemantics(cs, []geo.Point{home, office}, SemanticsOptions{AssignRadius: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != SemanticHome {
+		t.Errorf("home labelled %v", labels[0])
+	}
+	if labels[1] != SemanticWork {
+		t.Errorf("office labelled %v", labels[1])
+	}
+}
+
+func TestLabelSemanticsInsufficientEvidence(t *testing.T) {
+	home := geo.Point{X: 0, Y: 0}
+	cs := []trace.CheckIn{
+		{Pos: home, Time: time.Date(2021, 3, 1, 23, 0, 0, 0, time.UTC)},
+	}
+	labels, err := LabelSemantics(cs, []geo.Point{home}, SemanticsOptions{AssignRadius: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != SemanticUnknown {
+		t.Errorf("single check-in labelled %v, want unknown", labels[0])
+	}
+}
+
+func TestLabelSemanticsAmbiguous(t *testing.T) {
+	// A location visited equally at night and during office hours stays
+	// unlabelled under the dominance ratio.
+	spot := geo.Point{X: 0, Y: 0}
+	var cs []trace.CheckIn
+	day := time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+	for d := 0; d < 10; d++ {
+		date := day.AddDate(0, 0, d)
+		if wd := date.Weekday(); wd < time.Monday || wd > time.Friday {
+			continue
+		}
+		cs = append(cs,
+			trace.CheckIn{Pos: spot, Time: time.Date(date.Year(), date.Month(), date.Day(), 23, 0, 0, 0, time.UTC)},
+			trace.CheckIn{Pos: spot, Time: time.Date(date.Year(), date.Month(), date.Day(), 11, 0, 0, 0, time.UTC)},
+		)
+	}
+	labels, err := LabelSemantics(cs, []geo.Point{spot}, SemanticsOptions{AssignRadius: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != SemanticUnknown {
+		t.Errorf("balanced evidence labelled %v, want unknown", labels[0])
+	}
+}
+
+func TestLabelSemanticsErrors(t *testing.T) {
+	if _, err := LabelSemantics(nil, nil, SemanticsOptions{}); err == nil {
+		t.Error("zero radius expected error")
+	}
+	if _, err := LabelSemantics(nil, nil, SemanticsOptions{AssignRadius: -5}); err == nil {
+		t.Error("negative radius expected error")
+	}
+}
+
+// TestLabelSemanticsOnGeneratedTrace runs the semantics attack on a
+// synthetic diurnal user straight from the workload generator.
+func TestLabelSemanticsOnGeneratedTrace(t *testing.T) {
+	cfg := trace.DefaultConfig()
+	cfg.Diurnal = true
+	cfg.MinTops, cfg.MaxTops = 2, 2
+	u, err := trace.GenerateUser(cfg, 77, "diurnal", 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.TrueTops) < 2 {
+		t.Skip("generated user collapsed to one top")
+	}
+	tops := []geo.Point{u.TrueTops[0].Pos, u.TrueTops[1].Pos}
+	labels, err := LabelSemantics(u.CheckIns, tops, SemanticsOptions{AssignRadius: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != SemanticHome {
+		t.Errorf("generated top-1 labelled %v, want home", labels[0])
+	}
+	if labels[1] != SemanticWork {
+		t.Errorf("generated top-2 labelled %v, want work", labels[1])
+	}
+}
+
+// TestLabelSemanticsOnAttackOutput chains the full pipeline: attack the
+// raw trace for top locations, then label them — the end-to-end threat
+// the paper's introduction describes.
+func TestLabelSemanticsOnAttackOutput(t *testing.T) {
+	home := geo.Point{X: 100, Y: -200}
+	office := geo.Point{X: 9000, Y: 3000}
+	cs := buildCommuterTrace(t, home, office)
+	pts := make([]geo.Point, len(cs))
+	for i, c := range cs {
+		pts[i] = c.Pos
+	}
+	inferred, err := TopN(pts, 2, Options{Theta: 50, ClusterRadius: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inferred) != 2 {
+		t.Fatalf("inferred %d tops", len(inferred))
+	}
+	labels, err := LabelSemantics(cs, inferred, SemanticsOptions{AssignRadius: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 1 is home (56 night visits vs 40 office visits).
+	if labels[0] != SemanticHome || labels[1] != SemanticWork {
+		t.Errorf("labels = %v, %v", labels[0], labels[1])
+	}
+}

@@ -1,0 +1,150 @@
+// Package client is the mobile-device side of Edge-PrivLocAd: a typed
+// HTTP client for the edge service that mobile apps (or the trace replay
+// tooling) use to report locations and fetch privacy-filtered ads.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/edge"
+	"repro/internal/geo"
+)
+
+// Client talks to one edge device.
+type Client struct {
+	baseURL string
+	http    *http.Client
+}
+
+// New builds a client for the edge service at baseURL (e.g.
+// "http://127.0.0.1:8080"). httpClient may be nil for a default with a
+// 10 s timeout.
+func New(baseURL string, httpClient *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: parsing base URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: base URL %q must be http(s)", baseURL)
+	}
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{baseURL: u.String(), http: httpClient}, nil
+}
+
+// apiError is a non-2xx response from the edge.
+type apiError struct {
+	Status  int
+	Message string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("client: edge returned %d: %s", e.Status, e.Message)
+}
+
+// StatusCode extracts the HTTP status of an edge error, or 0 when err is
+// not an edge API error.
+func StatusCode(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.Status
+	}
+	return 0
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("client: encoding %s request: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("client: building %s request: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+path, nil)
+	if err != nil {
+		return fmt.Errorf("client: building %s request: %w", path, err)
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", req.Method, req.URL.Path, err)
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var env struct {
+			Error string `json:"error"`
+		}
+		msg := ""
+		if body, rerr := io.ReadAll(io.LimitReader(resp.Body, 4096)); rerr == nil {
+			if jerr := json.Unmarshal(body, &env); jerr == nil {
+				msg = env.Error
+			} else {
+				msg = string(body)
+			}
+		}
+		return &apiError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding %s response: %w", req.URL.Path, err)
+	}
+	return nil
+}
+
+// Report sends one location check-in. A zero time lets the edge stamp it.
+func (c *Client) Report(ctx context.Context, userID string, pos geo.Point, at time.Time) error {
+	return c.post(ctx, "/v1/report", edge.ReportRequest{UserID: userID, Pos: pos, Time: at}, nil)
+}
+
+// RequestAds asks the edge for ads relevant to the user's true position;
+// the edge handles obfuscation and AOI filtering.
+func (c *Client) RequestAds(ctx context.Context, userID string, pos geo.Point, limit int) (edge.AdsResponse, error) {
+	var resp edge.AdsResponse
+	err := c.post(ctx, "/v1/ads", edge.AdsRequest{UserID: userID, Pos: pos, Limit: limit}, &resp)
+	return resp, err
+}
+
+// Rebuild forces an immediate profile recomputation for the user.
+func (c *Client) Rebuild(ctx context.Context, userID string, now time.Time) error {
+	return c.post(ctx, "/v1/rebuild", edge.RebuildRequest{UserID: userID, Now: now}, nil)
+}
+
+// Profile fetches the user's current top-location profile.
+func (c *Client) Profile(ctx context.Context, userID string) (edge.ProfileResponse, error) {
+	var resp edge.ProfileResponse
+	err := c.get(ctx, "/v1/profile?user="+url.QueryEscape(userID), &resp)
+	return resp, err
+}
+
+// Privacy fetches the user's cumulative nomadic privacy loss.
+func (c *Client) Privacy(ctx context.Context, userID string) (edge.PrivacyResponse, error) {
+	var resp edge.PrivacyResponse
+	err := c.get(ctx, "/v1/privacy?user="+url.QueryEscape(userID), &resp)
+	return resp, err
+}
+
+// Health checks the edge liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	return c.get(ctx, "/healthz", nil)
+}

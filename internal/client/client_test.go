@@ -1,0 +1,168 @@
+package client
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/adnet"
+	"repro/internal/core"
+	"repro/internal/edge"
+	"repro/internal/geo"
+	"repro/internal/geoind"
+	"repro/internal/randx"
+)
+
+func newTestEdge(t *testing.T) (*httptest.Server, *adnet.Network) {
+	t.Helper()
+	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomadic, err := geoind.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := core.NewEngine(core.Config{Mechanism: mech, NomadicMechanism: nomadic, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	network, err := adnet.NewNetwork(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := edge.NewServer(engine, network, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, network
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("://bad", nil); err == nil {
+		t.Error("malformed URL expected error")
+	}
+	if _, err := New("ftp://host", nil); err == nil {
+		t.Error("non-http scheme expected error")
+	}
+	if _, err := New("http://127.0.0.1:9", nil); err != nil {
+		t.Errorf("valid URL rejected: %v", err)
+	}
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	ts, network := newTestEdge(t)
+	c, err := New(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+
+	if err := network.Register(adnet.Campaign{
+		ID: "c1", Location: geo.Point{X: 500, Y: 0}, Radius: 40_000,
+		Ad: adnet.Ad{ID: "ad1", Title: "coffee", Location: geo.Point{X: 500, Y: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	home := geo.Point{X: 0, Y: 0}
+	rnd := randx.New(8, 8)
+	base := time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 100; i++ {
+		at := base.Add(time.Duration(i) * time.Hour)
+		if err := c.Report(ctx, "u1", home.Add(rnd.GaussianPolar(12)), at); err != nil {
+			t.Fatalf("Report: %v", err)
+		}
+	}
+	if err := c.Rebuild(ctx, "u1", base.Add(200*time.Hour)); err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+
+	prof, err := c.Profile(ctx, "u1")
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	if prof.UserID != "u1" || len(prof.Tops) == 0 {
+		t.Fatalf("profile = %+v", prof)
+	}
+	if d := prof.Tops[0].Loc.Dist(home); d > 20 {
+		t.Errorf("top-1 %g m from home", d)
+	}
+
+	ads, err := c.RequestAds(ctx, "u1", home, 10)
+	if err != nil {
+		t.Fatalf("RequestAds: %v", err)
+	}
+	if !ads.FromTable {
+		t.Error("expected answer from permanent table")
+	}
+	if ads.Reported == home {
+		t.Error("true location leaked")
+	}
+	if len(ads.Ads) != 1 || ads.Ads[0].ID != "ad1" {
+		t.Errorf("ads = %+v", ads.Ads)
+	}
+}
+
+func TestClientPrivacy(t *testing.T) {
+	ts, _ := newTestEdge(t)
+	c, err := New(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Without a configured budget the loss is zero but the endpoint works.
+	pr, err := c.Privacy(ctx, "whoever")
+	if err != nil {
+		t.Fatalf("Privacy: %v", err)
+	}
+	if pr.UserID != "whoever" || pr.Epsilon != 0 || pr.Delta != 0 {
+		t.Errorf("privacy = %+v", pr)
+	}
+}
+
+func TestClientErrorMapping(t *testing.T) {
+	ts, _ := newTestEdge(t)
+	c, err := New(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	_, err = c.Profile(ctx, "ghost")
+	if err == nil {
+		t.Fatal("unknown user expected error")
+	}
+	if got := StatusCode(err); got != 404 {
+		t.Errorf("StatusCode = %d, want 404", got)
+	}
+	if err := c.Report(ctx, "", geo.Point{}, time.Time{}); err == nil {
+		t.Error("empty user expected error")
+	} else if StatusCode(err) != 400 {
+		t.Errorf("StatusCode = %d, want 400", StatusCode(err))
+	}
+	// Non-API error has no status.
+	if got := StatusCode(context.Canceled); got != 0 {
+		t.Errorf("StatusCode of non-API error = %d", got)
+	}
+}
+
+func TestClientConnectionFailure(t *testing.T) {
+	c, err := New("http://127.0.0.1:1", nil) // port 1: nothing listening
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := c.Health(ctx); err == nil {
+		t.Error("expected connection error")
+	}
+}

@@ -1,0 +1,482 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/geoind"
+	"repro/internal/profile"
+	"repro/internal/randx"
+	"repro/internal/trace"
+)
+
+// Engine errors.
+var (
+	// ErrUnknownUser reports an operation on a user the engine has never
+	// seen a report from.
+	ErrUnknownUser = errors.New("core: unknown user")
+	// ErrNoProfile reports that a user has no computed top-location
+	// profile yet (no window has closed).
+	ErrNoProfile = errors.New("core: no location profile computed yet")
+	// ErrBudgetExhausted reports that a user's cumulative nomadic privacy
+	// budget is spent; the edge refuses further fresh-noise exposures.
+	ErrBudgetExhausted = errors.New("core: nomadic privacy budget exhausted")
+)
+
+// Config parameterises the engine.
+type Config struct {
+	// Mechanism protects top locations; the paper uses the n-fold
+	// Gaussian mechanism. Required.
+	Mechanism geoind.Mechanism
+	// NomadicMechanism protects rarely-visited locations with per-report
+	// noise; the paper motivates one-time geo-IND (planar Laplace) for
+	// these. Required.
+	NomadicMechanism geoind.Mechanism
+	// ConnectivityThreshold clusters check-ins into locations; ≤ 0 selects
+	// the paper's 50 m.
+	ConnectivityThreshold float64
+	// EtaFraction selects the η of the frequent location set as a fraction
+	// of the window's check-ins; ≤ 0 selects 0.9.
+	EtaFraction float64
+	// ProfileWindow is the recompute period of the location management
+	// module; ≤ 0 selects the paper's three months.
+	ProfileWindow time.Duration
+	// TargetRadius is the advertising radius R defining the AOI; ≤ 0
+	// selects the paper's 5 km.
+	TargetRadius float64
+	// PosteriorSigma overrides the σ of the output selection posterior;
+	// ≤ 0 derives it from the mechanism (its Sigma method when available,
+	// otherwise the empirical candidate spread).
+	PosteriorSigma float64
+	// NomadicBudget, when non-nil, bounds each user's cumulative privacy
+	// loss from nomadic (fresh-noise) exposures — the edge's
+	// risk-assessment function from the paper's system description. Each
+	// nomadic report is accounted as one (NomadicReportEpsilon,
+	// NomadicReportDelta) release; once the best composition bound
+	// exceeds the budget, nomadic Requests fail with ErrBudgetExhausted.
+	// Top-location requests are unaffected: they are post-processing of
+	// the one permanent release.
+	NomadicBudget *geoind.Loss
+	// NomadicReportEpsilon is the per-report ε charged against the
+	// budget; ≤ 0 selects 1 (one unit of geo-IND loss at the protection
+	// radius).
+	NomadicReportEpsilon float64
+	// NomadicReportDelta is the per-report δ charged against the budget.
+	NomadicReportDelta float64
+	// Seed drives all engine randomness deterministically.
+	Seed uint64
+}
+
+// withDefaults fills zero fields with the paper's defaults.
+func (c Config) withDefaults() Config {
+	if c.ConnectivityThreshold <= 0 {
+		c.ConnectivityThreshold = profile.DefaultConnectivityThreshold
+	}
+	if c.EtaFraction <= 0 {
+		c.EtaFraction = 0.9
+	}
+	if c.ProfileWindow <= 0 {
+		c.ProfileWindow = 90 * 24 * time.Hour
+	}
+	if c.TargetRadius <= 0 {
+		c.TargetRadius = 5000
+	}
+	if c.NomadicReportEpsilon <= 0 {
+		c.NomadicReportEpsilon = 1
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Mechanism == nil {
+		return fmt.Errorf("core: config requires a Mechanism")
+	}
+	if c.NomadicMechanism == nil {
+		return fmt.Errorf("core: config requires a NomadicMechanism")
+	}
+	if c.EtaFraction > 1 {
+		return fmt.Errorf("core: eta fraction %g must be at most 1", c.EtaFraction)
+	}
+	return nil
+}
+
+// userState is the engine's per-user state.
+type userState struct {
+	mu          sync.Mutex
+	rnd         *randx.Rand
+	pending     []trace.CheckIn
+	windowStart time.Time
+	tops        profile.Profile
+	table       *ObfuscationTable
+	hasProfile  bool
+}
+
+// Engine is the Edge-PrivLocAd core: it manages per-user location
+// profiles, the permanent obfuscation table, and output selection. It is
+// safe for concurrent use; distinct users proceed in parallel.
+type Engine struct {
+	cfg        Config
+	accountant *geoind.Accountant // nil when no nomadic budget is set
+
+	mu    sync.RWMutex
+	users map[string]*userState
+}
+
+// NewEngine validates cfg and builds an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg.withDefaults(), users: make(map[string]*userState)}
+	if e.cfg.NomadicBudget != nil {
+		acct, err := geoind.NewAccountant(e.cfg.NomadicReportEpsilon, e.cfg.NomadicReportDelta)
+		if err != nil {
+			return nil, fmt.Errorf("core: nomadic accountant: %w", err)
+		}
+		e.accountant = acct
+	}
+	return e, nil
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// userFor returns (creating if needed) the state for userID.
+func (e *Engine) userFor(userID string) (*userState, error) {
+	e.mu.RLock()
+	u, ok := e.users[userID]
+	e.mu.RUnlock()
+	if ok {
+		return u, nil
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if u, ok = e.users[userID]; ok {
+		return u, nil
+	}
+	table, err := NewObfuscationTable(e.cfg.ConnectivityThreshold)
+	if err != nil {
+		return nil, fmt.Errorf("core: user %q table: %w", userID, err)
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(userID)) // fnv Write cannot fail
+	u = &userState{
+		rnd:   randx.New(e.cfg.Seed, h.Sum64()),
+		table: table,
+	}
+	e.users[userID] = u
+	return u, nil
+}
+
+// lookup returns the state for an existing user.
+func (e *Engine) lookup(userID string) (*userState, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	u, ok := e.users[userID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownUser, userID)
+	}
+	return u, nil
+}
+
+// Report ingests one check-in for userID (the location management
+// module's passive collection). When the report closes the user's
+// profile window, the profile is recomputed and new top locations are
+// obfuscated into the permanent table.
+func (e *Engine) Report(userID string, pos geo.Point, at time.Time) error {
+	u, err := e.userFor(userID)
+	if err != nil {
+		return err
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.windowStart.IsZero() {
+		u.windowStart = at
+	}
+	u.pending = append(u.pending, trace.CheckIn{Pos: pos, Time: at})
+	if at.Sub(u.windowStart) >= e.cfg.ProfileWindow {
+		if err := e.rebuildLocked(u, at); err != nil {
+			return fmt.Errorf("core: rebuilding profile for %q: %w", userID, err)
+		}
+	}
+	return nil
+}
+
+// RebuildProfile forces an immediate profile recomputation for userID
+// from the check-ins collected so far (the periodic task of Section V-B,
+// exposed for tests, benchmarks, and administrative control).
+func (e *Engine) RebuildProfile(userID string, now time.Time) error {
+	u, err := e.lookup(userID)
+	if err != nil {
+		return err
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if err := e.rebuildLocked(u, now); err != nil {
+		return fmt.Errorf("core: rebuilding profile for %q: %w", userID, err)
+	}
+	return nil
+}
+
+// rebuildLocked recomputes the η-frequent top set from pending check-ins
+// and obfuscates any new top location into the permanent table. The
+// caller holds u.mu.
+func (e *Engine) rebuildLocked(u *userState, now time.Time) error {
+	if len(u.pending) == 0 {
+		return nil
+	}
+	pts := make([]geo.Point, len(u.pending))
+	for i, c := range u.pending {
+		pts[i] = c.Pos
+	}
+	prof, err := profile.Build(pts, e.cfg.ConnectivityThreshold)
+	if err != nil {
+		return fmt.Errorf("building profile: %w", err)
+	}
+	tops := prof.EtaFractionSet(e.cfg.EtaFraction)
+
+	for _, lf := range tops {
+		if _, ok := u.table.Lookup(lf.Loc); ok {
+			continue // already permanently obfuscated
+		}
+		candidates, err := e.cfg.Mechanism.Obfuscate(u.rnd, lf.Loc)
+		if err != nil {
+			return fmt.Errorf("obfuscating top location: %w", err)
+		}
+		u.table.Insert(lf.Loc, candidates, now)
+	}
+
+	u.tops = tops
+	u.hasProfile = true
+	u.pending = u.pending[:0]
+	u.windowStart = now
+	return nil
+}
+
+// Request answers an LBA trigger: given the user's current true location
+// it returns the obfuscated location to expose to the ad network. Top
+// locations are answered from the permanent table via posterior output
+// selection (Algorithm 4); anywhere else is nomadic and gets fresh
+// one-time noise. The boolean reports whether the answer came from the
+// permanent table.
+func (e *Engine) Request(userID string, truePos geo.Point) (geo.Point, bool, error) {
+	u, err := e.lookup(userID)
+	if err != nil {
+		return geo.Point{}, false, err
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+
+	if entry, ok := u.table.Lookup(truePos); ok {
+		sigma := e.posteriorSigma(entry.Candidates)
+		selected, _, err := SelectPosterior(u.rnd, entry.Candidates, sigma)
+		if err != nil {
+			return geo.Point{}, false, fmt.Errorf("core: output selection for %q: %w", userID, err)
+		}
+		return selected, true, nil
+	}
+
+	if e.accountant != nil {
+		over, err := e.accountant.WouldExceed(userID, *e.cfg.NomadicBudget, _accountantSlack)
+		if err != nil {
+			return geo.Point{}, false, fmt.Errorf("core: budget check for %q: %w", userID, err)
+		}
+		if over {
+			return geo.Point{}, false, fmt.Errorf("%w for %q", ErrBudgetExhausted, userID)
+		}
+		e.accountant.Record(userID)
+	}
+
+	out, err := e.cfg.NomadicMechanism.Obfuscate(u.rnd, truePos)
+	if err != nil {
+		return geo.Point{}, false, fmt.Errorf("core: nomadic obfuscation for %q: %w", userID, err)
+	}
+	if len(out) == 0 {
+		return geo.Point{}, false, fmt.Errorf("core: nomadic mechanism returned no output for %q", userID)
+	}
+	return out[0], false, nil
+}
+
+// _accountantSlack is the δ' used when evaluating the advanced
+// composition bound for budget checks.
+const _accountantSlack = 1e-6
+
+// NomadicLoss returns the user's cumulative nomadic privacy loss under
+// the best available composition bound. It returns the zero Loss when no
+// nomadic budget is configured.
+func (e *Engine) NomadicLoss(userID string) (geoind.Loss, error) {
+	if e.accountant == nil {
+		return geoind.Loss{}, nil
+	}
+	loss, err := e.accountant.BestLoss(userID, _accountantSlack)
+	if err != nil {
+		return geoind.Loss{}, fmt.Errorf("core: nomadic loss for %q: %w", userID, err)
+	}
+	return loss, nil
+}
+
+// posteriorSigma resolves the σ of the output-selection posterior
+// (Eq. 17): explicit config, then the mechanism's own Sigma scaled to the
+// posterior deviation σ/√n (the sufficient statistic's deviation), then
+// the empirical candidate spread.
+func (e *Engine) posteriorSigma(candidates []geo.Point) float64 {
+	if e.cfg.PosteriorSigma > 0 {
+		return e.cfg.PosteriorSigma
+	}
+	if s, ok := e.cfg.Mechanism.(interface{ Sigma() float64 }); ok {
+		n := e.cfg.Mechanism.Fold()
+		if n < 1 {
+			n = 1
+		}
+		return s.Sigma() / math.Sqrt(float64(n))
+	}
+	centroid, ok := geo.Centroid(candidates)
+	if !ok || len(candidates) < 2 {
+		return 1
+	}
+	var sum float64
+	for _, c := range candidates {
+		sum += c.Dist2(centroid)
+	}
+	sigma := math.Sqrt(sum / float64(2*len(candidates))) // per-axis spread
+	if sigma <= 0 {
+		return 1
+	}
+	return sigma
+}
+
+// PendingProfile clusters the user's check-ins collected since the last
+// window rollover into a location profile WITHOUT closing the window.
+// Multi-edge deployments use it to extract each edge's partial profile
+// for the secure merge (Section V-B).
+func (e *Engine) PendingProfile(userID string) (profile.Profile, error) {
+	u, err := e.lookup(userID)
+	if err != nil {
+		return nil, err
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if len(u.pending) == 0 {
+		return nil, nil
+	}
+	pts := make([]geo.Point, len(u.pending))
+	for i, c := range u.pending {
+		pts[i] = c.Pos
+	}
+	prof, err := profile.Build(pts, e.cfg.ConnectivityThreshold)
+	if err != nil {
+		return nil, fmt.Errorf("core: pending profile for %q: %w", userID, err)
+	}
+	return prof, nil
+}
+
+// InstallTops installs an externally computed η-frequent top set for the
+// user (e.g. the result of a secure multi-edge merge): new top locations
+// are obfuscated into the permanent table, the profile becomes current,
+// and the collection window restarts. Existing table entries are never
+// re-obfuscated.
+func (e *Engine) InstallTops(userID string, tops profile.Profile, now time.Time) error {
+	u, err := e.userFor(userID)
+	if err != nil {
+		return err
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for _, lf := range tops {
+		if _, ok := u.table.Lookup(lf.Loc); ok {
+			continue
+		}
+		candidates, err := e.cfg.Mechanism.Obfuscate(u.rnd, lf.Loc)
+		if err != nil {
+			return fmt.Errorf("core: obfuscating installed top for %q: %w", userID, err)
+		}
+		u.table.Insert(lf.Loc, candidates, now)
+	}
+	u.tops = make(profile.Profile, len(tops))
+	copy(u.tops, tops)
+	u.hasProfile = true
+	u.pending = u.pending[:0]
+	u.windowStart = now
+	return nil
+}
+
+// ImportTable replicates externally generated obfuscation-table entries
+// for the user. Multi-edge deployments use it so every edge answers a
+// given top location from the SAME permanent candidate set — if each
+// edge obfuscated independently, the union of their outputs would leak
+// beyond the (r, ε, δ, n) guarantee. Entries for already-known top
+// locations are ignored (first writer wins, matching table semantics).
+func (e *Engine) ImportTable(userID string, entries []TableEntry) error {
+	u, err := e.userFor(userID)
+	if err != nil {
+		return err
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for _, entry := range entries {
+		u.table.Insert(entry.Top, entry.Candidates, entry.CreatedAt)
+	}
+	return nil
+}
+
+// TopLocations returns the user's current η-frequent top set (copy),
+// ordered by descending frequency.
+func (e *Engine) TopLocations(userID string) (profile.Profile, error) {
+	u, err := e.lookup(userID)
+	if err != nil {
+		return nil, err
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if !u.hasProfile {
+		return nil, fmt.Errorf("%w for %q", ErrNoProfile, userID)
+	}
+	out := make(profile.Profile, len(u.tops))
+	copy(out, u.tops)
+	return out, nil
+}
+
+// Table returns the user's obfuscation table entries (copy).
+func (e *Engine) Table(userID string) ([]TableEntry, error) {
+	u, err := e.lookup(userID)
+	if err != nil {
+		return nil, err
+	}
+	return u.table.Entries(), nil
+}
+
+// Users returns the known user IDs in sorted order.
+func (e *Engine) Users() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ids := make([]string, 0, len(e.users))
+	for id := range e.users {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// FilterAds implements the edge's relevance filter (Section V-A): given
+// ad locations returned by the LBA provider for an obfuscated request, it
+// returns the indexes of ads whose location falls inside the user's true
+// AOI (within TargetRadius of truePos), so the device only receives
+// relevant ads.
+func (e *Engine) FilterAds(truePos geo.Point, adLocations []geo.Point) []int {
+	r2 := e.cfg.TargetRadius * e.cfg.TargetRadius
+	var keep []int
+	for i, ad := range adLocations {
+		if ad.Dist2(truePos) <= r2 {
+			keep = append(keep, i)
+		}
+	}
+	return keep
+}

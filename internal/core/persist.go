@@ -1,0 +1,193 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/profile"
+	"repro/internal/randx"
+	"repro/internal/trace"
+)
+
+// The permanence of the obfuscation table is load-bearing for privacy:
+// if an edge device restarted and re-obfuscated the same top locations,
+// the attacker would observe a second independent (r, ε, δ, n) release
+// and the longitudinal guarantee would degrade exactly as Section III
+// describes. Snapshot/Restore make the table (and the rest of the
+// per-user state) durable across restarts.
+
+// userSnapshot is the serialised form of one user's engine state.
+type userSnapshot struct {
+	UserID      string          `json:"user_id"`
+	Pending     []trace.CheckIn `json:"pending,omitempty"`
+	WindowStart time.Time       `json:"window_start,omitempty"`
+	Tops        profile.Profile `json:"tops,omitempty"`
+	HasProfile  bool            `json:"has_profile"`
+	Table       []TableEntry    `json:"table,omitempty"`
+	// RandState carries the user's PRNG stream position so restored
+	// engines continue the exact sequence (keeping runs reproducible).
+	RandState []byte `json:"rand_state"`
+}
+
+// snapshotHeader versions the stream format.
+type snapshotHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Users   int    `json:"users"`
+}
+
+const (
+	_snapshotFormat  = "edge-privlocad-state"
+	_snapshotVersion = 1
+)
+
+// Snapshot serialises all per-user state as JSON lines: one header line,
+// then one line per user (sorted by ID for deterministic output).
+func (e *Engine) Snapshot(w io.Writer) error {
+	e.mu.RLock()
+	ids := make([]string, 0, len(e.users))
+	for id := range e.users {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	users := make([]*userState, len(ids))
+	for i, id := range ids {
+		users[i] = e.users[id]
+	}
+	e.mu.RUnlock()
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(snapshotHeader{
+		Format:  _snapshotFormat,
+		Version: _snapshotVersion,
+		Users:   len(ids),
+	}); err != nil {
+		return fmt.Errorf("core: encoding snapshot header: %w", err)
+	}
+	for i, u := range users {
+		u.mu.Lock()
+		randState, rerr := u.rnd.MarshalState()
+		snap := userSnapshot{
+			UserID:      ids[i],
+			Pending:     append([]trace.CheckIn(nil), u.pending...),
+			WindowStart: u.windowStart,
+			Tops:        append(profile.Profile(nil), u.tops...),
+			HasProfile:  u.hasProfile,
+			Table:       u.table.Entries(),
+			RandState:   randState,
+		}
+		u.mu.Unlock()
+		if rerr != nil {
+			return fmt.Errorf("core: capturing PRNG state for %q: %w", ids[i], rerr)
+		}
+		if err := enc.Encode(snap); err != nil {
+			return fmt.Errorf("core: encoding snapshot for %q: %w", ids[i], err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: flushing snapshot: %w", err)
+	}
+	return nil
+}
+
+// Restore loads a snapshot produced by Snapshot into a fresh engine.
+// Restored users keep their permanent obfuscation tables verbatim —
+// the property that preserves the longitudinal guarantee across
+// restarts. Restoring over existing users is rejected.
+func (e *Engine) Restore(r io.Reader) error {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var header snapshotHeader
+	if err := dec.Decode(&header); err != nil {
+		return fmt.Errorf("core: decoding snapshot header: %w", err)
+	}
+	if header.Format != _snapshotFormat {
+		return fmt.Errorf("core: snapshot format %q, want %q", header.Format, _snapshotFormat)
+	}
+	if header.Version != _snapshotVersion {
+		return fmt.Errorf("core: snapshot version %d not supported", header.Version)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	restored := 0
+	for {
+		var snap userSnapshot
+		if err := dec.Decode(&snap); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("core: decoding snapshot user %d: %w", restored, err)
+		}
+		if snap.UserID == "" {
+			return fmt.Errorf("core: snapshot user %d has empty id", restored)
+		}
+		if _, exists := e.users[snap.UserID]; exists {
+			return fmt.Errorf("core: snapshot user %q already present in engine", snap.UserID)
+		}
+		table, err := NewObfuscationTable(e.cfg.ConnectivityThreshold)
+		if err != nil {
+			return fmt.Errorf("core: restoring table for %q: %w", snap.UserID, err)
+		}
+		for _, entry := range snap.Table {
+			table.Insert(entry.Top, entry.Candidates, entry.CreatedAt)
+		}
+		rnd, err := randx.NewFromState(snap.RandState)
+		if err != nil {
+			return fmt.Errorf("core: restoring PRNG state for %q: %w", snap.UserID, err)
+		}
+		e.users[snap.UserID] = &userState{
+			rnd:         rnd,
+			pending:     snap.Pending,
+			windowStart: snap.WindowStart,
+			tops:        snap.Tops,
+			hasProfile:  snap.HasProfile,
+			table:       table,
+		}
+		restored++
+	}
+	if restored != header.Users {
+		return fmt.Errorf("core: snapshot header says %d users, stream had %d", header.Users, restored)
+	}
+	return nil
+}
+
+// SnapshotFile writes the snapshot to path atomically (via a temp file
+// rename), so a crash mid-write never corrupts the previous state.
+func (e *Engine) SnapshotFile(path string) (err error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: creating %q: %w", tmp, err)
+	}
+	defer func() {
+		if err != nil {
+			_ = os.Remove(tmp)
+		}
+	}()
+	if err = e.Snapshot(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("core: closing %q: %w", tmp, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("core: renaming snapshot into place: %w", err)
+	}
+	return nil
+}
+
+// RestoreFile loads a snapshot from path.
+func (e *Engine) RestoreFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("core: opening %q: %w", path, err)
+	}
+	defer f.Close()
+	return e.Restore(f)
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/randx"
+)
+
+// SelectPosterior implements the output selection module (Algorithm 4):
+// it draws one candidate from the set with probability proportional to
+// the posterior density of the real location at that candidate,
+//
+//	f(x, y) = (1/2πσ²)·exp(−((x−x̄)² + (y−ȳ)²)/2σ²)
+//
+// where (x̄, ȳ) is the candidate centroid (Eq. 17) and σ the mechanism's
+// noise deviation. Candidates near the centroid — the likeliest position
+// of the real location given the published set — are favoured, which is
+// what keeps advertising efficacy flat as n grows (Observation-4).
+//
+// It returns the selected candidate and its index.
+func SelectPosterior(rnd *randx.Rand, candidates []geo.Point, sigma float64) (geo.Point, int, error) {
+	if len(candidates) == 0 {
+		return geo.Point{}, 0, fmt.Errorf("core: posterior selection over empty candidate set")
+	}
+	if !(sigma > 0) || math.IsInf(sigma, 0) {
+		return geo.Point{}, 0, fmt.Errorf("core: posterior sigma %g must be positive and finite", sigma)
+	}
+	if len(candidates) == 1 {
+		return candidates[0], 0, nil
+	}
+
+	centroid, _ := geo.Centroid(candidates)
+
+	// Weights ∝ exp(−d²/2σ²); shift by the minimum squared distance so the
+	// largest weight is exactly 1, avoiding underflow when candidates sit
+	// many σ from the centroid.
+	d2 := make([]float64, len(candidates))
+	minD2 := math.Inf(1)
+	for i, c := range candidates {
+		d2[i] = c.Dist2(centroid)
+		if d2[i] < minD2 {
+			minD2 = d2[i]
+		}
+	}
+	twoSigma2 := 2 * sigma * sigma
+	weights := make([]float64, len(candidates))
+	var total float64
+	for i := range weights {
+		weights[i] = math.Exp(-(d2[i] - minD2) / twoSigma2)
+		total += weights[i]
+	}
+
+	u := rnd.Float64() * total
+	var cum float64
+	for i, w := range weights {
+		cum += w
+		if u < cum {
+			return candidates[i], i, nil
+		}
+	}
+	// Floating-point slack: fall back to the last candidate.
+	last := len(candidates) - 1
+	return candidates[last], last, nil
+}
+
+// SelectUniform draws a candidate uniformly at random. It exists for the
+// ablation benchmarks isolating the posterior module's contribution.
+func SelectUniform(rnd *randx.Rand, candidates []geo.Point) (geo.Point, int, error) {
+	if len(candidates) == 0 {
+		return geo.Point{}, 0, fmt.Errorf("core: uniform selection over empty candidate set")
+	}
+	i := rnd.IntN(len(candidates))
+	return candidates[i], i, nil
+}
+
+// PosteriorProbabilities returns the selection distribution of
+// SelectPosterior without sampling (Eq. 18), normalised to sum to one.
+// Useful for analysis and tests.
+func PosteriorProbabilities(candidates []geo.Point, sigma float64) ([]float64, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("core: posterior probabilities of empty candidate set")
+	}
+	if !(sigma > 0) || math.IsInf(sigma, 0) {
+		return nil, fmt.Errorf("core: posterior sigma %g must be positive and finite", sigma)
+	}
+	centroid, _ := geo.Centroid(candidates)
+	twoSigma2 := 2 * sigma * sigma
+	minD2 := math.Inf(1)
+	d2 := make([]float64, len(candidates))
+	for i, c := range candidates {
+		d2[i] = c.Dist2(centroid)
+		if d2[i] < minD2 {
+			minD2 = d2[i]
+		}
+	}
+	probs := make([]float64, len(candidates))
+	var total float64
+	for i := range probs {
+		probs[i] = math.Exp(-(d2[i] - minD2) / twoSigma2)
+		total += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= total
+	}
+	return probs, nil
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/randx"
+)
+
+func TestSelectPosteriorErrors(t *testing.T) {
+	rnd := randx.New(1, 1)
+	if _, _, err := SelectPosterior(rnd, nil, 100); err == nil {
+		t.Error("empty candidates expected error")
+	}
+	cands := []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	for _, sigma := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, _, err := SelectPosterior(rnd, cands, sigma); err == nil {
+			t.Errorf("sigma %g expected error", sigma)
+		}
+	}
+}
+
+func TestSelectPosteriorSingleton(t *testing.T) {
+	rnd := randx.New(1, 1)
+	only := geo.Point{X: 7, Y: 7}
+	got, idx, err := SelectPosterior(rnd, []geo.Point{only}, 100)
+	if err != nil || got != only || idx != 0 {
+		t.Errorf("singleton selection = %v, %d, %v", got, idx, err)
+	}
+}
+
+// TestSelectPosteriorFavoursCentroid: candidates near the centroid must
+// be selected more often, with empirical frequencies matching Eq. 18.
+func TestSelectPosteriorFavoursCentroid(t *testing.T) {
+	// Three near-centroid candidates and one outlier; centroid ≈ middle.
+	cands := []geo.Point{
+		{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 0, Y: 100}, {X: 5000, Y: 5000},
+	}
+	sigma := 1000.0
+	probs, err := PosteriorProbabilities(cands, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := randx.New(9, 9)
+	const trials = 100_000
+	counts := make([]int, len(cands))
+	for i := 0; i < trials; i++ {
+		_, idx, err := SelectPosterior(rnd, cands, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
+	}
+	for i := range cands {
+		got := float64(counts[i]) / trials
+		if math.Abs(got-probs[i]) > 0.01 {
+			t.Errorf("candidate %d: frequency %g vs probability %g", i, got, probs[i])
+		}
+	}
+	// The outlier must be the least likely.
+	if !(probs[3] < probs[0] && probs[3] < probs[1] && probs[3] < probs[2]) {
+		t.Errorf("outlier not suppressed: %v", probs)
+	}
+}
+
+// TestPosteriorProbabilitiesUnderflowSafe: candidates very far from the
+// centroid relative to sigma must still produce a valid distribution.
+func TestPosteriorProbabilitiesUnderflowSafe(t *testing.T) {
+	cands := []geo.Point{
+		{X: 0, Y: 0}, {X: 1e9, Y: 0}, {X: 0, Y: 1e9},
+	}
+	probs, err := PosteriorProbabilities(cands, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range probs {
+		if math.IsNaN(p) {
+			t.Fatal("NaN probability")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %g", sum)
+	}
+	// Selection must also work without error.
+	if _, _, err := SelectPosterior(randx.New(1, 1), cands, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPosteriorProbabilitiesErrors(t *testing.T) {
+	if _, err := PosteriorProbabilities(nil, 10); err == nil {
+		t.Error("empty candidates expected error")
+	}
+	if _, err := PosteriorProbabilities([]geo.Point{{X: 1, Y: 1}}, 0); err == nil {
+		t.Error("sigma=0 expected error")
+	}
+}
+
+// TestPosteriorSymmetricCandidatesUniform: symmetric candidates are
+// equidistant from the centroid, so selection must be uniform.
+func TestPosteriorSymmetricCandidatesUniform(t *testing.T) {
+	cands := []geo.Point{
+		{X: 1000, Y: 0}, {X: -1000, Y: 0}, {X: 0, Y: 1000}, {X: 0, Y: -1000},
+	}
+	probs, err := PosteriorProbabilities(cands, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range probs {
+		if math.Abs(p-0.25) > 1e-9 {
+			t.Errorf("probs[%d] = %g, want 0.25", i, p)
+		}
+	}
+}
+
+func TestSelectUniform(t *testing.T) {
+	if _, _, err := SelectUniform(randx.New(1, 1), nil); err == nil {
+		t.Error("empty candidates expected error")
+	}
+	cands := []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}}
+	rnd := randx.New(4, 4)
+	counts := make([]int, 3)
+	const trials = 30_000
+	for i := 0; i < trials; i++ {
+		_, idx, err := SelectUniform(rnd, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
+	}
+	for i, c := range counts {
+		if got := float64(c) / trials; math.Abs(got-1.0/3.0) > 0.01 {
+			t.Errorf("uniform candidate %d frequency %g", i, got)
+		}
+	}
+}
+
+func BenchmarkSelectPosterior10(b *testing.B) {
+	rnd := randx.New(1, 1)
+	cands := make([]geo.Point, 10)
+	for i := range cands {
+		cands[i] = rnd.GaussianPolar(5000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SelectPosterior(rnd, cands, 5000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package core implements the Edge-PrivLocAd engine of the paper
+// (Section V): the location management module (windowed profile
+// construction and η-frequent top-location sets), the location
+// obfuscation module (a permanent obfuscation table mapping every top
+// location to its n-fold Gaussian candidate set), and the output
+// selection module (posterior-based sampling, Algorithm 4), together with
+// the AOI-based ad filtering the edge performs on behalf of the user.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/spatial"
+)
+
+// TableEntry is one row of the obfuscation table T: a top location and
+// its permanently recorded obfuscated candidates.
+type TableEntry struct {
+	// Top is the true top location this entry protects.
+	Top geo.Point `json:"top"`
+	// Candidates are the obfuscated locations generated once and reused
+	// for every exposure of Top.
+	Candidates []geo.Point `json:"candidates"`
+	// CreatedAt records when the entry was generated.
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// ObfuscationTable is the permanent mapping T from top locations to their
+// obfuscated candidate sets (Section V-C). Entries are never replaced:
+// re-obfuscating a top location on later profile rebuilds would degrade
+// privacy exactly the way the longitudinal attack exploits, so lookups
+// match any previously recorded top within the match radius.
+//
+// The table is safe for concurrent use.
+type ObfuscationTable struct {
+	mu          sync.RWMutex
+	matchRadius float64
+	entries     []TableEntry
+	index       *spatial.Grid
+}
+
+// NewObfuscationTable builds an empty table. matchRadius decides when a
+// newly computed top location is "the same place" as a recorded one;
+// the paper's 50 m connectivity threshold is the natural choice.
+func NewObfuscationTable(matchRadius float64) (*ObfuscationTable, error) {
+	if !(matchRadius > 0) || math.IsInf(matchRadius, 0) {
+		return nil, fmt.Errorf("core: table match radius %g must be positive and finite", matchRadius)
+	}
+	index, err := spatial.NewGrid(matchRadius)
+	if err != nil {
+		return nil, fmt.Errorf("core: table index: %w", err)
+	}
+	return &ObfuscationTable{matchRadius: matchRadius, index: index}, nil
+}
+
+// MatchRadius returns the configured identity radius.
+func (t *ObfuscationTable) MatchRadius() float64 {
+	return t.matchRadius
+}
+
+// Len returns the number of recorded top locations.
+func (t *ObfuscationTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Lookup returns the entry whose top location is nearest to p within the
+// match radius. The boolean reports whether such an entry exists.
+func (t *ObfuscationTable) Lookup(p geo.Point) (TableEntry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id, ok := t.lookupLocked(p)
+	if !ok {
+		return TableEntry{}, false
+	}
+	return t.entries[id], true
+}
+
+// lookupLocked returns the index of the nearest entry within matchRadius.
+func (t *ObfuscationTable) lookupLocked(p geo.Point) (int, bool) {
+	best := -1
+	bestD2 := t.matchRadius * t.matchRadius
+	t.index.ForEachWithin(p, t.matchRadius, func(id int, top geo.Point) {
+		if d2 := top.Dist2(p); d2 <= bestD2 {
+			bestD2 = d2
+			best = id
+		}
+	})
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// Insert records candidates for a top location unless an entry for that
+// location already exists; it returns the authoritative entry and whether
+// a new entry was created. This "check-then-record-permanently" semantic
+// is Algorithm 3's contract in the system (Section V-C).
+func (t *ObfuscationTable) Insert(top geo.Point, candidates []geo.Point, at time.Time) (TableEntry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.lookupLocked(top); ok {
+		return t.entries[id], false
+	}
+	cs := make([]geo.Point, len(candidates))
+	copy(cs, candidates)
+	entry := TableEntry{Top: top, Candidates: cs, CreatedAt: at}
+	id := len(t.entries)
+	t.entries = append(t.entries, entry)
+	t.index.Insert(id, top)
+	return entry, true
+}
+
+// Entries returns a copy of all rows, in insertion order.
+func (t *ObfuscationTable) Entries() []TableEntry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]TableEntry, len(t.entries))
+	copy(out, t.entries)
+	return out
+}

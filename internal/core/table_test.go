@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+func TestNewObfuscationTableValidation(t *testing.T) {
+	for _, r := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := NewObfuscationTable(r); err == nil {
+			t.Errorf("radius %g expected error", r)
+		}
+	}
+	tbl, err := NewObfuscationTable(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.MatchRadius() != 50 || tbl.Len() != 0 {
+		t.Errorf("fresh table: radius=%g len=%d", tbl.MatchRadius(), tbl.Len())
+	}
+}
+
+func TestTableInsertLookup(t *testing.T) {
+	tbl, err := NewObfuscationTable(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := geo.Point{X: 100, Y: 100}
+	cands := []geo.Point{{X: 500, Y: 500}, {X: -300, Y: 200}}
+	now := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	entry, created := tbl.Insert(top, cands, now)
+	if !created {
+		t.Fatal("first insert should create")
+	}
+	if len(entry.Candidates) != 2 || !entry.CreatedAt.Equal(now) {
+		t.Errorf("entry = %+v", entry)
+	}
+
+	// Lookup within the match radius finds the entry.
+	got, ok := tbl.Lookup(geo.Point{X: 120, Y: 110})
+	if !ok || got.Top != top {
+		t.Errorf("Lookup near = %+v, %v", got, ok)
+	}
+	// Outside the radius misses.
+	if _, ok := tbl.Lookup(geo.Point{X: 200, Y: 200}); ok {
+		t.Error("Lookup far should miss")
+	}
+}
+
+// TestTablePermanence is the defining property against the longitudinal
+// attack: re-inserting the same (or a nearby) top location must NOT
+// generate a new entry — the original candidates are authoritative.
+func TestTablePermanence(t *testing.T) {
+	tbl, err := NewObfuscationTable(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	orig := []geo.Point{{X: 1, Y: 1}}
+	entry1, created := tbl.Insert(geo.Point{X: 0, Y: 0}, orig, now)
+	if !created {
+		t.Fatal("first insert should create")
+	}
+	// A slightly drifted recomputed top (next window's centroid).
+	entry2, created := tbl.Insert(geo.Point{X: 10, Y: -5}, []geo.Point{{X: 999, Y: 999}}, now.Add(time.Hour))
+	if created {
+		t.Fatal("nearby top must reuse the permanent entry")
+	}
+	if entry2.Top != entry1.Top || entry2.Candidates[0] != orig[0] {
+		t.Errorf("permanent entry mutated: %+v", entry2)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tbl.Len())
+	}
+}
+
+func TestTableInsertCopiesCandidates(t *testing.T) {
+	tbl, err := NewObfuscationTable(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := []geo.Point{{X: 1, Y: 1}}
+	tbl.Insert(geo.Point{}, cands, time.Now())
+	cands[0] = geo.Point{X: 777, Y: 777}
+	got, ok := tbl.Lookup(geo.Point{})
+	if !ok || got.Candidates[0] != (geo.Point{X: 1, Y: 1}) {
+		t.Error("table aliases caller's candidate slice")
+	}
+}
+
+func TestTableLookupNearest(t *testing.T) {
+	tbl, err := NewObfuscationTable(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	a := geo.Point{X: 0, Y: 0}
+	b := geo.Point{X: 150, Y: 0}
+	tbl.Insert(a, []geo.Point{{X: 1, Y: 0}}, now)
+	tbl.Insert(b, []geo.Point{{X: 2, Y: 0}}, now)
+	got, ok := tbl.Lookup(geo.Point{X: 100, Y: 0})
+	if !ok || got.Top != b {
+		t.Errorf("Lookup should pick the nearest entry, got %+v", got.Top)
+	}
+}
+
+func TestTableEntriesCopy(t *testing.T) {
+	tbl, err := NewObfuscationTable(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Insert(geo.Point{}, []geo.Point{{X: 5, Y: 5}}, time.Now())
+	entries := tbl.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	entries[0].Top = geo.Point{X: 888, Y: 888}
+	if got, _ := tbl.Lookup(geo.Point{}); got.Top != (geo.Point{}) {
+		t.Error("Entries leaked internal state")
+	}
+}
+
+func TestTableConcurrentInsertSameTop(t *testing.T) {
+	tbl, err := NewObfuscationTable(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	var wg sync.WaitGroup
+	createdCount := make(chan bool, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, created := tbl.Insert(geo.Point{X: float64(i % 3), Y: 0}, []geo.Point{{X: float64(i), Y: 0}}, now)
+			createdCount <- created
+		}(i)
+	}
+	wg.Wait()
+	close(createdCount)
+	creations := 0
+	for c := range createdCount {
+		if c {
+			creations++
+		}
+	}
+	if creations != 1 {
+		t.Errorf("%d creations for one location, want 1", creations)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tbl.Len())
+	}
+}

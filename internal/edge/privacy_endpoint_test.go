@@ -1,0 +1,108 @@
+package edge
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/adnet"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/geoind"
+)
+
+// TestPrivacyEndpoint verifies the /v1/privacy surface against an engine
+// running with a nomadic budget: the reported loss grows with nomadic
+// requests and the edge starts refusing once the budget is spent.
+func TestPrivacyEndpoint(t *testing.T) {
+	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomadic, err := geoind.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := core.NewEngine(core.Config{
+		Mechanism:            mech,
+		NomadicMechanism:     nomadic,
+		NomadicBudget:        &geoind.Loss{Epsilon: 2, Delta: 1},
+		NomadicReportEpsilon: 1,
+		Seed:                 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	network, err := adnet.NewNetwork(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(engine, network, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Missing user param.
+	resp, err := http.Get(ts.URL + "/v1/privacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing user: %d", resp.StatusCode)
+	}
+
+	getLoss := func() PrivacyResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/privacy?user=eva")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("privacy status = %d", resp.StatusCode)
+		}
+		var pr PrivacyResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		return pr
+	}
+
+	if loss := getLoss(); loss.Epsilon != 0 {
+		t.Errorf("fresh user loss = %+v", loss)
+	}
+
+	postAds := func() int {
+		t.Helper()
+		payload, err := json.Marshal(AdsRequest{UserID: "eva", Pos: geo.Point{X: 9e4, Y: 9e4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/ads", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Two nomadic requests fit the eps=2 budget at eps=1 per report.
+	for i := 0; i < 2; i++ {
+		if code := postAds(); code != http.StatusOK {
+			t.Fatalf("request %d status = %d", i+1, code)
+		}
+	}
+	if loss := getLoss(); loss.Epsilon != 2 {
+		t.Errorf("loss after 2 requests = %+v, want eps 2", loss)
+	}
+	// The third must be refused (budget exhausted).
+	if code := postAds(); code != http.StatusInternalServerError {
+		t.Errorf("over-budget request status = %d, want 500", code)
+	}
+}

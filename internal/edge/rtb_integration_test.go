@@ -1,0 +1,139 @@
+package edge
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/adnet"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/geoind"
+	"repro/internal/randx"
+	"repro/internal/rtb"
+)
+
+// The RTB provider must satisfy the edge's provider contract.
+var _ AdProvider = (*rtb.Provider)(nil)
+
+// TestEdgeWithRTBExchange runs the full auction-backed stack: edge
+// service → RTB exchange with budgeted campaign bidders → GSP auctions,
+// with the user's location protected by the permanent table.
+func TestEdgeWithRTBExchange(t *testing.T) {
+	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomadic, err := geoind.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := core.NewEngine(core.Config{Mechanism: mech, NomadicMechanism: nomadic, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exchange, err := rtb.NewExchange(500*time.Millisecond, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := geo.Point{X: 0, Y: 0}
+	// Two advertisers close to home, one across town.
+	campaigns := []struct {
+		id     string
+		at     geo.Point
+		cpm    float64
+		budget float64
+	}{
+		{"cafe", geo.Point{X: 800, Y: 0}, 3.0, 1000},
+		{"gym", geo.Point{X: -1200, Y: 500}, 2.0, 1000},
+		{"faraway", geo.Point{X: 70_000, Y: 0}, 9.0, 1000},
+	}
+	bidders := make(map[string]*rtb.CampaignBidder)
+	for _, c := range campaigns {
+		bidder, err := rtb.NewCampaignBidder(adnet.Campaign{
+			ID: c.id, Location: c.at, Radius: 30_000,
+			Ad: adnet.Ad{ID: "ad-" + c.id, Title: c.id, Location: c.at},
+		}, c.cpm, c.budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := exchange.Register(bidder); err != nil {
+			t.Fatal(err)
+		}
+		bidders[c.id] = bidder
+	}
+	provider, err := rtb.NewProvider(exchange)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := NewServer(engine, provider, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(path string, body any) *http.Response {
+		t.Helper()
+		payload, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	rnd := randx.New(6, 6)
+	for i := 0; i < 100; i++ {
+		resp := post("/v1/report", ReportRequest{UserID: "dana", Pos: home.Add(rnd.GaussianPolar(12))})
+		resp.Body.Close()
+	}
+	resp := post("/v1/rebuild", RebuildRequest{UserID: "dana"})
+	resp.Body.Close()
+
+	sawAd := false
+	for i := 0; i < 10; i++ {
+		resp := post("/v1/ads", AdsRequest{UserID: "dana", Pos: home, Limit: 3})
+		var ar AdsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if !ar.FromTable {
+			t.Fatal("request not answered from the permanent table")
+		}
+		for _, ad := range ar.Ads {
+			sawAd = true
+			// AOI filtering: only the two nearby businesses survive.
+			if ad.ID == "ad-faraway" {
+				t.Fatal("irrelevant ad delivered")
+			}
+			if ad.Location.Dist(home) > 5000 {
+				t.Fatalf("ad outside AOI: %+v", ad)
+			}
+		}
+	}
+	if !sawAd {
+		t.Error("no ads delivered across 10 requests")
+	}
+
+	// Auction economics happened: the nearby campaigns spent budget.
+	if bidders["cafe"].Wins()+bidders["gym"].Wins() == 0 {
+		t.Error("no campaign won any auction")
+	}
+	// Privacy boundary: the exchange's log never contains the raw home.
+	for _, rec := range provider.BidLog() {
+		if rec.Loc == home {
+			t.Fatal("bid log contains the raw location")
+		}
+	}
+}

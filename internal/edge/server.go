@@ -1,0 +1,350 @@
+// Package edge implements the edge-device service of Edge-PrivLocAd
+// (Section V-A): an HTTP front that trusted edge devices expose to nearby
+// mobile users. The edge collects location reports, maintains the
+// privacy engine (profiles, permanent obfuscation table, output
+// selection), forwards ad requests to the untrusted LBA provider using
+// only obfuscated locations, and filters the returned ads down to the
+// user's true area of interest before delivery.
+package edge
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/adnet"
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// AdProvider is the untrusted LBA service the edge forwards obfuscated
+// requests to. *adnet.Network implements it.
+type AdProvider interface {
+	RequestAds(userID string, loc geo.Point, at time.Time, limit int) []adnet.Ad
+}
+
+var _ AdProvider = (*adnet.Network)(nil)
+
+// Clock abstracts time for deterministic tests.
+type Clock func() time.Time
+
+// Server is the edge HTTP service.
+type Server struct {
+	engine   *core.Engine
+	provider AdProvider
+	clock    Clock
+	logger   *log.Logger
+	mux      *http.ServeMux
+}
+
+// NewServer wires an engine and an ad provider into an HTTP service.
+// clock may be nil (wall clock); logger may be nil (logging disabled).
+func NewServer(engine *core.Engine, provider AdProvider, clock Clock, logger *log.Logger) (*Server, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("edge: server requires an engine")
+	}
+	if provider == nil {
+		return nil, fmt.Errorf("edge: server requires an ad provider")
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	s := &Server{engine: engine, provider: provider, clock: clock, logger: logger}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/report", s.handleReport)
+	mux.HandleFunc("POST /v1/ads", s.handleAds)
+	mux.HandleFunc("POST /v1/rebuild", s.handleRebuild)
+	mux.HandleFunc("GET /v1/profile", s.handleProfile)
+	mux.HandleFunc("GET /v1/privacy", s.handlePrivacy)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP handler for the service.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve runs the service on the listener until ctx is cancelled, then
+// shuts down gracefully.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("edge: shutdown: %w", err)
+		}
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return fmt.Errorf("edge: serve: %w", err)
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// ReportRequest is the body of POST /v1/report.
+type ReportRequest struct {
+	UserID string    `json:"user_id"`
+	Pos    geo.Point `json:"pos"`
+	// Time is optional; zero means "now" at the edge.
+	Time time.Time `json:"time,omitempty"`
+}
+
+// AdsRequest is the body of POST /v1/ads.
+type AdsRequest struct {
+	UserID string    `json:"user_id"`
+	Pos    geo.Point `json:"pos"`
+	Limit  int       `json:"limit,omitempty"`
+}
+
+// AdsResponse is the body returned by POST /v1/ads.
+type AdsResponse struct {
+	// Ads are the provider's matches filtered to the user's true AOI.
+	Ads []adnet.Ad `json:"ads"`
+	// Reported is the obfuscated location the edge exposed to the
+	// provider (returned for transparency/debugging; it is already public
+	// to the provider).
+	Reported geo.Point `json:"reported"`
+	// FromTable reports whether the location was served from the
+	// permanent obfuscation table (top location) or freshly noised
+	// (nomadic).
+	FromTable bool `json:"from_table"`
+	// Fetched is the number of ads returned by the provider before AOI
+	// filtering.
+	Fetched int `json:"fetched"`
+}
+
+// RebuildRequest is the body of POST /v1/rebuild.
+type RebuildRequest struct {
+	UserID string    `json:"user_id"`
+	Now    time.Time `json:"now,omitempty"`
+}
+
+// ProfileResponse is the body of GET /v1/profile.
+type ProfileResponse struct {
+	UserID string         `json:"user_id"`
+	Tops   []ProfileEntry `json:"tops"`
+}
+
+// ProfileEntry is one top location of a profile response.
+type ProfileEntry struct {
+	Loc  geo.Point `json:"loc"`
+	Freq int       `json:"freq"`
+}
+
+// PrivacyResponse is the body of GET /v1/privacy: the user's cumulative
+// nomadic privacy loss under the engine's best composition bound. Both
+// fields are zero when the engine runs without a nomadic budget.
+type PrivacyResponse struct {
+	UserID  string  `json:"user_id"`
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors after the header is out can only be logged by the
+	// caller; the payloads here are plain structs that cannot fail.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	var req ReportRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.UserID == "" {
+		writeError(w, http.StatusBadRequest, errors.New("user_id is required"))
+		return
+	}
+	at := req.Time
+	if at.IsZero() {
+		at = s.clock()
+	}
+	if err := s.engine.Report(req.UserID, req.Pos, at); err != nil {
+		s.logf("report %s: %v", req.UserID, err)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleAds(w http.ResponseWriter, r *http.Request) {
+	var req AdsRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.UserID == "" {
+		writeError(w, http.StatusBadRequest, errors.New("user_id is required"))
+		return
+	}
+
+	// Implicit location management: an ad request reveals the user's
+	// position to the trusted edge, which records it as a check-in.
+	at := s.clock()
+	if err := s.engine.Report(req.UserID, req.Pos, at); err != nil {
+		s.logf("ads/report %s: %v", req.UserID, err)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	obfuscated, fromTable, err := s.engine.Request(req.UserID, req.Pos)
+	if err != nil {
+		s.logf("ads/select %s: %v", req.UserID, err)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	// Only the obfuscated location crosses the trust boundary.
+	ads := s.provider.RequestAds(req.UserID, obfuscated, at, req.Limit)
+
+	adLocs := make([]geo.Point, len(ads))
+	for i, ad := range ads {
+		adLocs[i] = ad.Location
+	}
+	keep := s.engine.FilterAds(req.Pos, adLocs)
+	filtered := make([]adnet.Ad, 0, len(keep))
+	for _, i := range keep {
+		filtered = append(filtered, ads[i])
+	}
+
+	writeJSON(w, http.StatusOK, AdsResponse{
+		Ads:       filtered,
+		Reported:  obfuscated,
+		FromTable: fromTable,
+		Fetched:   len(ads),
+	})
+}
+
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	var req RebuildRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.UserID == "" {
+		writeError(w, http.StatusBadRequest, errors.New("user_id is required"))
+		return
+	}
+	now := req.Now
+	if now.IsZero() {
+		now = s.clock()
+	}
+	if err := s.engine.RebuildProfile(req.UserID, now); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, core.ErrUnknownUser) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	userID := r.URL.Query().Get("user")
+	if userID == "" {
+		writeError(w, http.StatusBadRequest, errors.New("user query parameter is required"))
+		return
+	}
+	tops, err := s.engine.TopLocations(userID)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, core.ErrUnknownUser):
+			status = http.StatusNotFound
+		case errors.Is(err, core.ErrNoProfile):
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	resp := ProfileResponse{UserID: userID, Tops: make([]ProfileEntry, len(tops))}
+	for i, lf := range tops {
+		resp.Tops[i] = ProfileEntry{Loc: lf.Loc, Freq: lf.Freq}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Users          int `json:"users"`
+	ProtectedTops  int `json:"protected_tops"`
+	TotalCandidate int `json:"total_candidates"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	resp := StatsResponse{}
+	for _, userID := range s.engine.Users() {
+		resp.Users++
+		entries, err := s.engine.Table(userID)
+		if err != nil {
+			continue // user evaporated between listing and lookup
+		}
+		resp.ProtectedTops += len(entries)
+		for _, e := range entries {
+			resp.TotalCandidate += len(e.Candidates)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePrivacy(w http.ResponseWriter, r *http.Request) {
+	userID := r.URL.Query().Get("user")
+	if userID == "" {
+		writeError(w, http.StatusBadRequest, errors.New("user query parameter is required"))
+		return
+	}
+	loss, err := s.engine.NomadicLoss(userID)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PrivacyResponse{
+		UserID:  userID,
+		Epsilon: loss.Epsilon,
+		Delta:   loss.Delta,
+	})
+}

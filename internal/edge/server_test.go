@@ -1,0 +1,393 @@
+package edge
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/adnet"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/geoind"
+	"repro/internal/randx"
+)
+
+// testFixture bundles a running edge server with its engine and network.
+type testFixture struct {
+	engine  *core.Engine
+	network *adnet.Network
+	server  *httptest.Server
+	now     time.Time
+	mu      sync.Mutex
+}
+
+func (f *testFixture) clock() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(time.Minute)
+	return f.now
+}
+
+func newFixture(t *testing.T) *testFixture {
+	t.Helper()
+	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomadic, err := geoind.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := core.NewEngine(core.Config{Mechanism: mech, NomadicMechanism: nomadic, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	network, err := adnet.NewNetwork(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &testFixture{
+		engine:  engine,
+		network: network,
+		now:     time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC),
+	}
+	srv, err := NewServer(engine, network, f.clock, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.server = httptest.NewServer(srv.Handler())
+	t.Cleanup(f.server.Close)
+	return f
+}
+
+func (f *testFixture) post(t *testing.T, path string, body any) *http.Response {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(f.server.URL+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestNewServerValidation(t *testing.T) {
+	network, err := adnet.NewNetwork(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(nil, network, nil, nil); err == nil {
+		t.Error("nil engine expected error")
+	}
+	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := core.NewEngine(core.Config{Mechanism: mech, NomadicMechanism: mech})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(engine, nil, nil, nil); err == nil {
+		t.Error("nil provider expected error")
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	f := newFixture(t)
+	resp, err := http.Get(f.server.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d", resp.StatusCode)
+	}
+}
+
+func TestReportValidation(t *testing.T) {
+	f := newFixture(t)
+	resp := f.post(t, "/v1/report", ReportRequest{Pos: geo.Point{X: 1, Y: 1}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing user_id: status = %d", resp.StatusCode)
+	}
+
+	// Unknown fields are rejected.
+	raw := []byte(`{"user_id":"u","pos":{"x":1,"y":2},"bogus":true}`)
+	resp2, err := http.Post(f.server.URL+"/v1/report", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status = %d", resp2.StatusCode)
+	}
+
+	resp3 := f.post(t, "/v1/report", ReportRequest{UserID: "u", Pos: geo.Point{X: 1, Y: 2}})
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNoContent {
+		t.Errorf("valid report: status = %d", resp3.StatusCode)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	f := newFixture(t)
+	resp, err := http.Get(f.server.URL + "/v1/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on POST route: status = %d", resp.StatusCode)
+	}
+}
+
+func TestProfileEndpointStates(t *testing.T) {
+	f := newFixture(t)
+	// No user param.
+	resp, err := http.Get(f.server.URL + "/v1/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing user: %d", resp.StatusCode)
+	}
+	// Unknown user.
+	resp, err = http.Get(f.server.URL + "/v1/profile?user=ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown user: %d", resp.StatusCode)
+	}
+	// Known user without a profile yet.
+	r := f.post(t, "/v1/report", ReportRequest{UserID: "newbie", Pos: geo.Point{}})
+	r.Body.Close()
+	resp, err = http.Get(f.server.URL + "/v1/profile?user=newbie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("no profile yet: %d", resp.StatusCode)
+	}
+}
+
+func TestRebuildEndpoint(t *testing.T) {
+	f := newFixture(t)
+	resp := f.post(t, "/v1/rebuild", RebuildRequest{UserID: "ghost"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("rebuild unknown user: %d", resp.StatusCode)
+	}
+	r := f.post(t, "/v1/report", ReportRequest{UserID: "u", Pos: geo.Point{X: 1, Y: 1}})
+	r.Body.Close()
+	resp = f.post(t, "/v1/rebuild", RebuildRequest{UserID: "u"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("rebuild known user: %d", resp.StatusCode)
+	}
+}
+
+// TestEndToEndPrivacyBoundary is the system integration test: a user
+// reports from home repeatedly; ad requests must (a) reach the provider
+// only with obfuscated coordinates, (b) produce AOI-relevant ads after
+// filtering, and (c) keep the provider-visible locations inside the
+// permanent candidate set.
+func TestEndToEndPrivacyBoundary(t *testing.T) {
+	f := newFixture(t)
+	home := geo.Point{X: 0, Y: 0}
+	rnd := randx.New(3, 3)
+
+	// Campaign inside the AOI (1 km from home) and one far outside.
+	mustRegister := func(id string, at geo.Point, radius float64) {
+		t.Helper()
+		if err := f.network.Register(adnet.Campaign{
+			ID: id, Location: at, Radius: radius,
+			Ad: adnet.Ad{ID: "ad-" + id, Title: id, Location: at},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Radius 30 km so even heavily obfuscated requests still match it.
+	mustRegister("nearby-cafe", geo.Point{X: 1000, Y: 0}, 30_000)
+	mustRegister("far-mall", geo.Point{X: 60_000, Y: 0}, 30_000)
+
+	// Feed check-ins from home, then force the profile rebuild.
+	for i := 0; i < 120; i++ {
+		resp := f.post(t, "/v1/report", ReportRequest{
+			UserID: "alice",
+			Pos:    home.Add(rnd.GaussianPolar(12)),
+		})
+		resp.Body.Close()
+	}
+	resp := f.post(t, "/v1/rebuild", RebuildRequest{UserID: "alice"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("rebuild failed: %d", resp.StatusCode)
+	}
+
+	entries, err := f.engine.Table("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no obfuscation table entry for alice")
+	}
+	allowed := make(map[geo.Point]bool)
+	for _, e := range entries {
+		for _, c := range e.Candidates {
+			allowed[c] = true
+		}
+	}
+
+	for i := 0; i < 25; i++ {
+		resp := f.post(t, "/v1/ads", AdsRequest{UserID: "alice", Pos: home})
+		var ar AdsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if !ar.FromTable {
+			t.Fatal("top-location request not served from permanent table")
+		}
+		if !allowed[ar.Reported] {
+			t.Fatalf("reported location %v escaped the permanent candidate set", ar.Reported)
+		}
+		if ar.Reported == home {
+			t.Fatal("true location leaked verbatim")
+		}
+		// All delivered ads must be inside the true AOI (5 km default).
+		for _, ad := range ar.Ads {
+			if ad.Location.Dist(home) > 5000 {
+				t.Fatalf("irrelevant ad delivered: %v", ad)
+			}
+		}
+	}
+
+	// The attacker-side view: every logged bid location is obfuscated.
+	for _, rec := range f.network.BidLog() {
+		if rec.Loc == home {
+			t.Fatal("bid log contains the raw location")
+		}
+		if !allowed[rec.Loc] {
+			t.Fatalf("bid log contains non-candidate location %v", rec.Loc)
+		}
+	}
+	if f.network.LogSize() != 25 {
+		t.Errorf("bid log size = %d, want 25", f.network.LogSize())
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	f := newFixture(t)
+	rnd := randx.New(12, 12)
+	for i := 0; i < 80; i++ {
+		resp := f.post(t, "/v1/report", ReportRequest{
+			UserID: "stat-user",
+			Pos:    geo.Point{X: 0, Y: 0}.Add(rnd.GaussianPolar(12)),
+		})
+		resp.Body.Close()
+	}
+	resp := f.post(t, "/v1/rebuild", RebuildRequest{UserID: "stat-user"})
+	resp.Body.Close()
+
+	statsResp, err := http.Get(f.server.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Users != 1 {
+		t.Errorf("Users = %d", stats.Users)
+	}
+	if stats.ProtectedTops == 0 {
+		t.Error("no protected tops reported")
+	}
+	if stats.TotalCandidate != stats.ProtectedTops*10 {
+		t.Errorf("candidates = %d for %d tops", stats.TotalCandidate, stats.ProtectedTops)
+	}
+}
+
+func TestServeGracefulShutdown(t *testing.T) {
+	f := newFixture(t)
+	srv, err := NewServer(f.engine, f.network, f.clock, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+
+	// The server must answer while running.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+func TestAdsRequestValidation(t *testing.T) {
+	f := newFixture(t)
+	resp := f.post(t, "/v1/ads", AdsRequest{Pos: geo.Point{}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing user_id: %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentMixedTraffic(t *testing.T) {
+	f := newFixture(t)
+	if err := f.network.Register(adnet.Campaign{
+		ID: "c", Location: geo.Point{}, Radius: 50_000, Ad: adnet.Ad{ID: "ad"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for u := 0; u < 8; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			id := fmt.Sprintf("user-%d", u)
+			for i := 0; i < 20; i++ {
+				r := f.post(t, "/v1/report", ReportRequest{UserID: id, Pos: geo.Point{X: float64(u), Y: float64(i)}})
+				r.Body.Close()
+				r = f.post(t, "/v1/ads", AdsRequest{UserID: id, Pos: geo.Point{X: float64(u), Y: float64(i)}})
+				r.Body.Close()
+			}
+		}(u)
+	}
+	wg.Wait()
+	if got := f.network.LogSize(); got != 160 {
+		t.Errorf("bid log = %d, want 160", got)
+	}
+}

@@ -1,0 +1,218 @@
+// Package edgecluster implements a multi-edge Edge-PrivLocAd deployment:
+// several edge devices with distinct coverage areas serve a roaming user
+// population. Each edge records only the check-ins it observes (a local
+// part of the user's location profile, Section V-B of the paper); a
+// periodic merge combines the partial profiles through the secure
+// aggregation protocol of internal/secagg, computes the η-frequent top
+// set on the aggregate, obfuscates each new top exactly once, and
+// replicates the permanent candidate sets to every edge.
+//
+// The replication step carries the deployment-critical invariant: if two
+// edges obfuscated the same top location independently, the union of
+// their outputs would exceed the (r, ε, δ, n) guarantee. The cluster
+// therefore designates the lowest-indexed edge as the obfuscator for a
+// merge round and copies its table rows to the rest.
+package edgecluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/profile"
+	"repro/internal/secagg"
+)
+
+// ErrNoCoverage reports a report or request outside every edge's
+// coverage radius.
+var ErrNoCoverage = errors.New("edgecluster: no edge covers this location")
+
+// Node is one edge device: its coverage centre and its engine.
+type Node struct {
+	ID       string
+	Coverage geo.Circle
+	Engine   *core.Engine
+}
+
+// Config parameterises a cluster.
+type Config struct {
+	// Engine is the per-edge engine configuration; every edge runs the
+	// same mechanisms. The per-edge Seed is derived from Config.Seed.
+	Engine core.Config
+	// Coverage lists each edge's service disk. At least one.
+	Coverage []geo.Circle
+	// MergeRegion bounds the secure-aggregation grid; it should contain
+	// all coverage disks.
+	MergeRegion geo.BBox
+	// MergeCell is the aggregation grid resolution; ≤ 0 selects the
+	// engine's connectivity threshold (50 m by default).
+	MergeCell float64
+	// EtaFraction selects the merged η-frequent set; ≤ 0 selects 0.9.
+	EtaFraction float64
+	// Seed drives cluster randomness (per-edge seeds, merge sessions).
+	Seed uint64
+}
+
+// Cluster is a set of cooperating edge devices.
+type Cluster struct {
+	cfg   Config
+	nodes []*Node
+}
+
+// New validates cfg and builds the cluster with one engine per coverage
+// disk.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Coverage) == 0 {
+		return nil, fmt.Errorf("edgecluster: at least one coverage disk required")
+	}
+	for i, c := range cfg.Coverage {
+		if !(c.Radius > 0) || math.IsInf(c.Radius, 0) {
+			return nil, fmt.Errorf("edgecluster: coverage %d radius %g must be positive and finite", i, c.Radius)
+		}
+	}
+	if cfg.MergeRegion.Width() <= 0 || cfg.MergeRegion.Height() <= 0 {
+		return nil, fmt.Errorf("edgecluster: degenerate merge region %+v", cfg.MergeRegion)
+	}
+	if cfg.MergeCell <= 0 {
+		cfg.MergeCell = cfg.Engine.ConnectivityThreshold
+		if cfg.MergeCell <= 0 {
+			cfg.MergeCell = profile.DefaultConnectivityThreshold
+		}
+	}
+	if cfg.EtaFraction <= 0 {
+		cfg.EtaFraction = 0.9
+	}
+
+	cluster := &Cluster{cfg: cfg}
+	for i, cov := range cfg.Coverage {
+		engineCfg := cfg.Engine
+		engineCfg.Seed = cfg.Seed + uint64(i)*0x9E3779B97F4A7C15
+		engine, err := core.NewEngine(engineCfg)
+		if err != nil {
+			return nil, fmt.Errorf("edgecluster: building edge %d: %w", i, err)
+		}
+		cluster.nodes = append(cluster.nodes, &Node{
+			ID:       fmt.Sprintf("edge-%02d", i),
+			Coverage: cov,
+			Engine:   engine,
+		})
+	}
+	return cluster, nil
+}
+
+// Nodes returns the cluster's edges.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// route returns the covering edge nearest to pos.
+func (c *Cluster) route(pos geo.Point) (*Node, error) {
+	var best *Node
+	bestD := math.Inf(1)
+	for _, n := range c.nodes {
+		d := n.Coverage.Center.Dist(pos)
+		if d <= n.Coverage.Radius && d < bestD {
+			best = n
+			bestD = d
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: (%.0f, %.0f)", ErrNoCoverage, pos.X, pos.Y)
+	}
+	return best, nil
+}
+
+// Report routes a check-in to the covering edge and returns its ID.
+func (c *Cluster) Report(userID string, pos geo.Point, at time.Time) (string, error) {
+	node, err := c.route(pos)
+	if err != nil {
+		return "", err
+	}
+	if err := node.Engine.Report(userID, pos, at); err != nil {
+		return "", fmt.Errorf("edgecluster: reporting to %s: %w", node.ID, err)
+	}
+	return node.ID, nil
+}
+
+// Request routes an LBA request to the covering edge.
+func (c *Cluster) Request(userID string, pos geo.Point) (geo.Point, bool, error) {
+	node, err := c.route(pos)
+	if err != nil {
+		return geo.Point{}, false, err
+	}
+	out, fromTable, err := node.Engine.Request(userID, pos)
+	if err != nil {
+		return geo.Point{}, false, fmt.Errorf("edgecluster: requesting at %s: %w", node.ID, err)
+	}
+	return out, fromTable, nil
+}
+
+// MergeProfiles runs the periodic profile merge for one user:
+//
+//  1. every edge contributes its pending partial profile,
+//  2. the partials are combined with the secure aggregation protocol
+//     (no edge reveals its plaintext histogram),
+//  3. the η-frequent top set is computed on the merged profile,
+//  4. the designated obfuscator installs the tops (new ones are
+//     obfuscated exactly once), and
+//  5. the resulting permanent table rows replicate to every other edge.
+//
+// It returns the merged top set. Users the cluster has never seen yield
+// ErrUnknownUser from the underlying engines.
+func (c *Cluster) MergeProfiles(userID string, now time.Time) (profile.Profile, error) {
+	partials := make([]profile.Profile, 0, len(c.nodes))
+	seen := false
+	for _, n := range c.nodes {
+		part, err := n.Engine.PendingProfile(userID)
+		switch {
+		case errors.Is(err, core.ErrUnknownUser):
+			partials = append(partials, nil) // this edge never saw the user
+		case err != nil:
+			return nil, fmt.Errorf("edgecluster: partial profile at %s: %w", n.ID, err)
+		default:
+			seen = true
+			partials = append(partials, part)
+		}
+	}
+	if !seen {
+		return nil, fmt.Errorf("edgecluster: merge for %q: %w", userID, core.ErrUnknownUser)
+	}
+
+	var merged profile.Profile
+	if len(c.nodes) == 1 {
+		merged = partials[0]
+	} else {
+		var dropped int
+		var err error
+		merged, dropped, err = secagg.MergeProfiles(partials, c.cfg.MergeRegion, c.cfg.MergeCell, c.cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("edgecluster: secure merge for %q: %w", userID, err)
+		}
+		if dropped > 0 {
+			return nil, fmt.Errorf("edgecluster: merge for %q dropped %d locations outside the region", userID, dropped)
+		}
+	}
+	tops := merged.EtaFractionSet(c.cfg.EtaFraction)
+
+	// Install at the designated obfuscator, then replicate its table.
+	obfuscator := c.nodes[0]
+	if err := obfuscator.Engine.InstallTops(userID, tops, now); err != nil {
+		return nil, fmt.Errorf("edgecluster: installing tops at %s: %w", obfuscator.ID, err)
+	}
+	entries, err := obfuscator.Engine.Table(userID)
+	if err != nil {
+		return nil, fmt.Errorf("edgecluster: reading table at %s: %w", obfuscator.ID, err)
+	}
+	for _, n := range c.nodes[1:] {
+		if err := n.Engine.ImportTable(userID, entries); err != nil {
+			return nil, fmt.Errorf("edgecluster: replicating table to %s: %w", n.ID, err)
+		}
+		// Keep the merged top set consistent everywhere so TopLocations
+		// answers identically regardless of the edge queried.
+		if err := n.Engine.InstallTops(userID, tops, now); err != nil {
+			return nil, fmt.Errorf("edgecluster: installing tops at %s: %w", n.ID, err)
+		}
+	}
+	return tops, nil
+}

@@ -1,0 +1,311 @@
+package edgecluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/geoind"
+	"repro/internal/randx"
+)
+
+func testClusterConfig(t *testing.T, coverage []geo.Circle) Config {
+	t.Helper()
+	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomadic, err := geoind.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Engine:      core.Config{Mechanism: mech, NomadicMechanism: nomadic},
+		Coverage:    coverage,
+		MergeRegion: geo.BBox{MinX: -50_000, MinY: -50_000, MaxX: 50_000, MaxY: 50_000},
+		Seed:        1,
+	}
+}
+
+func threeEdges() []geo.Circle {
+	return []geo.Circle{
+		{Center: geo.Point{X: 0, Y: 0}, Radius: 10_000},
+		{Center: geo.Point{X: 20_000, Y: 0}, Radius: 10_000},
+		{Center: geo.Point{X: 0, Y: 20_000}, Radius: 10_000},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := testClusterConfig(t, threeEdges())
+
+	bad := cfg
+	bad.Coverage = nil
+	if _, err := New(bad); err == nil {
+		t.Error("no coverage expected error")
+	}
+
+	bad = cfg
+	bad.Coverage = []geo.Circle{{Radius: 0}}
+	if _, err := New(bad); err == nil {
+		t.Error("zero-radius coverage expected error")
+	}
+
+	bad = cfg
+	bad.MergeRegion = geo.BBox{}
+	if _, err := New(bad); err == nil {
+		t.Error("degenerate region expected error")
+	}
+
+	bad = cfg
+	bad.Engine = core.Config{}
+	if _, err := New(bad); err == nil {
+		t.Error("invalid engine config expected error")
+	}
+
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes()) != 3 {
+		t.Errorf("nodes = %d", len(c.Nodes()))
+	}
+}
+
+func TestRouting(t *testing.T) {
+	c, err := New(testClusterConfig(t, threeEdges()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	tests := []struct {
+		pos  geo.Point
+		want string
+	}{
+		{geo.Point{X: 100, Y: 100}, "edge-00"},
+		{geo.Point{X: 19_000, Y: 500}, "edge-01"},
+		{geo.Point{X: 500, Y: 19_000}, "edge-02"},
+	}
+	for _, tt := range tests {
+		node, err := c.Report("u", tt.pos, now)
+		if err != nil {
+			t.Fatalf("Report(%v): %v", tt.pos, err)
+		}
+		if node != tt.want {
+			t.Errorf("Report(%v) routed to %s, want %s", tt.pos, node, tt.want)
+		}
+	}
+	if _, err := c.Report("u", geo.Point{X: 40_000, Y: 40_000}, now); !errors.Is(err, ErrNoCoverage) {
+		t.Errorf("uncovered report: %v", err)
+	}
+	if _, _, err := c.Request("u", geo.Point{X: 40_000, Y: 40_000}); !errors.Is(err, ErrNoCoverage) {
+		t.Errorf("uncovered request: %v", err)
+	}
+}
+
+// TestRoamingUserMerge is the package's core scenario: a user splits
+// check-ins across two edges; the secure merge recovers the combined top
+// set and both edges answer from the SAME permanent candidates.
+func TestRoamingUserMerge(t *testing.T) {
+	c, err := New(testClusterConfig(t, threeEdges()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := geo.Point{X: 100, Y: 100}    // covered by edge-00
+	work := geo.Point{X: 19_500, Y: 100} // covered by edge-01
+	rnd := randx.New(4, 4)
+	base := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	at := base
+	for i := 0; i < 300; i++ {
+		at = at.Add(2 * time.Hour)
+		pos := home
+		if i%3 == 0 {
+			pos = work
+		}
+		if _, err := c.Report("roamer", pos.Add(rnd.GaussianPolar(10)), at); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tops, err := c.MergeProfiles("roamer", at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tops) < 2 {
+		t.Fatalf("merged tops = %d, want >= 2 (home + work)", len(tops))
+	}
+	// Home has ~200 visits, work ~100; ranks must reflect that, and the
+	// merged locations sit within grid resolution of the truth.
+	if d := tops[0].Loc.Dist(home); d > 80 {
+		t.Errorf("merged top-1 %g m from home", d)
+	}
+	if d := tops[1].Loc.Dist(work); d > 80 {
+		t.Errorf("merged top-2 %g m from work", d)
+	}
+
+	// The replication invariant: both covering edges answer from the
+	// same permanent candidate set.
+	entries0, err := c.Nodes()[0].Engine.Table("roamer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries1, err := c.Nodes()[1].Engine.Table("roamer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries0) == 0 || len(entries0) != len(entries1) {
+		t.Fatalf("table sizes differ: %d vs %d", len(entries0), len(entries1))
+	}
+	allowed := make(map[geo.Point]bool)
+	for _, e := range entries0 {
+		for _, cand := range e.Candidates {
+			allowed[cand] = true
+		}
+	}
+	for _, e := range entries1 {
+		for _, cand := range e.Candidates {
+			if !allowed[cand] {
+				t.Fatalf("edge-01 has candidate %v that edge-00 lacks — independent obfuscation!", cand)
+			}
+		}
+	}
+
+	// Requests at either edge return only permanent candidates.
+	for i := 0; i < 50; i++ {
+		out, fromTable, err := c.Request("roamer", home)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fromTable || !allowed[out] {
+			t.Fatalf("home request escaped the shared set (fromTable=%v)", fromTable)
+		}
+		out, fromTable, err = c.Request("roamer", work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fromTable || !allowed[out] {
+			t.Fatalf("work request escaped the shared set (fromTable=%v)", fromTable)
+		}
+	}
+}
+
+func TestMergeUnknownUser(t *testing.T) {
+	c, err := New(testClusterConfig(t, threeEdges()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.MergeProfiles("ghost", time.Now()); !errors.Is(err, core.ErrUnknownUser) {
+		t.Errorf("merge unknown user: %v", err)
+	}
+}
+
+func TestSingleEdgeClusterMergesWithoutSecagg(t *testing.T) {
+	cfg := testClusterConfig(t, []geo.Circle{{Center: geo.Point{}, Radius: 10_000}})
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := randx.New(9, 9)
+	at := time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC)
+	home := geo.Point{X: 50, Y: 50}
+	for i := 0; i < 100; i++ {
+		at = at.Add(time.Hour)
+		if _, err := c.Report("solo", home.Add(rnd.GaussianPolar(10)), at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tops, err := c.MergeProfiles("solo", at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tops) == 0 || tops[0].Loc.Dist(home) > 20 {
+		t.Errorf("single-edge merge tops = %+v", tops)
+	}
+}
+
+// TestMergeIdempotentCandidates: a second merge round must not
+// re-obfuscate already-protected top locations on any edge.
+func TestMergeIdempotentCandidates(t *testing.T) {
+	c, err := New(testClusterConfig(t, threeEdges()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := randx.New(5, 6)
+	home := geo.Point{X: 200, Y: 200}
+	at := time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+	feed := func() {
+		for i := 0; i < 120; i++ {
+			at = at.Add(time.Hour)
+			if _, err := c.Report("stable", home.Add(rnd.GaussianPolar(10)), at); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	feed()
+	if _, err := c.MergeProfiles("stable", at); err != nil {
+		t.Fatal(err)
+	}
+	before, err := c.Nodes()[0].Engine.Table("stable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed()
+	if _, err := c.MergeProfiles("stable", at); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.Nodes()[0].Engine.Table("stable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(after) {
+		t.Fatalf("second merge grew the table: %d -> %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i].Top != after[i].Top {
+			t.Fatalf("entry %d top changed", i)
+		}
+		for j := range before[i].Candidates {
+			if before[i].Candidates[j] != after[i].Candidates[j] {
+				t.Fatalf("entry %d candidate %d re-obfuscated", i, j)
+			}
+		}
+	}
+}
+
+func BenchmarkClusterMerge(b *testing.B) {
+	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		Engine:      core.Config{Mechanism: mech, NomadicMechanism: mech},
+		Coverage:    threeEdges(),
+		MergeRegion: geo.BBox{MinX: -50_000, MinY: -50_000, MaxX: 50_000, MaxY: 50_000},
+		MergeCell:   200,
+		Seed:        1,
+	}
+	c, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rnd := randx.New(1, 1)
+	at := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 200; i++ {
+		at = at.Add(time.Hour)
+		pos := geo.Point{X: 100, Y: 100}
+		if i%3 == 0 {
+			pos = geo.Point{X: 19_500, Y: 100}
+		}
+		if _, err := c.Report("bench", pos.Add(rnd.GaussianPolar(10)), at); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.MergeProfiles("bench", at); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package experiments implements one runner per table and figure of the
+// paper's evaluation (Section VII), regenerating each result on the
+// synthetic workload:
+//
+//	table1 — Table I,  LBA platform targeting ranges (survey data)
+//	fig2   — Fig. 2,   a single user's 7-day mobility pattern
+//	fig3   — Fig. 3,   location entropy vs number of check-ins
+//	fig4   — Fig. 4,   de-obfuscation case study across time windows
+//	fig6   — Fig. 6,   longitudinal attack success rates (and the defense)
+//	fig7   — Fig. 7,   utilization rate across mechanisms
+//	fig8   — Fig. 8,   minimal utilization rate at confidence α = 0.9
+//	fig9   — Fig. 9,   advertising efficacy vs number of outputs
+//	table2 — Table II, obfuscation processing time vs user count
+//	table3 — Table III, output-selection time vs user count
+//
+// plus two extension experiments beyond the paper:
+//
+//	qos    — expected exposure error per mechanism (raw distance cost)
+//	nsweep — defense leakage and utility as the candidate count n varies
+//
+// Runners accept scaled-down population and trial counts so tests stay
+// fast; cmd/experiments exposes flags to run at paper scale.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Options scales the experiments.
+type Options struct {
+	// Users is the synthetic population size for attack experiments
+	// (paper: 37,262).
+	Users int
+	// MaxCheckIns bounds the per-user check-in count (paper: 11,435).
+	MaxCheckIns int
+	// Trials is the Monte-Carlo trial count per parameter combination
+	// (paper: 100,000).
+	Trials int
+	// URSamples is the per-trial sample count of the utilization-rate
+	// estimator.
+	URSamples int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultOptions returns a configuration that completes each experiment
+// in seconds on a laptop while preserving the paper's qualitative shapes.
+func DefaultOptions() Options {
+	return Options{
+		Users:       300,
+		MaxCheckIns: 2000,
+		Trials:      2000,
+		URSamples:   512,
+		Seed:        1,
+	}
+}
+
+// PaperOptions returns the paper-scale configuration (37,262 users,
+// 100,000 trials). Running everything at this scale takes a long time.
+func PaperOptions() Options {
+	return Options{
+		Users:       37262,
+		MaxCheckIns: 11435,
+		Trials:      100000,
+		URSamples:   2048,
+		Seed:        1,
+	}
+}
+
+// withDefaults fills non-positive fields from DefaultOptions.
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.Users <= 0 {
+		o.Users = d.Users
+	}
+	if o.MaxCheckIns <= 0 {
+		o.MaxCheckIns = d.MaxCheckIns
+	}
+	if o.Trials <= 0 {
+		o.Trials = d.Trials
+	}
+	if o.URSamples <= 0 {
+		o.URSamples = d.URSamples
+	}
+	return o
+}
+
+// Result is one regenerated table or figure.
+type Result struct {
+	// ID is the registry key ("fig6", "table2", …).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows are the data rows, already formatted.
+	Rows [][]string
+	// Notes carries the paper's reference values and reproduction notes.
+	Notes []string
+}
+
+// Render writes the result as a fixed-width text table.
+func (r *Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return fmt.Errorf("experiments: rendering %s: %w", r.ID, err)
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := writeRow(r.Header); err != nil {
+		return fmt.Errorf("experiments: rendering %s header: %w", r.ID, err)
+	}
+	for _, row := range r.Rows {
+		if err := writeRow(row); err != nil {
+			return fmt.Errorf("experiments: rendering %s row: %w", r.ID, err)
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return fmt.Errorf("experiments: rendering %s note: %w", r.ID, err)
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// MarkdownRender writes the result as a GitHub-flavored markdown table,
+// used to regenerate EXPERIMENTS.md.
+func (r *Result) MarkdownRender(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", r.ID, r.Title); err != nil {
+		return fmt.Errorf("experiments: markdown %s: %w", r.ID, err)
+	}
+	row := func(cells []string) string {
+		return "| " + strings.Join(cells, " | ") + " |\n"
+	}
+	if _, err := io.WriteString(w, row(r.Header)); err != nil {
+		return err
+	}
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := io.WriteString(w, row(sep)); err != nil {
+		return err
+	}
+	for _, cells := range r.Rows {
+		if _, err := io.WriteString(w, row(cells)); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "> %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Runner regenerates one experiment.
+type Runner func(Options) (*Result, error)
+
+// Registry returns all experiment runners keyed by ID.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"table1": Table1,
+		"fig2":   Fig2,
+		"fig3":   Fig3,
+		"fig4":   Fig4,
+		"fig6":   Fig6,
+		"fig7":   Fig7,
+		"fig8":   Fig8,
+		"fig9":   Fig9,
+		"table2": Table2,
+		"table3": Table3,
+		"qos":    QoS,
+		"nsweep": NSweep,
+	}
+}
+
+// IDs returns the registry keys in canonical order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry()))
+	for id := range Registry() {
+		ids = append(ids, id)
+	}
+	// Order by appearance in the paper, extensions last.
+	rank := map[string]int{
+		"table1": 0, "fig2": 1, "fig3": 2, "fig4": 3, "fig6": 4,
+		"fig7": 5, "fig8": 6, "fig9": 7, "table2": 8, "table3": 9,
+		"qos": 10, "nsweep": 11,
+	}
+	sort.Slice(ids, func(a, b int) bool { return rank[ids[a]] < rank[ids[b]] })
+	return ids
+}
+
+// Run executes one experiment by ID.
+func Run(id string, opts Options) (*Result, error) {
+	runner, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	res, err := runner(opts.withDefaults())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: running %s: %w", id, err)
+	}
+	return res, nil
+}
+
+// fmtF formats a float with the given decimals.
+func fmtF(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+// fmtPct formats a ratio as a percentage.
+func fmtPct(v float64) string {
+	return fmt.Sprintf("%.1f%%", 100*v)
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/geoind"
+	"repro/internal/randx"
+	"repro/internal/trace"
+)
+
+// fig6Thresholds are the attack-success distance thresholds reported.
+var fig6Thresholds = []float64{200, 500}
+
+// Fig6Row is one measured configuration of the Fig. 6 experiment,
+// exposed for tests and the benchmark harness.
+type Fig6Row struct {
+	Scheme string
+	// Success[k][t]: success rate for top-(k+1) at fig6Thresholds[t].
+	Success [2][2]float64
+}
+
+// RunFig6 executes the attack against the one-time geo-IND baselines and
+// the Edge-PrivLocAd defense over a synthetic population, returning the
+// success rates for top-1/top-2 at 200 m and 500 m.
+func RunFig6(opts Options) ([]Fig6Row, error) {
+	cfg := trace.DefaultConfig()
+	cfg.Seed = opts.Seed
+	cfg.NumUsers = opts.Users
+	cfg.MaxCheckIns = opts.MaxCheckIns
+	ds, err := trace.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("generating fig6 population: %w", err)
+	}
+
+	truths := make([][]geo.Point, len(ds.Users))
+	for i, u := range ds.Users {
+		tt := make([]geo.Point, len(u.TrueTops))
+		for j, top := range u.TrueTops {
+			tt[j] = top.Pos
+		}
+		truths[i] = tt
+	}
+
+	var rows []Fig6Row
+
+	// One-time geo-IND at the original paper's parameters: r = 200 m,
+	// l ∈ {ln2, ln4, ln6}.
+	for _, lvl := range []struct {
+		name  string
+		level float64
+	}{
+		{"one-time geo-IND l=ln2", math.Ln2},
+		{"one-time geo-IND l=ln4", math.Log(4)},
+		{"one-time geo-IND l=ln6", math.Log(6)},
+	} {
+		mech, err := geoind.NewPlanarLaplace(lvl.level, 200)
+		if err != nil {
+			return nil, fmt.Errorf("building %s: %w", lvl.name, err)
+		}
+		rAlpha, err := mech.ConfidenceRadius(0.05)
+		if err != nil {
+			return nil, fmt.Errorf("%s confidence radius: %w", lvl.name, err)
+		}
+		// The attacker widens the connectivity threshold with the noise
+		// scale; r_α/4 keeps dense top-location clouds connected without
+		// bridging distinct top locations.
+		attackOpts := attack.Options{Theta: math.Max(150, rAlpha/4), ClusterRadius: rAlpha}
+
+		rnd := randx.New(opts.Seed, uint64(lvl.level*1e6))
+		results := make([][]geo.Point, len(ds.Users))
+		for i, u := range ds.Users {
+			observed := make([]geo.Point, 0, len(u.CheckIns))
+			for _, c := range u.CheckIns {
+				out, err := mech.Obfuscate(rnd, c.Pos)
+				if err != nil {
+					return nil, fmt.Errorf("obfuscating for %s: %w", lvl.name, err)
+				}
+				observed = append(observed, out[0])
+			}
+			inferred, err := attack.TopN(observed, 2, attackOpts)
+			if err != nil {
+				return nil, fmt.Errorf("attacking %s under %s: %w", u.ID, lvl.name, err)
+			}
+			results[i] = inferred
+		}
+		rows = append(rows, successRow(lvl.name, results, truths))
+	}
+
+	// The defense: Edge-PrivLocAd with the 10-fold Gaussian mechanism at
+	// r = 500 m, ε ∈ {1, 1.5} — driven through the real engine so the
+	// attacker sees exactly what the system exposes.
+	for _, eps := range []float64{1, 1.5} {
+		name := fmt.Sprintf("Edge-PrivLocAd 10-fold eps=%g", eps)
+		params := geoind.Params{Radius: 500, Epsilon: eps, Delta: 0.01, N: 10}
+		results, err := runDefenseExposure(ds, params, opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("defense exposure eps=%g: %w", eps, err)
+		}
+		rows = append(rows, successRow(name, results, truths))
+	}
+	return rows, nil
+}
+
+// runDefenseExposure replays every user's trace through the Edge-PrivLocAd
+// engine, collects the locations the ad network would observe, and runs
+// the longitudinal attack on them.
+func runDefenseExposure(ds *trace.Dataset, params geoind.Params, seed uint64) ([][]geo.Point, error) {
+	mech, err := geoind.NewNFoldGaussian(params)
+	if err != nil {
+		return nil, fmt.Errorf("building n-fold mechanism: %w", err)
+	}
+	nomadic, err := geoind.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		return nil, fmt.Errorf("building nomadic mechanism: %w", err)
+	}
+	engine, err := core.NewEngine(core.Config{
+		Mechanism:        mech,
+		NomadicMechanism: nomadic,
+		Seed:             seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("building engine: %w", err)
+	}
+
+	rAlpha, err := mech.ConfidenceRadius(0.05)
+	if err != nil {
+		return nil, fmt.Errorf("defense confidence radius: %w", err)
+	}
+	attackOpts := attack.Options{Theta: 500, ClusterRadius: rAlpha}
+
+	results := make([][]geo.Point, len(ds.Users))
+	for i, u := range ds.Users {
+		var end time.Time
+		for _, c := range u.CheckIns {
+			if err := engine.Report(u.ID, c.Pos, c.Time); err != nil {
+				return nil, fmt.Errorf("reporting for %s: %w", u.ID, err)
+			}
+			end = c.Time
+		}
+		if err := engine.RebuildProfile(u.ID, end); err != nil {
+			return nil, fmt.Errorf("rebuilding %s: %w", u.ID, err)
+		}
+		observed := make([]geo.Point, 0, len(u.CheckIns))
+		for _, c := range u.CheckIns {
+			out, _, err := engine.Request(u.ID, c.Pos)
+			if err != nil {
+				return nil, fmt.Errorf("requesting for %s: %w", u.ID, err)
+			}
+			observed = append(observed, out)
+		}
+		inferred, err := attack.TopN(observed, 2, attackOpts)
+		if err != nil {
+			return nil, fmt.Errorf("attacking defended %s: %w", u.ID, err)
+		}
+		results[i] = inferred
+	}
+	return results, nil
+}
+
+// successRow aggregates the success rates of one scheme.
+func successRow(name string, results, truths [][]geo.Point) Fig6Row {
+	row := Fig6Row{Scheme: name}
+	for k := 0; k < 2; k++ {
+		for t, threshold := range fig6Thresholds {
+			row.Success[k][t] = attack.SuccessRate(results, truths, k+1, threshold)
+		}
+	}
+	return row
+}
+
+// Fig6 regenerates Fig. 6 — the longitudinal attack's success rate
+// against one-time geo-IND and against the permanent defense.
+func Fig6(opts Options) (*Result, error) {
+	rows, err := RunFig6(opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "fig6",
+		Title:  "Longitudinal attack success rate (top-1 / top-2, within 200 m and 500 m)",
+		Header: []string{"scheme", "top-1@200m", "top-2@200m", "top-1@500m", "top-2@500m"},
+	}
+	for _, r := range rows {
+		res.Rows = append(res.Rows, []string{
+			r.Scheme,
+			fmtPct(r.Success[0][0]), fmtPct(r.Success[1][0]),
+			fmtPct(r.Success[0][1]), fmtPct(r.Success[1][1]),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper: one-time geo-IND leaks 75% (l=ln2) to >90% (l=ln4, ln6) of top-1 within 200 m, >50% of top-2 for l=ln4, ln6",
+		"paper: the defense leaks <1% within 200 m and at most 6.8% (top-1) / 5% (top-2) within 500 m",
+	)
+	return res, nil
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/attack"
+	"repro/internal/geo"
+	"repro/internal/geoind"
+	"repro/internal/metrics"
+	"repro/internal/randx"
+	"repro/internal/trace"
+)
+
+// NSweepPoint is one n-value of the defense ablation.
+type NSweepPoint struct {
+	N int
+	// Top1At500m is the attack success rate against the defended stream.
+	Top1At500m float64
+	// MeanUR is the mean utilization rate of the candidate sets.
+	MeanUR float64
+}
+
+// RunNSweep ablates the paper's choice of n = 10: for each candidate
+// count it replays a population through the full Edge-PrivLocAd engine,
+// mounts the longitudinal attack on the exposed stream, and measures the
+// utility of the permanent candidate sets. The paper evaluates leakage
+// only at n = 10; this shows the privacy–utility motion along n.
+func RunNSweep(opts Options) ([]NSweepPoint, error) {
+	cfg := trace.DefaultConfig()
+	cfg.Seed = opts.Seed
+	cfg.NumUsers = opts.Users
+	cfg.MaxCheckIns = opts.MaxCheckIns
+	ds, err := trace.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("generating nsweep population: %w", err)
+	}
+	truths := make([][]geo.Point, len(ds.Users))
+	for i, u := range ds.Users {
+		tt := make([]geo.Point, len(u.TrueTops))
+		for j, top := range u.TrueTops {
+			tt[j] = top.Pos
+		}
+		truths[i] = tt
+	}
+
+	var points []NSweepPoint
+	for _, n := range []int{1, 2, 5, 10} {
+		params := geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: n}
+		results, err := runDefenseExposure(ds, params, opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("nsweep exposure n=%d: %w", n, err)
+		}
+		success := attack.SuccessRate(results, truths, 1, 500)
+
+		// Utility of the candidate sets at this n.
+		mech, err := geoind.NewNFoldGaussian(params)
+		if err != nil {
+			return nil, fmt.Errorf("nsweep mechanism n=%d: %w", n, err)
+		}
+		rnd := randx.New(opts.Seed, uint64(n)+0x5EEB)
+		var urSum float64
+		trials := opts.Trials / 10
+		if trials < 50 {
+			trials = 50
+		}
+		for i := 0; i < trials; i++ {
+			cands, err := mech.Obfuscate(rnd, geo.Point{})
+			if err != nil {
+				return nil, fmt.Errorf("nsweep UR n=%d: %w", n, err)
+			}
+			urSum += metrics.UtilizationRate(rnd, geo.Point{}, cands, 5000, opts.URSamples)
+		}
+		points = append(points, NSweepPoint{
+			N:          n,
+			Top1At500m: success,
+			MeanUR:     urSum / float64(trials),
+		})
+	}
+	return points, nil
+}
+
+// NSweep renders the defense-n ablation.
+func NSweep(opts Options) (*Result, error) {
+	points, err := RunNSweep(opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "nsweep",
+		Title:  "Defense ablation over n (extension; eps=1, r=500 m, R=5 km)",
+		Header: []string{"n", "attack top-1@500m", "mean UR"},
+	}
+	for _, p := range points {
+		res.Rows = append(res.Rows, []string{
+			strconv.Itoa(p.N), fmtPct(p.Top1At500m), fmtF(p.MeanUR, 3),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"extension beyond the paper (which fixes n=10): utilization rises with n while attack leakage stays bounded by the sufficient-statistic guarantee",
+	)
+	return res, nil
+}

@@ -1,0 +1,262 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{3, 4}
+	q := Point{1, -2}
+	if got := p.Add(q); got != (Point{4, 2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Norm(); got != 5 {
+		t.Errorf("Norm = %g", got)
+	}
+	if got := p.Dist(Point{}); got != 5 {
+		t.Errorf("Dist = %g", got)
+	}
+	if got := p.Dist2(Point{}); got != 25 {
+		t.Errorf("Dist2 = %g", got)
+	}
+}
+
+func TestDistSymmetryAndTriangle(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		bound := func(v float64) float64 { return math.Mod(v, 1e6) }
+		a := Point{bound(ax), bound(ay)}
+		b := Point{bound(bx), bound(by)}
+		c := Point{bound(cx), bound(cy)}
+		if math.IsNaN(a.X + a.Y + b.X + b.Y + c.X + c.Y) {
+			return true
+		}
+		sym := math.Abs(a.Dist(b)-b.Dist(a)) < 1e-9
+		tri := a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+		return sym && tri
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if _, ok := Centroid(nil); ok {
+		t.Error("empty centroid should report !ok")
+	}
+	c, ok := Centroid([]Point{{0, 0}, {2, 0}, {1, 3}})
+	if !ok || c != (Point{1, 1}) {
+		t.Errorf("Centroid = %v, %v", c, ok)
+	}
+}
+
+func TestLatLonValidate(t *testing.T) {
+	valid := []LatLon{{0, 0}, {31.2, 121.5}, {-90, 180}, {90, -180}}
+	for _, ll := range valid {
+		if err := ll.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v", ll, err)
+		}
+	}
+	invalid := []LatLon{{91, 0}, {-91, 0}, {0, 181}, {0, -181}, {math.NaN(), 0}, {0, math.NaN()}}
+	for _, ll := range invalid {
+		if err := ll.Validate(); err == nil {
+			t.Errorf("Validate(%v) expected error", ll)
+		}
+	}
+}
+
+func TestHaversineKnownDistances(t *testing.T) {
+	// One degree of latitude is ~111.19 km on the sphere we use.
+	a := LatLon{31, 121}
+	b := LatLon{32, 121}
+	got := HaversineMeters(a, b)
+	want := EarthRadiusMeters * math.Pi / 180
+	if math.Abs(got-want) > 1 {
+		t.Errorf("1 degree latitude = %g m, want %g m", got, want)
+	}
+	if d := HaversineMeters(a, a); d != 0 {
+		t.Errorf("zero distance = %g", d)
+	}
+	// Symmetry.
+	if d1, d2 := HaversineMeters(a, b), HaversineMeters(b, a); math.Abs(d1-d2) > 1e-9 {
+		t.Errorf("asymmetric haversine: %g vs %g", d1, d2)
+	}
+}
+
+func TestProjectionRoundTrip(t *testing.T) {
+	origin := LatLon{31.05, 121.5} // centre of the paper's Shanghai box
+	pr, err := NewProjection(origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Origin() != origin {
+		t.Errorf("Origin = %v", pr.Origin())
+	}
+	coords := []LatLon{
+		{30.7, 121}, {31.4, 122}, {31.05, 121.5}, {31.2, 121.3},
+	}
+	for _, ll := range coords {
+		back := pr.ToLatLon(pr.ToPlane(ll))
+		if math.Abs(back.Lat-ll.Lat) > 1e-9 || math.Abs(back.Lon-ll.Lon) > 1e-9 {
+			t.Errorf("round trip %v -> %v", ll, back)
+		}
+	}
+}
+
+// TestProjectionDistanceAccuracy: planar distance must agree with
+// haversine within 0.5% across the paper's Shanghai bounding box.
+func TestProjectionDistanceAccuracy(t *testing.T) {
+	pr, err := NewProjection(LatLon{31.05, 121.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]LatLon{
+		{{30.7, 121}, {31.4, 122}},
+		{{31.0, 121.2}, {31.1, 121.25}},
+		{{30.9, 121.9}, {30.95, 121.92}},
+	}
+	for _, pair := range pairs {
+		planar := pr.ToPlane(pair[0]).Dist(pr.ToPlane(pair[1]))
+		sphere := HaversineMeters(pair[0], pair[1])
+		if rel := math.Abs(planar-sphere) / sphere; rel > 0.005 {
+			t.Errorf("pair %v: planar %g vs haversine %g (rel %g)", pair, planar, sphere, rel)
+		}
+	}
+}
+
+func TestNewProjectionErrors(t *testing.T) {
+	if _, err := NewProjection(LatLon{100, 0}); err == nil {
+		t.Error("invalid origin expected error")
+	}
+	if _, err := NewProjection(LatLon{89, 0}); err == nil {
+		t.Error("near-pole origin expected error")
+	}
+}
+
+func TestCircleContains(t *testing.T) {
+	c := Circle{Point{0, 0}, 10}
+	if !c.Contains(Point{10, 0}) {
+		t.Error("boundary point should be contained")
+	}
+	if c.Contains(Point{10.01, 0}) {
+		t.Error("outside point should not be contained")
+	}
+	if got, want := c.Area(), math.Pi*100; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Area = %g, want %g", got, want)
+	}
+}
+
+func TestIntersectionAreaCases(t *testing.T) {
+	r := 10.0
+	full := math.Pi * r * r
+	tests := []struct {
+		name string
+		a, b Circle
+		want float64
+	}{
+		{"identical", Circle{Point{0, 0}, r}, Circle{Point{0, 0}, r}, full},
+		{"disjoint", Circle{Point{0, 0}, r}, Circle{Point{30, 0}, r}, 0},
+		{"tangent", Circle{Point{0, 0}, r}, Circle{Point{20, 0}, r}, 0},
+		{"contained", Circle{Point{0, 0}, r}, Circle{Point{1, 0}, 2}, math.Pi * 4},
+		{"zero radius", Circle{Point{0, 0}, 0}, Circle{Point{0, 0}, r}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := IntersectionArea(tt.a, tt.b); math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("IntersectionArea = %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestIntersectionAreaHalfOverlap checks the analytic lens against the
+// closed form for equal circles at distance d = r: 2r²cos⁻¹(1/2) - ...
+func TestIntersectionAreaHalfOverlap(t *testing.T) {
+	r := 5000.0
+	d := r
+	a := Circle{Point{0, 0}, r}
+	b := Circle{Point{d, 0}, r}
+	want := 2*r*r*math.Acos(d/(2*r)) - (d/2)*math.Sqrt(4*r*r-d*d)
+	if got := IntersectionArea(a, b); math.Abs(got-want) > 1e-6*want {
+		t.Errorf("lens = %g, want %g", got, want)
+	}
+}
+
+// TestIntersectionAreaMonotone property: moving circles apart never
+// increases the intersection.
+func TestIntersectionAreaMonotone(t *testing.T) {
+	r := 100.0
+	prev := math.Inf(1)
+	for d := 0.0; d <= 250; d += 5 {
+		got := IntersectionArea(Circle{Point{0, 0}, r}, Circle{Point{d, 0}, r})
+		if got > prev+1e-9 {
+			t.Fatalf("intersection grew when separating: d=%g %g > %g", d, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestIntersectionAreaMonteCarlo cross-checks the analytic lens with a
+// quasi-random point count.
+func TestIntersectionAreaMonteCarlo(t *testing.T) {
+	a := Circle{Point{0, 0}, 100}
+	b := Circle{Point{70, 30}, 80}
+	analytic := IntersectionArea(a, b)
+	// Deterministic grid estimate over the bounding box of circle a.
+	const n = 400
+	count := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p := Point{
+				X: a.Center.X - a.Radius + 2*a.Radius*(float64(i)+0.5)/n,
+				Y: a.Center.Y - a.Radius + 2*a.Radius*(float64(j)+0.5)/n,
+			}
+			if a.Contains(p) && b.Contains(p) {
+				count++
+			}
+		}
+	}
+	cell := (2 * a.Radius / n) * (2 * a.Radius / n)
+	estimate := float64(count) * cell
+	if rel := math.Abs(estimate-analytic) / analytic; rel > 0.01 {
+		t.Errorf("grid estimate %g vs analytic %g (rel %g)", estimate, analytic, rel)
+	}
+}
+
+func TestBBox(t *testing.T) {
+	if _, ok := NewBBox(nil); ok {
+		t.Error("empty bbox should report !ok")
+	}
+	b, ok := NewBBox([]Point{{1, 2}, {-3, 5}, {0, -1}})
+	if !ok {
+		t.Fatal("bbox not built")
+	}
+	if b != (BBox{-3, -1, 1, 5}) {
+		t.Errorf("BBox = %+v", b)
+	}
+	if !b.Contains(Point{0, 0}) || b.Contains(Point{2, 0}) {
+		t.Error("Contains misbehaves")
+	}
+	e := b.Expand(1)
+	if e != (BBox{-4, -2, 2, 6}) {
+		t.Errorf("Expand = %+v", e)
+	}
+	if b.Width() != 4 || b.Height() != 6 {
+		t.Errorf("Width/Height = %g/%g", b.Width(), b.Height())
+	}
+}
+
+func BenchmarkIntersectionArea(b *testing.B) {
+	c1 := Circle{Point{0, 0}, 5000}
+	c2 := Circle{Point{3000, 1000}, 5000}
+	for i := 0; i < b.N; i++ {
+		_ = IntersectionArea(c1, c2)
+	}
+}

@@ -1,0 +1,150 @@
+package geoind
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Accountant tracks cumulative privacy loss per protected entity (user).
+//
+// The paper's motivation rests on the composition theorem: every fresh
+// one-time obfuscation of the same location degrades the effective
+// (ε, δ) guarantee, which is exactly what the longitudinal attacker
+// exploits. The Edge-PrivLocAd table makes top-location exposure
+// one-shot, but nomadic locations still receive per-report noise; an
+// accountant lets the edge quantify — and bound — the residual loss.
+//
+// Two composition bounds are provided:
+//
+//   - Basic composition: k releases of (ε, δ) compose to (kε, kδ).
+//   - Advanced composition (Dwork–Rothblum–Vadhan): for any δ' > 0,
+//     k releases of (ε, δ) compose to
+//     (ε√(2k·ln(1/δ')) + kε(e^ε−1), kδ + δ').
+//
+// The accountant is safe for concurrent use.
+type Accountant struct {
+	mu     sync.Mutex
+	counts map[string]int
+	eps    float64
+	delta  float64
+}
+
+// NewAccountant tracks releases of a fixed per-release (ε, δ) mechanism.
+func NewAccountant(epsilon, delta float64) (*Accountant, error) {
+	if !(epsilon > 0) || math.IsInf(epsilon, 0) {
+		return nil, fmt.Errorf("%w: accountant epsilon %g must be positive and finite", ErrInvalidParams, epsilon)
+	}
+	if delta < 0 || delta >= 1 || math.IsNaN(delta) {
+		return nil, fmt.Errorf("%w: accountant delta %g must be in [0, 1)", ErrInvalidParams, delta)
+	}
+	return &Accountant{
+		counts: make(map[string]int),
+		eps:    epsilon,
+		delta:  delta,
+	}, nil
+}
+
+// Record notes one release for the entity and returns the new count.
+func (a *Accountant) Record(entity string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.counts[entity]++
+	return a.counts[entity]
+}
+
+// Releases returns the number of recorded releases for the entity.
+func (a *Accountant) Releases(entity string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.counts[entity]
+}
+
+// Loss is a cumulative (ε, δ) privacy guarantee.
+type Loss struct {
+	Epsilon float64
+	Delta   float64
+}
+
+// BasicLoss returns the basic-composition bound for the entity:
+// (k·ε, k·δ).
+func (a *Accountant) BasicLoss(entity string) Loss {
+	k := float64(a.Releases(entity))
+	return Loss{Epsilon: k * a.eps, Delta: k * a.delta}
+}
+
+// AdvancedLoss returns the advanced-composition bound for the entity at
+// slack deltaPrime: (ε√(2k ln(1/δ')) + kε(e^ε−1), kδ + δ').
+func (a *Accountant) AdvancedLoss(entity string, deltaPrime float64) (Loss, error) {
+	if deltaPrime <= 0 || deltaPrime >= 1 || math.IsNaN(deltaPrime) {
+		return Loss{}, fmt.Errorf("%w: delta' %g must be in (0, 1)", ErrInvalidParams, deltaPrime)
+	}
+	k := float64(a.Releases(entity))
+	if k == 0 {
+		return Loss{}, nil
+	}
+	eps := a.eps*math.Sqrt(2*k*math.Log(1/deltaPrime)) + k*a.eps*(math.Expm1(a.eps))
+	return Loss{Epsilon: eps, Delta: k*a.delta + deltaPrime}, nil
+}
+
+// BestLoss returns the tighter of the basic and advanced bounds (by ε) at
+// slack deltaPrime; for small k basic composition wins, for large k the
+// advanced bound's √k term dominates the linear kε.
+func (a *Accountant) BestLoss(entity string, deltaPrime float64) (Loss, error) {
+	basic := a.BasicLoss(entity)
+	adv, err := a.AdvancedLoss(entity, deltaPrime)
+	if err != nil {
+		return Loss{}, err
+	}
+	if a.Releases(entity) == 0 {
+		return Loss{}, nil
+	}
+	if adv.Epsilon < basic.Epsilon {
+		return adv, nil
+	}
+	return basic, nil
+}
+
+// Exceeds reports whether the entity's best cumulative bound exceeds the
+// given budget; edges use this to throttle or refuse further nomadic
+// exposures.
+func (a *Accountant) Exceeds(entity string, budget Loss, deltaPrime float64) (bool, error) {
+	best, err := a.BestLoss(entity, deltaPrime)
+	if err != nil {
+		return false, err
+	}
+	return best.Epsilon > budget.Epsilon || best.Delta > budget.Delta, nil
+}
+
+// WouldExceed reports whether recording ONE MORE release for the entity
+// would push its best cumulative bound past the budget. Use it to gate a
+// release before performing it.
+func (a *Accountant) WouldExceed(entity string, budget Loss, deltaPrime float64) (bool, error) {
+	if deltaPrime <= 0 || deltaPrime >= 1 || math.IsNaN(deltaPrime) {
+		return false, fmt.Errorf("%w: delta' %g must be in (0, 1)", ErrInvalidParams, deltaPrime)
+	}
+	k := float64(a.Releases(entity) + 1)
+	basicEps := k * a.eps
+	advEps := a.eps*math.Sqrt(2*k*math.Log(1/deltaPrime)) + k*a.eps*math.Expm1(a.eps)
+	eps := math.Min(basicEps, advEps)
+	delta := k * a.delta
+	if advEps < basicEps {
+		delta += deltaPrime
+	}
+	return eps > budget.Epsilon || delta > budget.Delta, nil
+}
+
+// Reset clears the entity's history (e.g. when its data ages out of the
+// attacker-relevant window).
+func (a *Accountant) Reset(entity string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.counts, entity)
+}
+
+// Entities returns the number of tracked entities.
+func (a *Accountant) Entities() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.counts)
+}

@@ -1,0 +1,216 @@
+package geoind
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNewAccountantValidation(t *testing.T) {
+	if _, err := NewAccountant(0, 0.01); err == nil {
+		t.Error("epsilon=0 expected error")
+	}
+	if _, err := NewAccountant(1, -0.1); err == nil {
+		t.Error("negative delta expected error")
+	}
+	if _, err := NewAccountant(1, 1); err == nil {
+		t.Error("delta=1 expected error")
+	}
+	if _, err := NewAccountant(math.Inf(1), 0.01); err == nil {
+		t.Error("infinite epsilon expected error")
+	}
+	a, err := NewAccountant(0.1, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Entities() != 0 {
+		t.Errorf("fresh accountant tracks %d entities", a.Entities())
+	}
+}
+
+func TestAccountantRecordAndBasicLoss(t *testing.T) {
+	a, err := NewAccountant(0.5, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if got := a.Record("alice"); got != i {
+			t.Errorf("Record #%d returned %d", i, got)
+		}
+	}
+	loss := a.BasicLoss("alice")
+	if math.Abs(loss.Epsilon-2.5) > 1e-12 || math.Abs(loss.Delta-0.005) > 1e-12 {
+		t.Errorf("basic loss = %+v, want (2.5, 0.005)", loss)
+	}
+	if got := a.BasicLoss("bob"); got.Epsilon != 0 || got.Delta != 0 {
+		t.Errorf("untracked entity loss = %+v", got)
+	}
+}
+
+func TestAccountantAdvancedLoss(t *testing.T) {
+	eps, delta := 0.1, 1e-6
+	a, err := NewAccountant(eps, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 100
+	for i := 0; i < k; i++ {
+		a.Record("u")
+	}
+	dp := 1e-5
+	adv, err := a.AdvancedLoss("u", dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEps := eps*math.Sqrt(2*k*math.Log(1/dp)) + k*eps*math.Expm1(eps)
+	if math.Abs(adv.Epsilon-wantEps) > 1e-9 {
+		t.Errorf("advanced eps = %g, want %g", adv.Epsilon, wantEps)
+	}
+	if math.Abs(adv.Delta-(k*delta+dp)) > 1e-15 {
+		t.Errorf("advanced delta = %g", adv.Delta)
+	}
+
+	// For many releases of a small-ε mechanism the advanced bound must be
+	// tighter than basic composition.
+	basic := a.BasicLoss("u")
+	if adv.Epsilon >= basic.Epsilon {
+		t.Errorf("advanced %g not tighter than basic %g at k=%d", adv.Epsilon, basic.Epsilon, k)
+	}
+}
+
+func TestAccountantAdvancedLossErrorsAndZero(t *testing.T) {
+	a, err := NewAccountant(0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dp := range []float64{0, 1, -0.5, math.NaN()} {
+		if _, err := a.AdvancedLoss("u", dp); err == nil {
+			t.Errorf("delta'=%g expected error", dp)
+		}
+	}
+	loss, err := a.AdvancedLoss("never-seen", 0.01)
+	if err != nil || loss.Epsilon != 0 || loss.Delta != 0 {
+		t.Errorf("zero releases: %+v, %v", loss, err)
+	}
+}
+
+func TestAccountantBestLossCrossover(t *testing.T) {
+	// With few releases basic wins; with many, advanced wins.
+	a, err := NewAccountant(0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Record("u")
+	best, err := a.BestLoss("u", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic := a.BasicLoss("u")
+	if best.Epsilon != basic.Epsilon {
+		t.Errorf("k=1: best %g should equal basic %g", best.Epsilon, basic.Epsilon)
+	}
+	for i := 0; i < 999; i++ {
+		a.Record("u")
+	}
+	best, err = a.BestLoss("u", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := a.AdvancedLoss("u", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Epsilon != adv.Epsilon {
+		t.Errorf("k=1000: best %g should equal advanced %g", best.Epsilon, adv.Epsilon)
+	}
+	if zero, err := a.BestLoss("ghost", 0.01); err != nil || zero.Epsilon != 0 {
+		t.Errorf("ghost best loss = %+v, %v", zero, err)
+	}
+}
+
+func TestAccountantExceeds(t *testing.T) {
+	a, err := NewAccountant(1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := Loss{Epsilon: 2.5, Delta: 0.1}
+	for i := 0; i < 2; i++ {
+		a.Record("u")
+	}
+	over, err := a.Exceeds("u", budget, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over {
+		t.Error("2 releases of eps=1 should fit a 2.5 budget")
+	}
+	a.Record("u")
+	over, err = a.Exceeds("u", budget, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !over {
+		t.Error("3 releases of eps=1 should exceed a 2.5 budget")
+	}
+	if _, err := a.Exceeds("u", budget, 2); err == nil {
+		t.Error("invalid delta' expected error")
+	}
+}
+
+func TestAccountantReset(t *testing.T) {
+	a, err := NewAccountant(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Record("u")
+	a.Reset("u")
+	if a.Releases("u") != 0 {
+		t.Error("reset did not clear history")
+	}
+	if a.Entities() != 0 {
+		t.Errorf("entities = %d after reset", a.Entities())
+	}
+}
+
+func TestAccountantConcurrent(t *testing.T) {
+	a, err := NewAccountant(0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				a.Record("shared")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Releases("shared"); got != 800 {
+		t.Errorf("Releases = %d, want 800", got)
+	}
+}
+
+// TestAccountantMonotone property: loss never decreases with more
+// releases under either bound.
+func TestAccountantMonotone(t *testing.T) {
+	a, err := NewAccountant(0.2, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevBasic, prevAdv := 0.0, 0.0
+	for i := 0; i < 50; i++ {
+		a.Record("u")
+		basic := a.BasicLoss("u")
+		adv, err := a.AdvancedLoss("u", 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if basic.Epsilon < prevBasic || adv.Epsilon < prevAdv {
+			t.Fatalf("loss decreased at k=%d", i+1)
+		}
+		prevBasic, prevAdv = basic.Epsilon, adv.Epsilon
+	}
+}

@@ -1,0 +1,118 @@
+package geoind
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/randx"
+)
+
+// TestMechanismConformance runs every mechanism through the behavioural
+// contract of the Mechanism interface: output count equals Fold, outputs
+// are finite, the confidence radius is a valid monotone quantile, and
+// obfuscation is insensitive to the input location (pure additive
+// noise — the output cloud translates with the input).
+func TestMechanismConformance(t *testing.T) {
+	params := Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 7}
+	mechanisms := []struct {
+		name  string
+		build func() (Mechanism, error)
+	}{
+		{"n-fold-gaussian", func() (Mechanism, error) { return NewNFoldGaussian(params) }},
+		{"naive-post-process", func() (Mechanism, error) { return NewNaivePostProcess(params, 0) }},
+		{"plain-composition", func() (Mechanism, error) { return NewPlainComposition(params) }},
+		{"planar-laplace", func() (Mechanism, error) { return NewPlanarLaplace(math.Ln2, 200) }},
+	}
+	for _, tc := range mechanisms {
+		t.Run(tc.name, func(t *testing.T) {
+			mech, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mech.Name() != tc.name {
+				t.Errorf("Name() = %q, want %q", mech.Name(), tc.name)
+			}
+			if mech.Fold() < 1 {
+				t.Fatalf("Fold() = %d", mech.Fold())
+			}
+
+			// Output count and finiteness.
+			rnd := randx.New(100, 100)
+			truth := geo.Point{X: 12_345, Y: -9_876}
+			out, err := mech.Obfuscate(rnd, truth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != mech.Fold() {
+				t.Fatalf("got %d outputs, Fold() says %d", len(out), mech.Fold())
+			}
+			for i, q := range out {
+				if math.IsNaN(q.X) || math.IsNaN(q.Y) || math.IsInf(q.X, 0) || math.IsInf(q.Y, 0) {
+					t.Fatalf("output %d not finite: %v", i, q)
+				}
+			}
+
+			// Translation equivariance: same stream, shifted input =>
+			// identically shifted outputs.
+			shift := geo.Point{X: 1000, Y: 2000}
+			outA, err := mech.Obfuscate(randx.New(7, 7), truth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outB, err := mech.Obfuscate(randx.New(7, 7), truth.Add(shift))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range outA {
+				want := outA[i].Add(shift)
+				if d := outB[i].Dist(want); d > 1e-6 {
+					t.Fatalf("output %d not translation-equivariant: off by %g m", i, d)
+				}
+			}
+
+			// Confidence radius: monotone decreasing in alpha, and the
+			// empirical coverage at alpha=0.1 is at least 1-alpha.
+			r05, err := mech.ConfidenceRadius(0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r20, err := mech.ConfidenceRadius(0.20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !(r05 > r20) {
+				t.Errorf("confidence radius not monotone: r(0.05)=%g <= r(0.20)=%g", r05, r20)
+			}
+			rnd = randx.New(8, 8)
+			inside, total := 0, 0
+			r10, err := mech.ConfidenceRadius(0.10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2000; i++ {
+				out, err := mech.Obfuscate(rnd, geo.Point{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, q := range out {
+					total++
+					if q.Norm() <= r10 {
+						inside++
+					}
+				}
+			}
+			coverage := float64(inside) / float64(total)
+			if coverage < 0.88 { // 1 - alpha with Monte-Carlo slack
+				t.Errorf("coverage at r(0.10) = %.3f, want >= 0.90-ish", coverage)
+			}
+
+			// Invalid alpha values are rejected.
+			for _, alpha := range []float64{0, 1, -0.5, math.NaN()} {
+				if _, err := mech.ConfidenceRadius(alpha); err == nil {
+					t.Errorf("ConfidenceRadius(%g) expected error", alpha)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,326 @@
+// Package geoind implements the location privacy-preserving mechanisms
+// (LPPMs) of the Edge-PrivLocAd paper:
+//
+//   - NFoldGaussian — the paper's contribution (Definition 7, Theorem 2):
+//     n obfuscated locations drawn simultaneously from an isotropic
+//     Gaussian whose deviation σ = (√n·r/ε)·√(ln δ⁻² + ε) makes the whole
+//     output set satisfy (r, ε, δ, n)-geo-indistinguishability via the
+//     sufficient-statistic argument.
+//   - PlanarLaplace — the classic one-time geo-IND mechanism of Andres et
+//     al., used by the paper both as the attacked baseline and to define
+//     the attack's confidence radius.
+//   - NaivePostProcess — baseline 1: obfuscate once with the 1-fold
+//     Gaussian, then spread n candidates uniformly around that point.
+//   - PlainComposition — baseline 2: n independent Gaussian outputs, each
+//     at (r, ε/n, δ/n, 1), composing to (r, ε, δ, n) by the DP composition
+//     theorem.
+//
+// All mechanisms are stateless and draw randomness from an explicit
+// *randx.Rand stream, so callers control reproducibility.
+package geoind
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/mathx"
+	"repro/internal/randx"
+)
+
+// ErrInvalidParams reports mechanism parameters outside their domain.
+var ErrInvalidParams = errors.New("geoind: invalid parameters")
+
+// Params bundles the (r, ε, δ, n)-geo-IND parameters of Definition 3.
+type Params struct {
+	// Radius is the indistinguishability radius r in metres: any two real
+	// locations within Radius of each other must be indistinguishable.
+	Radius float64 `json:"radius_m"`
+	// Epsilon is the privacy budget ε.
+	Epsilon float64 `json:"epsilon"`
+	// Delta is the slack δ of the bounded geo-IND definition.
+	Delta float64 `json:"delta"`
+	// N is the number of obfuscated locations generated simultaneously.
+	N int `json:"n"`
+}
+
+// Validate checks the parameter domain.
+func (p Params) Validate() error {
+	switch {
+	case !(p.Radius > 0) || math.IsInf(p.Radius, 0):
+		return fmt.Errorf("%w: radius %g must be positive and finite", ErrInvalidParams, p.Radius)
+	case !(p.Epsilon > 0) || math.IsInf(p.Epsilon, 0):
+		return fmt.Errorf("%w: epsilon %g must be positive and finite", ErrInvalidParams, p.Epsilon)
+	case !(p.Delta > 0) || p.Delta >= 1:
+		return fmt.Errorf("%w: delta %g must be in (0, 1)", ErrInvalidParams, p.Delta)
+	case p.N < 1:
+		return fmt.Errorf("%w: n %d must be at least 1", ErrInvalidParams, p.N)
+	}
+	return nil
+}
+
+// Sigma returns the per-axis Gaussian deviation of the n-fold mechanism,
+// Equation 11 of the paper: σ = (√n · r / ε) · √(ln(1/δ²) + ε).
+func (p Params) Sigma() float64 {
+	return math.Sqrt(float64(p.N)) * p.Radius / p.Epsilon *
+		math.Sqrt(math.Log(1/(p.Delta*p.Delta))+p.Epsilon)
+}
+
+// SigmaOneFold returns the 1-fold deviation of Lemma 1 for the same
+// (r, ε, δ): σ₁ = (r/ε)·√(ln(1/δ²) + ε). This is also the deviation of the
+// sufficient statistic (the sample mean) of the n-fold mechanism.
+func (p Params) SigmaOneFold() float64 {
+	return p.Radius / p.Epsilon * math.Sqrt(math.Log(1/(p.Delta*p.Delta))+p.Epsilon)
+}
+
+// Mechanism is a location privacy-preserving mechanism that maps one real
+// location to a set of obfuscated candidate locations.
+type Mechanism interface {
+	// Name identifies the mechanism in experiment output.
+	Name() string
+	// Fold returns the number of candidate locations per invocation.
+	Fold() int
+	// Obfuscate generates the candidate set for a real location, drawing
+	// randomness from rnd.
+	Obfuscate(rnd *randx.Rand, p geo.Point) ([]geo.Point, error)
+	// ConfidenceRadius returns the radius within which a single candidate
+	// falls with probability 1-alpha (Pr[dist > r_α] ≤ α). Attackers use it
+	// for trimming; the utility analysis uses it for worst-case bounds.
+	ConfidenceRadius(alpha float64) (float64, error)
+}
+
+// NFoldGaussian is the paper's n-fold Gaussian mechanism (Definition 7):
+// LPPM(p) = (p + X₁, …, p + Xₙ) with Xᵢ i.i.d. isotropic Gaussian noise of
+// deviation Params.Sigma(). The set jointly satisfies (r, ε, δ, n)-geo-IND
+// by Theorem 2 because the sample mean — a sufficient statistic — has
+// deviation σ/√n = σ₁ and so satisfies (r, ε, δ, 1)-geo-IND by Lemma 1.
+type NFoldGaussian struct {
+	params Params
+	sigma  float64
+}
+
+var _ Mechanism = (*NFoldGaussian)(nil)
+
+// NewNFoldGaussian validates params and builds the mechanism.
+func NewNFoldGaussian(params Params) (*NFoldGaussian, error) {
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("n-fold gaussian: %w", err)
+	}
+	return &NFoldGaussian{params: params, sigma: params.Sigma()}, nil
+}
+
+// Name implements Mechanism.
+func (m *NFoldGaussian) Name() string { return "n-fold-gaussian" }
+
+// Fold implements Mechanism.
+func (m *NFoldGaussian) Fold() int { return m.params.N }
+
+// Params returns the mechanism's privacy parameters.
+func (m *NFoldGaussian) Params() Params { return m.params }
+
+// Sigma returns the per-candidate noise deviation.
+func (m *NFoldGaussian) Sigma() float64 { return m.sigma }
+
+// Obfuscate implements Mechanism with the paper's Algorithm 3.
+func (m *NFoldGaussian) Obfuscate(rnd *randx.Rand, p geo.Point) ([]geo.Point, error) {
+	out := make([]geo.Point, m.params.N)
+	for i := range out {
+		out[i] = p.Add(rnd.GaussianPolar(m.sigma))
+	}
+	return out, nil
+}
+
+// ConfidenceRadius implements Mechanism via the Rayleigh quantile.
+func (m *NFoldGaussian) ConfidenceRadius(alpha float64) (float64, error) {
+	r, err := mathx.GaussianNFoldConfidenceRadius(alpha, m.sigma)
+	if err != nil {
+		return 0, fmt.Errorf("n-fold gaussian confidence radius: %w", err)
+	}
+	return r, nil
+}
+
+// PlanarLaplace is the one-time geo-IND mechanism of Andres et al.: a
+// single obfuscated location with planar-Laplace noise of parameter
+// ε = l/r. It is the mechanism the longitudinal attack defeats.
+type PlanarLaplace struct {
+	epsilon float64
+}
+
+var _ Mechanism = (*PlanarLaplace)(nil)
+
+// NewPlanarLaplace builds the mechanism from the geo-IND privacy
+// requirement (l, r): privacy level l within radius r, i.e. ε = l/r.
+func NewPlanarLaplace(level, radius float64) (*PlanarLaplace, error) {
+	if !(level > 0) || math.IsInf(level, 0) {
+		return nil, fmt.Errorf("%w: privacy level %g must be positive and finite", ErrInvalidParams, level)
+	}
+	if !(radius > 0) || math.IsInf(radius, 0) {
+		return nil, fmt.Errorf("%w: radius %g must be positive and finite", ErrInvalidParams, radius)
+	}
+	return &PlanarLaplace{epsilon: level / radius}, nil
+}
+
+// NewPlanarLaplaceEpsilon builds the mechanism directly from ε (per metre).
+func NewPlanarLaplaceEpsilon(epsilon float64) (*PlanarLaplace, error) {
+	if !(epsilon > 0) || math.IsInf(epsilon, 0) {
+		return nil, fmt.Errorf("%w: epsilon %g must be positive and finite", ErrInvalidParams, epsilon)
+	}
+	return &PlanarLaplace{epsilon: epsilon}, nil
+}
+
+// Name implements Mechanism.
+func (m *PlanarLaplace) Name() string { return "planar-laplace" }
+
+// Fold implements Mechanism; the one-time mechanism emits one location.
+func (m *PlanarLaplace) Fold() int { return 1 }
+
+// Epsilon returns the per-metre privacy parameter.
+func (m *PlanarLaplace) Epsilon() float64 { return m.epsilon }
+
+// Obfuscate implements Mechanism.
+func (m *PlanarLaplace) Obfuscate(rnd *randx.Rand, p geo.Point) ([]geo.Point, error) {
+	noise, err := rnd.PlanarLaplace(m.epsilon)
+	if err != nil {
+		return nil, fmt.Errorf("planar laplace obfuscation: %w", err)
+	}
+	return []geo.Point{p.Add(noise)}, nil
+}
+
+// ConfidenceRadius implements Mechanism via the planar-Laplace quantile.
+func (m *PlanarLaplace) ConfidenceRadius(alpha float64) (float64, error) {
+	r, err := mathx.PlanarLaplaceConfidenceRadius(alpha, m.epsilon)
+	if err != nil {
+		return 0, fmt.Errorf("planar laplace confidence radius: %w", err)
+	}
+	return r, nil
+}
+
+// NaivePostProcess is the paper's first baseline: obfuscate the real
+// location once with the 1-fold Gaussian mechanism at the full (r, ε, δ)
+// budget, then uniformly sample n candidates within SpreadRadius of that
+// single obfuscated anchor. Privacy is inherited from the anchor by the
+// post-processing theorem, but utility suffers: when the anchor lands far
+// from the real location every candidate drifts with it.
+type NaivePostProcess struct {
+	params Params
+	sigma  float64
+	spread float64
+}
+
+var _ Mechanism = (*NaivePostProcess)(nil)
+
+// NewNaivePostProcess builds the baseline. spreadRadius ≤ 0 selects the
+// default spread, the 1-fold Gaussian deviation σ₁ (so the candidate cloud
+// has comparable extent to one noise standard deviation).
+func NewNaivePostProcess(params Params, spreadRadius float64) (*NaivePostProcess, error) {
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("naive post-process: %w", err)
+	}
+	sigma := params.SigmaOneFold()
+	if spreadRadius <= 0 {
+		spreadRadius = sigma
+	}
+	return &NaivePostProcess{params: params, sigma: sigma, spread: spreadRadius}, nil
+}
+
+// Name implements Mechanism.
+func (m *NaivePostProcess) Name() string { return "naive-post-process" }
+
+// Fold implements Mechanism.
+func (m *NaivePostProcess) Fold() int { return m.params.N }
+
+// SpreadRadius returns the radius of the uniform candidate cloud.
+func (m *NaivePostProcess) SpreadRadius() float64 { return m.spread }
+
+// Obfuscate implements Mechanism.
+func (m *NaivePostProcess) Obfuscate(rnd *randx.Rand, p geo.Point) ([]geo.Point, error) {
+	anchor := p.Add(rnd.GaussianPolar(m.sigma))
+	out := make([]geo.Point, m.params.N)
+	for i := range out {
+		out[i] = anchor.Add(rnd.UniformDisk(m.spread))
+	}
+	return out, nil
+}
+
+// ConfidenceRadius implements Mechanism: a candidate is within the anchor's
+// Rayleigh r_α plus the full spread radius with probability ≥ 1-α.
+func (m *NaivePostProcess) ConfidenceRadius(alpha float64) (float64, error) {
+	r, err := mathx.GaussianNFoldConfidenceRadius(alpha, m.sigma)
+	if err != nil {
+		return 0, fmt.Errorf("naive post-process confidence radius: %w", err)
+	}
+	return r + m.spread, nil
+}
+
+// PlainComposition is the paper's second baseline: n independent Gaussian
+// outputs, the i-th satisfying (r, ε/n, δ/n, 1)-geo-IND, so the whole set
+// satisfies (r, ε, δ, n)-geo-IND by the DP composition theorem. Dividing
+// the budget n ways inflates the per-output deviation to
+// (n·r/ε)·√(ln(n²/δ²) + ε/n), which is what the sufficient-statistic
+// analysis of the n-fold mechanism avoids.
+type PlainComposition struct {
+	params   Params
+	perSigma float64
+}
+
+var _ Mechanism = (*PlainComposition)(nil)
+
+// NewPlainComposition validates params and builds the baseline.
+func NewPlainComposition(params Params) (*PlainComposition, error) {
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("plain composition: %w", err)
+	}
+	sub := Params{
+		Radius:  params.Radius,
+		Epsilon: params.Epsilon / float64(params.N),
+		Delta:   params.Delta / float64(params.N),
+		N:       1,
+	}
+	return &PlainComposition{params: params, perSigma: sub.SigmaOneFold()}, nil
+}
+
+// Name implements Mechanism.
+func (m *PlainComposition) Name() string { return "plain-composition" }
+
+// Fold implements Mechanism.
+func (m *PlainComposition) Fold() int { return m.params.N }
+
+// PerOutputSigma returns the deviation of each composed output.
+func (m *PlainComposition) PerOutputSigma() float64 { return m.perSigma }
+
+// Obfuscate implements Mechanism.
+func (m *PlainComposition) Obfuscate(rnd *randx.Rand, p geo.Point) ([]geo.Point, error) {
+	out := make([]geo.Point, m.params.N)
+	for i := range out {
+		out[i] = p.Add(rnd.GaussianPolar(m.perSigma))
+	}
+	return out, nil
+}
+
+// ConfidenceRadius implements Mechanism.
+func (m *PlainComposition) ConfidenceRadius(alpha float64) (float64, error) {
+	r, err := mathx.GaussianNFoldConfidenceRadius(alpha, m.perSigma)
+	if err != nil {
+		return 0, fmt.Errorf("plain composition confidence radius: %w", err)
+	}
+	return r, nil
+}
+
+// GaussianDeltaAt computes the exact privacy slack δ of a 2-D Gaussian
+// mechanism with per-axis deviation sigma at shift distance d and budget
+// epsilon, using the analytic Gaussian-mechanism characterisation
+// (Balle & Wang 2018):
+//
+//	δ(ε) = Φ(d/2σ − εσ/d) − e^ε · Φ(−d/2σ − εσ/d)
+//
+// The (r, ε, δ)-geo-IND claim of Lemma 1 holds iff GaussianDeltaAt(σ, r,
+// ε) ≤ δ; the privacy tests use this to verify Theorem 2 numerically.
+func GaussianDeltaAt(sigma, d, epsilon float64) float64 {
+	if sigma <= 0 || d <= 0 {
+		return 0
+	}
+	a := d / (2 * sigma)
+	b := epsilon * sigma / d
+	return mathx.StdNormalCDF(a-b) - math.Exp(epsilon)*mathx.StdNormalCDF(-a-b)
+}

@@ -1,0 +1,444 @@
+package geoind
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/mathx"
+	"repro/internal/randx"
+)
+
+func paperParams(n int) Params {
+	return Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: n}
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Params
+		wantErr bool
+	}{
+		{"paper strict", Params{500, 1, 0.01, 10}, false},
+		{"paper loose", Params{800, 1.5, 0.01, 1}, false},
+		{"zero radius", Params{0, 1, 0.01, 1}, true},
+		{"negative radius", Params{-1, 1, 0.01, 1}, true},
+		{"zero epsilon", Params{500, 0, 0.01, 1}, true},
+		{"delta zero", Params{500, 1, 0, 1}, true},
+		{"delta one", Params{500, 1, 1, 1}, true},
+		{"n zero", Params{500, 1, 0.01, 0}, true},
+		{"inf radius", Params{math.Inf(1), 1, 0.01, 1}, true},
+		{"nan epsilon", Params{500, math.NaN(), 0.01, 1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// TestSigmaEquation11 pins σ against the paper's closed form.
+func TestSigmaEquation11(t *testing.T) {
+	p := paperParams(10)
+	want := math.Sqrt(10) * 500 / 1 * math.Sqrt(math.Log(1/(0.01*0.01))+1)
+	if got := p.Sigma(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Sigma = %g, want %g", got, want)
+	}
+	// ln(1/δ²) = ln(10⁴) ≈ 9.2103; √(9.2103+1) ≈ 3.1954.
+	if got := p.SigmaOneFold(); math.Abs(got-500*3.1953623) > 0.01 {
+		t.Errorf("SigmaOneFold = %g, want ≈1597.7", got)
+	}
+}
+
+// TestSigmaScalesWithSqrtN property: σ(n) = √n·σ(1) (Theorem 2 vs Lemma 1).
+func TestSigmaScalesWithSqrtN(t *testing.T) {
+	f := func(rawN uint8) bool {
+		n := int(rawN%64) + 1
+		pn := paperParams(n)
+		p1 := paperParams(1)
+		return math.Abs(pn.Sigma()-math.Sqrt(float64(n))*p1.Sigma()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewNFoldGaussianRejectsBadParams(t *testing.T) {
+	if _, err := NewNFoldGaussian(Params{}); err == nil {
+		t.Error("zero params expected error")
+	}
+}
+
+func TestNFoldGaussianShape(t *testing.T) {
+	m, err := NewNFoldGaussian(paperParams(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "n-fold-gaussian" || m.Fold() != 10 {
+		t.Errorf("Name/Fold = %q/%d", m.Name(), m.Fold())
+	}
+	rnd := randx.New(1, 1)
+	out, err := m.Obfuscate(rnd, geo.Point{X: 100, Y: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 10 {
+		t.Fatalf("got %d outputs, want 10", len(out))
+	}
+}
+
+// TestNFoldGaussianSufficientStatistic verifies the analytic core of
+// Theorem 2 empirically: the sample mean of the n candidates must be
+// distributed as an isotropic Gaussian around the true location with
+// deviation σ/√n = σ₁ — exactly the 1-fold mechanism's deviation.
+func TestNFoldGaussianSufficientStatistic(t *testing.T) {
+	params := paperParams(10)
+	m, err := NewNFoldGaussian(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := randx.New(11, 13)
+	truth := geo.Point{X: 1000, Y: -2000}
+	const trials = 20_000
+	var mx, my mathx.OnlineMoments
+	for i := 0; i < trials; i++ {
+		out, err := m.Obfuscate(rnd, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _ := geo.Centroid(out)
+		mx.Add(c.X - truth.X)
+		my.Add(c.Y - truth.Y)
+	}
+	sigma1 := params.SigmaOneFold()
+	if rel := math.Abs(mx.StdDev()-sigma1) / sigma1; rel > 0.02 {
+		t.Errorf("mean-statistic x deviation %g, want %g", mx.StdDev(), sigma1)
+	}
+	if rel := math.Abs(my.StdDev()-sigma1) / sigma1; rel > 0.02 {
+		t.Errorf("mean-statistic y deviation %g, want %g", my.StdDev(), sigma1)
+	}
+	if math.Abs(mx.Mean()) > 4*sigma1/math.Sqrt(trials)*3 {
+		t.Errorf("mean-statistic x bias %g", mx.Mean())
+	}
+}
+
+// TestLemma1PrivacyHolds verifies Lemma 1 numerically: with
+// σ₁ = (r/ε)√(ln δ⁻² + ε), the exact Gaussian privacy slack at shift r
+// must not exceed δ.
+func TestLemma1PrivacyHolds(t *testing.T) {
+	for _, eps := range []float64{0.5, 1, 1.5, 2} {
+		for _, delta := range []float64{0.001, 0.01, 0.05} {
+			for _, r := range []float64{200, 500, 800} {
+				p := Params{Radius: r, Epsilon: eps, Delta: delta, N: 1}
+				got := GaussianDeltaAt(p.SigmaOneFold(), r, eps)
+				if got > delta+1e-12 {
+					t.Errorf("eps=%g delta=%g r=%g: exact slack %g exceeds delta", eps, delta, r, got)
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem2PrivacyHolds verifies Theorem 2 numerically: the n-fold
+// mechanism's sufficient statistic (deviation σ/√n) must satisfy the same
+// slack bound at shift r.
+func TestTheorem2PrivacyHolds(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 10, 50} {
+		p := paperParams(n)
+		meanSigma := p.Sigma() / math.Sqrt(float64(n))
+		got := GaussianDeltaAt(meanSigma, p.Radius, p.Epsilon)
+		if got > p.Delta+1e-12 {
+			t.Errorf("n=%d: exact slack %g exceeds delta %g", n, got, p.Delta)
+		}
+	}
+}
+
+// TestGaussianDeltaMonotone property: slack decreases as σ grows and
+// increases with shift distance.
+func TestGaussianDeltaMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for sigma := 200.0; sigma <= 4000; sigma += 200 {
+		d := GaussianDeltaAt(sigma, 500, 1)
+		if d > prev+1e-15 {
+			t.Fatalf("slack grew with sigma at %g: %g > %g", sigma, d, prev)
+		}
+		prev = d
+	}
+	prev = -1
+	for shift := 50.0; shift <= 2000; shift += 50 {
+		d := GaussianDeltaAt(1000, shift, 1)
+		if d < prev-1e-15 {
+			t.Fatalf("slack shrank with shift at %g", shift)
+		}
+		prev = d
+	}
+}
+
+func TestGaussianDeltaDegenerate(t *testing.T) {
+	if got := GaussianDeltaAt(0, 500, 1); got != 0 {
+		t.Errorf("sigma=0 slack = %g", got)
+	}
+	if got := GaussianDeltaAt(100, 0, 1); got != 0 {
+		t.Errorf("d=0 slack = %g", got)
+	}
+}
+
+func TestNFoldConfidenceRadius(t *testing.T) {
+	m, err := NewNFoldGaussian(paperParams(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.ConfidenceRadius(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empirically ~95% of candidates must fall within r.
+	rnd := randx.New(3, 7)
+	truth := geo.Point{}
+	inside, total := 0, 0
+	for i := 0; i < 2000; i++ {
+		out, err := m.Obfuscate(rnd, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range out {
+			total++
+			if q.Dist(truth) <= r {
+				inside++
+			}
+		}
+	}
+	frac := float64(inside) / float64(total)
+	if math.Abs(frac-0.95) > 0.01 {
+		t.Errorf("fraction within r_0.05 = %g, want 0.95", frac)
+	}
+	if _, err := m.ConfidenceRadius(0); err == nil {
+		t.Error("alpha=0 expected error")
+	}
+}
+
+func TestPlanarLaplaceConstruction(t *testing.T) {
+	m, err := NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "planar-laplace" || m.Fold() != 1 {
+		t.Errorf("Name/Fold = %q/%d", m.Name(), m.Fold())
+	}
+	if got := m.Epsilon(); math.Abs(got-math.Log(4)/200) > 1e-15 {
+		t.Errorf("Epsilon = %g", got)
+	}
+	if _, err := NewPlanarLaplace(0, 200); err == nil {
+		t.Error("level=0 expected error")
+	}
+	if _, err := NewPlanarLaplace(1, 0); err == nil {
+		t.Error("radius=0 expected error")
+	}
+	if _, err := NewPlanarLaplaceEpsilon(-1); err == nil {
+		t.Error("negative epsilon expected error")
+	}
+	m2, err := NewPlanarLaplaceEpsilon(0.01)
+	if err != nil || m2.Epsilon() != 0.01 {
+		t.Errorf("NewPlanarLaplaceEpsilon: %v, %v", m2, err)
+	}
+}
+
+// TestPlanarLaplaceGeoINDProperty verifies Definition 1 empirically on a
+// discretised output space: for nearby locations p0, p1 the likelihood of
+// every output cell must satisfy Pr[M(p0)=q] ≤ e^{ε·d(p0,p1)}·Pr[M(p1)=q].
+func TestPlanarLaplaceGeoINDProperty(t *testing.T) {
+	const (
+		trials = 400_000
+		cell   = 200.0 // metres per histogram cell
+		half   = 10    // cells per side from centre
+	)
+	eps := math.Log(2) / 200
+	m, err := NewPlanarLaplace(math.Log(2), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := geo.Point{X: 0, Y: 0}
+	p1 := geo.Point{X: 100, Y: 0}
+	countCells := func(seedStream uint64, origin geo.Point) map[[2]int]int {
+		rnd := randx.New(99, seedStream)
+		counts := make(map[[2]int]int)
+		for i := 0; i < trials; i++ {
+			out, err := m.Obfuscate(rnd, origin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ix := int(math.Floor(out[0].X / cell))
+			iy := int(math.Floor(out[0].Y / cell))
+			if ix < -half || ix >= half || iy < -half || iy >= half {
+				continue
+			}
+			counts[[2]int{ix, iy}]++
+		}
+		return counts
+	}
+	c0 := countCells(1, p0)
+	c1 := countCells(2, p1)
+	bound := math.Exp(eps * p0.Dist(p1))
+	for cellIdx, n0 := range c0 {
+		n1 := c1[cellIdx]
+		if n0 < 500 || n1 < 500 {
+			continue // skip cells with too little mass for a stable ratio
+		}
+		ratio := float64(n0) / float64(n1)
+		// Allow Monte-Carlo slack on top of the analytic bound.
+		if ratio > bound*1.15 {
+			t.Errorf("cell %v: likelihood ratio %g exceeds e^(eps*d) = %g", cellIdx, ratio, bound)
+		}
+	}
+}
+
+func TestNaivePostProcess(t *testing.T) {
+	params := paperParams(10)
+	m, err := NewNaivePostProcess(params, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "naive-post-process" || m.Fold() != 10 {
+		t.Errorf("Name/Fold = %q/%d", m.Name(), m.Fold())
+	}
+	if got := m.SpreadRadius(); math.Abs(got-params.SigmaOneFold()) > 1e-9 {
+		t.Errorf("default spread = %g, want sigma1 %g", got, params.SigmaOneFold())
+	}
+	m2, err := NewNaivePostProcess(params, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.SpreadRadius() != 1234 {
+		t.Errorf("explicit spread = %g", m2.SpreadRadius())
+	}
+	if _, err := NewNaivePostProcess(Params{}, 0); err == nil {
+		t.Error("bad params expected error")
+	}
+
+	// All candidates cluster within spread of a common anchor: pairwise
+	// distances are bounded by 2·spread.
+	rnd := randx.New(8, 8)
+	out, err := m2.Obfuscate(rnd, geo.Point{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		for j := i + 1; j < len(out); j++ {
+			if d := out[i].Dist(out[j]); d > 2*m2.SpreadRadius()+1e-9 {
+				t.Errorf("candidates %d,%d separated by %g > 2·spread", i, j, d)
+			}
+		}
+	}
+	if _, err := m2.ConfidenceRadius(0.05); err != nil {
+		t.Errorf("ConfidenceRadius: %v", err)
+	}
+	if _, err := m2.ConfidenceRadius(2); err == nil {
+		t.Error("alpha=2 expected error")
+	}
+}
+
+func TestPlainComposition(t *testing.T) {
+	params := paperParams(10)
+	m, err := NewPlainComposition(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "plain-composition" || m.Fold() != 10 {
+		t.Errorf("Name/Fold = %q/%d", m.Name(), m.Fold())
+	}
+	// Per-output sigma of the composed mechanism must match Lemma 1 at
+	// (eps/n, delta/n).
+	sub := Params{Radius: 500, Epsilon: 0.1, Delta: 0.001, N: 1}
+	if got := m.PerOutputSigma(); math.Abs(got-sub.SigmaOneFold()) > 1e-9 {
+		t.Errorf("PerOutputSigma = %g, want %g", got, sub.SigmaOneFold())
+	}
+	if _, err := NewPlainComposition(Params{}); err == nil {
+		t.Error("bad params expected error")
+	}
+	rnd := randx.New(2, 2)
+	out, err := m.Obfuscate(rnd, geo.Point{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 10 {
+		t.Fatalf("got %d outputs", len(out))
+	}
+	if _, err := m.ConfidenceRadius(0.05); err != nil {
+		t.Errorf("ConfidenceRadius: %v", err)
+	}
+}
+
+// TestCompositionNoisierThanNFold pins the paper's headline analytic
+// claim: for the same (r, ε, δ, n), plain composition needs strictly more
+// per-output noise than the n-fold mechanism, and the gap widens with n.
+func TestCompositionNoisierThanNFold(t *testing.T) {
+	prevRatio := 0.0
+	for _, n := range []int{2, 5, 10, 20} {
+		params := paperParams(n)
+		nf, err := NewNFoldGaussian(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, err := NewPlainComposition(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := pc.PerOutputSigma() / nf.Sigma()
+		if ratio <= 1 {
+			t.Errorf("n=%d: composition sigma %g not larger than n-fold sigma %g",
+				n, pc.PerOutputSigma(), nf.Sigma())
+		}
+		if ratio < prevRatio {
+			t.Errorf("n=%d: noise gap ratio %g shrank from %g", n, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+}
+
+// TestMechanismsDeterministicUnderSeed: same seed, same outputs.
+func TestMechanismsDeterministicUnderSeed(t *testing.T) {
+	params := paperParams(5)
+	builders := []func() (Mechanism, error){
+		func() (Mechanism, error) { return NewNFoldGaussian(params) },
+		func() (Mechanism, error) { return NewNaivePostProcess(params, 0) },
+		func() (Mechanism, error) { return NewPlainComposition(params) },
+		func() (Mechanism, error) { return NewPlanarLaplace(math.Log(2), 200) },
+	}
+	for _, build := range builders {
+		m, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := m.Obfuscate(randx.New(77, 1), geo.Point{X: 5, Y: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m.Obfuscate(randx.New(77, 1), geo.Point{X: 5, Y: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: non-deterministic output at %d", m.Name(), i)
+			}
+		}
+	}
+}
+
+func BenchmarkNFoldGaussianObfuscate(b *testing.B) {
+	m, err := NewNFoldGaussian(paperParams(10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rnd := randx.New(1, 1)
+	p := geo.Point{X: 100, Y: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Obfuscate(rnd, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

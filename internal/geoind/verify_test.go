@@ -1,0 +1,109 @@
+package geoind
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestVerifyGeoINDArgErrors(t *testing.T) {
+	mech, err := NewPlanarLaplace(math.Ln2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geo.Point{}
+	if _, err := VerifyGeoIND(nil, p, geo.Point{X: 100}, 0.01, VerifyConfig{}); err == nil {
+		t.Error("nil mechanism expected error")
+	}
+	if _, err := VerifyGeoIND(mech, p, p, 0.01, VerifyConfig{}); err == nil {
+		t.Error("identical locations expected error")
+	}
+	if _, err := VerifyGeoIND(mech, p, geo.Point{X: 100}, -1, VerifyConfig{}); err == nil {
+		t.Error("negative delta expected error")
+	}
+	if _, err := VerifyGeoIND(mech, p, geo.Point{X: 100}, 1, VerifyConfig{}); err == nil {
+		t.Error("delta=1 expected error")
+	}
+}
+
+// TestVerifyPlanarLaplaceWithinBudget: the one-time mechanism at l = ln2,
+// r = 200 m must show a max log ratio ≤ l (+ Monte-Carlo slack) for
+// 200 m-separated locations.
+func TestVerifyPlanarLaplaceWithinBudget(t *testing.T) {
+	mech, err := NewPlanarLaplace(math.Ln2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := VerifyGeoIND(mech,
+		geo.Point{X: -100, Y: 0}, geo.Point{X: 100, Y: 0},
+		0, VerifyConfig{Trials: 150_000, CellSize: 150, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.CellsCompared == 0 {
+		t.Fatal("no cells compared")
+	}
+	budget := math.Ln2
+	if report.MaxLogRatio > budget+0.25 {
+		t.Errorf("max log ratio %.3f exceeds budget %.3f (+slack)", report.MaxLogRatio, budget)
+	}
+}
+
+// TestVerifyNFoldMarginalWithinBudget: the marginal of one n-fold
+// candidate is a Gaussian with deviation σ = √n·σ₁, far noisier than the
+// 1-fold requirement, so its observed ratio must sit well inside ε.
+func TestVerifyNFoldMarginalWithinBudget(t *testing.T) {
+	params := Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10}
+	mech, err := NewNFoldGaussian(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := VerifyGeoIND(mech,
+		geo.Point{X: -250, Y: 0}, geo.Point{X: 250, Y: 0},
+		params.Delta, VerifyConfig{Trials: 100_000, CellSize: 1500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.MaxLogRatio > params.Epsilon {
+		t.Errorf("n-fold marginal log ratio %.3f exceeds eps %.1f", report.MaxLogRatio, params.Epsilon)
+	}
+	if report.DeltaMassExcluded > params.Delta {
+		t.Errorf("excluded mass %.4f exceeds delta", report.DeltaMassExcluded)
+	}
+}
+
+// TestVerifyCatchesViolations: a deliberately broken "mechanism" that
+// adds almost no noise must blow the budget — the verifier's power test.
+func TestVerifyCatchesViolations(t *testing.T) {
+	broken, err := NewNFoldGaussian(Params{Radius: 1, Epsilon: 10, Delta: 0.5, N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// σ ≈ 0.18 m of noise on 200 m-separated inputs: the output
+	// distributions are essentially disjoint.
+	report, err := VerifyGeoIND(broken,
+		geo.Point{X: -100, Y: 0}, geo.Point{X: 100, Y: 0},
+		0, VerifyConfig{Trials: 30_000, CellSize: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.MaxLogRatio < 3 {
+		t.Errorf("verifier failed to flag a near-noiseless mechanism: max log ratio %.3f", report.MaxLogRatio)
+	}
+}
+
+// TestVerifySparseConfigErrors: a configuration where no cell reaches the
+// mass threshold must fail loudly instead of passing vacuously.
+func TestVerifySparseConfigErrors(t *testing.T) {
+	mech, err := NewPlanarLaplace(math.Ln2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = VerifyGeoIND(mech,
+		geo.Point{X: -100, Y: 0}, geo.Point{X: 100, Y: 0},
+		0, VerifyConfig{Trials: 500, CellSize: 5, MinCellCount: 400, Seed: 4})
+	if err == nil {
+		t.Error("sparse histogram expected error")
+	}
+}

@@ -1,0 +1,239 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStdNormalCDFKnownValues(t *testing.T) {
+	tests := []struct {
+		z    float64
+		want float64
+	}{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145705},
+		{1.959963984540054, 0.975},
+		{-2.5758293035489004, 0.005},
+		{3, 0.9986501019683699},
+	}
+	for _, tt := range tests {
+		if got := StdNormalCDF(tt.z); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("StdNormalCDF(%g) = %.15g, want %.15g", tt.z, got, tt.want)
+		}
+	}
+}
+
+func TestNormalCDFLocationScale(t *testing.T) {
+	// CDF with mean/sigma must equal the standardised CDF.
+	for _, tt := range []struct{ x, mean, sigma float64 }{
+		{3, 1, 2}, {-5, -2, 0.5}, {0, 0, 1}, {100, 90, 7},
+	} {
+		got := NormalCDF(tt.x, tt.mean, tt.sigma)
+		want := StdNormalCDF((tt.x - tt.mean) / tt.sigma)
+		if math.Abs(got-want) > 1e-14 {
+			t.Errorf("NormalCDF(%g,%g,%g) = %g, want %g", tt.x, tt.mean, tt.sigma, got, want)
+		}
+	}
+}
+
+func TestStdNormalPDF(t *testing.T) {
+	// φ(0) = 1/√(2π); symmetry; derivative-of-CDF check by finite diff.
+	if got := StdNormalPDF(0); math.Abs(got-1/math.Sqrt(2*math.Pi)) > 1e-15 {
+		t.Errorf("phi(0) = %.15g", got)
+	}
+	for _, z := range []float64{0.5, 1, 2.5} {
+		if math.Abs(StdNormalPDF(z)-StdNormalPDF(-z)) > 1e-15 {
+			t.Errorf("phi not symmetric at %g", z)
+		}
+		const h = 1e-6
+		fd := (StdNormalCDF(z+h) - StdNormalCDF(z-h)) / (2 * h)
+		if math.Abs(fd-StdNormalPDF(z)) > 1e-6 {
+			t.Errorf("phi(%g) = %g, CDF slope %g", z, StdNormalPDF(z), fd)
+		}
+	}
+}
+
+func TestNormalCDFDegenerateSigma(t *testing.T) {
+	if got := NormalCDF(1, 2, 0); got != 0 {
+		t.Errorf("NormalCDF below degenerate mean = %g, want 0", got)
+	}
+	if got := NormalCDF(3, 2, 0); got != 1 {
+		t.Errorf("NormalCDF above degenerate mean = %g, want 1", got)
+	}
+}
+
+func TestStdNormalQuantileRoundTrip(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Abs(math.Mod(raw, 1))
+		if p <= 1e-12 || p >= 1-1e-12 {
+			return true
+		}
+		z, err := StdNormalQuantile(p)
+		if err != nil {
+			return false
+		}
+		return math.Abs(StdNormalCDF(z)-p) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStdNormalQuantileKnownValues(t *testing.T) {
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.9986501019683699, 3},
+		{0.05, -1.6448536269514722},
+	}
+	for _, tt := range tests {
+		got, err := StdNormalQuantile(tt.p)
+		if err != nil {
+			t.Fatalf("quantile(%g): %v", tt.p, err)
+		}
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("StdNormalQuantile(%g) = %.12g, want %.12g", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestStdNormalQuantileDomain(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := StdNormalQuantile(p); err == nil {
+			t.Errorf("StdNormalQuantile(%g) expected error", p)
+		}
+	}
+}
+
+func TestRayleighRoundTrip(t *testing.T) {
+	for _, sigma := range []float64{0.5, 1, 100, 3000} {
+		for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.95, 0.999} {
+			r, err := RayleighQuantile(p, sigma)
+			if err != nil {
+				t.Fatalf("RayleighQuantile(%g, %g): %v", p, sigma, err)
+			}
+			if got := RayleighCDF(r, sigma); math.Abs(got-p) > 1e-12 {
+				t.Errorf("sigma=%g p=%g: CDF(quantile) = %g", sigma, p, got)
+			}
+		}
+	}
+}
+
+func TestRayleighCDFEdges(t *testing.T) {
+	if got := RayleighCDF(-1, 1); got != 0 {
+		t.Errorf("CDF(-1) = %g, want 0", got)
+	}
+	if got := RayleighCDF(0, 1); got != 0 {
+		t.Errorf("CDF(0) = %g, want 0", got)
+	}
+	if got := RayleighCDF(5, 0); got != 1 {
+		t.Errorf("CDF with sigma 0 = %g, want 1", got)
+	}
+}
+
+func TestRayleighQuantileDomain(t *testing.T) {
+	if _, err := RayleighQuantile(1, 1); err == nil {
+		t.Error("p=1 expected error")
+	}
+	if _, err := RayleighQuantile(0.5, -1); err == nil {
+		t.Error("sigma<0 expected error")
+	}
+	if r, err := RayleighQuantile(0, 1); err != nil || r != 0 {
+		t.Errorf("p=0 => (0, nil), got (%g, %v)", r, err)
+	}
+}
+
+func TestPlanarLaplaceRoundTrip(t *testing.T) {
+	for _, eps := range []float64{math.Ln2 / 200, 0.005, 0.05, 1} {
+		for _, p := range []float64{0.05, 0.5, 0.9, 0.95, 0.999} {
+			r, err := PlanarLaplaceQuantile(p, eps)
+			if err != nil {
+				t.Fatalf("PlanarLaplaceQuantile(%g, %g): %v", p, eps, err)
+			}
+			if got := PlanarLaplaceCDF(r, eps); math.Abs(got-p) > 1e-9 {
+				t.Errorf("eps=%g p=%g: CDF(quantile) = %g", eps, p, got)
+			}
+		}
+	}
+}
+
+func TestPlanarLaplaceCDFMonotone(t *testing.T) {
+	eps := math.Log(4) / 200
+	prev := -1.0
+	for r := 0.0; r <= 2000; r += 10 {
+		cur := PlanarLaplaceCDF(r, eps)
+		if cur < prev {
+			t.Fatalf("CDF not monotone at r=%g: %g < %g", r, cur, prev)
+		}
+		prev = cur
+	}
+	if prev < 0.99 {
+		t.Errorf("CDF at 2000 m with eps=ln4/200 = %g, want near 1", prev)
+	}
+}
+
+// TestPlanarLaplaceGeoINDPaperParams pins the r_0.05 cluster radius the
+// attack uses for the paper's privacy levels (l/r with r = 200 m).
+func TestPlanarLaplaceGeoINDPaperParams(t *testing.T) {
+	tests := []struct {
+		name string
+		l    float64
+	}{
+		{"ln2", math.Ln2},
+		{"ln4", math.Log(4)},
+		{"ln6", math.Log(6)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			eps := tt.l / 200
+			r, err := PlanarLaplaceConfidenceRadius(0.05, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// r_0.05 solves (1+εr)e^{-εr} = 0.05 => εr ≈ 4.7439.
+			if math.Abs(eps*r-4.743864518907) > 1e-6 {
+				t.Errorf("eps*r_alpha = %.9g, want 4.743864519", eps*r)
+			}
+			if got := PlanarLaplaceCDF(r, eps); math.Abs(got-0.95) > 1e-9 {
+				t.Errorf("CDF at r_alpha = %g, want 0.95", got)
+			}
+			if r <= 200/tt.l {
+				t.Errorf("confidence radius %g m implausibly small", r)
+			}
+		})
+	}
+}
+
+func TestGaussianConfidenceRadius(t *testing.T) {
+	sigma := 1000.0
+	r, err := GaussianNFoldConfidenceRadius(0.1, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RayleighCDF(r, sigma); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("Rayleigh CDF at r_0.1 = %g, want 0.9", got)
+	}
+	if _, err := GaussianNFoldConfidenceRadius(0, sigma); err == nil {
+		t.Error("alpha=0 expected error")
+	}
+	if _, err := GaussianNFoldConfidenceRadius(1, sigma); err == nil {
+		t.Error("alpha=1 expected error")
+	}
+}
+
+func TestPlanarLaplaceQuantileDomain(t *testing.T) {
+	if _, err := PlanarLaplaceQuantile(0.5, 0); err == nil {
+		t.Error("epsilon=0 expected error")
+	}
+	if _, err := PlanarLaplaceQuantile(1, 0.01); err == nil {
+		t.Error("p=1 expected error")
+	}
+	if r, err := PlanarLaplaceQuantile(0, 0.01); err != nil || r != 0 {
+		t.Errorf("p=0 => (0, nil), got (%g, %v)", r, err)
+	}
+}

@@ -1,0 +1,139 @@
+// Package mathx provides the numeric and statistical substrate for the
+// Edge-PrivLocAd reproduction: special functions (Lambert W), probability
+// distributions used by the location-privacy mechanisms (normal, Rayleigh,
+// planar Laplace), and summary statistics (compensated sums, quantiles,
+// online moments, histograms).
+//
+// Everything here is implemented from scratch on top of the standard math
+// package, because the mechanisms of the paper need functions (the W₋₁
+// branch of Lambert W, the planar-Laplace radial CDF and its inverse) that
+// the Go standard library does not provide.
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrOutOfDomain is returned when a special function is evaluated outside
+// its mathematical domain.
+var ErrOutOfDomain = errors.New("mathx: argument out of domain")
+
+const (
+	// invE is 1/e, the left endpoint -1/e of the Lambert W domain is -invE.
+	invE = 1.0 / math.E
+
+	// _wTolerance is the convergence tolerance for the Halley iterations in
+	// the Lambert W evaluations, relative to the magnitude of w.
+	_wTolerance = 1e-14
+
+	// _wMaxIter bounds the Halley iterations; convergence is cubic so a
+	// handful of iterations suffices from our initial guesses.
+	_wMaxIter = 64
+)
+
+// LambertW0 evaluates the principal branch W₀ of the Lambert W function,
+// i.e. the solution w ≥ -1 of w·e^w = x, for x ≥ -1/e.
+func LambertW0(x float64) (float64, error) {
+	switch {
+	case math.IsNaN(x):
+		return math.NaN(), fmt.Errorf("lambert W0 of NaN: %w", ErrOutOfDomain)
+	case x < -invE:
+		// Allow tiny negative excursions below -1/e caused by rounding.
+		if x > -invE-1e-12 {
+			return -1, nil
+		}
+		return math.NaN(), fmt.Errorf("lambert W0 of %g < -1/e: %w", x, ErrOutOfDomain)
+	case x == 0:
+		return 0, nil
+	case math.IsInf(x, 1):
+		return math.Inf(1), nil
+	}
+
+	w := lambertW0Guess(x)
+	return halleyW(w, x)
+}
+
+// LambertWm1 evaluates the lower branch W₋₁ of the Lambert W function,
+// i.e. the solution w ≤ -1 of w·e^w = x, for x in [-1/e, 0).
+//
+// W₋₁ is the branch needed to invert the planar-Laplace radial CDF
+// C_ε(r) = 1 - (1+εr)e^(-εr) used by geo-indistinguishability mechanisms.
+func LambertWm1(x float64) (float64, error) {
+	switch {
+	case math.IsNaN(x):
+		return math.NaN(), fmt.Errorf("lambert W-1 of NaN: %w", ErrOutOfDomain)
+	case x >= 0:
+		return math.NaN(), fmt.Errorf("lambert W-1 of %g >= 0: %w", x, ErrOutOfDomain)
+	case x < -invE:
+		if x > -invE-1e-12 {
+			return -1, nil
+		}
+		return math.NaN(), fmt.Errorf("lambert W-1 of %g < -1/e: %w", x, ErrOutOfDomain)
+	}
+
+	w := lambertWm1Guess(x)
+	return halleyW(w, x)
+}
+
+// lambertW0Guess produces an initial estimate of W₀(x) good enough for
+// Halley iteration to converge in a few steps.
+func lambertW0Guess(x float64) float64 {
+	if x < -0.25 {
+		// Series expansion around the branch point x = -1/e:
+		// W = -1 + p - p²/3 + 11p³/72 with p = +sqrt(2(1+ex)).
+		p := math.Sqrt(2 * (1 + math.E*x))
+		return -1 + p - p*p/3 + 11*p*p*p/72
+	}
+	if x < 3 {
+		// log1p is within the Halley basin of attraction on [-0.25, 3).
+		return math.Log1p(x)
+	}
+	// Asymptotic guess for large x: W ≈ ln x - ln ln x.
+	l1 := math.Log(x)
+	l2 := math.Log(l1)
+	return l1 - l2 + l2/l1
+}
+
+// lambertWm1Guess produces an initial estimate of W₋₁(x) for x ∈ (-1/e, 0).
+func lambertWm1Guess(x float64) float64 {
+	if x < -0.25 {
+		// Series around the branch point with the negative root:
+		// W = -1 - p - p²/3 - 11p³/72 with p = sqrt(2(1+ex)).
+		p := math.Sqrt(2 * (1 + math.E*x))
+		return -1 - p - p*p/3 - 11*p*p*p/72
+	}
+	// Asymptotic guess near zero from below: W₋₁(x) ≈ ln(-x) - ln(-ln(-x)).
+	l1 := math.Log(-x)
+	l2 := math.Log(-l1)
+	return l1 - l2 + l2/l1
+}
+
+// halleyW refines an estimate w of W(x) (either branch) with Halley's
+// method applied to f(w) = w·e^w - x, which converges cubically.
+func halleyW(w, x float64) (float64, error) {
+	for i := 0; i < _wMaxIter; i++ {
+		ew := math.Exp(w)
+		f := w*ew - x
+		if f == 0 {
+			return w, nil
+		}
+		// Halley step: w' = w - f / (e^w(w+1) - (w+2)f / (2w+2)).
+		denom := ew*(w+1) - (w+2)*f/(2*w+2)
+		if denom == 0 || math.IsNaN(denom) {
+			break
+		}
+		next := w - f/denom
+		if math.Abs(next-w) <= _wTolerance*(math.Abs(next)+_wTolerance) {
+			return next, nil
+		}
+		w = next
+	}
+	// The iteration is extremely robust from our guesses; if it somehow did
+	// not converge, verify the residual before giving up.
+	if math.Abs(w*math.Exp(w)-x) < 1e-9*(math.Abs(x)+1e-9) {
+		return w, nil
+	}
+	return math.NaN(), fmt.Errorf("lambert W did not converge for x=%g: %w", x, ErrOutOfDomain)
+}

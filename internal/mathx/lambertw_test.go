@@ -1,0 +1,143 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLambertW0KnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		x    float64
+		want float64
+	}{
+		{"zero", 0, 0},
+		{"one", 1, 0.5671432904097838},              // Omega constant
+		{"e", math.E, 1},                            // W(e) = 1
+		{"branch point", -1 / math.E, -1},           // W(-1/e) = -1
+		{"two e^2", 2 * math.Exp(2), 2},             // W(2e²) = 2
+		{"ten", 10, 1.7455280027406994},             // reference value
+		{"large", 1e6, 11.383358086140052},          // reference value
+		{"small negative", -0.1, -0.11183255915896}, // reference value
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := LambertW0(tt.x)
+			if err != nil {
+				t.Fatalf("LambertW0(%g) error: %v", tt.x, err)
+			}
+			if math.Abs(got-tt.want) > 1e-10*(math.Abs(tt.want)+1) {
+				t.Errorf("LambertW0(%g) = %.15g, want %.15g", tt.x, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLambertWm1KnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		x    float64
+		want float64
+	}{
+		{"branch point", -1 / math.E, -1},
+		{"minus point one", -0.1, -3.577152063957297},
+		{"minus point two", -0.2, -2.542641357773526},
+		{"two e^-2", -2 * math.Exp(-2), -2}, // W₋₁(-2e⁻²) = -2
+		{"five e^-5", -5 * math.Exp(-5), -5},
+		{"near zero", -1e-10, -26.29523881924692},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := LambertWm1(tt.x)
+			if err != nil {
+				t.Fatalf("LambertWm1(%g) error: %v", tt.x, err)
+			}
+			if math.Abs(got-tt.want) > 1e-9*(math.Abs(tt.want)+1) {
+				t.Errorf("LambertWm1(%g) = %.15g, want %.15g", tt.x, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLambertW0Domain(t *testing.T) {
+	for _, x := range []float64{-1, -0.5, math.NaN()} {
+		if _, err := LambertW0(x); err == nil {
+			t.Errorf("LambertW0(%g) expected domain error", x)
+		}
+	}
+}
+
+func TestLambertWm1Domain(t *testing.T) {
+	for _, x := range []float64{0, 0.5, -1, math.NaN()} {
+		if _, err := LambertWm1(x); err == nil {
+			t.Errorf("LambertWm1(%g) expected domain error", x)
+		}
+	}
+}
+
+// TestLambertW0Identity property: W₀(x)·e^{W₀(x)} = x across the domain.
+func TestLambertW0Identity(t *testing.T) {
+	f := func(raw float64) bool {
+		// Map raw into (-1/e, 1e8].
+		x := -1/math.E + math.Abs(math.Mod(raw, 1e8)) + 1e-9
+		w, err := LambertW0(x)
+		if err != nil {
+			return false
+		}
+		back := w * math.Exp(w)
+		return math.Abs(back-x) <= 1e-9*(math.Abs(x)+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLambertWm1Identity property: W₋₁(x)·e^{W₋₁(x)} = x on (-1/e, 0).
+func TestLambertWm1Identity(t *testing.T) {
+	f := func(raw float64) bool {
+		// Map raw into (-1/e, 0).
+		frac := math.Abs(math.Mod(raw, 1.0))
+		if frac == 0 {
+			frac = 0.5
+		}
+		x := (-1 / math.E) * frac
+		if x == 0 {
+			return true
+		}
+		w, err := LambertWm1(x)
+		if err != nil {
+			return false
+		}
+		back := w * math.Exp(w)
+		return math.Abs(back-x) <= 1e-9*(math.Abs(x)+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLambertBranchOrder property: on the shared domain the lower branch
+// lies below the principal branch.
+func TestLambertBranchOrder(t *testing.T) {
+	for _, frac := range []float64{0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+		x := (-1 / math.E) * frac
+		w0, err0 := LambertW0(x)
+		wm1, err1 := LambertWm1(x)
+		if err0 != nil || err1 != nil {
+			t.Fatalf("x=%g: errors %v %v", x, err0, err1)
+		}
+		if !(wm1 <= -1 && -1 <= w0) {
+			t.Errorf("x=%g: branch order violated: W-1=%g W0=%g", x, wm1, w0)
+		}
+	}
+}
+
+func BenchmarkLambertWm1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		x := -0.3 * (float64(i%97)/97.0 + 1e-3)
+		if _, err := LambertWm1(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KahanSum accumulates floating-point values with Neumaier's improved
+// Kahan compensation, keeping the error independent of the summand count.
+// The zero value is ready to use.
+type KahanSum struct {
+	sum float64
+	c   float64
+}
+
+// Add accumulates v into the sum.
+func (k *KahanSum) Add(v float64) {
+	t := k.sum + v
+	if math.Abs(k.sum) >= math.Abs(v) {
+		k.c += (k.sum - t) + v
+	} else {
+		k.c += (v - t) + k.sum
+	}
+	k.sum = t
+}
+
+// Sum returns the compensated total.
+func (k *KahanSum) Sum() float64 { return k.sum + k.c }
+
+// Sum computes the compensated sum of xs.
+func Sum(xs []float64) float64 {
+	var k KahanSum
+	for _, x := range xs {
+		k.Add(x)
+	}
+	return k.Sum()
+}
+
+// Mean computes the arithmetic mean of xs; it returns NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance computes the unbiased sample variance of xs; it returns NaN for
+// fewer than two observations.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var k KahanSum
+	for _, x := range xs {
+		d := x - m
+		k.Add(d * d)
+	}
+	return k.Sum() / float64(len(xs)-1)
+}
+
+// StdDev computes the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile computes the p-quantile of xs (0 ≤ p ≤ 1) using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+// It sorts a copy and leaves xs untouched.
+func Quantile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return math.NaN(), fmt.Errorf("quantile of empty sample: %w", ErrOutOfDomain)
+	}
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return math.NaN(), fmt.Errorf("quantile p=%g: %w", p, ErrOutOfDomain)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, p)
+}
+
+// QuantileSorted computes the p-quantile of an already ascending-sorted
+// sample without copying.
+func QuantileSorted(sorted []float64, p float64) (float64, error) {
+	if len(sorted) == 0 {
+		return math.NaN(), fmt.Errorf("quantile of empty sample: %w", ErrOutOfDomain)
+	}
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return math.NaN(), fmt.Errorf("quantile p=%g: %w", p, ErrOutOfDomain)
+	}
+	h := p * float64(len(sorted)-1)
+	lo := int(math.Floor(h))
+	hi := int(math.Ceil(h))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// OnlineMoments accumulates count, mean, and variance in one pass with
+// Welford's algorithm. The zero value is ready to use.
+type OnlineMoments struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds an observation into the accumulator.
+func (o *OnlineMoments) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		o.min = math.Min(o.min, x)
+		o.max = math.Max(o.max, x)
+	}
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// Count returns the number of accumulated observations.
+func (o *OnlineMoments) Count() int64 { return o.n }
+
+// Mean returns the running mean; NaN when empty.
+func (o *OnlineMoments) Mean() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.mean
+}
+
+// Variance returns the running unbiased variance; NaN below two samples.
+func (o *OnlineMoments) Variance() float64 {
+	if o.n < 2 {
+		return math.NaN()
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// StdDev returns the running unbiased standard deviation.
+func (o *OnlineMoments) StdDev() float64 { return math.Sqrt(o.Variance()) }
+
+// Min returns the smallest accumulated observation; NaN when empty.
+func (o *OnlineMoments) Min() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.min
+}
+
+// Max returns the largest accumulated observation; NaN when empty.
+func (o *OnlineMoments) Max() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.max
+}
+
+// Histogram counts observations into equal-width bins over [lo, hi).
+// Observations outside the range are tallied in Under/Over.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	Under  int64
+	Over   int64
+	total  int64
+}
+
+// NewHistogram builds a histogram with the given number of bins over
+// [lo, hi). It returns an error when the range or bin count is degenerate.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("histogram with %d bins: %w", bins, ErrOutOfDomain)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("histogram range [%g, %g): %w", lo, hi, ErrOutOfDomain)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}, nil
+}
+
+// Add tallies one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // guard against rounding at the top edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations tallied, including out-of-range.
+func (h *Histogram) Total() int64 { return h.total }
+
+// CDFAt returns the empirical probability of an observation being ≤ x,
+// approximated at bin resolution (whole bins at or below x are counted).
+func (h *Histogram) CDFAt(x float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	n := h.Under
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		upper := h.Lo + float64(i+1)*width
+		if upper > x {
+			break
+		}
+		n += c
+	}
+	if x >= h.Hi {
+		n += h.Over
+	}
+	return float64(n) / float64(h.total)
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,203 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKahanSumCancellations(t *testing.T) {
+	// 1 + 1e-16 added 1e6 times then -1: naive float64 loses the tail.
+	var k KahanSum
+	k.Add(1)
+	for i := 0; i < 1_000_000; i++ {
+		k.Add(1e-16)
+	}
+	k.Add(-1)
+	want := 1e-10
+	if got := k.Sum(); math.Abs(got-want) > 1e-14 {
+		t.Errorf("compensated sum = %.18g, want %.18g", got, want)
+	}
+}
+
+func TestSumMatchesNaiveOnBenignInput(t *testing.T) {
+	f := func(xs []float64) bool {
+		var naive float64
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // skip pathological inputs
+			}
+			naive += x
+		}
+		got := Sum(xs)
+		return math.Abs(got-naive) <= 1e-6*(math.Abs(naive)+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	if got := Variance(xs); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %g, want %g", got, 32.0/7.0)
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("StdDev = %g", got)
+	}
+}
+
+func TestMeanVarianceEmpty(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of singleton should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.p)
+		if err != nil {
+			t.Fatalf("Quantile(p=%g): %v", tt.p, err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(p=%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty sample expected error")
+	}
+	if _, err := Quantile([]float64{1}, -0.1); err == nil {
+		t.Error("p<0 expected error")
+	}
+	if _, err := Quantile([]float64{1}, 1.1); err == nil {
+		t.Error("p>1 expected error")
+	}
+	if _, err := QuantileSorted([]float64{1, 2}, math.NaN()); err == nil {
+		t.Error("NaN p expected error")
+	}
+}
+
+// TestQuantileSortedOrderProperty: quantiles are monotone in p.
+func TestQuantileSortedOrderProperty(t *testing.T) {
+	sorted := make([]float64, 100)
+	for i := range sorted {
+		sorted[i] = float64(i * i)
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		q, err := QuantileSorted(sorted, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q < prev {
+			t.Fatalf("quantile not monotone at p=%g: %g < %g", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestOnlineMomentsMatchesBatch(t *testing.T) {
+	xs := []float64{1.5, -2, 7, 0.25, 9.75, -3.5, 2, 2, 2, 11}
+	var o OnlineMoments
+	for _, x := range xs {
+		o.Add(x)
+	}
+	if o.Count() != int64(len(xs)) {
+		t.Errorf("Count = %d", o.Count())
+	}
+	if math.Abs(o.Mean()-Mean(xs)) > 1e-12 {
+		t.Errorf("online mean %g vs batch %g", o.Mean(), Mean(xs))
+	}
+	if math.Abs(o.Variance()-Variance(xs)) > 1e-12 {
+		t.Errorf("online var %g vs batch %g", o.Variance(), Variance(xs))
+	}
+	if o.Min() != -3.5 || o.Max() != 11 {
+		t.Errorf("min/max = %g/%g", o.Min(), o.Max())
+	}
+}
+
+func TestOnlineMomentsEmpty(t *testing.T) {
+	var o OnlineMoments
+	if !math.IsNaN(o.Mean()) || !math.IsNaN(o.Variance()) || !math.IsNaN(o.Min()) || !math.IsNaN(o.Max()) {
+		t.Error("empty OnlineMoments should report NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 0.5, 5, 9.999, 10, 42} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("Under=%d Over=%d, want 1, 2", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 {
+		t.Errorf("bin 0 = %d, want 2 (0 and 0.5)", h.Counts[0])
+	}
+	if h.Counts[5] != 1 || h.Counts[9] != 1 {
+		t.Errorf("bins 5/9 = %d/%d", h.Counts[5], h.Counts[9])
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if got := h.CDFAt(10); math.Abs(got-1) > 1e-12 {
+		t.Errorf("CDFAt(10) = %g, want 1", got)
+	}
+	if got := h.CDFAt(1); math.Abs(got-3.0/7.0) > 1e-12 {
+		t.Errorf("CDFAt(1) = %g, want 3/7", got)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("0 bins expected error")
+	}
+	if _, err := NewHistogram(10, 0, 5); err == nil {
+		t.Error("inverted range expected error")
+	}
+	if _, err := NewHistogram(1, 1, 5); err == nil {
+		t.Error("empty range expected error")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp above = %g", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp below = %g", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp inside = %g", got)
+	}
+}
+
+func BenchmarkOnlineMoments(b *testing.B) {
+	var o OnlineMoments
+	for i := 0; i < b.N; i++ {
+		o.Add(float64(i % 1000))
+	}
+}

@@ -1,0 +1,183 @@
+// Package metrics implements the utility metrics of the paper's
+// evaluation (Section IV-B and VII-A): the utilization rate (Definition
+// 4) of an obfuscated candidate set, its minimal value at a confidence
+// level (Eq. 24), and the advertising efficacy (Definition 5) of a
+// selected output. The utilization rate for a single candidate has an
+// analytic closed form (circle lens); the multi-candidate union is
+// estimated by Monte Carlo, as in the paper's 100,000-trial methodology.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/mathx"
+	"repro/internal/randx"
+)
+
+// DefaultMonteCarloSamples is the per-trial sample count used to estimate
+// the AOI coverage of a candidate set.
+const DefaultMonteCarloSamples = 2048
+
+// UtilizationRateAnalytic computes UR = area(AOI ∩ AOR)/area(AOI) for a
+// single candidate location, where AOI is the disk of radius R around the
+// true location and AOR the equal disk around the candidate.
+func UtilizationRateAnalytic(truth, candidate geo.Point, radius float64) float64 {
+	if radius <= 0 {
+		return 0
+	}
+	aoi := geo.Circle{Center: truth, Radius: radius}
+	aor := geo.Circle{Center: candidate, Radius: radius}
+	return geo.IntersectionArea(aoi, aor) / aoi.Area()
+}
+
+// UtilizationRate estimates UR for a candidate set: the fraction of the
+// AOI covered by the union of the candidates' AORs, by Monte Carlo with
+// the given sample count (≤ 0 selects DefaultMonteCarloSamples).
+func UtilizationRate(rnd *randx.Rand, truth geo.Point, candidates []geo.Point, radius float64, samples int) float64 {
+	if radius <= 0 || len(candidates) == 0 {
+		return 0
+	}
+	if samples <= 0 {
+		samples = DefaultMonteCarloSamples
+	}
+	r2 := radius * radius
+	aoi := geo.Circle{Center: truth, Radius: radius}
+	covered := 0
+	for i := 0; i < samples; i++ {
+		p := rnd.UniformInCircle(aoi)
+		for _, c := range candidates {
+			if c.Dist2(p) <= r2 {
+				covered++
+				break
+			}
+		}
+	}
+	return float64(covered) / float64(samples)
+}
+
+// MinimalUR computes the paper's minimal utilization rate υ at confidence
+// α over a sample of per-trial utilization rates: the largest υ with
+// Pr(UR ≥ υ) = α, i.e. the (1−α)-quantile of the empirical distribution.
+func MinimalUR(urs []float64, alpha float64) (float64, error) {
+	if len(urs) == 0 {
+		return math.NaN(), fmt.Errorf("metrics: minimal UR of empty sample")
+	}
+	if alpha <= 0 || alpha >= 1 || math.IsNaN(alpha) {
+		return math.NaN(), fmt.Errorf("metrics: confidence level %g outside (0, 1)", alpha)
+	}
+	q, err := mathx.Quantile(urs, 1-alpha)
+	if err != nil {
+		return math.NaN(), fmt.Errorf("metrics: minimal UR quantile: %w", err)
+	}
+	return q, nil
+}
+
+// EfficacyAnalytic computes AE = Pr[ad ∈ AOI | ad ∈ AOR] for ads drawn
+// uniformly from the selected candidate's AOR: the lens area over the AOR
+// area. With equal radii this equals the single-candidate UR.
+func EfficacyAnalytic(truth, selected geo.Point, radius float64) float64 {
+	if radius <= 0 {
+		return 0
+	}
+	aoi := geo.Circle{Center: truth, Radius: radius}
+	aor := geo.Circle{Center: selected, Radius: radius}
+	return geo.IntersectionArea(aoi, aor) / aor.Area()
+}
+
+// Efficacy estimates AE by Monte Carlo, mirroring the paper's methodology
+// of generating random ad locations inside the AOR (≤ 0 samples selects
+// DefaultMonteCarloSamples).
+func Efficacy(rnd *randx.Rand, truth, selected geo.Point, radius float64, samples int) float64 {
+	if radius <= 0 {
+		return 0
+	}
+	if samples <= 0 {
+		samples = DefaultMonteCarloSamples
+	}
+	aoi := geo.Circle{Center: truth, Radius: radius}
+	aor := geo.Circle{Center: selected, Radius: radius}
+	in := 0
+	for i := 0; i < samples; i++ {
+		if aoi.Contains(rnd.UniformInCircle(aor)) {
+			in++
+		}
+	}
+	return float64(in) / float64(samples)
+}
+
+// ExpectedDistance estimates the distribution of the distance between
+// the true location and the locations produced by sample — the classic
+// quality-of-service loss of an LPPM. sample is called trials times
+// (≤ 0 selects DefaultMonteCarloSamples); its error aborts the estimate.
+func ExpectedDistance(truth geo.Point, trials int, sample func() (geo.Point, error)) (Summary, error) {
+	if sample == nil {
+		return Summary{}, fmt.Errorf("metrics: nil sampler")
+	}
+	if trials <= 0 {
+		trials = DefaultMonteCarloSamples
+	}
+	distances := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		p, err := sample()
+		if err != nil {
+			return Summary{}, fmt.Errorf("metrics: sampling distance trial %d: %w", i, err)
+		}
+		distances = append(distances, truth.Dist(p))
+	}
+	s, err := Summarize(distances)
+	if err != nil {
+		return Summary{}, fmt.Errorf("metrics: summarizing distances: %w", err)
+	}
+	return s, nil
+}
+
+// Summary aggregates a metric sample for experiment reporting.
+type Summary struct {
+	Count  int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	P10    float64
+	Median float64
+	P90    float64
+}
+
+// Summarize computes the summary of xs; it returns an error on empty
+// input.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, fmt.Errorf("metrics: summarize empty sample")
+	}
+	var o mathx.OnlineMoments
+	for _, x := range xs {
+		o.Add(x)
+	}
+	p10, err := mathx.Quantile(xs, 0.10)
+	if err != nil {
+		return Summary{}, fmt.Errorf("metrics: p10: %w", err)
+	}
+	med, err := mathx.Quantile(xs, 0.50)
+	if err != nil {
+		return Summary{}, fmt.Errorf("metrics: median: %w", err)
+	}
+	p90, err := mathx.Quantile(xs, 0.90)
+	if err != nil {
+		return Summary{}, fmt.Errorf("metrics: p90: %w", err)
+	}
+	s := Summary{
+		Count:  len(xs),
+		Mean:   o.Mean(),
+		Min:    o.Min(),
+		Max:    o.Max(),
+		P10:    p10,
+		Median: med,
+		P90:    p90,
+	}
+	if len(xs) > 1 {
+		s.StdDev = o.StdDev()
+	}
+	return s, nil
+}

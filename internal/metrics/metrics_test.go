@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/randx"
+)
+
+func TestUtilizationRateAnalyticCases(t *testing.T) {
+	truth := geo.Point{X: 0, Y: 0}
+	tests := []struct {
+		name      string
+		candidate geo.Point
+		radius    float64
+		want      float64
+	}{
+		{"identical", truth, 5000, 1},
+		{"disjoint", geo.Point{X: 20000, Y: 0}, 5000, 0},
+		{"zero radius", geo.Point{X: 0, Y: 0}, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := UtilizationRateAnalytic(truth, tt.candidate, tt.radius)
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("UR = %g, want %g", got, tt.want)
+			}
+		})
+	}
+	// Half-separation sanity: 0 < UR < 1 and decreasing in distance.
+	prev := 1.1
+	for d := 0.0; d <= 12000; d += 1000 {
+		ur := UtilizationRateAnalytic(truth, geo.Point{X: d, Y: 0}, 5000)
+		if ur > prev+1e-12 {
+			t.Fatalf("UR grew with distance at %g", d)
+		}
+		prev = ur
+	}
+}
+
+// TestUtilizationRateMonteCarloMatchesAnalytic: with one candidate the MC
+// estimate must agree with the closed form.
+func TestUtilizationRateMonteCarloMatchesAnalytic(t *testing.T) {
+	rnd := randx.New(1, 1)
+	truth := geo.Point{X: 0, Y: 0}
+	for _, d := range []float64{0, 2000, 5000, 8000} {
+		cand := geo.Point{X: d, Y: 0}
+		mc := UtilizationRate(rnd, truth, []geo.Point{cand}, 5000, 20000)
+		an := UtilizationRateAnalytic(truth, cand, 5000)
+		if math.Abs(mc-an) > 0.02 {
+			t.Errorf("d=%g: MC %g vs analytic %g", d, mc, an)
+		}
+	}
+}
+
+// TestUtilizationRateUnionMonotone: adding candidates never decreases UR.
+func TestUtilizationRateUnionMonotone(t *testing.T) {
+	rnd := randx.New(2, 2)
+	truth := geo.Point{X: 0, Y: 0}
+	cands := []geo.Point{
+		{X: 6000, Y: 0}, {X: -6000, Y: 0}, {X: 0, Y: 6000}, {X: 0, Y: -6000},
+	}
+	prev := -1.0
+	for k := 1; k <= len(cands); k++ {
+		// Use a fixed evaluation stream per k for comparability.
+		ur := UtilizationRate(randx.New(3, 3), truth, cands[:k], 5000, 50000)
+		if ur < prev-0.01 {
+			t.Fatalf("UR fell when adding candidate %d: %g < %g", k, ur, prev)
+		}
+		prev = ur
+	}
+	_ = rnd
+}
+
+func TestUtilizationRateDegenerate(t *testing.T) {
+	rnd := randx.New(1, 1)
+	if got := UtilizationRate(rnd, geo.Point{}, nil, 5000, 100); got != 0 {
+		t.Errorf("no candidates: UR = %g", got)
+	}
+	if got := UtilizationRate(rnd, geo.Point{}, []geo.Point{{X: 1, Y: 1}}, 0, 100); got != 0 {
+		t.Errorf("zero radius: UR = %g", got)
+	}
+	// Default sample count kicks in for samples <= 0.
+	got := UtilizationRate(rnd, geo.Point{}, []geo.Point{{X: 0, Y: 0}}, 100, 0)
+	if got != 1 {
+		t.Errorf("coincident candidate: UR = %g, want 1", got)
+	}
+}
+
+func TestMinimalUR(t *testing.T) {
+	urs := make([]float64, 100)
+	for i := range urs {
+		urs[i] = float64(i) / 99 // uniform grid on [0, 1]
+	}
+	got, err := MinimalUR(urs, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1-0.9)-quantile = 10th percentile ≈ 0.1.
+	if math.Abs(got-0.1) > 0.011 {
+		t.Errorf("minimal UR = %g, want ~0.1", got)
+	}
+	if _, err := MinimalUR(nil, 0.9); err == nil {
+		t.Error("empty sample expected error")
+	}
+	for _, alpha := range []float64{0, 1, -1, math.NaN()} {
+		if _, err := MinimalUR(urs, alpha); err == nil {
+			t.Errorf("alpha=%g expected error", alpha)
+		}
+	}
+}
+
+func TestEfficacyAnalytic(t *testing.T) {
+	truth := geo.Point{X: 0, Y: 0}
+	if got := EfficacyAnalytic(truth, truth, 5000); math.Abs(got-1) > 1e-12 {
+		t.Errorf("identical: AE = %g", got)
+	}
+	if got := EfficacyAnalytic(truth, geo.Point{X: 20000, Y: 0}, 5000); got != 0 {
+		t.Errorf("disjoint: AE = %g", got)
+	}
+	if got := EfficacyAnalytic(truth, truth, 0); got != 0 {
+		t.Errorf("zero radius: AE = %g", got)
+	}
+	// Equal radii: AE equals single-candidate UR.
+	cand := geo.Point{X: 3000, Y: 1000}
+	ae := EfficacyAnalytic(truth, cand, 5000)
+	ur := UtilizationRateAnalytic(truth, cand, 5000)
+	if math.Abs(ae-ur) > 1e-12 {
+		t.Errorf("AE %g != UR %g for equal radii", ae, ur)
+	}
+}
+
+func TestEfficacyMonteCarloMatchesAnalytic(t *testing.T) {
+	truth := geo.Point{X: 0, Y: 0}
+	for _, d := range []float64{0, 2500, 5000, 9000} {
+		sel := geo.Point{X: 0, Y: d}
+		mc := Efficacy(randx.New(5, uint64(d)), truth, sel, 5000, 20000)
+		an := EfficacyAnalytic(truth, sel, 5000)
+		if math.Abs(mc-an) > 0.02 {
+			t.Errorf("d=%g: MC %g vs analytic %g", d, mc, an)
+		}
+	}
+	if got := Efficacy(randx.New(1, 1), truth, truth, 0, 10); got != 0 {
+		t.Errorf("zero radius MC: %g", got)
+	}
+}
+
+func TestExpectedDistanceGaussian(t *testing.T) {
+	rnd := randx.New(7, 7)
+	truth := geo.Point{X: 100, Y: 100}
+	sigma := 800.0
+	s, err := ExpectedDistance(truth, 50_000, func() (geo.Point, error) {
+		return truth.Add(rnd.GaussianPolar(sigma)), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Isotropic Gaussian noise has mean radial distance σ√(π/2).
+	want := sigma * math.Sqrt(math.Pi/2)
+	if rel := math.Abs(s.Mean-want) / want; rel > 0.02 {
+		t.Errorf("mean distance %g, want %g", s.Mean, want)
+	}
+	if s.Min < 0 || s.P10 > s.Median || s.Median > s.P90 {
+		t.Errorf("summary out of order: %+v", s)
+	}
+}
+
+func TestExpectedDistanceErrors(t *testing.T) {
+	if _, err := ExpectedDistance(geo.Point{}, 10, nil); err == nil {
+		t.Error("nil sampler expected error")
+	}
+	boom := func() (geo.Point, error) { return geo.Point{}, errSampler }
+	if _, err := ExpectedDistance(geo.Point{}, 10, boom); err == nil {
+		t.Error("sampler error expected to propagate")
+	}
+	// trials <= 0 selects the default and still works.
+	ok := func() (geo.Point, error) { return geo.Point{X: 1, Y: 0}, nil }
+	s, err := ExpectedDistance(geo.Point{}, 0, ok)
+	if err != nil || s.Mean != 1 {
+		t.Errorf("default-trials estimate = %+v, %v", s, err)
+	}
+}
+
+var errSampler = fmt.Errorf("sampler exploded")
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 10 || s.Mean != 5.5 || s.Min != 1 || s.Max != 10 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Median-5.5) > 1e-12 {
+		t.Errorf("median = %g", s.Median)
+	}
+	if s.P10 >= s.Median || s.Median >= s.P90 {
+		t.Errorf("quantiles out of order: %+v", s)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty sample expected error")
+	}
+	one, err := Summarize([]float64{3})
+	if err != nil || one.StdDev != 0 {
+		t.Errorf("singleton summary: %+v, %v", one, err)
+	}
+}
+
+func BenchmarkUtilizationRate10Candidates(b *testing.B) {
+	rnd := randx.New(1, 1)
+	truth := geo.Point{X: 0, Y: 0}
+	cands := make([]geo.Point, 10)
+	for i := range cands {
+		cands[i] = rnd.GaussianPolar(5000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = UtilizationRate(rnd, truth, cands, 5000, 2048)
+	}
+}

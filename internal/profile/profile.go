@@ -1,0 +1,192 @@
+// Package profile implements the user location profile of the paper
+// (Section III-B.1 and V-B): clustering raw check-ins into a set of
+// (location, frequency) tuples, the location entropy metric (Eq. 3), the
+// η-frequent location set (Definition 6, Algorithm 2), and the merge of
+// partial profiles recorded by different edge devices.
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/geo"
+)
+
+// DefaultConnectivityThreshold is the paper's 50 m clustering threshold:
+// two check-ins belong to the same location when within 50 m.
+const DefaultConnectivityThreshold = 50.0
+
+// LocationFreq is one entry of a location profile: a location's
+// representative coordinate and its visit frequency.
+type LocationFreq struct {
+	Loc  geo.Point `json:"loc"`
+	Freq int       `json:"freq"`
+}
+
+// Profile is a user location profile P = {(l₁, f₁), …, (l_M, f_M)},
+// ordered by descending frequency (ties broken deterministically by
+// coordinates).
+type Profile []LocationFreq
+
+// Build constructs a profile from raw check-in coordinates using the
+// paper's connectivity-based clustering: check-ins within threshold are
+// transitively merged, each cluster's centroid becomes the location and
+// its size the frequency. threshold ≤ 0 selects the paper's 50 m default.
+func Build(pts []geo.Point, threshold float64) (Profile, error) {
+	if threshold <= 0 {
+		threshold = DefaultConnectivityThreshold
+	}
+	clusters, err := cluster.Connectivity(pts, threshold)
+	if err != nil {
+		return nil, fmt.Errorf("profile: clustering check-ins: %w", err)
+	}
+	p := make(Profile, len(clusters))
+	for i, c := range clusters {
+		p[i] = LocationFreq{Loc: c.Centroid, Freq: c.Size()}
+	}
+	p.sort()
+	return p, nil
+}
+
+// sort orders the profile by descending frequency, with coordinate
+// tie-breaks for determinism.
+func (p Profile) sort() {
+	sort.Slice(p, func(i, j int) bool {
+		if p[i].Freq != p[j].Freq {
+			return p[i].Freq > p[j].Freq
+		}
+		if p[i].Loc.X != p[j].Loc.X {
+			return p[i].Loc.X < p[j].Loc.X
+		}
+		return p[i].Loc.Y < p[j].Loc.Y
+	})
+}
+
+// Total returns the total frequency mass (the check-in count).
+func (p Profile) Total() int {
+	sum := 0
+	for _, lf := range p {
+		sum += lf.Freq
+	}
+	return sum
+}
+
+// Entropy computes the paper's location entropy (Eq. 3) in nats:
+//
+//	Entropy = Σᵢ (fᵢ/sum)·ln(sum/fᵢ)
+//
+// Lower entropy means the user's activity concentrates on few locations.
+// An empty profile has zero entropy.
+func (p Profile) Entropy() float64 {
+	sum := float64(p.Total())
+	if sum == 0 {
+		return 0
+	}
+	var h float64
+	for _, lf := range p {
+		if lf.Freq <= 0 {
+			continue
+		}
+		f := float64(lf.Freq)
+		h += f / sum * math.Log(sum/f)
+	}
+	return h
+}
+
+// EtaFrequentSet implements Algorithm 2: the minimal prefix of the
+// frequency-ordered profile whose cumulative frequency reaches eta.
+// When the whole profile sums below eta, the full profile is returned
+// (every location is needed).
+func (p Profile) EtaFrequentSet(eta int) Profile {
+	if eta <= 0 || len(p) == 0 {
+		return nil
+	}
+	total := 0
+	for i, lf := range p {
+		total += lf.Freq
+		if total >= eta {
+			out := make(Profile, i+1)
+			copy(out, p[:i+1])
+			return out
+		}
+	}
+	out := make(Profile, len(p))
+	copy(out, p)
+	return out
+}
+
+// EtaFractionSet is EtaFrequentSet with eta expressed as a fraction of the
+// total frequency mass (e.g. 0.9 keeps the locations covering 90% of
+// check-ins). frac outside (0, 1] returns nil.
+func (p Profile) EtaFractionSet(frac float64) Profile {
+	if frac <= 0 || frac > 1 || math.IsNaN(frac) {
+		return nil
+	}
+	eta := int(math.Ceil(frac * float64(p.Total())))
+	return p.EtaFrequentSet(eta)
+}
+
+// TopN returns the n most frequent locations (or fewer when the profile
+// is smaller), as a copy.
+func (p Profile) TopN(n int) Profile {
+	if n <= 0 {
+		return nil
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	out := make(Profile, n)
+	copy(out, p)
+	return out
+}
+
+// Merge combines partial profiles recorded by different edge devices into
+// one: locations within threshold across the partials are unified with a
+// frequency-weighted centroid and summed frequencies. threshold ≤ 0
+// selects the 50 m default.
+//
+// The paper notes this step can be wrapped in secure multi-party
+// computation; the merge semantics implemented here are what that
+// protocol would compute.
+func Merge(parts []Profile, threshold float64) (Profile, error) {
+	if threshold <= 0 {
+		threshold = DefaultConnectivityThreshold
+	}
+	var pts []geo.Point
+	var freqs []int
+	for _, part := range parts {
+		for _, lf := range part {
+			if lf.Freq <= 0 {
+				continue
+			}
+			pts = append(pts, lf.Loc)
+			freqs = append(freqs, lf.Freq)
+		}
+	}
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	clusters, err := cluster.Connectivity(pts, threshold)
+	if err != nil {
+		return nil, fmt.Errorf("profile: merging partial profiles: %w", err)
+	}
+	merged := make(Profile, 0, len(clusters))
+	for _, c := range clusters {
+		var fx, fy float64
+		freq := 0
+		for _, i := range c.Members {
+			w := float64(freqs[i])
+			fx += pts[i].X * w
+			fy += pts[i].Y * w
+			freq += freqs[i]
+		}
+		merged = append(merged, LocationFreq{
+			Loc:  geo.Point{X: fx / float64(freq), Y: fy / float64(freq)},
+			Freq: freq,
+		})
+	}
+	merged.sort()
+	return merged, nil
+}

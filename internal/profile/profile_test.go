@@ -1,0 +1,311 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/randx"
+)
+
+// makeCheckIns builds a synthetic check-in cloud: count[i] points
+// Gaussian-scattered (sigma 10 m) around centres[i].
+func makeCheckIns(t *testing.T, centres []geo.Point, counts []int) []geo.Point {
+	t.Helper()
+	rnd := randx.New(42, 42)
+	var pts []geo.Point
+	for i, c := range centres {
+		for j := 0; j < counts[i]; j++ {
+			pts = append(pts, c.Add(rnd.GaussianPolar(10)))
+		}
+	}
+	return pts
+}
+
+func TestBuildProfile(t *testing.T) {
+	centres := []geo.Point{{X: 0, Y: 0}, {X: 5000, Y: 0}, {X: 0, Y: 5000}}
+	counts := []int{100, 60, 20}
+	pts := makeCheckIns(t, centres, counts)
+	p, err := Build(pts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) < 3 {
+		t.Fatalf("profile has %d locations, want >= 3", len(p))
+	}
+	// Descending frequency order.
+	for i := 1; i < len(p); i++ {
+		if p[i].Freq > p[i-1].Freq {
+			t.Errorf("profile not sorted at %d", i)
+		}
+	}
+	// Top-3 must recover the three centres (within wander).
+	for i, c := range centres {
+		if d := p[i].Loc.Dist(c); d > 15 {
+			t.Errorf("location %d recovered %g m away", i, d)
+		}
+	}
+	if p.Total() != 180 {
+		t.Errorf("Total = %d, want 180", p.Total())
+	}
+}
+
+func TestBuildEmptyAndErrors(t *testing.T) {
+	p, err := Build(nil, 50)
+	if err != nil || p != nil && len(p) != 0 {
+		t.Errorf("empty input: %v, %v", p, err)
+	}
+}
+
+func TestEntropyKnownValues(t *testing.T) {
+	// Uniform over 4 locations: entropy = ln 4.
+	p := Profile{
+		{Loc: geo.Point{X: 0, Y: 0}, Freq: 10},
+		{Loc: geo.Point{X: 1, Y: 0}, Freq: 10},
+		{Loc: geo.Point{X: 2, Y: 0}, Freq: 10},
+		{Loc: geo.Point{X: 3, Y: 0}, Freq: 10},
+	}
+	if got := p.Entropy(); math.Abs(got-math.Log(4)) > 1e-12 {
+		t.Errorf("uniform entropy = %g, want ln4 = %g", got, math.Log(4))
+	}
+	// Single location: zero entropy.
+	single := Profile{{Freq: 42}}
+	if got := single.Entropy(); got != 0 {
+		t.Errorf("single-location entropy = %g", got)
+	}
+	// Empty: zero.
+	if got := (Profile{}).Entropy(); got != 0 {
+		t.Errorf("empty entropy = %g", got)
+	}
+	// Zero-frequency entries are ignored.
+	withZero := Profile{{Freq: 10}, {Freq: 0}}
+	if got := withZero.Entropy(); got != 0 {
+		t.Errorf("zero-entry entropy = %g", got)
+	}
+}
+
+// TestEntropyBounds property: 0 ≤ entropy ≤ ln(M).
+func TestEntropyBounds(t *testing.T) {
+	f := func(freqs []uint8) bool {
+		var p Profile
+		m := 0
+		for _, fr := range freqs {
+			if fr == 0 {
+				continue
+			}
+			p = append(p, LocationFreq{Freq: int(fr)})
+			m++
+		}
+		h := p.Entropy()
+		if m == 0 {
+			return h == 0
+		}
+		return h >= -1e-12 && h <= math.Log(float64(m))+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEntropyDominanceMonotone: concentrating mass on one location
+// reduces entropy.
+func TestEntropyDominanceMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for dominant := 10; dominant <= 1000; dominant *= 2 {
+		p := Profile{{Freq: dominant}, {Freq: 10}, {Freq: 10}}
+		h := p.Entropy()
+		if h >= prev {
+			t.Fatalf("entropy did not fall as dominance grew: %g >= %g", h, prev)
+		}
+		prev = h
+	}
+}
+
+func TestEtaFrequentSet(t *testing.T) {
+	p := Profile{
+		{Loc: geo.Point{X: 1, Y: 0}, Freq: 50},
+		{Loc: geo.Point{X: 2, Y: 0}, Freq: 30},
+		{Loc: geo.Point{X: 3, Y: 0}, Freq: 15},
+		{Loc: geo.Point{X: 4, Y: 0}, Freq: 5},
+	}
+	tests := []struct {
+		eta  int
+		want int // number of locations
+	}{
+		{1, 1}, {50, 1}, {51, 2}, {80, 2}, {81, 3}, {95, 3}, {96, 4}, {100, 4},
+		{1000, 4}, // above total: whole profile
+	}
+	for _, tt := range tests {
+		got := p.EtaFrequentSet(tt.eta)
+		if len(got) != tt.want {
+			t.Errorf("eta=%d: %d locations, want %d", tt.eta, len(got), tt.want)
+		}
+	}
+	if got := p.EtaFrequentSet(0); got != nil {
+		t.Errorf("eta=0 should be nil, got %v", got)
+	}
+	if got := (Profile{}).EtaFrequentSet(10); got != nil {
+		t.Errorf("empty profile eta-set should be nil")
+	}
+}
+
+// TestEtaFrequentSetMinimality property (Definition 6): the returned set
+// reaches eta and removing its last element drops below eta.
+func TestEtaFrequentSetMinimality(t *testing.T) {
+	f := func(rawFreqs []uint8, rawEta uint16) bool {
+		var p Profile
+		for i, fr := range rawFreqs {
+			if fr == 0 {
+				continue
+			}
+			p = append(p, LocationFreq{Loc: geo.Point{X: float64(i)}, Freq: int(fr)})
+		}
+		p.sort()
+		total := p.Total()
+		if total == 0 {
+			return true
+		}
+		eta := int(rawEta)%total + 1
+		set := p.EtaFrequentSet(eta)
+		sum := set.Total()
+		if sum < eta && len(set) != len(p) {
+			return false // did not reach eta despite unused locations
+		}
+		if len(set) > 0 && sum-set[len(set)-1].Freq >= eta {
+			return false // not minimal
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEtaFractionSet(t *testing.T) {
+	p := Profile{{Freq: 90}, {Freq: 10}}
+	if got := p.EtaFractionSet(0.9); len(got) != 1 {
+		t.Errorf("0.9 fraction: %d locations", len(got))
+	}
+	if got := p.EtaFractionSet(0.91); len(got) != 2 {
+		t.Errorf("0.91 fraction: %d locations", len(got))
+	}
+	if got := p.EtaFractionSet(0); got != nil {
+		t.Error("frac=0 should be nil")
+	}
+	if got := p.EtaFractionSet(1.5); got != nil {
+		t.Error("frac>1 should be nil")
+	}
+	if got := p.EtaFractionSet(math.NaN()); got != nil {
+		t.Error("NaN frac should be nil")
+	}
+}
+
+func TestTopN(t *testing.T) {
+	p := Profile{{Freq: 3}, {Freq: 2}, {Freq: 1}}
+	if got := p.TopN(2); len(got) != 2 || got[0].Freq != 3 {
+		t.Errorf("TopN(2) = %v", got)
+	}
+	if got := p.TopN(10); len(got) != 3 {
+		t.Errorf("TopN(10) = %v", got)
+	}
+	if got := p.TopN(0); got != nil {
+		t.Errorf("TopN(0) = %v", got)
+	}
+	// Copy semantics: mutating the result must not touch the original.
+	cp := p.TopN(3)
+	cp[0].Freq = 999
+	if p[0].Freq != 3 {
+		t.Error("TopN aliases the original profile")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	// Two edges observed the same home location (within 50 m) and
+	// different work locations.
+	a := Profile{
+		{Loc: geo.Point{X: 0, Y: 0}, Freq: 60},
+		{Loc: geo.Point{X: 8000, Y: 0}, Freq: 20},
+	}
+	b := Profile{
+		{Loc: geo.Point{X: 20, Y: 0}, Freq: 30},
+		{Loc: geo.Point{X: 0, Y: 9000}, Freq: 10},
+	}
+	m, err := Merge([]Profile{a, b}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 {
+		t.Fatalf("merged profile has %d locations, want 3", len(m))
+	}
+	// Home merged: 90 visits, frequency-weighted centroid (60·0+30·20)/90.
+	if m[0].Freq != 90 {
+		t.Errorf("merged home freq = %d, want 90", m[0].Freq)
+	}
+	wantX := (60*0.0 + 30*20.0) / 90.0
+	if math.Abs(m[0].Loc.X-wantX) > 1e-9 {
+		t.Errorf("merged home X = %g, want %g", m[0].Loc.X, wantX)
+	}
+	if m.Total() != 120 {
+		t.Errorf("merged total = %d", m.Total())
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	m, err := Merge(nil, 50)
+	if err != nil || m != nil {
+		t.Errorf("Merge(nil) = %v, %v", m, err)
+	}
+	m, err = Merge([]Profile{{}, {}}, 50)
+	if err != nil || m != nil {
+		t.Errorf("Merge(empty parts) = %v, %v", m, err)
+	}
+	// Zero-frequency entries are dropped.
+	m, err = Merge([]Profile{{{Freq: 0}}}, 50)
+	if err != nil || m != nil {
+		t.Errorf("Merge(zero freq) = %v, %v", m, err)
+	}
+}
+
+// TestMergePreservesTotal property: merging never changes total mass.
+func TestMergePreservesTotal(t *testing.T) {
+	rnd := randx.New(3, 14)
+	for trial := 0; trial < 20; trial++ {
+		var parts []Profile
+		want := 0
+		for e := 0; e < 3; e++ {
+			var p Profile
+			for l := 0; l < 1+rnd.IntN(5); l++ {
+				f := 1 + rnd.IntN(100)
+				want += f
+				p = append(p, LocationFreq{
+					Loc:  geo.Point{X: rnd.Float64() * 10000, Y: rnd.Float64() * 10000},
+					Freq: f,
+				})
+			}
+			parts = append(parts, p)
+		}
+		m, err := Merge(parts, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Total() != want {
+			t.Fatalf("trial %d: merged total %d, want %d", trial, m.Total(), want)
+		}
+	}
+}
+
+func BenchmarkBuildProfile(b *testing.B) {
+	rnd := randx.New(1, 1)
+	centres := []geo.Point{{X: 0, Y: 0}, {X: 4000, Y: 100}, {X: -3000, Y: 2000}}
+	pts := make([]geo.Point, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		pts = append(pts, centres[i%3].Add(rnd.GaussianPolar(12)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(pts, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

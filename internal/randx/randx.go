@@ -1,0 +1,207 @@
+// Package randx provides deterministic, seedable random sampling for the
+// Edge-PrivLocAd reproduction: the paper's polar Gaussian sampler
+// (Algorithm 3), the planar-Laplace sampler of geo-indistinguishability,
+// uniform-in-disk sampling, and the Poisson/Zipf generators that drive the
+// synthetic mobility workload.
+//
+// Every sampler draws from an explicit *Rand stream so experiments are
+// reproducible run-to-run and parallel workers can own independent streams.
+package randx
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/geo"
+	"repro/internal/mathx"
+)
+
+// Rand is a deterministic random stream. It wraps the standard PCG
+// generator with the domain samplers the reproduction needs.
+type Rand struct {
+	pcg *rand.PCG
+	src *rand.Rand
+}
+
+// New creates a stream seeded with the pair (seed, stream). Distinct
+// (seed, stream) pairs yield independent sequences.
+func New(seed, stream uint64) *Rand {
+	pcg := rand.NewPCG(seed, stream)
+	return &Rand{pcg: pcg, src: rand.New(pcg)}
+}
+
+// MarshalState captures the stream's exact position so a restored stream
+// continues the identical sequence (engine snapshots rely on this to
+// stay reproducible across restarts).
+func (r *Rand) MarshalState() ([]byte, error) {
+	data, err := r.pcg.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("randx: marshalling PCG state: %w", err)
+	}
+	return data, nil
+}
+
+// NewFromState rebuilds a stream from MarshalState output.
+func NewFromState(data []byte) (*Rand, error) {
+	pcg := rand.NewPCG(0, 0)
+	if err := pcg.UnmarshalBinary(data); err != nil {
+		return nil, fmt.Errorf("randx: unmarshalling PCG state: %w", err)
+	}
+	return &Rand{pcg: pcg, src: rand.New(pcg)}, nil
+}
+
+// Split derives a new independent stream from r; the derived stream is a
+// pure function of r's current state, so splitting is itself deterministic.
+func (r *Rand) Split() *Rand {
+	return New(r.src.Uint64(), r.src.Uint64())
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *Rand) Float64() float64 { return r.src.Float64() }
+
+// IntN returns a uniform sample in [0, n). It panics if n <= 0, matching
+// math/rand/v2 semantics.
+func (r *Rand) IntN(n int) int { return r.src.IntN(n) }
+
+// Uint64 returns a uniform 64-bit sample.
+func (r *Rand) Uint64() uint64 { return r.src.Uint64() }
+
+// NormFloat64 returns a standard normal sample.
+func (r *Rand) NormFloat64() float64 { return r.src.NormFloat64() }
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements via swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// Angle returns a uniform angle in [0, 2π).
+func (r *Rand) Angle() float64 { return 2 * math.Pi * r.src.Float64() }
+
+// GaussianPolar draws an isotropic 2-D Gaussian offset with per-axis
+// standard deviation sigma, following the paper's Algorithm 3: a uniform
+// angle θ and a radius obtained by inverting the Rayleigh CDF
+// F_R(r) = 1 - e^(-r²/2σ²).
+func (r *Rand) GaussianPolar(sigma float64) geo.Point {
+	if sigma <= 0 {
+		return geo.Point{}
+	}
+	theta := r.Angle()
+	// RayleighQuantile cannot fail for p ∈ [0,1) and sigma > 0.
+	radius, _ := mathx.RayleighQuantile(r.src.Float64(), sigma)
+	return geo.Point{X: radius * math.Cos(theta), Y: radius * math.Sin(theta)}
+}
+
+// PlanarLaplace draws a planar-Laplace offset with privacy parameter
+// epsilon (the geo-indistinguishability noise of Andres et al.): a uniform
+// angle and a radius from the inverse CDF r = -(1/ε)(W₋₁((p-1)/e) + 1).
+func (r *Rand) PlanarLaplace(epsilon float64) (geo.Point, error) {
+	if epsilon <= 0 {
+		return geo.Point{}, fmt.Errorf("randx: planar laplace epsilon %g must be positive", epsilon)
+	}
+	theta := r.Angle()
+	radius, err := mathx.PlanarLaplaceQuantile(r.src.Float64(), epsilon)
+	if err != nil {
+		return geo.Point{}, fmt.Errorf("sampling planar laplace radius: %w", err)
+	}
+	return geo.Point{X: radius * math.Cos(theta), Y: radius * math.Sin(theta)}, nil
+}
+
+// UniformDisk draws a point uniformly from the disk of the given radius
+// centred at the origin (radius scaled by √u for area uniformity).
+func (r *Rand) UniformDisk(radius float64) geo.Point {
+	if radius <= 0 {
+		return geo.Point{}
+	}
+	theta := r.Angle()
+	rho := radius * math.Sqrt(r.src.Float64())
+	return geo.Point{X: rho * math.Cos(theta), Y: rho * math.Sin(theta)}
+}
+
+// UniformInCircle draws a point uniformly from the given circle.
+func (r *Rand) UniformInCircle(c geo.Circle) geo.Point {
+	return c.Center.Add(r.UniformDisk(c.Radius))
+}
+
+// Poisson draws from a Poisson distribution with the given mean, using
+// Knuth's product method for small means and the normal approximation
+// (rounded, clamped at zero) for large ones.
+func (r *Rand) Poisson(mean float64) int {
+	switch {
+	case mean <= 0:
+		return 0
+	case mean < 30:
+		limit := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.src.Float64()
+			if p <= limit {
+				return k
+			}
+			k++
+		}
+	default:
+		n := math.Round(mean + math.Sqrt(mean)*r.src.NormFloat64())
+		if n < 0 {
+			return 0
+		}
+		return int(n)
+	}
+}
+
+// Zipf samples indexes in [0, n) with probability proportional to
+// 1/(i+1)^s. The cumulative table is precomputed once.
+type Zipf struct {
+	cdf []float64
+	rnd *Rand
+}
+
+// NewZipf builds a bounded Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(rnd *Rand, n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("randx: zipf over %d ranks", n)
+	}
+	if s <= 0 || math.IsNaN(s) {
+		return nil, fmt.Errorf("randx: zipf exponent %g must be positive", s)
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf, rnd: rnd}, nil
+}
+
+// Next draws one rank.
+func (z *Zipf) Next() int {
+	u := z.rnd.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Weights returns the probability mass of each rank (useful when a caller
+// wants expected frequencies rather than samples).
+func (z *Zipf) Weights() []float64 {
+	w := make([]float64, len(z.cdf))
+	prev := 0.0
+	for i, c := range z.cdf {
+		w[i] = c - prev
+		prev = c
+	}
+	return w
+}

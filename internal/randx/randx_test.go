@@ -1,0 +1,332 @@
+package randx
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/mathx"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42, 1)
+	b := New(42, 1)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("identical seeds diverged")
+		}
+	}
+	c := New(42, 2)
+	same := true
+	a2 := New(42, 1)
+	for i := 0; i < 16; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different streams produced identical output")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7, 7)
+	child := parent.Split()
+	if child == nil {
+		t.Fatal("nil child")
+	}
+	// Two splits from identical parents are identical.
+	p2 := New(7, 7)
+	c2 := p2.Split()
+	for i := 0; i < 32; i++ {
+		if child.Float64() != c2.Float64() {
+			t.Fatal("deterministic split diverged")
+		}
+	}
+}
+
+// TestGaussianPolarMoments: the sampler must produce zero-mean noise with
+// per-axis standard deviation sigma and Rayleigh-distributed radii.
+func TestGaussianPolarMoments(t *testing.T) {
+	const n = 200_000
+	sigma := 750.0
+	r := New(1, 1)
+	var mx, my, mr mathx.OnlineMoments
+	within := 0
+	rMedian := sigma * math.Sqrt(2*math.Ln2) // Rayleigh median
+	for i := 0; i < n; i++ {
+		p := r.GaussianPolar(sigma)
+		mx.Add(p.X)
+		my.Add(p.Y)
+		d := p.Norm()
+		mr.Add(d)
+		if d <= rMedian {
+			within++
+		}
+	}
+	if math.Abs(mx.Mean()) > 5*sigma/math.Sqrt(n)*3 {
+		t.Errorf("x mean = %g, want ~0", mx.Mean())
+	}
+	if math.Abs(my.Mean()) > 5*sigma/math.Sqrt(n)*3 {
+		t.Errorf("y mean = %g, want ~0", my.Mean())
+	}
+	if rel := math.Abs(mx.StdDev()-sigma) / sigma; rel > 0.01 {
+		t.Errorf("x stddev = %g, want %g", mx.StdDev(), sigma)
+	}
+	if rel := math.Abs(my.StdDev()-sigma) / sigma; rel > 0.01 {
+		t.Errorf("y stddev = %g, want %g", my.StdDev(), sigma)
+	}
+	// Rayleigh mean radius is σ√(π/2).
+	wantMeanR := sigma * math.Sqrt(math.Pi/2)
+	if rel := math.Abs(mr.Mean()-wantMeanR) / wantMeanR; rel > 0.01 {
+		t.Errorf("mean radius = %g, want %g", mr.Mean(), wantMeanR)
+	}
+	if frac := float64(within) / n; math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("fraction within Rayleigh median = %g, want 0.5", frac)
+	}
+}
+
+func TestGaussianPolarDegenerateSigma(t *testing.T) {
+	r := New(1, 1)
+	if p := r.GaussianPolar(0); p != (geo.Point{}) {
+		t.Errorf("sigma=0 => origin, got %v", p)
+	}
+	if p := r.GaussianPolar(-5); p != (geo.Point{}) {
+		t.Errorf("sigma<0 => origin, got %v", p)
+	}
+}
+
+// TestPlanarLaplaceRadiusDistribution: empirical CDF of the radius must
+// match C_ε(r) = 1 - (1+εr)e^(-εr).
+func TestPlanarLaplaceRadiusDistribution(t *testing.T) {
+	const n = 100_000
+	eps := math.Log(4) / 200
+	r := New(2, 9)
+	var radii []float64
+	for i := 0; i < n; i++ {
+		p, err := r.PlanarLaplace(eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		radii = append(radii, p.Norm())
+	}
+	for _, checkR := range []float64{100, 200, 400, 800, 1600} {
+		within := 0
+		for _, rad := range radii {
+			if rad <= checkR {
+				within++
+			}
+		}
+		got := float64(within) / n
+		want := mathx.PlanarLaplaceCDF(checkR, eps)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("CDF at %g m: empirical %g vs analytic %g", checkR, got, want)
+		}
+	}
+}
+
+func TestPlanarLaplaceInvalidEpsilon(t *testing.T) {
+	r := New(1, 1)
+	if _, err := r.PlanarLaplace(0); err == nil {
+		t.Error("epsilon=0 expected error")
+	}
+	if _, err := r.PlanarLaplace(-1); err == nil {
+		t.Error("epsilon<0 expected error")
+	}
+}
+
+// TestUniformDiskUniformity: area uniformity means the fraction of points
+// within radius ρ is (ρ/R)².
+func TestUniformDiskUniformity(t *testing.T) {
+	const n = 100_000
+	radius := 1000.0
+	r := New(3, 3)
+	counts := map[float64]int{250: 0, 500: 0, 750: 0}
+	for i := 0; i < n; i++ {
+		p := r.UniformDisk(radius)
+		d := p.Norm()
+		if d > radius {
+			t.Fatalf("sample outside disk: %g > %g", d, radius)
+		}
+		for rho := range counts {
+			if d <= rho {
+				counts[rho]++
+			}
+		}
+	}
+	for rho, c := range counts {
+		got := float64(c) / n
+		want := (rho / radius) * (rho / radius)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("fraction within %g = %g, want %g", rho, got, want)
+		}
+	}
+}
+
+func TestUniformInCircleStaysInside(t *testing.T) {
+	c := geo.Circle{Center: geo.Point{X: 100, Y: -50}, Radius: 30}
+	r := New(4, 4)
+	for i := 0; i < 10_000; i++ {
+		p := r.UniformInCircle(c)
+		if !c.Contains(p) {
+			t.Fatalf("point %v escaped circle %v", p, c)
+		}
+	}
+}
+
+func TestUniformDiskDegenerateRadius(t *testing.T) {
+	r := New(1, 1)
+	if p := r.UniformDisk(0); p != (geo.Point{}) {
+		t.Errorf("radius=0 => origin, got %v", p)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(5, 5)
+	for _, mean := range []float64{0.5, 3, 12, 80} {
+		var o mathx.OnlineMoments
+		for i := 0; i < 50_000; i++ {
+			o.Add(float64(r.Poisson(mean)))
+		}
+		if rel := math.Abs(o.Mean()-mean) / mean; rel > 0.05 {
+			t.Errorf("Poisson(%g) mean = %g", mean, o.Mean())
+		}
+		if rel := math.Abs(o.Variance()-mean) / mean; rel > 0.1 {
+			t.Errorf("Poisson(%g) variance = %g", mean, o.Variance())
+		}
+	}
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Error("non-positive mean should yield 0")
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	r := New(6, 6)
+	z, err := NewZipf(r, 5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200_000
+	counts := make([]int, 5)
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	w := z.Weights()
+	var totalW float64
+	for i, ww := range w {
+		totalW += ww
+		got := float64(counts[i]) / n
+		if math.Abs(got-ww) > 0.01 {
+			t.Errorf("rank %d: frequency %g vs weight %g", i, got, ww)
+		}
+	}
+	if math.Abs(totalW-1) > 1e-12 {
+		t.Errorf("weights sum to %g", totalW)
+	}
+	// Rank order must be decreasing.
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1] {
+			t.Errorf("rank %d more frequent than rank %d", i, i-1)
+		}
+	}
+}
+
+func TestZipfErrors(t *testing.T) {
+	r := New(1, 1)
+	if _, err := NewZipf(r, 0, 1); err == nil {
+		t.Error("n=0 expected error")
+	}
+	if _, err := NewZipf(r, 5, 0); err == nil {
+		t.Error("s=0 expected error")
+	}
+	if _, err := NewZipf(r, 5, math.NaN()); err == nil {
+		t.Error("NaN s expected error")
+	}
+}
+
+func TestPassthroughSamplers(t *testing.T) {
+	r := New(15, 15)
+	for i := 0; i < 1000; i++ {
+		if v := r.IntN(7); v < 0 || v >= 7 {
+			t.Fatalf("IntN out of range: %d", v)
+		}
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Errorf("Uint64 produced only %d distinct values in 100 draws", len(seen))
+	}
+	var o mathx.OnlineMoments
+	for i := 0; i < 20_000; i++ {
+		o.Add(r.NormFloat64())
+	}
+	if math.Abs(o.Mean()) > 0.05 || math.Abs(o.StdDev()-1) > 0.05 {
+		t.Errorf("NormFloat64 moments: mean %g stddev %g", o.Mean(), o.StdDev())
+	}
+	perm := r.Perm(10)
+	present := make([]bool, 10)
+	for _, p := range perm {
+		present[p] = true
+	}
+	for i, ok := range present {
+		if !ok {
+			t.Errorf("Perm missing %d", i)
+		}
+	}
+	vals := []int{1, 2, 3, 4, 5}
+	sum := 0
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	for _, v := range vals {
+		sum += v
+	}
+	if sum != 15 {
+		t.Errorf("Shuffle lost elements: %v", vals)
+	}
+	if a := r.Angle(); a < 0 || a >= 2*math.Pi {
+		t.Errorf("Angle out of range: %g", a)
+	}
+}
+
+func TestMarshalStateRoundTrip(t *testing.T) {
+	r := New(9, 9)
+	// Burn some values so the state is mid-stream.
+	for i := 0; i < 100; i++ {
+		r.Float64()
+	}
+	state, err := r.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewFromState(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if a, b := r.Float64(), restored.Float64(); a != b {
+			t.Fatalf("restored stream diverged at %d: %g vs %g", i, a, b)
+		}
+	}
+	if _, err := NewFromState([]byte("bogus")); err == nil {
+		t.Error("garbage state expected error")
+	}
+}
+
+func BenchmarkGaussianPolar(b *testing.B) {
+	r := New(1, 1)
+	for i := 0; i < b.N; i++ {
+		_ = r.GaussianPolar(1000)
+	}
+}
+
+func BenchmarkPlanarLaplace(b *testing.B) {
+	r := New(1, 1)
+	eps := math.Log(4) / 200
+	for i := 0; i < b.N; i++ {
+		if _, err := r.PlanarLaplace(eps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

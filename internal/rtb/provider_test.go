@@ -1,0 +1,156 @@
+package rtb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/adnet"
+	"repro/internal/geo"
+)
+
+func TestMultiSlotGSP(t *testing.T) {
+	e, err := NewExchange(time.Second, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []*fixedBidder{
+		{id: "a", price: 5},
+		{id: "b", price: 4},
+		{id: "c", price: 3},
+		{id: "d", price: 0.1}, // below reserve: filtered
+	} {
+		if err := e.Register(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := e.RunMultiSlotAuction(context.Background(), req("r1"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("slots = %d", len(results))
+	}
+	// GSP: slot 1 winner "a" pays bid 2 ("b": 4); slot 2 winner "b" pays
+	// bid 3 ("c": 3).
+	if results[0].Winner.BidderID != "a" || results[0].ClearingPrice != 4 {
+		t.Errorf("slot 1 = %+v", results[0])
+	}
+	if results[1].Winner.BidderID != "b" || results[1].ClearingPrice != 3 {
+		t.Errorf("slot 2 = %+v", results[1])
+	}
+}
+
+func TestMultiSlotFewerBidsThanSlots(t *testing.T) {
+	e, err := NewExchange(time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(&fixedBidder{id: "solo", price: 2}); err != nil {
+		t.Fatal(err)
+	}
+	results, err := e.RunMultiSlotAuction(context.Background(), req("r1"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("slots filled = %d, want 1", len(results))
+	}
+	// Sole winner pays the reserve.
+	if results[0].ClearingPrice != 1 {
+		t.Errorf("clearing = %g", results[0].ClearingPrice)
+	}
+}
+
+func TestMultiSlotErrors(t *testing.T) {
+	e, err := NewExchange(time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunMultiSlotAuction(context.Background(), req("r"), 0); err == nil {
+		t.Error("zero slots expected error")
+	}
+	if _, err := e.RunMultiSlotAuction(context.Background(), req("r"), 1); !errors.Is(err, ErrNoBidders) {
+		t.Errorf("no bidders: %v", err)
+	}
+	if err := e.Register(&fixedBidder{id: "x", skip: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunMultiSlotAuction(context.Background(), req("r"), 1); !errors.Is(err, ErrNoBids) {
+		t.Errorf("no bids: %v", err)
+	}
+}
+
+// TestMultiSlotGSPPricesMonotone property: slot prices never increase
+// with slot rank and never exceed the slot winner's own bid.
+func TestMultiSlotGSPPricesMonotone(t *testing.T) {
+	e, err := NewExchange(time.Second, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := e.Register(&fixedBidder{id: fmt.Sprintf("b%02d", i), price: float64((i*7)%10) + 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := e.RunMultiSlotAuction(context.Background(), req("r"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1e18
+	for _, r := range results {
+		if r.ClearingPrice > r.Winner.PriceCPM {
+			t.Fatalf("slot %d clears above its own bid", r.Slot)
+		}
+		if r.ClearingPrice > prev {
+			t.Fatalf("slot %d price %g exceeds previous %g", r.Slot, r.ClearingPrice, prev)
+		}
+		prev = r.ClearingPrice
+	}
+}
+
+func TestProviderAdapter(t *testing.T) {
+	if _, err := NewProvider(nil); err == nil {
+		t.Error("nil exchange expected error")
+	}
+	e, err := NewExchange(time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shop := geo.Point{X: 1000, Y: 0}
+	campaign := adnet.Campaign{ID: "c1", Location: shop, Radius: 20_000, Ad: adnet.Ad{ID: "ad1", Location: shop}}
+	bidder, err := NewCampaignBidder(campaign, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(bidder); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProvider(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	at := time.Now()
+	ads := p.RequestAds("u1", geo.Point{}, at, 3)
+	if len(ads) != 1 || ads[0].ID != "ad1" {
+		t.Errorf("ads = %+v", ads)
+	}
+	// No fill far away: empty, not an error.
+	if ads := p.RequestAds("u1", geo.Point{X: 90_000, Y: 0}, at, 3); len(ads) != 0 {
+		t.Errorf("far request returned %v", ads)
+	}
+	// Both requests were logged (the attacker sees no-fill requests too).
+	if got := len(p.BidLog()); got != 2 {
+		t.Errorf("bid log = %d", got)
+	}
+	obs := p.ObservedLocations("u1")
+	if len(obs) != 2 || obs[0] != (geo.Point{}) {
+		t.Errorf("observed = %v", obs)
+	}
+	if got := p.ObservedLocations("nobody"); got != nil {
+		t.Errorf("unknown user observed %v", got)
+	}
+}

@@ -1,0 +1,313 @@
+// Package rtb implements the real-time-bidding layer of the LBA business
+// model (paper Section II-A): when a user triggers an ad request, the ad
+// network invites advertisers to bid on it; matching must complete
+// within a hard time limit (the paper cites 100 ms), and the winning ad
+// is delivered.
+//
+// The exchange runs sealed-bid second-price auctions: bidders are
+// queried concurrently under a per-auction deadline, late bidders are
+// dropped from the round, the highest bid wins, and the winner pays the
+// maximum of the second-highest bid and the reserve price.
+package rtb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/adnet"
+	"repro/internal/geo"
+)
+
+// Auction errors.
+var (
+	// ErrNoBids reports an auction with no valid bids at or above the
+	// reserve.
+	ErrNoBids = errors.New("rtb: no bids")
+	// ErrNoBidders reports an exchange with no registered bidders.
+	ErrNoBidders = errors.New("rtb: no bidders registered")
+)
+
+// BidRequest is what the exchange shows bidders: the (already
+// obfuscated, when Edge-PrivLocAd is in front) user location plus a
+// stable user identifier.
+type BidRequest struct {
+	ID     string    `json:"id"`
+	UserID string    `json:"user_id"`
+	Loc    geo.Point `json:"loc"`
+	At     time.Time `json:"at"`
+}
+
+// Bid is one advertiser's sealed bid.
+type Bid struct {
+	BidderID string   `json:"bidder_id"`
+	PriceCPM float64  `json:"price_cpm"`
+	Ad       adnet.Ad `json:"ad"`
+}
+
+// Bidder is an advertiser-side bidding agent.
+type Bidder interface {
+	// ID identifies the bidder.
+	ID() string
+	// Bid returns this bidder's response; ok=false means no bid. The
+	// context carries the auction deadline; slow bidders whose context
+	// expires are excluded from the round.
+	Bid(ctx context.Context, req BidRequest) (bid Bid, ok bool)
+}
+
+// Result is one completed auction.
+type Result struct {
+	Request       BidRequest
+	Winner        Bid
+	ClearingPrice float64
+	// Participants is the number of bids received in time.
+	Participants int
+	// TimedOut is the number of bidders that missed the deadline.
+	TimedOut int
+}
+
+// Exchange runs auctions over a fixed bidder set. It is safe for
+// concurrent use.
+type Exchange struct {
+	timeout time.Duration
+	reserve float64
+
+	mu      sync.RWMutex
+	bidders []Bidder
+
+	statsMu  sync.Mutex
+	auctions int
+	noFills  int
+}
+
+// NewExchange builds an exchange with the given per-auction deadline
+// (≤ 0 selects the paper's 100 ms) and reserve price in CPM (≥ 0).
+func NewExchange(timeout time.Duration, reserveCPM float64) (*Exchange, error) {
+	if timeout <= 0 {
+		timeout = 100 * time.Millisecond
+	}
+	if reserveCPM < 0 {
+		return nil, fmt.Errorf("rtb: reserve %g must be non-negative", reserveCPM)
+	}
+	return &Exchange{timeout: timeout, reserve: reserveCPM}, nil
+}
+
+// Register adds a bidder to future auctions.
+func (e *Exchange) Register(b Bidder) error {
+	if b == nil {
+		return fmt.Errorf("rtb: nil bidder")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.bidders = append(e.bidders, b)
+	return nil
+}
+
+// Bidders returns the number of registered bidders.
+func (e *Exchange) Bidders() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.bidders)
+}
+
+// Stats reports lifetime auction counts: total auctions and no-fill
+// (ErrNoBids) auctions.
+func (e *Exchange) Stats() (auctions, noFills int) {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.auctions, e.noFills
+}
+
+// RunAuction executes one sealed-bid second-price auction under the
+// exchange deadline. The winner is notified via its WinNotice method
+// when it implements WinListener.
+func (e *Exchange) RunAuction(ctx context.Context, req BidRequest) (*Result, error) {
+	e.mu.RLock()
+	bidders := make([]Bidder, len(e.bidders))
+	copy(bidders, e.bidders)
+	e.mu.RUnlock()
+
+	e.statsMu.Lock()
+	e.auctions++
+	e.statsMu.Unlock()
+
+	if len(bidders) == 0 {
+		return nil, ErrNoBidders
+	}
+
+	auctionCtx, cancel := context.WithTimeout(ctx, e.timeout)
+	defer cancel()
+
+	type answer struct {
+		bid Bid
+		ok  bool
+	}
+	answers := make(chan answer, len(bidders))
+	for _, b := range bidders {
+		go func(b Bidder) {
+			bid, ok := b.Bid(auctionCtx, req)
+			select {
+			case answers <- answer{bid: bid, ok: ok}:
+			case <-auctionCtx.Done():
+			}
+		}(b)
+	}
+
+	var bids []Bid
+	received := 0
+collect:
+	for received < len(bidders) {
+		select {
+		case a := <-answers:
+			received++
+			if a.ok && a.bid.PriceCPM >= e.reserve {
+				bids = append(bids, a.bid)
+			}
+		case <-auctionCtx.Done():
+			break collect
+		}
+	}
+	timedOut := len(bidders) - received
+
+	if len(bids) == 0 {
+		e.statsMu.Lock()
+		e.noFills++
+		e.statsMu.Unlock()
+		return nil, fmt.Errorf("%w for request %s (%d bidders, %d timed out)",
+			ErrNoBids, req.ID, len(bidders), timedOut)
+	}
+
+	// Second-price: sort descending by price, stable tie-break by bidder
+	// ID for determinism.
+	sort.Slice(bids, func(a, b int) bool {
+		if bids[a].PriceCPM != bids[b].PriceCPM {
+			return bids[a].PriceCPM > bids[b].PriceCPM
+		}
+		return bids[a].BidderID < bids[b].BidderID
+	})
+	winner := bids[0]
+	clearing := e.reserve
+	if len(bids) > 1 && bids[1].PriceCPM > clearing {
+		clearing = bids[1].PriceCPM
+	}
+
+	result := &Result{
+		Request:       req,
+		Winner:        winner,
+		ClearingPrice: clearing,
+		Participants:  len(bids),
+		TimedOut:      timedOut,
+	}
+	e.notifyWinner(bidders, result)
+	return result, nil
+}
+
+// WinListener is implemented by bidders that need win notices (budget
+// pacing, frequency capping).
+type WinListener interface {
+	WinNotice(res *Result)
+}
+
+func (e *Exchange) notifyWinner(bidders []Bidder, res *Result) {
+	for _, b := range bidders {
+		if b.ID() != res.Winner.BidderID {
+			continue
+		}
+		if wl, ok := b.(WinListener); ok {
+			wl.WinNotice(res)
+		}
+		return
+	}
+}
+
+// CampaignBidder is a standard advertiser agent: it bids on requests
+// whose location falls inside its campaign's targeting circle, with a
+// price that decays linearly with distance from the business, and it
+// stops bidding when its budget is exhausted. Budget is debited by the
+// clearing price on each win notice.
+type CampaignBidder struct {
+	campaign adnet.Campaign
+	baseCPM  float64
+
+	mu     sync.Mutex
+	budget float64
+	wins   int
+	spend  float64
+}
+
+var (
+	_ Bidder      = (*CampaignBidder)(nil)
+	_ WinListener = (*CampaignBidder)(nil)
+)
+
+// NewCampaignBidder builds a bidder for the campaign with the given base
+// price (CPM at distance zero) and total budget.
+func NewCampaignBidder(c adnet.Campaign, baseCPM, budget float64) (*CampaignBidder, error) {
+	if err := c.Validate(nil); err != nil {
+		return nil, fmt.Errorf("rtb: campaign bidder: %w", err)
+	}
+	if baseCPM <= 0 {
+		return nil, fmt.Errorf("rtb: base CPM %g must be positive", baseCPM)
+	}
+	if budget < 0 {
+		return nil, fmt.Errorf("rtb: budget %g must be non-negative", budget)
+	}
+	return &CampaignBidder{campaign: c, baseCPM: baseCPM, budget: budget}, nil
+}
+
+// ID implements Bidder.
+func (b *CampaignBidder) ID() string { return b.campaign.ID }
+
+// Bid implements Bidder.
+func (b *CampaignBidder) Bid(_ context.Context, req BidRequest) (Bid, bool) {
+	d := b.campaign.Location.Dist(req.Loc)
+	if d > b.campaign.Radius {
+		return Bid{}, false
+	}
+	price := b.baseCPM * (1 - d/b.campaign.Radius)
+	if price <= 0 {
+		return Bid{}, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if price > b.budget {
+		return Bid{}, false
+	}
+	return Bid{BidderID: b.campaign.ID, PriceCPM: price, Ad: b.campaign.Ad}, true
+}
+
+// WinNotice implements WinListener: debit the clearing price.
+func (b *CampaignBidder) WinNotice(res *Result) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.wins++
+	b.spend += res.ClearingPrice
+	b.budget -= res.ClearingPrice
+	if b.budget < 0 {
+		b.budget = 0
+	}
+}
+
+// Budget returns the remaining budget.
+func (b *CampaignBidder) Budget() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.budget
+}
+
+// Wins returns the number of auctions won.
+func (b *CampaignBidder) Wins() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.wins
+}
+
+// Spend returns the total amount debited.
+func (b *CampaignBidder) Spend() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spend
+}

@@ -1,0 +1,399 @@
+package rtb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/adnet"
+	"repro/internal/geo"
+)
+
+// fixedBidder always bids a fixed price.
+type fixedBidder struct {
+	id    string
+	price float64
+	skip  bool
+	delay time.Duration
+}
+
+func (f *fixedBidder) ID() string { return f.id }
+
+func (f *fixedBidder) Bid(ctx context.Context, _ BidRequest) (Bid, bool) {
+	if f.delay > 0 {
+		select {
+		case <-time.After(f.delay):
+		case <-ctx.Done():
+			return Bid{}, false
+		}
+	}
+	if f.skip {
+		return Bid{}, false
+	}
+	return Bid{BidderID: f.id, PriceCPM: f.price, Ad: adnet.Ad{ID: "ad-" + f.id}}, true
+}
+
+// winTracker records win notices.
+type winTracker struct {
+	fixedBidder
+	mu   sync.Mutex
+	wins []*Result
+}
+
+func (w *winTracker) WinNotice(res *Result) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.wins = append(w.wins, res)
+}
+
+func req(id string) BidRequest {
+	return BidRequest{ID: id, UserID: "u", Loc: geo.Point{}, At: time.Now()}
+}
+
+func TestNewExchangeDefaults(t *testing.T) {
+	e, err := NewExchange(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.timeout != 100*time.Millisecond {
+		t.Errorf("default timeout = %v", e.timeout)
+	}
+	if _, err := NewExchange(time.Second, -1); err == nil {
+		t.Error("negative reserve expected error")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	e, err := NewExchange(time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(nil); err == nil {
+		t.Error("nil bidder expected error")
+	}
+	if err := e.Register(&fixedBidder{id: "a", price: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Bidders() != 1 {
+		t.Errorf("Bidders = %d", e.Bidders())
+	}
+}
+
+func TestAuctionNoBidders(t *testing.T) {
+	e, err := NewExchange(time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunAuction(context.Background(), req("r1")); !errors.Is(err, ErrNoBidders) {
+		t.Errorf("empty exchange: %v", err)
+	}
+}
+
+// TestSecondPriceSemantics: highest bid wins, pays the second price.
+func TestSecondPriceSemantics(t *testing.T) {
+	e, err := NewExchange(time.Second, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []*fixedBidder{
+		{id: "low", price: 1.0},
+		{id: "mid", price: 2.5},
+		{id: "high", price: 4.0},
+	} {
+		if err := e.Register(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := e.RunAuction(context.Background(), req("r1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner.BidderID != "high" {
+		t.Errorf("winner = %s", res.Winner.BidderID)
+	}
+	if res.ClearingPrice != 2.5 {
+		t.Errorf("clearing = %g, want second price 2.5", res.ClearingPrice)
+	}
+	if res.Participants != 3 || res.TimedOut != 0 {
+		t.Errorf("participants/timeouts = %d/%d", res.Participants, res.TimedOut)
+	}
+}
+
+func TestSingleBidderPaysReserve(t *testing.T) {
+	e, err := NewExchange(time.Second, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(&fixedBidder{id: "only", price: 9}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RunAuction(context.Background(), req("r1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClearingPrice != 1.5 {
+		t.Errorf("clearing = %g, want reserve 1.5", res.ClearingPrice)
+	}
+}
+
+func TestReserveFiltersBids(t *testing.T) {
+	e, err := NewExchange(time.Second, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(&fixedBidder{id: "cheap", price: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunAuction(context.Background(), req("r1")); !errors.Is(err, ErrNoBids) {
+		t.Errorf("below-reserve bid: %v", err)
+	}
+	auctions, noFills := e.Stats()
+	if auctions != 1 || noFills != 1 {
+		t.Errorf("stats = %d/%d", auctions, noFills)
+	}
+}
+
+// TestDeadlineDropsSlowBidders: the 100 ms matching limit — a bidder
+// slower than the deadline is excluded, the fast one wins.
+func TestDeadlineDropsSlowBidders(t *testing.T) {
+	e, err := NewExchange(50*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(&fixedBidder{id: "fast", price: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(&fixedBidder{id: "slow-but-rich", price: 100, delay: 500 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := e.RunAuction(context.Background(), req("r1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 300*time.Millisecond {
+		t.Errorf("auction took %v, deadline not enforced", elapsed)
+	}
+	if res.Winner.BidderID != "fast" {
+		t.Errorf("winner = %s, slow bidder should have been dropped", res.Winner.BidderID)
+	}
+	if res.TimedOut != 1 {
+		t.Errorf("timed out = %d, want 1", res.TimedOut)
+	}
+}
+
+func TestTieBreakDeterministic(t *testing.T) {
+	e, err := NewExchange(time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(&fixedBidder{id: "zeta", price: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(&fixedBidder{id: "alpha", price: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		res, err := e.RunAuction(context.Background(), req(fmt.Sprintf("r%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Winner.BidderID != "alpha" {
+			t.Fatalf("tie break not deterministic: %s", res.Winner.BidderID)
+		}
+	}
+}
+
+func TestWinNoticeDelivered(t *testing.T) {
+	e, err := NewExchange(time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &winTracker{fixedBidder: fixedBidder{id: "w", price: 5}}
+	if err := e.Register(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(&fixedBidder{id: "l", price: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunAuction(context.Background(), req("r1")); err != nil {
+		t.Fatal(err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.wins) != 1 || w.wins[0].ClearingPrice != 1 {
+		t.Errorf("win notices = %+v", w.wins)
+	}
+}
+
+func TestCampaignBidderValidation(t *testing.T) {
+	c := adnet.Campaign{ID: "c", Location: geo.Point{}, Radius: 5000, Ad: adnet.Ad{ID: "a"}}
+	if _, err := NewCampaignBidder(adnet.Campaign{}, 1, 10); err == nil {
+		t.Error("invalid campaign expected error")
+	}
+	if _, err := NewCampaignBidder(c, 0, 10); err == nil {
+		t.Error("zero CPM expected error")
+	}
+	if _, err := NewCampaignBidder(c, 1, -1); err == nil {
+		t.Error("negative budget expected error")
+	}
+	b, err := NewCampaignBidder(c, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID() != "c" || b.Budget() != 10 {
+		t.Errorf("bidder = %s, budget %g", b.ID(), b.Budget())
+	}
+}
+
+func TestCampaignBidderTargeting(t *testing.T) {
+	c := adnet.Campaign{ID: "c", Location: geo.Point{}, Radius: 5000, Ad: adnet.Ad{ID: "a"}}
+	b, err := NewCampaignBidder(c, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// At the centre: full base price.
+	bid, ok := b.Bid(ctx, BidRequest{Loc: geo.Point{}})
+	if !ok || bid.PriceCPM != 2 {
+		t.Errorf("centre bid = %+v, %v", bid, ok)
+	}
+	// Halfway out: half price.
+	bid, ok = b.Bid(ctx, BidRequest{Loc: geo.Point{X: 2500, Y: 0}})
+	if !ok || bid.PriceCPM != 1 {
+		t.Errorf("half-radius bid = %+v, %v", bid, ok)
+	}
+	// Outside: no bid.
+	if _, ok := b.Bid(ctx, BidRequest{Loc: geo.Point{X: 6000, Y: 0}}); ok {
+		t.Error("out-of-range bid placed")
+	}
+	// At the exact edge the linear price is zero: no bid.
+	if _, ok := b.Bid(ctx, BidRequest{Loc: geo.Point{X: 5000, Y: 0}}); ok {
+		t.Error("zero-price bid placed")
+	}
+}
+
+// TestCampaignBudgetEnforcement: a bidder stops bidding once its budget
+// cannot cover its own price, and win notices debit the clearing price.
+func TestCampaignBudgetEnforcement(t *testing.T) {
+	c := adnet.Campaign{ID: "rich", Location: geo.Point{}, Radius: 5000, Ad: adnet.Ad{ID: "a"}}
+	b, err := NewCampaignBidder(c, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewExchange(time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(&fixedBidder{id: "rival", price: 3}); err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	for i := 0; i < 10; i++ {
+		res, err := e.RunAuction(context.Background(), req(fmt.Sprintf("r%d", i)))
+		if err != nil {
+			break
+		}
+		if res.Winner.BidderID == "rich" {
+			wins++
+		}
+	}
+	// Budget 10 at clearing price 3 allows exactly 3 wins (spend 9,
+	// remaining 1 < own price 4 → no further bids).
+	if wins != 3 {
+		t.Errorf("wins = %d, want 3", wins)
+	}
+	if b.Spend() != 9 || b.Budget() != 1 {
+		t.Errorf("spend/budget = %g/%g", b.Spend(), b.Budget())
+	}
+	if b.Wins() != 3 {
+		t.Errorf("Wins() = %d", b.Wins())
+	}
+}
+
+// TestAuctionConcurrency: concurrent auctions over shared bidders are
+// race-free and all complete.
+func TestAuctionConcurrency(t *testing.T) {
+	e, err := NewExchange(time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := e.Register(&fixedBidder{id: fmt.Sprintf("b%d", i), price: float64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				res, err := e.RunAuction(context.Background(), req(fmt.Sprintf("r%d-%d", g, i)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Winner.BidderID != "b4" {
+					t.Errorf("winner = %s", res.Winner.BidderID)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	auctions, noFills := e.Stats()
+	if auctions != 320 || noFills != 0 {
+		t.Errorf("stats = %d/%d", auctions, noFills)
+	}
+}
+
+// TestClearingPriceNeverExceedsWinnerBid property over many auctions.
+func TestClearingPriceNeverExceedsWinnerBid(t *testing.T) {
+	e, err := NewExchange(time.Second, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := e.Register(&fixedBidder{id: fmt.Sprintf("b%d", i), price: float64(i%5) + 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		res, err := e.RunAuction(context.Background(), req(fmt.Sprintf("r%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ClearingPrice > res.Winner.PriceCPM {
+			t.Fatalf("clearing %g exceeds winning bid %g", res.ClearingPrice, res.Winner.PriceCPM)
+		}
+		if res.ClearingPrice < 0.25 {
+			t.Fatalf("clearing %g below reserve", res.ClearingPrice)
+		}
+	}
+}
+
+func BenchmarkAuction8Bidders(b *testing.B) {
+	e, err := NewExchange(time.Second, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := e.Register(&fixedBidder{id: fmt.Sprintf("b%d", i), price: float64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunAuction(ctx, req("bench")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package secagg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/profile"
+	"repro/internal/randx"
+)
+
+func testRegion() geo.BBox {
+	return geo.BBox{MinX: 0, MinY: 0, MaxX: 10_000, MaxY: 10_000}
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	if _, err := NewSession(1, 10, 1); err == nil {
+		t.Error("1 party expected error")
+	}
+	if _, err := NewSession(3, 0, 1); err == nil {
+		t.Error("zero length expected error")
+	}
+	s, err := NewSession(3, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Parties() != 3 || s.Length() != 10 {
+		t.Errorf("session = %d parties, %d length", s.Parties(), s.Length())
+	}
+}
+
+func TestVectorAdd(t *testing.T) {
+	a := Vector{1, 2, math.MaxUint64}
+	b := Vector{10, 20, 1}
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum[0] != 11 || sum[1] != 22 || sum[2] != 0 { // wraparound
+		t.Errorf("sum = %v", sum)
+	}
+	if _, err := a.Add(Vector{1}); err == nil {
+		t.Error("length mismatch expected error")
+	}
+}
+
+// TestMaskCancellation is the protocol's core correctness property: the
+// sum of all masked inputs equals the sum of the plaintext inputs.
+func TestMaskCancellation(t *testing.T) {
+	rnd := randx.New(1, 1)
+	for _, parties := range []int{2, 3, 5, 8} {
+		const length = 64
+		s, err := NewSession(parties, length, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make(Vector, length)
+		shares := make([]Vector, parties)
+		for p := 0; p < parties; p++ {
+			v := make(Vector, length)
+			for k := range v {
+				v[k] = uint64(rnd.IntN(1000))
+				want[k] += v[k]
+			}
+			share, err := s.MaskedInput(p, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shares[p] = share
+		}
+		got, err := s.Aggregate(shares)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("parties=%d: aggregate[%d] = %d, want %d", parties, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// TestMaskingHidesInput: a single published share must differ from the
+// plaintext in essentially every slot (it is one-time-pad masked).
+func TestMaskingHidesInput(t *testing.T) {
+	const length = 256
+	s, err := NewSession(3, length, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make(Vector, length) // all zeros: any unchanged slot would leak
+	share, err := s.MaskedInput(0, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unchanged := 0
+	for k := range share {
+		if share[k] == 0 {
+			unchanged++
+		}
+	}
+	if unchanged > 2 {
+		t.Errorf("%d of %d slots unmasked", unchanged, length)
+	}
+}
+
+// TestSharesUniformity: masked shares of identical inputs from different
+// parties must differ (each party's mask pattern is distinct).
+func TestSharesUniformity(t *testing.T) {
+	const length = 64
+	s, err := NewSession(4, length, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make(Vector, length)
+	for k := range v {
+		v[k] = 42
+	}
+	seen := make(map[uint64]bool)
+	for p := 0; p < 4; p++ {
+		share, err := s.MaskedInput(p, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[share[0]] {
+			t.Errorf("party %d first slot collides", p)
+		}
+		seen[share[0]] = true
+	}
+}
+
+func TestMaskedInputErrors(t *testing.T) {
+	s, err := NewSession(2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MaskedInput(-1, make(Vector, 4)); err == nil {
+		t.Error("negative party expected error")
+	}
+	if _, err := s.MaskedInput(2, make(Vector, 4)); err == nil {
+		t.Error("out-of-range party expected error")
+	}
+	if _, err := s.MaskedInput(0, make(Vector, 3)); err == nil {
+		t.Error("wrong length expected error")
+	}
+}
+
+func TestAggregateDropoutRejected(t *testing.T) {
+	s, err := NewSession(3, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := make([]Vector, 2) // one party dropped out
+	for i := range shares {
+		sh, err := s.MaskedInput(i, make(Vector, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares[i] = sh
+	}
+	if _, err := s.Aggregate(shares); err == nil {
+		t.Error("missing share expected error")
+	}
+	// Wrong-length share rejected too.
+	bad := []Vector{make(Vector, 4), make(Vector, 4), make(Vector, 3)}
+	if _, err := s.Aggregate(bad); err == nil {
+		t.Error("short share expected error")
+	}
+}
+
+func TestNewGridCodecValidation(t *testing.T) {
+	if _, err := NewGridCodec(geo.BBox{}, 100); err == nil {
+		t.Error("empty region expected error")
+	}
+	if _, err := NewGridCodec(testRegion(), 0); err == nil {
+		t.Error("zero cell expected error")
+	}
+	if _, err := NewGridCodec(testRegion(), 0.001); err == nil {
+		t.Error("absurd grid size expected error")
+	}
+	g, err := NewGridCodec(testRegion(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Length() != 100*100 {
+		t.Errorf("Length = %d", g.Length())
+	}
+}
+
+func TestGridCodecRoundTrip(t *testing.T) {
+	g, err := NewGridCodec(testRegion(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profile.Profile{
+		{Loc: geo.Point{X: 150, Y: 250}, Freq: 10},
+		{Loc: geo.Point{X: 5050, Y: 5050}, Freq: 5},
+		{Loc: geo.Point{X: -999, Y: 0}, Freq: 3}, // outside: dropped
+		{Loc: geo.Point{X: 10, Y: 10}, Freq: 0},  // zero: ignored
+	}
+	v, dropped := g.Encode(p)
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+	back, err := g.Decode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("decoded %d locations, want 2", len(back))
+	}
+	if back[0].Freq != 10 || back[1].Freq != 5 {
+		t.Errorf("decoded freqs = %d, %d", back[0].Freq, back[1].Freq)
+	}
+	// Locations quantized to cell centres: within cell/√2 of the truth.
+	if d := back[0].Loc.Dist(geo.Point{X: 150, Y: 250}); d > 100*math.Sqrt2/2 {
+		t.Errorf("decoded location %g m off", d)
+	}
+}
+
+func TestGridCodecDecodeErrors(t *testing.T) {
+	g, err := NewGridCodec(testRegion(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Decode(make(Vector, 3)); err == nil {
+		t.Error("wrong-length decode expected error")
+	}
+	v := make(Vector, g.Length())
+	v[0] = math.MaxUint64 - 5 // an uncancelled mask residue
+	if _, err := g.Decode(v); err == nil {
+		t.Error("implausible count expected error")
+	}
+}
+
+// TestMergeProfilesMatchesPlaintext: the secure merge must equal the
+// plaintext profile merge up to grid quantization.
+func TestMergeProfilesMatchesPlaintext(t *testing.T) {
+	region := testRegion()
+	partA := profile.Profile{
+		{Loc: geo.Point{X: 1000, Y: 1000}, Freq: 60},
+		{Loc: geo.Point{X: 8000, Y: 2000}, Freq: 20},
+	}
+	partB := profile.Profile{
+		{Loc: geo.Point{X: 1010, Y: 1010}, Freq: 30}, // same cell as A's home
+		{Loc: geo.Point{X: 3000, Y: 9000}, Freq: 10},
+	}
+	merged, dropped, err := MergeProfiles([]profile.Profile{partA, partB}, region, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Errorf("dropped = %d", dropped)
+	}
+	if merged.Total() != 120 {
+		t.Errorf("total = %d, want 120", merged.Total())
+	}
+	if merged[0].Freq != 90 {
+		t.Errorf("top freq = %d, want merged 90", merged[0].Freq)
+	}
+	if d := merged[0].Loc.Dist(geo.Point{X: 1000, Y: 1000}); d > 50 {
+		t.Errorf("merged home %g m off", d)
+	}
+}
+
+func TestMergeProfilesErrors(t *testing.T) {
+	if _, _, err := MergeProfiles([]profile.Profile{{}}, testRegion(), 50, 1); err == nil {
+		t.Error("single party expected error")
+	}
+	if _, _, err := MergeProfiles([]profile.Profile{{}, {}}, geo.BBox{}, 50, 1); err == nil {
+		t.Error("bad region expected error")
+	}
+}
+
+// TestMergeProfilesTotalProperty: the merged total equals the in-region
+// plaintext total for random inputs.
+func TestMergeProfilesTotalProperty(t *testing.T) {
+	region := testRegion()
+	f := func(rawFreqs []uint16, seed uint64) bool {
+		if len(rawFreqs) == 0 {
+			return true
+		}
+		rnd := randx.New(seed, 3)
+		parts := make([]profile.Profile, 3)
+		want := 0
+		for i, raw := range rawFreqs {
+			freq := int(raw%500) + 1
+			want += freq
+			parts[i%3] = append(parts[i%3], profile.LocationFreq{
+				Loc:  geo.Point{X: rnd.Float64() * 10_000, Y: rnd.Float64() * 10_000},
+				Freq: freq,
+			})
+		}
+		merged, dropped, err := MergeProfiles(parts, region, 200, seed)
+		if err != nil {
+			return false
+		}
+		return dropped == 0 && merged.Total() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMergeProfiles3Parties(b *testing.B) {
+	region := testRegion()
+	rnd := randx.New(1, 1)
+	parts := make([]profile.Profile, 3)
+	for i := range parts {
+		for l := 0; l < 10; l++ {
+			parts[i] = append(parts[i], profile.LocationFreq{
+				Loc:  geo.Point{X: rnd.Float64() * 10_000, Y: rnd.Float64() * 10_000},
+				Freq: 1 + rnd.IntN(100),
+			})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MergeProfiles(parts, region, 100, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

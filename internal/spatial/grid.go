@@ -1,0 +1,241 @@
+// Package spatial provides a uniform-grid spatial index over plane points.
+// It powers two hot paths of the reproduction: the 50 m-connectivity
+// clustering of the longitudinal attack (neighbour queries among tens of
+// thousands of check-ins) and radius-targeting ad matching in the LBA
+// substrate (campaigns within distance R of a reported location).
+package spatial
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+)
+
+// cellKey identifies one grid cell.
+type cellKey struct {
+	ix, iy int32
+}
+
+// Grid is a uniform-cell spatial index mapping points to integer IDs.
+// IDs are caller-chosen (typically slice indexes). The zero value is not
+// usable; construct with NewGrid.
+type Grid struct {
+	cell  float64
+	cells map[cellKey][]int
+	pts   map[int]geo.Point
+}
+
+// NewGrid builds an index with the given cell size in metres. Neighbour
+// queries are most efficient when the query radius is close to cellSize.
+func NewGrid(cellSize float64) (*Grid, error) {
+	if !(cellSize > 0) || math.IsInf(cellSize, 0) {
+		return nil, fmt.Errorf("spatial: cell size %g must be positive and finite", cellSize)
+	}
+	return &Grid{
+		cell:  cellSize,
+		cells: make(map[cellKey][]int),
+		pts:   make(map[int]geo.Point),
+	}, nil
+}
+
+// CellSize returns the configured cell edge length.
+func (g *Grid) CellSize() float64 { return g.cell }
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int { return len(g.pts) }
+
+func (g *Grid) key(p geo.Point) cellKey {
+	return cellKey{
+		ix: int32(math.Floor(p.X / g.cell)),
+		iy: int32(math.Floor(p.Y / g.cell)),
+	}
+}
+
+// Insert adds a point under id. Inserting an existing id replaces its
+// location.
+func (g *Grid) Insert(id int, p geo.Point) {
+	if old, ok := g.pts[id]; ok {
+		g.removeFromCell(id, g.key(old))
+	}
+	g.pts[id] = p
+	k := g.key(p)
+	g.cells[k] = append(g.cells[k], id)
+}
+
+// Remove deletes a point by id; it reports whether the id was present.
+func (g *Grid) Remove(id int) bool {
+	p, ok := g.pts[id]
+	if !ok {
+		return false
+	}
+	delete(g.pts, id)
+	g.removeFromCell(id, g.key(p))
+	return true
+}
+
+func (g *Grid) removeFromCell(id int, k cellKey) {
+	ids := g.cells[k]
+	for i, v := range ids {
+		if v == id {
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(g.cells, k)
+	} else {
+		g.cells[k] = ids
+	}
+}
+
+// Get returns the location stored under id.
+func (g *Grid) Get(id int) (geo.Point, bool) {
+	p, ok := g.pts[id]
+	return p, ok
+}
+
+// Within appends to dst the ids of all points within radius of q
+// (inclusive) and returns the extended slice.
+func (g *Grid) Within(dst []int, q geo.Point, radius float64) []int {
+	if radius < 0 {
+		return dst
+	}
+	r2 := radius * radius
+	span := int32(math.Ceil(radius / g.cell))
+	ck := g.key(q)
+	for ix := ck.ix - span; ix <= ck.ix+span; ix++ {
+		for iy := ck.iy - span; iy <= ck.iy+span; iy++ {
+			for _, id := range g.cells[cellKey{ix, iy}] {
+				if g.pts[id].Dist2(q) <= r2 {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// ForEachWithin invokes fn for every indexed point within radius of q.
+// fn must not mutate the grid.
+func (g *Grid) ForEachWithin(q geo.Point, radius float64, fn func(id int, p geo.Point)) {
+	if radius < 0 {
+		return
+	}
+	r2 := radius * radius
+	span := int32(math.Ceil(radius / g.cell))
+	ck := g.key(q)
+	for ix := ck.ix - span; ix <= ck.ix+span; ix++ {
+		for iy := ck.iy - span; iy <= ck.iy+span; iy++ {
+			for _, id := range g.cells[cellKey{ix, iy}] {
+				p := g.pts[id]
+				if p.Dist2(q) <= r2 {
+					fn(id, p)
+				}
+			}
+		}
+	}
+}
+
+// Nearest returns the id of the indexed point closest to q, searching an
+// expanding ring of cells. It reports false when the grid is empty.
+func (g *Grid) Nearest(q geo.Point) (int, bool) {
+	if len(g.pts) == 0 {
+		return 0, false
+	}
+	ck := g.key(q)
+	bestID := -1
+	bestD2 := math.Inf(1)
+	// Expand ring by ring. Any point in ring span+1 is at least span·cell
+	// away from q (q lies inside the centre cell), so once that lower
+	// bound exceeds the best distance found the search is complete.
+	for span := int32(0); ; span++ {
+		for ix := ck.ix - span; ix <= ck.ix+span; ix++ {
+			for iy := ck.iy - span; iy <= ck.iy+span; iy++ {
+				// Only the outer ring of this span.
+				onRing := ix == ck.ix-span || ix == ck.ix+span || iy == ck.iy-span || iy == ck.iy+span
+				if !onRing {
+					continue
+				}
+				for _, id := range g.cells[cellKey{ix, iy}] {
+					if d2 := g.pts[id].Dist2(q); d2 < bestD2 {
+						bestD2 = d2
+						bestID = id
+					}
+				}
+			}
+		}
+		if bestID >= 0 {
+			lower := float64(span) * g.cell
+			if lower*lower >= bestD2 {
+				return bestID, true
+			}
+		}
+		if span > 1<<20 { // unreachable with non-empty grid; defensive bound
+			return bestID, bestID >= 0
+		}
+	}
+}
+
+// UnionFind is a weighted quick-union structure with path compression,
+// used by the connectivity clustering of the de-obfuscation attack.
+type UnionFind struct {
+	parent []int
+	size   []int
+	comps  int
+}
+
+// NewUnionFind creates n singleton components labelled 0..n-1.
+func NewUnionFind(n int) *UnionFind {
+	if n < 0 {
+		n = 0
+	}
+	uf := &UnionFind{
+		parent: make([]int, n),
+		size:   make([]int, n),
+		comps:  n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+// Find returns the component representative of x.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the components of a and b; it reports whether a merge
+// happened (false when already connected).
+func (u *UnionFind) Union(a, b int) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	u.comps--
+	return true
+}
+
+// Connected reports whether a and b share a component.
+func (u *UnionFind) Connected(a, b int) bool { return u.Find(a) == u.Find(b) }
+
+// ComponentSize returns the size of x's component.
+func (u *UnionFind) ComponentSize(x int) int { return u.size[u.Find(x)] }
+
+// Components returns the number of distinct components.
+func (u *UnionFind) Components() int { return u.comps }
+
+// Len returns the number of elements.
+func (u *UnionFind) Len() int { return len(u.parent) }

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// csvHeader is the column layout of the CSV interchange format: the shape
+// of a real RTB transaction log (stable device ID, WGS-84 coordinates,
+// millisecond timestamp). Ground-truth top locations are deliberately NOT
+// part of this format — a log never contains them.
+var csvHeader = []string{"user_id", "lat", "lon", "timestamp_ms"}
+
+// WriteCSV exports the dataset's check-ins as a flat RTB-log-style CSV,
+// projecting plane coordinates back to WGS-84 via the dataset origin.
+func WriteCSV(w io.Writer, ds *Dataset) error {
+	proj, err := geo.NewProjection(ds.Origin)
+	if err != nil {
+		return fmt.Errorf("trace: csv projection: %w", err)
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: writing csv header: %w", err)
+	}
+	for _, u := range ds.Users {
+		for _, c := range u.CheckIns {
+			ll := proj.ToLatLon(c.Pos)
+			rec := []string{
+				u.ID,
+				strconv.FormatFloat(ll.Lat, 'f', 7, 64),
+				strconv.FormatFloat(ll.Lon, 'f', 7, 64),
+				strconv.FormatInt(c.Time.UnixMilli(), 10),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("trace: writing csv row for %q: %w", u.ID, err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flushing csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV imports a CSV written by WriteCSV (or any log in the same
+// layout) as a dataset in the plane of the given origin. Users carry no
+// ground-truth top locations — logs do not have them. Check-ins are
+// time-sorted per user and users are ordered by ID.
+func ReadCSV(r io.Reader, origin geo.LatLon) (*Dataset, error) {
+	proj, err := geo.NewProjection(origin)
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv projection: %w", err)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading csv header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("trace: csv column %d is %q, want %q", i, header[i], want)
+		}
+	}
+
+	byUser := make(map[string]*User)
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading csv line %d: %w", line, err)
+		}
+		lat, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d lat: %w", line, err)
+		}
+		lon, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d lon: %w", line, err)
+		}
+		ll := geo.LatLon{Lat: lat, Lon: lon}
+		if err := ll.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: %w", line, err)
+		}
+		ms, err := strconv.ParseInt(rec[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d timestamp: %w", line, err)
+		}
+		id := rec[0]
+		if id == "" {
+			return nil, fmt.Errorf("trace: csv line %d: empty user_id", line)
+		}
+		u, ok := byUser[id]
+		if !ok {
+			u = &User{ID: id}
+			byUser[id] = u
+		}
+		u.CheckIns = append(u.CheckIns, CheckIn{
+			Pos:  proj.ToPlane(ll),
+			Time: time.UnixMilli(ms).UTC(),
+		})
+	}
+
+	ds := &Dataset{Origin: origin, Users: make([]*User, 0, len(byUser))}
+	for _, u := range byUser {
+		sortCheckIns(u.CheckIns)
+		ds.Users = append(ds.Users, u)
+	}
+	sort.Slice(ds.Users, func(a, b int) bool { return ds.Users[a].ID < ds.Users[b].ID })
+	return ds, nil
+}
+
+// WriteCSVFile writes the CSV export to path.
+func WriteCSVFile(path string, ds *Dataset) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: creating %q: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace: closing %q: %w", path, cerr)
+		}
+	}()
+	return WriteCSV(f, ds)
+}
+
+// ReadCSVFile reads a CSV export from path.
+func ReadCSVFile(path string, origin geo.LatLon) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: opening %q: %w", path, err)
+	}
+	defer f.Close()
+	return ReadCSV(f, origin)
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	cfg := smallConfig(6)
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, ds.Origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Users) != len(ds.Users) {
+		t.Fatalf("users %d vs %d", len(back.Users), len(ds.Users))
+	}
+	orig := make(map[string]*User)
+	for _, u := range ds.Users {
+		orig[u.ID] = u
+	}
+	for _, u := range back.Users {
+		o, ok := orig[u.ID]
+		if !ok {
+			t.Fatalf("unknown user %q after round trip", u.ID)
+		}
+		if len(u.CheckIns) != len(o.CheckIns) {
+			t.Fatalf("user %s: %d vs %d check-ins", u.ID, len(u.CheckIns), len(o.CheckIns))
+		}
+		for i := range u.CheckIns {
+			// Coordinates survive within the 7-decimal WGS-84 precision
+			// (~1 cm); times survive at millisecond precision.
+			if d := u.CheckIns[i].Pos.Dist(o.CheckIns[i].Pos); d > 0.05 {
+				t.Fatalf("user %s check-in %d moved %g m", u.ID, i, d)
+			}
+			if !u.CheckIns[i].Time.Equal(o.CheckIns[i].Time.Truncate(0).UTC().Truncate(1e6)) &&
+				u.CheckIns[i].Time.UnixMilli() != o.CheckIns[i].Time.UnixMilli() {
+				t.Fatalf("user %s check-in %d time mismatch", u.ID, i)
+			}
+		}
+		// The log format intentionally carries no ground truth.
+		if len(u.TrueTops) != 0 {
+			t.Errorf("user %s has tops after CSV import", u.ID)
+		}
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	ds, err := Generate(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "log.csv")
+	if err := WriteCSVFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile(path, ds.Origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Users) != 3 {
+		t.Errorf("users = %d", len(back.Users))
+	}
+	if _, err := ReadCSVFile(filepath.Join(t.TempDir(), "missing.csv"), ds.Origin); err == nil {
+		t.Error("missing file expected error")
+	}
+	if err := WriteCSVFile("/nonexistent-dir/x.csv", ds); err == nil {
+		t.Error("unwritable path expected error")
+	}
+}
+
+func TestReadCSVMalformed(t *testing.T) {
+	origin := DefaultOrigin()
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"bad header", "who,what,where,when\n"},
+		{"bad lat", "user_id,lat,lon,timestamp_ms\nu1,notanumber,121.5,0\n"},
+		{"bad lon", "user_id,lat,lon,timestamp_ms\nu1,31.1,nope,0\n"},
+		{"out of range", "user_id,lat,lon,timestamp_ms\nu1,91,121.5,0\n"},
+		{"bad time", "user_id,lat,lon,timestamp_ms\nu1,31.1,121.5,xyz\n"},
+		{"empty user", "user_id,lat,lon,timestamp_ms\n,31.1,121.5,0\n"},
+		{"short row", "user_id,lat,lon,timestamp_ms\nu1,31.1\n"},
+		{"empty", ""},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.body), origin); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestReadCSVSortsUsersAndTimes(t *testing.T) {
+	body := "user_id,lat,lon,timestamp_ms\n" +
+		"zoe,31.10,121.50,2000\n" +
+		"adam,31.11,121.51,5000\n" +
+		"zoe,31.10,121.50,1000\n"
+	ds, err := ReadCSV(strings.NewReader(body), DefaultOrigin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Users) != 2 || ds.Users[0].ID != "adam" || ds.Users[1].ID != "zoe" {
+		t.Fatalf("user order: %+v", ds.Users)
+	}
+	zoe := ds.Users[1]
+	if !zoe.CheckIns[0].Time.Before(zoe.CheckIns[1].Time) {
+		t.Error("check-ins not time-sorted")
+	}
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/geo"
+)
+
+// userRecord is the JSON-lines on-disk form of one user. The first line of
+// a dataset additionally carries the projection origin.
+type userRecord struct {
+	Origin *geo.LatLon `json:"origin,omitempty"`
+	User   *User       `json:"user"`
+}
+
+// Write streams the dataset as JSON lines: the first record carries the
+// projection origin, every record carries one user.
+func Write(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, u := range ds.Users {
+		rec := userRecord{User: u}
+		if i == 0 {
+			rec.Origin = &ds.Origin
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("trace: encoding user %q: %w", u.ID, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flushing dataset: %w", err)
+	}
+	return nil
+}
+
+// Read parses a dataset written by Write.
+func Read(r io.Reader) (*Dataset, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	ds := &Dataset{}
+	first := true
+	for {
+		var rec userRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decoding dataset: %w", err)
+		}
+		if first {
+			if rec.Origin != nil {
+				ds.Origin.Lat = rec.Origin.Lat
+				ds.Origin.Lon = rec.Origin.Lon
+			}
+			first = false
+		}
+		if rec.User != nil {
+			ds.Users = append(ds.Users, rec.User)
+		}
+	}
+	return ds, nil
+}
+
+// WriteFile writes the dataset to path, creating or truncating it.
+func WriteFile(path string, ds *Dataset) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: creating %q: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace: closing %q: %w", path, cerr)
+		}
+	}()
+	return Write(f, ds)
+}
+
+// ReadFile reads a dataset from path.
+func ReadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: opening %q: %w", path, err)
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,388 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+func smallConfig(users int) Config {
+	cfg := DefaultConfig()
+	cfg.NumUsers = users
+	cfg.MaxCheckIns = 800
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := DefaultConfig()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero users", func(c *Config) { c.NumUsers = 0 }},
+		{"min checkins", func(c *Config) { c.MinCheckIns = 0 }},
+		{"inverted checkins", func(c *Config) { c.MaxCheckIns = c.MinCheckIns - 1 }},
+		{"zero tops", func(c *Config) { c.MinTops = 0 }},
+		{"inverted tops", func(c *Config) { c.MaxTops = c.MinTops - 1 }},
+		{"zipf", func(c *Config) { c.ZipfExponent = 0 }},
+		{"wander", func(c *Config) { c.WanderSigma = -1 }},
+		{"nomadic", func(c *Config) { c.NomadicScale = -0.1 }},
+		{"region", func(c *Config) { c.Region = geo.BBox{} }},
+		{"time", func(c *Config) { c.End = c.Start }},
+	}
+	for _, tt := range mutations {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := smallConfig(50)
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Users) != 50 {
+		t.Fatalf("users = %d", len(ds.Users))
+	}
+	ids := make(map[string]bool)
+	for _, u := range ds.Users {
+		if ids[u.ID] {
+			t.Errorf("duplicate user id %q", u.ID)
+		}
+		ids[u.ID] = true
+		n := len(u.CheckIns)
+		if n < cfg.MinCheckIns || n > cfg.MaxCheckIns {
+			t.Errorf("user %s has %d check-ins outside [%d, %d]", u.ID, n, cfg.MinCheckIns, cfg.MaxCheckIns)
+		}
+		if len(u.TrueTops) < 1 || len(u.TrueTops) > cfg.MaxTops {
+			t.Errorf("user %s has %d tops", u.ID, len(u.TrueTops))
+		}
+		// Tops sorted by descending count.
+		for i := 1; i < len(u.TrueTops); i++ {
+			if u.TrueTops[i].Count > u.TrueTops[i-1].Count {
+				t.Errorf("user %s tops not sorted", u.ID)
+			}
+		}
+		// Check-ins sorted by time and inside the window.
+		for i, c := range u.CheckIns {
+			if i > 0 && c.Time.Before(u.CheckIns[i-1].Time) {
+				t.Errorf("user %s check-ins not time-sorted", u.ID)
+			}
+			if c.Time.Before(cfg.Start) || !c.Time.Before(cfg.End) {
+				t.Errorf("user %s check-in time %v outside window", u.ID, c.Time)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallConfig(10)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Users {
+		ua, ub := a.Users[i], b.Users[i]
+		if len(ua.CheckIns) != len(ub.CheckIns) {
+			t.Fatalf("user %d: %d vs %d check-ins", i, len(ua.CheckIns), len(ub.CheckIns))
+		}
+		for j := range ua.CheckIns {
+			if ua.CheckIns[j] != ub.CheckIns[j] {
+				t.Fatalf("user %d check-in %d differs", i, j)
+			}
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed++
+	c, err := Generate(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Users[0].CheckIns) == len(a.Users[0].CheckIns) &&
+		c.Users[0].CheckIns[0] == a.Users[0].CheckIns[0] {
+		t.Error("different seeds produced identical first user")
+	}
+}
+
+// TestGenerateRoutineDominance: most check-ins cluster around the true
+// tops (the generator's nomadic stream is sublinear).
+func TestGenerateRoutineDominance(t *testing.T) {
+	cfg := smallConfig(20)
+	cfg.MinCheckIns = 400
+	cfg.MaxCheckIns = 800
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range ds.Users {
+		near := 0
+		for _, c := range u.CheckIns {
+			for _, top := range u.TrueTops {
+				if c.Pos.Dist(top.Pos) < 5*cfg.WanderSigma {
+					near++
+					break
+				}
+			}
+		}
+		frac := float64(near) / float64(len(u.CheckIns))
+		if frac < 0.85 {
+			t.Errorf("user %s: only %.2f of check-ins near tops", u.ID, frac)
+		}
+	}
+}
+
+// TestGenerateTopCountsConsistent: the recorded top counts must sum to
+// the routine check-ins (total minus nomadic).
+func TestGenerateTopCountsConsistent(t *testing.T) {
+	cfg := smallConfig(20)
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range ds.Users {
+		sum := 0
+		for _, top := range u.TrueTops {
+			sum += top.Count
+		}
+		if sum > len(u.CheckIns) || sum == 0 {
+			t.Errorf("user %s: top counts %d vs %d check-ins", u.ID, sum, len(u.CheckIns))
+		}
+	}
+}
+
+func TestGenerateUserFixedCount(t *testing.T) {
+	cfg := DefaultConfig()
+	u, err := GenerateUser(cfg, 7, "case-study", 1969)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.CheckIns) != 1969 {
+		t.Errorf("check-ins = %d, want 1969", len(u.CheckIns))
+	}
+	if u.ID != "case-study" {
+		t.Errorf("ID = %q", u.ID)
+	}
+	if _, err := GenerateUser(cfg, 7, "x", 0); err == nil {
+		t.Error("checkIns=0 expected error")
+	}
+}
+
+func TestUserBetween(t *testing.T) {
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	u := &User{
+		CheckIns: []CheckIn{
+			{Time: base},
+			{Time: base.Add(24 * time.Hour)},
+			{Time: base.Add(48 * time.Hour)},
+		},
+	}
+	got := u.Between(base, base.Add(36*time.Hour))
+	if len(got) != 2 {
+		t.Errorf("Between returned %d check-ins, want 2", len(got))
+	}
+	if got := u.Between(base.Add(72*time.Hour), base.Add(96*time.Hour)); len(got) != 0 {
+		t.Errorf("empty window returned %d", len(got))
+	}
+}
+
+func TestUserPoints(t *testing.T) {
+	u := &User{CheckIns: []CheckIn{
+		{Pos: geo.Point{X: 1, Y: 2}},
+		{Pos: geo.Point{X: 3, Y: 4}},
+	}}
+	pts := u.Points()
+	if len(pts) != 2 || pts[0] != (geo.Point{X: 1, Y: 2}) || pts[1] != (geo.Point{X: 3, Y: 4}) {
+		t.Errorf("Points = %v", pts)
+	}
+}
+
+// TestGenerateDiurnal: with Diurnal set, top-1 visits happen at night
+// and top-2 visits on weekday business hours.
+func TestGenerateDiurnal(t *testing.T) {
+	cfg := smallConfig(10)
+	cfg.Diurnal = true
+	cfg.MinTops = 2
+	cfg.MinCheckIns = 300
+	cfg.MaxCheckIns = 600
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range ds.Users {
+		if len(u.TrueTops) < 2 {
+			continue
+		}
+		top1, top2 := u.TrueTops[0].Pos, u.TrueTops[1].Pos
+		var night1, total1, biz2, total2 int
+		for _, c := range u.CheckIns {
+			switch {
+			case c.Pos.Dist(top1) < 5*cfg.WanderSigma:
+				total1++
+				if h := c.Time.Hour(); h >= 20 || h < 7 {
+					night1++
+				}
+			case c.Pos.Dist(top2) < 5*cfg.WanderSigma:
+				total2++
+				wd := c.Time.Weekday()
+				if h := c.Time.Hour(); wd >= time.Monday && wd <= time.Friday && h >= 9 && h < 18 {
+					biz2++
+				}
+			}
+		}
+		if total1 > 20 && float64(night1)/float64(total1) < 0.8 {
+			t.Errorf("user %s: only %d/%d top-1 visits at night", u.ID, night1, total1)
+		}
+		if total2 > 20 && float64(biz2)/float64(total2) < 0.8 {
+			t.Errorf("user %s: only %d/%d top-2 visits in business hours", u.ID, biz2, total2)
+		}
+		// Window bounds still hold.
+		for _, c := range u.CheckIns {
+			if c.Time.Before(cfg.Start) || !c.Time.Before(cfg.End) {
+				t.Fatalf("user %s check-in outside window: %v", u.ID, c.Time)
+			}
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	cfg := smallConfig(30)
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats(ds)
+	if s.Users != 30 {
+		t.Errorf("Users = %d", s.Users)
+	}
+	if s.MinCheckIns < cfg.MinCheckIns || s.MaxCheckIns > cfg.MaxCheckIns {
+		t.Errorf("check-in bounds [%d, %d]", s.MinCheckIns, s.MaxCheckIns)
+	}
+	if s.MeanCheckIns <= 0 || s.MeanTops < 1 {
+		t.Errorf("means = %g, %g", s.MeanCheckIns, s.MeanTops)
+	}
+	empty := ComputeStats(&Dataset{})
+	if empty.Users != 0 || empty.MinCheckIns != 0 {
+		t.Errorf("empty stats = %+v", empty)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	cfg := smallConfig(5)
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Origin != ds.Origin {
+		t.Errorf("origin %v vs %v", back.Origin, ds.Origin)
+	}
+	if len(back.Users) != len(ds.Users) {
+		t.Fatalf("users %d vs %d", len(back.Users), len(ds.Users))
+	}
+	for i := range ds.Users {
+		a, b := ds.Users[i], back.Users[i]
+		if a.ID != b.ID || len(a.CheckIns) != len(b.CheckIns) || len(a.TrueTops) != len(b.TrueTops) {
+			t.Fatalf("user %d mismatch", i)
+		}
+		for j := range a.CheckIns {
+			if a.CheckIns[j].Pos != b.CheckIns[j].Pos || !a.CheckIns[j].Time.Equal(b.CheckIns[j].Time) {
+				t.Fatalf("user %d check-in %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ds.jsonl")
+	ds, err := Generate(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Users) != 3 {
+		t.Errorf("users = %d", len(back.Users))
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Error("missing file expected error")
+	}
+}
+
+func TestReadGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("{not json")); err == nil {
+		t.Error("garbage input expected error")
+	}
+}
+
+func TestLogUniformIntBounds(t *testing.T) {
+	cfg := smallConfig(200)
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Log-uniform draws should produce wide dynamic range: some users near
+	// the bottom decade and some near the top.
+	low, high := 0, 0
+	for _, u := range ds.Users {
+		if len(u.CheckIns) < 3*cfg.MinCheckIns {
+			low++
+		}
+		if len(u.CheckIns) > cfg.MaxCheckIns/3 {
+			high++
+		}
+	}
+	if low == 0 || high == 0 {
+		t.Errorf("log-uniform spread missing extremes: low=%d high=%d", low, high)
+	}
+}
+
+// TestDefaultRegionScale: the configured region must be the ~95 km × 78 km
+// Shanghai box of the paper.
+func TestDefaultRegionScale(t *testing.T) {
+	cfg := DefaultConfig()
+	if w := cfg.Region.Width(); math.Abs(w-95_000) > 5_000 {
+		t.Errorf("region width = %g m", w)
+	}
+	if h := cfg.Region.Height(); math.Abs(h-78_000) > 5_000 {
+		t.Errorf("region height = %g m", h)
+	}
+}
+
+func BenchmarkGenerateUser(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateUser(cfg, uint64(i), "bench", 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package privlocad
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestPublicAPIFlow exercises the documented quickstart flow end to end
+// through the facade: mechanism → engine → report/rebuild → request →
+// utility metrics → attack.
+func TestPublicAPIFlow(t *testing.T) {
+	mech, err := NewNFoldGaussian(MechanismParams{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomadic, err := NewPlanarLaplace(math.Ln2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine(EngineConfig{Mechanism: mech, NomadicMechanism: nomadic, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	home := Point{X: 100, Y: 100}
+	rnd := NewRand(1, 1)
+	now := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 150; i++ {
+		now = now.Add(time.Hour)
+		if err := engine.Report("user", home.Add(rnd.GaussianPolar(10)), now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := engine.RebuildProfile("user", now); err != nil {
+		t.Fatal(err)
+	}
+
+	exposed, fromTable, err := engine.Request("user", home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromTable {
+		t.Error("expected permanent-table answer for the top location")
+	}
+	if exposed == home {
+		t.Error("true location leaked")
+	}
+
+	entries, err := engine.Table("user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || len(entries[0].Candidates) != 10 {
+		t.Fatalf("table = %+v", entries)
+	}
+
+	ur := UtilizationRate(rnd, home, entries[0].Candidates, 5000, 1024)
+	if ur < 0.5 {
+		t.Errorf("utilization rate %g implausibly low", ur)
+	}
+
+	sel, idx, err := SelectPosterior(rnd, entries[0].Candidates, mech.Sigma()/math.Sqrt(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx < 0 || idx >= 10 {
+		t.Errorf("selected index %d", idx)
+	}
+	if eff := Efficacy(rnd, home, sel, 5000, 1024); eff < 0 || eff > 1 {
+		t.Errorf("efficacy %g out of range", eff)
+	}
+
+	// The attack cannot localise the top location from the table answers.
+	observed := make([]Point, 0, 300)
+	for i := 0; i < 300; i++ {
+		out, _, err := engine.Request("user", home)
+		if err != nil {
+			t.Fatal(err)
+		}
+		observed = append(observed, out)
+	}
+	rAlpha, err := mech.ConfidenceRadius(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inferred, err := AttackTopN(observed, 1, AttackOptions{Theta: 500, ClusterRadius: rAlpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AttackSucceeds(inferred, []Point{home}, 1, 200) {
+		t.Error("attack recovered the top location within 200 m despite the defense")
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	params := MechanismParams{Radius: 500, Epsilon: 1, Delta: 0.01, N: 5}
+	pp, err := NewNaivePostProcess(params, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := NewPlainComposition(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := NewRand(2, 2)
+	for _, mech := range []Mechanism{pp, pc} {
+		out, err := mech.Obfuscate(rnd, Point{})
+		if err != nil {
+			t.Fatalf("%s: %v", mech.Name(), err)
+		}
+		if len(out) != 5 {
+			t.Errorf("%s: %d outputs, want 5", mech.Name(), len(out))
+		}
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	if _, err := NewEngine(EngineConfig{}); err == nil {
+		t.Error("empty engine config expected error")
+	}
+	mech, err := NewNFoldGaussian(MechanismParams{Radius: 500, Epsilon: 1, Delta: 0.01, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine(EngineConfig{Mechanism: mech, NomadicMechanism: mech})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := engine.Request("nobody", Point{}); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("expected ErrUnknownUser, got %v", err)
+	}
+	if err := engine.Report("somebody", Point{}, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.TopLocations("somebody"); !errors.Is(err, ErrNoProfile) {
+		t.Errorf("expected ErrNoProfile, got %v", err)
+	}
+}
+
+func TestPublicAPIAccountantAndVerifier(t *testing.T) {
+	acct, err := NewAccountant(0.5, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct.Record("u")
+	acct.Record("u")
+	if loss := acct.BasicLoss("u"); loss.Epsilon != 1 {
+		t.Errorf("basic loss = %+v", loss)
+	}
+
+	mech, err := NewPlanarLaplace(math.Ln2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := VerifyGeoIND(mech, Point{X: -100, Y: 0}, Point{X: 100, Y: 0}, 0,
+		VerifyConfig{Trials: 40_000, CellSize: 200, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.MaxLogRatio > math.Ln2+0.35 {
+		t.Errorf("verified ratio %.3f above budget", report.MaxLogRatio)
+	}
+}
+
+func TestPublicAPIProjection(t *testing.T) {
+	proj, err := NewProjection(LatLon{Lat: 31.05, Lon: 121.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := proj.ToPlane(LatLon{Lat: 31.1, Lon: 121.6})
+	back := proj.ToLatLon(p)
+	if math.Abs(back.Lat-31.1) > 1e-9 || math.Abs(back.Lon-121.6) > 1e-9 {
+		t.Errorf("projection round trip: %+v", back)
+	}
+}
