@@ -1,13 +1,18 @@
 // Command edged runs an Edge-PrivLocAd edge device as an HTTP service,
 // backed by an in-process ad network seeded with synthetic radius-targeted
-// campaigns.
+// campaigns. With -rtb the same campaigns bid in second-price RTB
+// auctions under the paper's 100 ms matching deadline instead of direct
+// matching.
 //
 // Usage:
 //
 //	edged -addr 127.0.0.1:8080 -campaigns 500 -epsilon 1 -n 10
 //
 // Endpoints: POST /v1/report, POST /v1/ads, POST /v1/rebuild,
-// GET /v1/profile?user=..., GET /healthz.
+// GET /v1/profile?user=..., GET /v1/privacy?user=..., GET /v1/stats,
+// GET /metrics (Prometheus text exposition), GET /healthz. With
+// -debug-addr a second listener additionally serves net/http/pprof under
+// /debug/pprof/.
 package main
 
 import (
@@ -19,9 +24,12 @@ import (
 	"log"
 	"math"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/adnet"
 	"repro/internal/core"
@@ -29,6 +37,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/geoind"
 	"repro/internal/randx"
+	"repro/internal/rtb"
 	"repro/internal/trace"
 )
 
@@ -43,12 +52,14 @@ func run(args []string) error {
 	flags := flag.NewFlagSet("edged", flag.ContinueOnError)
 	var (
 		addr      = flags.String("addr", "127.0.0.1:8080", "listen address")
+		debugAddr = flags.String("debug-addr", "", "optional debug listen address serving net/http/pprof under /debug/pprof/")
 		campaigns = flags.Int("campaigns", 500, "synthetic radius-targeted campaigns to register")
 		epsilon   = flags.Float64("epsilon", 1, "privacy budget epsilon of the n-fold mechanism")
 		radius    = flags.Float64("radius", 500, "indistinguishability radius r in metres")
 		delta     = flags.Float64("delta", 0.01, "privacy slack delta")
 		nFold     = flags.Int("n", 10, "number of obfuscated candidates per top location")
 		seed      = flags.Uint64("seed", 1, "randomness seed")
+		useRTB    = flags.Bool("rtb", false, "serve ads through second-price RTB auctions instead of direct matching")
 		statePath = flags.String("state", "", "snapshot file: restored at startup when present, written on shutdown (keeps the obfuscation table permanent across restarts)")
 	)
 	if err := flags.Parse(args); err != nil {
@@ -89,11 +100,15 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("building ad network: %w", err)
 	}
+	exchange, err := rtb.NewExchange(100*time.Millisecond, 0.05)
+	if err != nil {
+		return fmt.Errorf("building exchange: %w", err)
+	}
 	region := trace.DefaultConfig().Region
 	rnd := randx.New(*seed, 0xEDEDED)
 	for i := 0; i < *campaigns; i++ {
 		loc := privRandomInRegion(rnd, region)
-		if err := network.Register(adnet.Campaign{
+		campaign := adnet.Campaign{
 			ID:       fmt.Sprintf("campaign-%05d", i),
 			Location: loc,
 			Radius:   limit.MinRadius + rnd.Float64()*(25_000-limit.MinRadius),
@@ -102,37 +117,102 @@ func run(args []string) error {
 				Title:    fmt.Sprintf("Offer #%d", i),
 				Location: loc,
 			},
-		}); err != nil {
+		}
+		if err := network.Register(campaign); err != nil {
 			return fmt.Errorf("registering campaign %d: %w", i, err)
+		}
+		if *useRTB {
+			bidder, err := rtb.NewCampaignBidder(campaign, 0.5+rnd.Float64()*4, 1e6)
+			if err != nil {
+				return fmt.Errorf("building bidder %d: %w", i, err)
+			}
+			if err := exchange.Register(bidder); err != nil {
+				return fmt.Errorf("registering bidder %d: %w", i, err)
+			}
 		}
 	}
 
+	var provider edge.AdProvider = network
+	if *useRTB {
+		rtbProvider, err := rtb.NewProvider(exchange)
+		if err != nil {
+			return fmt.Errorf("building RTB provider: %w", err)
+		}
+		provider = rtbProvider
+	}
+
 	logger := log.New(os.Stderr, "edged: ", log.LstdFlags)
-	server, err := edge.NewServer(engine, network, nil, logger)
+	server, err := edge.NewServer(engine, provider, nil, logger)
 	if err != nil {
 		return fmt.Errorf("building server: %w", err)
+	}
+	// The exchange's metric families are registered even in direct-match
+	// mode so /metrics has a stable schema across both modes.
+	exchange.Instrument(server.Registry())
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("listening on debug addr %s: %w", *debugAddr, err)
+		}
+		defer dln.Close()
+		go serveDebug(dln)
+		logger.Printf("pprof on http://%s/debug/pprof/", dln.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("listening on %s: %w", *addr, err)
 	}
-	logger.Printf("serving on http://%s with %d campaigns (n=%d, eps=%g, r=%g m, delta=%g)",
-		ln.Addr(), *campaigns, *nFold, *epsilon, *radius, *delta)
+	mode := "direct matching"
+	if *useRTB {
+		mode = fmt.Sprintf("RTB second-price auctions (%d bidders, 100 ms deadline)", exchange.Bidders())
+	}
+	logger.Printf("serving on http://%s with %d campaigns via %s (n=%d, eps=%g, r=%g m, delta=%g)",
+		ln.Addr(), *campaigns, mode, *nFold, *epsilon, *radius, *delta)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := server.Serve(ctx, ln); err != nil {
-		return fmt.Errorf("serving: %w", err)
+	if err := serveAndPersist(ctx, server, engine, ln, *statePath, logger); err != nil {
+		return err
 	}
-	if *statePath != "" {
-		if err := engine.SnapshotFile(*statePath); err != nil {
-			return fmt.Errorf("persisting state: %w", err)
-		}
-		logger.Printf("state persisted to %s", *statePath)
+	if ls, ok := provider.(interface{ LogSize() int }); ok {
+		logger.Printf("shut down cleanly; served %d bid requests", ls.LogSize())
 	}
-	logger.Printf("shut down cleanly; served %d bid requests", network.LogSize())
 	return nil
+}
+
+// serveAndPersist runs the server and snapshots the engine state to
+// statePath (when set) on the way out — even when Serve fails. A
+// listener or serve error must not discard the permanent obfuscation
+// table: losing it would force a re-obfuscation on restart, which is
+// exactly the longitudinal degradation the table exists to prevent.
+func serveAndPersist(ctx context.Context, server *edge.Server, engine *core.Engine, ln net.Listener, statePath string, logger *log.Logger) error {
+	serveErr := server.Serve(ctx, ln)
+	if serveErr != nil {
+		serveErr = fmt.Errorf("serving: %w", serveErr)
+	}
+	if statePath != "" {
+		if err := engine.SnapshotFile(statePath); err != nil {
+			return errors.Join(serveErr, fmt.Errorf("persisting state: %w", err))
+		}
+		logger.Printf("state persisted to %s", statePath)
+	}
+	return serveErr
+}
+
+// serveDebug serves the pprof handlers on ln. The profiling endpoints
+// are mounted on a dedicated mux (not http.DefaultServeMux) so the debug
+// listener exposes nothing else.
+func serveDebug(ln net.Listener) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	_ = srv.Serve(ln)
 }
 
 // privRandomInRegion draws a uniform point inside the bounding box.

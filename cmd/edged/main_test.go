@@ -1,6 +1,24 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"io"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/adnet"
+	"repro/internal/core"
+	"repro/internal/edge"
+	"repro/internal/geo"
+	"repro/internal/geoind"
+)
 
 func TestRunValidationErrors(t *testing.T) {
 	tests := []struct {
@@ -13,6 +31,7 @@ func TestRunValidationErrors(t *testing.T) {
 		{"zero n", []string{"-n", "0"}},
 		{"campaign radius out of platform range rejected upstream", []string{"-addr", "127.0.0.1:0", "-campaigns", "1", "-radius", "-5"}},
 		{"unlistenable addr", []string{"-addr", "256.256.256.256:99999", "-campaigns", "0"}},
+		{"unlistenable debug addr", []string{"-debug-addr", "256.256.256.256:99999", "-campaigns", "0"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -20,5 +39,141 @@ func TestRunValidationErrors(t *testing.T) {
 				t.Error("expected error")
 			}
 		})
+	}
+}
+
+func newTestServer(t *testing.T) (*edge.Server, *core.Engine) {
+	t.Helper()
+	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomadic, err := geoind.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := core.NewEngine(core.Config{Mechanism: mech, NomadicMechanism: nomadic, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	network, err := adnet.NewNetwork(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := edge.NewServer(engine, network, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return server, engine
+}
+
+// TestServeAndPersistOnFailure checks that a serve error still writes
+// the state snapshot: losing the permanent obfuscation table on a
+// listener error would void the longitudinal guarantee on restart.
+func TestServeAndPersistOnFailure(t *testing.T) {
+	server, engine := newTestServer(t)
+	if err := engine.Report("u1", geo.Point{X: 5, Y: 5}, time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close() // force Serve to fail immediately
+
+	statePath := filepath.Join(t.TempDir(), "state.jsonl")
+	logger := log.New(io.Discard, "", 0)
+	err = serveAndPersist(context.Background(), server, engine, ln, statePath, logger)
+	if err == nil {
+		t.Fatal("closed listener did not produce a serve error")
+	}
+	if !strings.Contains(err.Error(), "serving:") {
+		t.Errorf("error %q does not report the serve failure", err)
+	}
+
+	if _, err := os.Stat(statePath); err != nil {
+		t.Fatalf("state not snapshotted after serve failure: %v", err)
+	}
+	_, restoredEngine := newTestServer(t)
+	if err := restoredEngine.RestoreFile(statePath); err != nil {
+		t.Fatalf("snapshot unreadable: %v", err)
+	}
+	if got := restoredEngine.Stats().Users; got != 1 {
+		t.Errorf("restored users = %d, want 1", got)
+	}
+}
+
+// TestServeAndPersistCleanShutdown checks the ordinary path still
+// persists and returns nil.
+func TestServeAndPersistCleanShutdown(t *testing.T) {
+	server, engine := newTestServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	statePath := filepath.Join(t.TempDir(), "state.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- serveAndPersist(ctx, server, engine, ln, statePath, log.New(io.Discard, "", 0))
+	}()
+
+	// The server is up when /metrics answers.
+	url := "http://" + ln.Addr().String() + "/metrics"
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			for _, want := range []string{"edge_http_requests_total", "edge_request_latency_seconds_bucket", "engine_table_hits_total", "engine_selection_seconds", "engine_users"} {
+				if !strings.Contains(string(body), want) {
+					t.Errorf("/metrics missing %s", want)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("clean shutdown returned %v", err)
+	}
+	if _, err := os.Stat(statePath); err != nil {
+		t.Fatalf("state not snapshotted on clean shutdown: %v", err)
+	}
+}
+
+// TestServeDebug checks the pprof mux answers on the debug listener.
+func TestServeDebug(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go serveDebug(ln)
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Error("pprof index does not list profiles")
 	}
 }

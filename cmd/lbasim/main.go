@@ -17,6 +17,7 @@ import (
 	"math"
 	"net/http/httptest"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/adnet"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/geoind"
 	"repro/internal/randx"
 	"repro/internal/rtb"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -41,11 +43,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("lbasim", flag.ContinueOnError)
 	var (
-		users     = fs.Int("users", 50, "users to simulate")
-		maxCk     = fs.Int("max-checkins", 800, "max check-ins per user")
-		campaigns = fs.Int("campaigns", 200, "campaigns to register")
-		seed      = fs.Uint64("seed", 1, "randomness seed")
-		useRTB    = fs.Bool("rtb", false, "serve ads through second-price RTB auctions instead of direct matching")
+		users      = fs.Int("users", 50, "users to simulate")
+		maxCk      = fs.Int("max-checkins", 800, "max check-ins per user")
+		campaigns  = fs.Int("campaigns", 200, "campaigns to register")
+		seed       = fs.Uint64("seed", 1, "randomness seed")
+		useRTB     = fs.Bool("rtb", false, "serve ads through second-price RTB auctions instead of direct matching")
+		statsEvery = fs.Duration("stats-every", 5*time.Second, "interval between telemetry summaries during the replay (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -133,6 +136,7 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("building server: %w", err)
 	}
+	exchange.Instrument(server.Registry())
 	ts := httptest.NewServer(server.Handler())
 	defer ts.Close()
 
@@ -141,6 +145,13 @@ func run(args []string) error {
 		return fmt.Errorf("building client: %w", err)
 	}
 	ctx := context.Background()
+
+	// Periodic telemetry emission while the replay runs, so long
+	// throughput runs show live progress.
+	if *statsEvery > 0 {
+		stopStats := startStatsEmitter(server, *useRTB, *statsEvery)
+		defer stopStats()
+	}
 
 	// Replay: report every check-in, rebuild profiles, then issue one ad
 	// request per check-in position.
@@ -169,6 +180,7 @@ func run(args []string) error {
 
 	fmt.Printf("replayed %d users, %d ad requests in %s (%.0f req/s)\n",
 		len(ds.Users), requests, elapsed.Round(time.Millisecond), float64(requests)/elapsed.Seconds())
+	printTelemetrySummary(server, *useRTB)
 	fmt.Printf("ads fetched from provider: %d; delivered after AOI filtering: %d (%.1f%% bandwidth saved)\n",
 		adsFetched, adsDelivered, 100*(1-float64(adsDelivered)/math.Max(1, float64(adsFetched))))
 
@@ -197,4 +209,60 @@ func run(args []string) error {
 		attacker.LogSize(), hits200, len(ds.Users), hits500, len(ds.Users))
 	fmt.Println("(with one-time geo-IND instead of Edge-PrivLocAd, the same attack recovers 75-93% of top-1 locations — see cmd/attack)")
 	return nil
+}
+
+// startStatsEmitter prints a telemetry summary every interval until the
+// returned stop function is called.
+func startStatsEmitter(server *edge.Server, useRTB bool, every time.Duration) func() {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				printTelemetrySummary(server, useRTB)
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
+// printTelemetrySummary condenses the server's registry into one or two
+// progress lines: engine throughput counters plus latency quantiles for
+// the ad-serving path — the live analogue of the paper's Tables II/III.
+func printTelemetrySummary(server *edge.Server, useRTB bool) {
+	reg := server.Registry()
+	adsLatency := reg.Histogram("edge_request_latency_seconds", "", nil, telemetry.L("route", "/v1/ads"))
+	selection := reg.Histogram("engine_selection_seconds", "", nil)
+	fmt.Printf("telemetry: reports=%d table_hits=%d nomadic=%d rebuilds=%d | /v1/ads p50=%s p95=%s | selection p50=%s p95=%s\n",
+		reg.Counter("engine_reports_total", "").Value(),
+		reg.Counter("engine_table_hits_total", "").Value(),
+		reg.Counter("engine_nomadic_total", "").Value(),
+		reg.Counter("engine_rebuilds_total", "").Value(),
+		quantileString(adsLatency, 0.5), quantileString(adsLatency, 0.95),
+		quantileString(selection, 0.5), quantileString(selection, 0.95))
+	if useRTB {
+		auctionLatency := reg.Histogram("rtb_auction_seconds", "", nil)
+		fmt.Printf("telemetry: rtb auctions=%d no_fill=%d deadline_miss=%d | auction p50=%s p95=%s (100 ms deadline)\n",
+			reg.Counter("rtb_auctions_total", "").Value(),
+			reg.Counter("rtb_no_fill_total", "").Value(),
+			reg.Counter("rtb_deadline_miss_total", "").Value(),
+			quantileString(auctionLatency, 0.5), quantileString(auctionLatency, 0.95))
+	}
+}
+
+// quantileString renders a latency histogram quantile as a duration, or
+// n/a before the first (sampled) observation.
+func quantileString(h *telemetry.Histogram, q float64) string {
+	v := h.Quantile(q)
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
 }

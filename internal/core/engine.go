@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geo"
@@ -125,6 +126,16 @@ type Engine struct {
 	cfg        Config
 	accountant *geoind.Accountant // nil when no nomadic budget is set
 
+	// met holds the optional telemetry handles (see Instrument); nil
+	// until instrumented, so the uninstrumented hot path pays one atomic
+	// load. The nUsers/nTops/nCandidates aggregates are always
+	// maintained: they make Stats (and the edge's /v1/stats) O(1)
+	// instead of a walk over every user's table.
+	met         atomic.Pointer[engineMetrics]
+	nUsers      atomic.Int64
+	nTops       atomic.Int64
+	nCandidates atomic.Int64
+
 	mu    sync.RWMutex
 	users map[string]*userState
 }
@@ -173,6 +184,7 @@ func (e *Engine) userFor(userID string) (*userState, error) {
 		table: table,
 	}
 	e.users[userID] = u
+	e.nUsers.Add(1)
 	return u, nil
 }
 
@@ -195,6 +207,9 @@ func (e *Engine) Report(userID string, pos geo.Point, at time.Time) error {
 	u, err := e.userFor(userID)
 	if err != nil {
 		return err
+	}
+	if m := e.met.Load(); m != nil {
+		m.reports.Inc()
 	}
 	u.mu.Lock()
 	defer u.mu.Unlock()
@@ -233,6 +248,13 @@ func (e *Engine) rebuildLocked(u *userState, now time.Time) error {
 	if len(u.pending) == 0 {
 		return nil
 	}
+	m := e.met.Load()
+	var start time.Time
+	if m != nil {
+		m.rebuilds.Inc()
+		start = time.Now()
+		defer func() { observeSince(m.rebuildSeconds, start) }()
+	}
 	pts := make([]geo.Point, len(u.pending))
 	for i, c := range u.pending {
 		pts[i] = c.Pos
@@ -251,7 +273,7 @@ func (e *Engine) rebuildLocked(u *userState, now time.Time) error {
 		if err != nil {
 			return fmt.Errorf("obfuscating top location: %w", err)
 		}
-		u.table.Insert(lf.Loc, candidates, now)
+		e.noteInsert(u.table.Insert(lf.Loc, candidates, now))
 	}
 
 	u.tops = tops
@@ -272,14 +294,23 @@ func (e *Engine) Request(userID string, truePos geo.Point) (geo.Point, bool, err
 	if err != nil {
 		return geo.Point{}, false, err
 	}
+	m := e.met.Load()
 	u.mu.Lock()
 	defer u.mu.Unlock()
 
 	if entry, ok := u.table.Lookup(truePos); ok {
+		var start time.Time
+		if m != nil {
+			start = m.sampleStart()
+		}
 		sigma := e.posteriorSigma(entry.Candidates)
 		selected, _, err := SelectPosterior(u.rnd, entry.Candidates, sigma)
 		if err != nil {
 			return geo.Point{}, false, fmt.Errorf("core: output selection for %q: %w", userID, err)
+		}
+		if m != nil {
+			m.tableHits.Inc()
+			observeSince(m.selectionSeconds, start)
 		}
 		return selected, true, nil
 	}
@@ -290,6 +321,9 @@ func (e *Engine) Request(userID string, truePos geo.Point) (geo.Point, bool, err
 			return geo.Point{}, false, fmt.Errorf("core: budget check for %q: %w", userID, err)
 		}
 		if over {
+			if m != nil {
+				m.budgetDenied.Inc()
+			}
 			return geo.Point{}, false, fmt.Errorf("%w for %q", ErrBudgetExhausted, userID)
 		}
 		e.accountant.Record(userID)
@@ -301,6 +335,9 @@ func (e *Engine) Request(userID string, truePos geo.Point) (geo.Point, bool, err
 	}
 	if len(out) == 0 {
 		return geo.Point{}, false, fmt.Errorf("core: nomadic mechanism returned no output for %q", userID)
+	}
+	if m != nil {
+		m.nomadic.Inc()
 	}
 	return out[0], false, nil
 }
@@ -398,7 +435,7 @@ func (e *Engine) InstallTops(userID string, tops profile.Profile, now time.Time)
 		if err != nil {
 			return fmt.Errorf("core: obfuscating installed top for %q: %w", userID, err)
 		}
-		u.table.Insert(lf.Loc, candidates, now)
+		e.noteInsert(u.table.Insert(lf.Loc, candidates, now))
 	}
 	u.tops = make(profile.Profile, len(tops))
 	copy(u.tops, tops)
@@ -422,7 +459,7 @@ func (e *Engine) ImportTable(userID string, entries []TableEntry) error {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	for _, entry := range entries {
-		u.table.Insert(entry.Top, entry.Candidates, entry.CreatedAt)
+		e.noteInsert(u.table.Insert(entry.Top, entry.Candidates, entry.CreatedAt))
 	}
 	return nil
 }

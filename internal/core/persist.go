@@ -134,7 +134,7 @@ func (e *Engine) Restore(r io.Reader) error {
 			return fmt.Errorf("core: restoring table for %q: %w", snap.UserID, err)
 		}
 		for _, entry := range snap.Table {
-			table.Insert(entry.Top, entry.Candidates, entry.CreatedAt)
+			e.noteInsert(table.Insert(entry.Top, entry.Candidates, entry.CreatedAt))
 		}
 		rnd, err := randx.NewFromState(snap.RandState)
 		if err != nil {
@@ -148,6 +148,7 @@ func (e *Engine) Restore(r io.Reader) error {
 			hasProfile:  snap.HasProfile,
 			table:       table,
 		}
+		e.nUsers.Add(1)
 		restored++
 	}
 	if restored != header.Users {

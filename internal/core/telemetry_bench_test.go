@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/telemetry"
+)
+
+// BenchmarkTelemetryOverhead measures Engine.Request with and without
+// telemetry attached. The instrumented path adds one atomic pointer
+// load and two to three atomic adds per request; selection latency is
+// clock-sampled (1 in 32), so the steady-state cost stays a few atomic
+// adds. The acceptance bar is < 5% overhead on the table-hit path.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, instrument bool, pos func(geo.Point) geo.Point) {
+		e, home := newTelemetryEngine(b)
+		if instrument {
+			e.Instrument(telemetry.NewRegistry())
+		}
+		target := pos(home)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := e.Request("u1", target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	tableHit := func(home geo.Point) geo.Point { return home }
+	nomadic := func(geo.Point) geo.Point { return geo.Point{X: 90000, Y: 90000} }
+
+	b.Run("table-hit/uninstrumented", func(b *testing.B) { run(b, false, tableHit) })
+	b.Run("table-hit/instrumented", func(b *testing.B) { run(b, true, tableHit) })
+	b.Run("nomadic/uninstrumented", func(b *testing.B) { run(b, false, nomadic) })
+	b.Run("nomadic/instrumented", func(b *testing.B) { run(b, true, nomadic) })
+}

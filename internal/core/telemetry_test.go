@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/geoind"
+	"repro/internal/randx"
+	"repro/internal/telemetry"
+)
+
+// newTelemetryEngine builds an engine with one user whose home location
+// is in the permanent table.
+func newTelemetryEngine(t testing.TB) (*Engine, geo.Point) {
+	t.Helper()
+	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomadic, err := geoind.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(Config{Mechanism: mech, NomadicMechanism: nomadic, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := geo.Point{X: 1000, Y: 1000}
+	rnd := randx.New(7, 99)
+	at := time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 60; i++ {
+		if err := e.Report("u1", home.Add(rnd.GaussianPolar(10)), at.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.RebuildProfile("u1", at.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	return e, home
+}
+
+// TestEngineStats checks that the O(1) aggregate matches a full walk
+// over users and tables, and survives snapshot/restore.
+func TestEngineStats(t *testing.T) {
+	e, _ := newTelemetryEngine(t)
+
+	walk := func(e *Engine) EngineStats {
+		var s EngineStats
+		for _, id := range e.Users() {
+			s.Users++
+			entries, err := e.Table(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.ProtectedTops += len(entries)
+			for _, entry := range entries {
+				s.Candidates += len(entry.Candidates)
+			}
+		}
+		return s
+	}
+
+	got, want := e.Stats(), walk(e)
+	if got != want {
+		t.Errorf("Stats() = %+v, full walk = %+v", got, want)
+	}
+	if got.Users != 1 || got.ProtectedTops == 0 || got.Candidates != got.ProtectedTops*10 {
+		t.Errorf("implausible stats %+v", got)
+	}
+
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mech := e.Config().Mechanism
+	restored, err := NewEngine(Config{Mechanism: mech, NomadicMechanism: e.Config().NomadicMechanism, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if rs := restored.Stats(); rs != want {
+		t.Errorf("restored Stats() = %+v, want %+v", rs, want)
+	}
+}
+
+// TestEngineInstrument checks the counters and histograms recorded on
+// the report/request/rebuild paths.
+func TestEngineInstrument(t *testing.T) {
+	e, home := newTelemetryEngine(t)
+	reg := telemetry.NewRegistry()
+	e.Instrument(reg)
+	e.met.Load().sampleEvery = 1 // time every selection for determinism
+
+	at := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+	if err := e.Report("u1", home, at); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, fromTable, err := e.Request("u1", home); err != nil {
+			t.Fatal(err)
+		} else if !fromTable {
+			t.Fatal("home request not served from table")
+		}
+	}
+	if _, fromTable, err := e.Request("u1", geo.Point{X: 90000, Y: 90000}); err != nil {
+		t.Fatal(err)
+	} else if fromTable {
+		t.Fatal("nomadic request served from table")
+	}
+	if err := e.RebuildProfile("u1", at.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Counter("engine_reports_total", "").Value(); got != 1 {
+		t.Errorf("reports = %d, want 1 (pre-instrument reports must not count)", got)
+	}
+	if got := reg.Counter("engine_table_hits_total", "").Value(); got != 5 {
+		t.Errorf("table hits = %d, want 5", got)
+	}
+	if got := reg.Counter("engine_nomadic_total", "").Value(); got != 1 {
+		t.Errorf("nomadic = %d, want 1", got)
+	}
+	if got := reg.Counter("engine_rebuilds_total", "").Value(); got != 1 {
+		t.Errorf("rebuilds = %d, want 1", got)
+	}
+	if got := reg.Histogram("engine_selection_seconds", "", nil).Count(); got != 5 {
+		t.Errorf("selection observations = %d, want 5", got)
+	}
+	if got := reg.Histogram("engine_rebuild_seconds", "", nil).Count(); got != 1 {
+		t.Errorf("rebuild observations = %d, want 1", got)
+	}
+
+	// The gauge funcs report the live aggregates.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("engine_users 1\n")) {
+		t.Errorf("exposition missing engine_users:\n%s", buf.String())
+	}
+}
+
+// TestEngineBudgetDeniedMetric checks the budget-exhaustion counter.
+func TestEngineBudgetDeniedMetric(t *testing.T) {
+	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomadic, err := geoind.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := geoind.Loss{Epsilon: 1.5, Delta: 0.1}
+	e, err := NewEngine(Config{
+		Mechanism:        mech,
+		NomadicMechanism: nomadic,
+		NomadicBudget:    &budget,
+		Seed:             3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	e.Instrument(reg)
+
+	at := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	if err := e.Report("u", geo.Point{}, at); err != nil {
+		t.Fatal(err)
+	}
+	denied := false
+	for i := 0; i < 50 && !denied; i++ {
+		_, _, err := e.Request("u", geo.Point{X: 5000, Y: 5000})
+		if err != nil {
+			denied = true
+		}
+	}
+	if !denied {
+		t.Fatal("budget never exhausted")
+	}
+	if got := reg.Counter("engine_budget_denied_total", "").Value(); got == 0 {
+		t.Error("budget denial not counted")
+	}
+}

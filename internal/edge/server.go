@@ -20,6 +20,7 @@ import (
 	"repro/internal/adnet"
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/telemetry"
 )
 
 // AdProvider is the untrusted LBA service the edge forwards obfuscated
@@ -33,17 +34,26 @@ var _ AdProvider = (*adnet.Network)(nil)
 // Clock abstracts time for deterministic tests.
 type Clock func() time.Time
 
-// Server is the edge HTTP service.
+// Server is the edge HTTP service. Every route is wrapped in a
+// telemetry middleware (per-route request counters by status class, a
+// latency histogram, an in-flight gauge), and the server's registry —
+// shared with the engine via Registry — is exposed at GET /metrics in
+// Prometheus text format.
 type Server struct {
 	engine   *core.Engine
 	provider AdProvider
 	clock    Clock
 	logger   *log.Logger
 	mux      *http.ServeMux
+	reg      *telemetry.Registry
+	inFlight *telemetry.Gauge
 }
 
 // NewServer wires an engine and an ad provider into an HTTP service.
 // clock may be nil (wall clock); logger may be nil (logging disabled).
+// The server owns a fresh telemetry registry and instruments the engine
+// against it; callers that add their own metrics (e.g. the RTB exchange)
+// register them on Registry.
 func NewServer(engine *core.Engine, provider AdProvider, clock Clock, logger *log.Logger) (*Server, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("edge: server requires an engine")
@@ -54,21 +64,40 @@ func NewServer(engine *core.Engine, provider AdProvider, clock Clock, logger *lo
 	if clock == nil {
 		clock = time.Now
 	}
-	s := &Server{engine: engine, provider: provider, clock: clock, logger: logger}
+	reg := telemetry.NewRegistry()
+	s := &Server{engine: engine, provider: provider, clock: clock, logger: logger, reg: reg}
+	s.inFlight = reg.Gauge(metricHTTPInFlight, "HTTP requests currently being served.")
+	engine.Instrument(reg)
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("POST /v1/report", s.handleReport)
-	mux.HandleFunc("POST /v1/ads", s.handleAds)
-	mux.HandleFunc("POST /v1/rebuild", s.handleRebuild)
-	mux.HandleFunc("GET /v1/profile", s.handleProfile)
-	mux.HandleFunc("GET /v1/privacy", s.handlePrivacy)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	routes := []struct {
+		pattern string
+		route   string
+		h       http.HandlerFunc
+	}{
+		{"GET /healthz", "/healthz", s.handleHealth},
+		{"POST /v1/report", "/v1/report", s.handleReport},
+		{"POST /v1/ads", "/v1/ads", s.handleAds},
+		{"POST /v1/rebuild", "/v1/rebuild", s.handleRebuild},
+		{"GET /v1/profile", "/v1/profile", s.handleProfile},
+		{"GET /v1/privacy", "/v1/privacy", s.handlePrivacy},
+		{"GET /v1/stats", "/v1/stats", s.handleStats},
+	}
+	for _, r := range routes {
+		mux.Handle(r.pattern, s.instrument(r.route, r.h))
+	}
+	// The scrape endpoint itself is left uninstrumented so monitoring
+	// traffic does not pollute the serving-path metrics.
+	mux.Handle("GET /metrics", reg.Handler())
 	s.mux = mux
 	return s, nil
 }
 
 // Handler returns the HTTP handler for the service.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the server's telemetry registry, for wiring further
+// subsystems (RTB exchange, command-level gauges) into GET /metrics.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
 // Serve runs the service on the listener until ctx is cancelled, then
 // shuts down gracefully.
@@ -316,19 +345,14 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	resp := StatsResponse{}
-	for _, userID := range s.engine.Users() {
-		resp.Users++
-		entries, err := s.engine.Table(userID)
-		if err != nil {
-			continue // user evaporated between listing and lookup
-		}
-		resp.ProtectedTops += len(entries)
-		for _, e := range entries {
-			resp.TotalCandidate += len(e.Candidates)
-		}
-	}
-	writeJSON(w, http.StatusOK, resp)
+	// Served from the engine's always-on atomic aggregates: O(1), no
+	// engine locks, no walk over users and tables.
+	st := s.engine.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Users:          st.Users,
+		ProtectedTops:  st.ProtectedTops,
+		TotalCandidate: st.Candidates,
+	})
 }
 
 func (s *Server) handlePrivacy(w http.ResponseWriter, r *http.Request) {

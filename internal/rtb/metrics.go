@@ -1,0 +1,45 @@
+package rtb
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// exchangeMetrics holds the exchange's telemetry handles, resolved once
+// at Instrument time.
+type exchangeMetrics struct {
+	auctions     *telemetry.Counter
+	noFills      *telemetry.Counter
+	deadlineMiss *telemetry.Counter
+	latency      *telemetry.Histogram
+}
+
+// Instrument registers the exchange's runtime metrics with reg and
+// starts recording. rtb_auction_seconds tracks wall-clock auction
+// latency against the paper's 100 ms matching deadline;
+// rtb_deadline_miss_total counts auctions in which at least one bidder
+// was dropped for missing the deadline.
+func (e *Exchange) Instrument(reg *telemetry.Registry) {
+	e.met.Store(&exchangeMetrics{
+		auctions:     reg.Counter("rtb_auctions_total", "Auctions run (single and multi-slot)."),
+		noFills:      reg.Counter("rtb_no_fill_total", "Auctions that produced no valid bid at or above the reserve."),
+		deadlineMiss: reg.Counter("rtb_deadline_miss_total", "Auctions where at least one bidder missed the matching deadline."),
+		latency:      reg.Histogram("rtb_auction_seconds", "Auction wall-clock duration (the paper cites a 100 ms matching limit).", nil),
+	})
+}
+
+// observeAuction records one completed bid-collection round.
+func (m *exchangeMetrics) observeAuction(start time.Time, timedOut int, filled bool) {
+	if m == nil {
+		return
+	}
+	m.auctions.Inc()
+	m.latency.ObserveDuration(time.Since(start))
+	if timedOut > 0 {
+		m.deadlineMiss.Inc()
+	}
+	if !filled {
+		m.noFills.Inc()
+	}
+}

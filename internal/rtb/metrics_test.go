@@ -1,0 +1,119 @@
+package rtb
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/adnet"
+	"repro/internal/geo"
+	"repro/internal/telemetry"
+)
+
+// stallBidder blocks until the auction deadline expires, then declines.
+type stallBidder struct{ id string }
+
+func (b *stallBidder) ID() string { return b.id }
+
+func (b *stallBidder) Bid(ctx context.Context, _ BidRequest) (Bid, bool) {
+	<-ctx.Done()
+	return Bid{}, false
+}
+
+// fastBidder answers immediately with a fixed price.
+type fastBidder struct {
+	id    string
+	price float64
+}
+
+func (b *fastBidder) ID() string { return b.id }
+
+func (b *fastBidder) Bid(_ context.Context, _ BidRequest) (Bid, bool) {
+	return Bid{BidderID: b.id, PriceCPM: b.price, Ad: adnet.Ad{ID: "ad-" + b.id}}, true
+}
+
+func TestExchangeMetrics(t *testing.T) {
+	ex, err := NewExchange(20*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	ex.Instrument(reg)
+	if err := ex.Register(&fastBidder{id: "fast", price: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Register(&stallBidder{id: "slow"}); err != nil {
+		t.Fatal(err)
+	}
+
+	req := BidRequest{ID: "r1", UserID: "u", Loc: geo.Point{}, At: time.Now()}
+	res, err := ex.RunAuction(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut != 1 {
+		t.Fatalf("TimedOut = %d, want 1", res.TimedOut)
+	}
+
+	if got := reg.Counter("rtb_auctions_total", "").Value(); got != 1 {
+		t.Errorf("auctions = %d, want 1", got)
+	}
+	if got := reg.Counter("rtb_deadline_miss_total", "").Value(); got != 1 {
+		t.Errorf("deadline misses = %d, want 1", got)
+	}
+	if got := reg.Counter("rtb_no_fill_total", "").Value(); got != 0 {
+		t.Errorf("no-fills = %d, want 0", got)
+	}
+	h := reg.Histogram("rtb_auction_seconds", "", nil)
+	if got := h.Count(); got != 1 {
+		t.Errorf("latency observations = %d, want 1", got)
+	}
+	// The stalled bidder pinned the auction to its deadline: the observed
+	// latency must be at least the 20 ms timeout.
+	if sum := h.Sum(); sum < 0.02 {
+		t.Errorf("auction latency sum = %gs, want >= 0.02s", sum)
+	}
+}
+
+func TestExchangeMetricsMultiSlotAndNoFill(t *testing.T) {
+	ex, err := NewExchange(20*time.Millisecond, 5) // reserve above every bid
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	ex.Instrument(reg)
+	if err := ex.Register(&fastBidder{id: "cheap", price: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	req := BidRequest{ID: "r1", UserID: "u", Loc: geo.Point{}, At: time.Now()}
+	if _, err := ex.RunMultiSlotAuction(context.Background(), req, 3); err == nil {
+		t.Fatal("below-reserve auction filled")
+	}
+
+	if got := reg.Counter("rtb_auctions_total", "").Value(); got != 1 {
+		t.Errorf("auctions = %d, want 1", got)
+	}
+	if got := reg.Counter("rtb_no_fill_total", "").Value(); got != 1 {
+		t.Errorf("no-fills = %d, want 1", got)
+	}
+	if got := reg.Counter("rtb_deadline_miss_total", "").Value(); got != 0 {
+		t.Errorf("deadline misses = %d, want 0", got)
+	}
+}
+
+func TestUninstrumentedExchangeStillWorks(t *testing.T) {
+	ex, err := NewExchange(20*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Register(&fastBidder{id: "fast", price: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.RunAuction(context.Background(), BidRequest{ID: "r", UserID: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.RunMultiSlotAuction(context.Background(), BidRequest{ID: "r2", UserID: "u"}, 2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -40,6 +40,7 @@ func (e *Exchange) RunMultiSlotAuction(ctx context.Context, req BidRequest, slot
 		return nil, ErrNoBidders
 	}
 
+	start := time.Now()
 	auctionCtx, cancel := context.WithTimeout(ctx, e.timeout)
 	defer cancel()
 
@@ -72,6 +73,7 @@ collect:
 			break collect
 		}
 	}
+	e.met.Load().observeAuction(start, len(bidders)-received, len(bids) > 0)
 
 	if len(bids) == 0 {
 		e.statsMu.Lock()

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/adnet"
@@ -74,6 +75,10 @@ type Result struct {
 type Exchange struct {
 	timeout time.Duration
 	reserve float64
+
+	// met holds the optional telemetry handles (see Instrument); nil
+	// until instrumented.
+	met atomic.Pointer[exchangeMetrics]
 
 	mu      sync.RWMutex
 	bidders []Bidder
@@ -138,6 +143,7 @@ func (e *Exchange) RunAuction(ctx context.Context, req BidRequest) (*Result, err
 		return nil, ErrNoBidders
 	}
 
+	start := time.Now()
 	auctionCtx, cancel := context.WithTimeout(ctx, e.timeout)
 	defer cancel()
 
@@ -171,6 +177,7 @@ collect:
 		}
 	}
 	timedOut := len(bidders) - received
+	e.met.Load().observeAuction(start, timedOut, len(bids) > 0)
 
 	if len(bids) == 0 {
 		e.statsMu.Lock()

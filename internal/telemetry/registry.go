@@ -1,0 +1,324 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one metric dimension (e.g. route="/v1/ads").
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for building a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one label combination of a family.
+type series struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// family is all series sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	bounds []float64 // histogram families only
+	series map[string]*series
+}
+
+// Registry holds named metrics and renders them in Prometheus text
+// format. All accessors are get-or-create and safe for concurrent use;
+// callers should resolve metrics once at wiring time and keep the
+// returned handles — the hot path then never touches the registry lock.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// Default is the process-wide registry. Long-lived commands (edged,
+// lbasim) may share it; libraries and tests should prefer a fresh
+// NewRegistry to keep output deterministic.
+var Default = NewRegistry()
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter with the given name and labels, creating
+// it if needed. It panics when the name is invalid or already registered
+// as a different metric type (programmer error).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.getOrCreate(name, help, kindCounter, nil, labels)
+	return s.c
+}
+
+// Gauge returns the gauge with the given name and labels, creating it if
+// needed.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.getOrCreate(name, help, kindGauge, nil, labels)
+	return s.g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at
+// exposition time — e.g. a live engine statistic that is already
+// maintained elsewhere. Re-registering the same series replaces fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if fn == nil {
+		panic("telemetry: nil GaugeFunc for " + name)
+	}
+	s := r.getOrCreate(name, help, kindGaugeFunc, nil, labels)
+	r.mu.Lock()
+	s.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram with the given name and labels,
+// creating it if needed. nil bounds select DefaultLatencyBuckets; an
+// existing family keeps its original bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	s := r.getOrCreate(name, help, kindHistogram, bounds, labels)
+	return s.h
+}
+
+func (r *Registry) getOrCreate(name, help string, kind metricKind, bounds []float64, labels []Label) *series {
+	if !validName(name) {
+		panic("telemetry: invalid metric name " + strconv.Quote(name))
+	}
+	for _, l := range labels {
+		if !validName(l.Name) || l.Name == "le" {
+			panic("telemetry: invalid label name " + strconv.Quote(l.Name) + " on " + name)
+		}
+	}
+	key := labelKey(labels)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		if kind == kindHistogram {
+			if bounds == nil {
+				bounds = DefaultLatencyBuckets()
+			}
+			f.bounds = append([]float64(nil), bounds...)
+		}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	if f.help == "" {
+		f.help = help
+	}
+	s, ok := f.series[key]
+	if ok {
+		return s
+	}
+	s = &series{labels: sortedLabels(labels)}
+	switch kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindGaugeFunc:
+		// fn is filled in by GaugeFunc under the same lock scope.
+	case kindHistogram:
+		h, err := NewHistogram(f.bounds)
+		if err != nil {
+			panic("telemetry: " + err.Error())
+		}
+		s.h = h
+	}
+	f.series[key] = s
+	return s
+}
+
+// validName reports whether s is a legal Prometheus metric/label name.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func sortedLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// labelKey renders labels in sorted order; it doubles as the series map
+// key and the exposition label block (without extra labels).
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := sortedLabels(labels)
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4), families and series in
+// deterministic sorted order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type serieRow struct {
+		key string
+		s   *series
+	}
+	type famRow struct {
+		f    *family
+		rows []serieRow
+	}
+	fams := make([]famRow, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		rows := make([]serieRow, 0, len(keys))
+		for _, k := range keys {
+			rows = append(rows, serieRow{key: k, s: f.series[k]})
+		}
+		fams = append(fams, famRow{f: f, rows: rows})
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, fr := range fams {
+		f := fr.f
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, row := range fr.rows {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(bw, "%s %d\n", seriesName(f.name, row.key), row.s.c.Value())
+			case kindGauge:
+				fmt.Fprintf(bw, "%s %d\n", seriesName(f.name, row.key), row.s.g.Value())
+			case kindGaugeFunc:
+				if row.s.fn != nil {
+					fmt.Fprintf(bw, "%s %s\n", seriesName(f.name, row.key), formatFloat(row.s.fn()))
+				}
+			case kindHistogram:
+				writeHistogram(bw, f.name, row.key, row.s.h.Snapshot())
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("telemetry: writing exposition: %w", err)
+	}
+	return nil
+}
+
+func seriesName(name, key string) string {
+	if key == "" {
+		return name
+	}
+	return name + "{" + key + "}"
+}
+
+// bucketName renders a _bucket series, appending le to any series labels.
+func bucketName(name, key, le string) string {
+	if key == "" {
+		return name + `_bucket{le="` + le + `"}`
+	}
+	return name + `_bucket{` + key + `,le="` + le + `"}`
+}
+
+func writeHistogram(w io.Writer, name, key string, s HistogramSnapshot) {
+	var cum uint64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s %d\n", bucketName(name, key, formatFloat(bound)), cum)
+	}
+	cum += s.Counts[len(s.Bounds)]
+	fmt.Fprintf(w, "%s %d\n", bucketName(name, key, "+Inf"), cum)
+	fmt.Fprintf(w, "%s %s\n", seriesName(name+"_sum", key), formatFloat(s.Sum))
+	fmt.Fprintf(w, "%s %d\n", seriesName(name+"_count", key), cum)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the exposition — the body of
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The only write error possible here is a dropped client.
+		_ = r.WritePrometheus(w)
+	})
+}

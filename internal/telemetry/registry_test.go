@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests_total", "Total requests.", L("route", "/v1/ads"), L("code", "2xx")).Add(3)
+	reg.Counter("requests_total", "Total requests.", L("route", "/v1/ads"), L("code", "5xx")).Inc()
+	reg.Gauge("in_flight", "In-flight requests.").Set(2)
+	reg.GaugeFunc("users", "Known users.", func() float64 { return 7 })
+	h := reg.Histogram("latency_seconds", "Request latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(30)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP in_flight In-flight requests.
+# TYPE in_flight gauge
+in_flight 2
+# HELP latency_seconds Request latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 1
+latency_seconds_bucket{le="1"} 2
+latency_seconds_bucket{le="+Inf"} 3
+latency_seconds_sum 30.55
+latency_seconds_count 3
+# HELP requests_total Total requests.
+# TYPE requests_total counter
+requests_total{code="2xx",route="/v1/ads"} 3
+requests_total{code="5xx",route="/v1/ads"} 1
+# HELP users Known users.
+# TYPE users gauge
+users 7
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("c_total", "help")
+	b := reg.Counter("c_total", "")
+	if a != b {
+		t.Error("same counter name returned distinct counters")
+	}
+	h1 := reg.Histogram("h_seconds", "", []float64{1, 2})
+	h2 := reg.Histogram("h_seconds", "", nil) // existing family keeps bounds
+	if h1 != h2 {
+		t.Error("same histogram series returned distinct histograms")
+	}
+	if got := len(h1.Bounds()); got != 2 {
+		t.Errorf("bounds = %d, want original 2", got)
+	}
+	if reg.Histogram("lat_seconds", "", nil) == nil {
+		t.Error("nil bounds did not select defaults")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("type conflict did not panic")
+		}
+	}()
+	reg.Gauge("c_total", "")
+}
+
+func TestRegistryInvalidNames(t *testing.T) {
+	reg := NewRegistry()
+	for _, bad := range []string{"", "1abc", "a-b", "a b", "a{b}"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q accepted", bad)
+				}
+			}()
+			reg.Counter(bad, "")
+		}()
+	}
+	// "le" is reserved for histogram buckets.
+	defer func() {
+		if recover() == nil {
+			t.Error(`label "le" accepted`)
+		}
+	}()
+	reg.Histogram("h_seconds", "", nil, L("le", "1"))
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "", L("path", "a\\b\"c\nd")).Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `path="a\\b\"c\nd"`) {
+		t.Errorf("label not escaped:\n%s", b.String())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				reg.Counter("c_total", "", L("g", string(rune('a'+g%4)))).Inc()
+				reg.Histogram("h_seconds", "", nil).Observe(float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total uint64
+	for _, l := range []string{"a", "b", "c", "d"} {
+		total += reg.Counter("c_total", "", L("g", l)).Value()
+	}
+	if total != 8*500 {
+		t.Errorf("total = %d, want 4000", total)
+	}
+	if got := reg.Histogram("h_seconds", "", nil).Count(); got != 8*500 {
+		t.Errorf("histogram count = %d, want 4000", got)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "help").Inc()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "c_total 1") {
+		t.Errorf("body missing counter:\n%s", rec.Body.String())
+	}
+}

@@ -1,0 +1,227 @@
+// Package telemetry is the repo's runtime observability substrate: atomic
+// lock-free counters and gauges, fixed-bucket latency histograms with
+// exponential bucket bounds, a process-wide registry, and a Prometheus
+// text-format exposition writer — all stdlib-only.
+//
+// The paper's own evaluation (Tables II/III) is about *measured*
+// per-stage latency of obfuscation and output selection; this package is
+// the live analogue: the edge service, the core engine, and the RTB
+// exchange record their hot-path metrics here, and GET /metrics exposes
+// them. Hot-path cost is a few atomic adds per observation (see
+// BenchmarkTelemetryOverhead in internal/core).
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing lock-free counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a lock-free integer gauge (a value that can go up and down).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative to subtract).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// atomicFloat64 accumulates a float64 with a CAS loop.
+type atomicFloat64 struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat64) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat64) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// DefaultLatencyBuckets spans 1 µs to ~4.2 s in powers of four — wide
+// enough for both the engine's microsecond-scale output selection and the
+// RTB layer's 100 ms auction deadline.
+func DefaultLatencyBuckets() []float64 { return ExponentialBuckets(1e-6, 4, 12) }
+
+// ExponentialBuckets returns count upper bounds start, start·factor,
+// start·factor², … It panics on invalid arguments (programmer error, like
+// a malformed metric name).
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	if !(start > 0) || !(factor > 1) || count < 1 {
+		panic(fmt.Sprintf("telemetry: invalid exponential buckets (start=%g factor=%g count=%d)", start, factor, count))
+	}
+	bounds := make([]float64, count)
+	for i := range bounds {
+		bounds[i] = start
+		start *= factor
+	}
+	return bounds
+}
+
+// Histogram is a fixed-bucket lock-free histogram. Bounds are upper
+// bucket edges (ascending); observations above the last bound land in an
+// implicit +Inf bucket. Observe is a binary search plus three atomic
+// adds; histograms with equal bounds are mergeable.
+type Histogram struct {
+	bounds []float64
+	bins   []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomicFloat64
+}
+
+// NewHistogram builds a histogram over the given bucket bounds, which
+// must be finite and strictly ascending.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("telemetry: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, fmt.Errorf("telemetry: bucket bound %d is %g", i, b)
+		}
+		if i > 0 && b <= bounds[i-1] {
+			return nil, fmt.Errorf("telemetry: bucket bounds not strictly ascending at %d (%g after %g)", i, b, bounds[i-1])
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.bins = make([]atomic.Uint64, len(bounds)+1)
+	return h, nil
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v is the Prometheus "le" bucket for v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.bins[i].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.bins {
+		total += h.bins[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// Bounds returns a copy of the bucket upper bounds.
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper edges; Counts[i] is the number of
+	// observations ≤ Bounds[i] exclusive of earlier buckets, and
+	// Counts[len(Bounds)] is the +Inf bucket.
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the current bins. Under concurrent writers the copy is
+// per-bin atomic but not globally consistent — fine for monitoring.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.Bounds(),
+		Counts: make([]uint64, len(h.bins)),
+	}
+	for i := range h.bins {
+		c := h.bins[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Merge adds other's bins into h. The histograms must share bounds.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return fmt.Errorf("telemetry: merge nil histogram")
+	}
+	if len(h.bounds) != len(other.bounds) {
+		return fmt.Errorf("telemetry: merging histograms with %d vs %d buckets", len(h.bounds), len(other.bounds))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != other.bounds[i] {
+			return fmt.Errorf("telemetry: merging histograms with different bound %d (%g vs %g)", i, h.bounds[i], other.bounds[i])
+		}
+	}
+	for i := range other.bins {
+		if n := other.bins[i].Load(); n > 0 {
+			h.bins[i].Add(n)
+		}
+	}
+	h.sum.Add(other.sum.Load())
+	return nil
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the bucket containing it. Observations in the +Inf bucket are
+// reported as the last finite bound. It returns NaN on an empty histogram
+// or q outside (0, 1).
+func (h *Histogram) Quantile(q float64) float64 {
+	if !(q > 0 && q < 1) {
+		return math.NaN()
+	}
+	s := h.Snapshot()
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			if i >= len(s.Bounds) {
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			return lo + (hi-lo)*(target-cum)/float64(c)
+		}
+		cum = next
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	const goroutines, perG = 16, 5000
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Value(), uint64(goroutines*perG); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	const goroutines, perG = 8, 2000
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				g.Inc()
+				g.Dec()
+				g.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := g.Value(), int64(2*goroutines*perG); got != want {
+		t.Errorf("gauge = %d, want %d", got, want)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 16, 4000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i%10) + 0.5)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := h.Count(), uint64(goroutines*perG); got != want {
+		t.Errorf("count = %d, want %d", got, want)
+	}
+	// Each goroutine observes 0.5..9.5 round-robin: sum per cycle of 10 is 50.
+	wantSum := float64(goroutines) * float64(perG/10) * 50
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6*wantSum {
+		t.Errorf("sum = %g, want %g", got, wantSum)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// le=1 gets {0.5, 1}; le=2 gets {1.5}; le=4 gets {3}; +Inf gets {100}.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-106) > 1e-9 {
+		t.Errorf("sum = %g, want 106", s.Sum)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}, {math.NaN()}, {math.Inf(1)}} {
+		if _, err := NewHistogram(bounds); err == nil {
+			t.Errorf("NewHistogram(%v) accepted", bounds)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, err := NewHistogram([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHistogram([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Observe(0.5)
+	b.Observe(1.5)
+	b.Observe(9)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Count(); got != 3 {
+		t.Errorf("merged count = %d, want 3", got)
+	}
+	if got := a.Sum(); math.Abs(got-11) > 1e-9 {
+		t.Errorf("merged sum = %g, want 11", got)
+	}
+
+	c, err := NewHistogram([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(c); err == nil {
+		t.Error("merge with different bounds accepted")
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Error("merge with nil accepted")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h, err := NewHistogram(ExponentialBuckets(1, 2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("quantile of empty histogram not NaN")
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 10) // uniform on (0, 100]
+	}
+	if q := h.Quantile(0.5); q < 25 || q > 75 {
+		t.Errorf("p50 = %g, want near 50", q)
+	}
+	if q := h.Quantile(0.99); q < 64 || q > 128 {
+		t.Errorf("p99 = %g, want in last populated bucket", q)
+	}
+	if !math.IsNaN(h.Quantile(0)) || !math.IsNaN(h.Quantile(1.5)) {
+		t.Error("out-of-range q not NaN")
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("bucket %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid args did not panic")
+		}
+	}()
+	ExponentialBuckets(0, 2, 3)
+}
+
+func TestObserveDuration(t *testing.T) {
+	h, err := NewHistogram([]float64{0.001, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ObserveDuration(500 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Counts[1] != 1 {
+		t.Errorf("500ms not in le=1 bucket: %v", s.Counts)
+	}
+}
