@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark sweep and archive it as JSON.
+#
+#   ./bench.sh                 # full sweep -> BENCH_pr2.json
+#   OUT=/tmp/b.json BENCH='BenchmarkTrim' BENCHTIME=1x ./bench.sh
+#
+# Knobs (environment):
+#   OUT       output JSON path          (default BENCH_pr2.json)
+#   BENCH     -bench regexp             (default '.')
+#   BENCHTIME -benchtime                (default 1s)
+#   PKGS      packages to benchmark     (default ./...)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+OUT="${OUT:-BENCH_pr2.json}"
+BENCH="${BENCH:-.}"
+BENCHTIME="${BENCHTIME:-1s}"
+PKGS="${PKGS:-./...}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# -run '^$' skips unit tests so only benchmarks execute; -count=1
+# defeats result caching.
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count=1 $PKGS | tee "$raw"
+go run ./cmd/benchjson < "$raw" > "$OUT"
+echo "wrote $OUT"

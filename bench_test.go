@@ -20,6 +20,7 @@ package privlocad
 //	BenchmarkAblation*          — design-choice ablations
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -83,18 +84,28 @@ func BenchmarkFig4CaseStudy(b *testing.B) {
 }
 
 func BenchmarkFig6Attack(b *testing.B) {
-	var rows []experiments.Fig6Row
-	for i := 0; i < b.N; i++ {
-		var err error
-		rows, err = experiments.RunFig6(benchOptions())
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	if len(rows) == 5 {
-		b.ReportMetric(100*rows[1].Success[0][0], "onetime-top1@200m-%")
-		b.ReportMetric(100*rows[3].Success[0][0], "defense-top1@200m-%")
-		b.ReportMetric(100*rows[3].Success[0][1], "defense-top1@500m-%")
+	// The fan-out layer is bit-identical at any worker count, so the
+	// parallel variants measure pure speedup over the same work. On a
+	// single-core host the variants collapse to the same wall-clock; the
+	// speedup materializes with the core count.
+	for _, parallel := range []int{1, 8} {
+		b.Run(fmt.Sprintf("parallel=%d", parallel), func(b *testing.B) {
+			opts := benchOptions()
+			opts.Parallelism = parallel
+			var rows []experiments.Fig6Row
+			for i := 0; i < b.N; i++ {
+				var err error
+				rows, err = experiments.RunFig6(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if len(rows) == 5 {
+				b.ReportMetric(100*rows[1].Success[0][0], "onetime-top1@200m-%")
+				b.ReportMetric(100*rows[3].Success[0][0], "defense-top1@200m-%")
+				b.ReportMetric(100*rows[3].Success[0][1], "defense-top1@500m-%")
+			}
+		})
 	}
 }
 

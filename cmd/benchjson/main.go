@@ -1,0 +1,167 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so benchmark sweeps can be archived and diffed across
+// commits (see bench.sh, which emits BENCH_pr2.json).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson > BENCH_pr2.json
+//
+// Standard fields (ns/op, B/op, allocs/op) are lifted into named JSON
+// fields; every other `value unit` pair — including the custom
+// b.ReportMetric measurements the evaluation benchmarks emit — lands in
+// the metrics map. When both Fig6 parallel variants are present, the
+// derived block reports their wall-clock speedup.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Package     string             `json:"package,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	GoOS       string             `json:"goos,omitempty"`
+	GoArch     string             `json:"goarch,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		return err
+	}
+	rep.Derived = derive(rep.Benchmarks)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// parse consumes the full `go test -bench` stream, tracking the package
+// each Benchmark line belongs to via the interleaved pkg: headers.
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{Benchmarks: []Benchmark{}}
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", line, err)
+			}
+			if b != nil {
+				b.Package = pkg
+				rep.Benchmarks = append(rep.Benchmarks, *b)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseLine parses one result line: a name, an iteration count, then
+// tab-separated `value unit` measurements. Lines that merely start with
+// "Benchmark" but don't follow the shape (e.g. log output) are skipped.
+func parseLine(line string) (*Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return nil, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, nil
+	}
+	b := &Benchmark{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		value, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("value %q: %w", fields[i], err)
+		}
+		unit := fields[i+1]
+		switch unit {
+		case "ns/op":
+			b.NsPerOp = value
+		case "B/op":
+			v := value
+			b.BytesPerOp = &v
+		case "allocs/op":
+			v := value
+			b.AllocsPerOp = &v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = value
+		}
+	}
+	return b, nil
+}
+
+// derive computes cross-benchmark quantities: the Fig6 worker-scaling
+// speedup and the Trim rewrite's improvement over the map baseline.
+func derive(benches []Benchmark) map[string]float64 {
+	ns := func(suffix string) float64 {
+		for _, b := range benches {
+			if strings.HasSuffix(stripProcs(b.Name), suffix) {
+				return b.NsPerOp
+			}
+		}
+		return 0
+	}
+	d := map[string]float64{}
+	if p1, p8 := ns("Fig6Attack/parallel=1"), ns("Fig6Attack/parallel=8"); p1 > 0 && p8 > 0 {
+		d["fig6_speedup_8_over_1_workers"] = p1 / p8
+	}
+	if idx, base := ns("Trim/indexed"), ns("Trim/map-baseline"); idx > 0 && base > 0 {
+		d["trim_speedup_indexed_over_map"] = base / idx
+	}
+	if len(d) == 0 {
+		return nil
+	}
+	return d
+}
+
+// stripProcs drops the trailing -GOMAXPROCS suffix go test appends to
+// benchmark names (absent on single-proc runs).
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R)
+BenchmarkFig6Attack/parallel=1-8         	       2	 500000000 ns/op	      12.5 defense-top1@500m-%	20000000 B/op	   30000 allocs/op
+BenchmarkFig6Attack/parallel=8-8         	       8	 125000000 ns/op	      12.5 defense-top1@500m-%	20000000 B/op	   30000 allocs/op
+PASS
+pkg: repro/internal/cluster
+BenchmarkTrim/indexed-8                  	   17906	     66549 ns/op	      56 B/op	       2 allocs/op
+BenchmarkTrim/indexed-grid-8             	    8554	    140289 ns/op	   14474 B/op	      16 allocs/op
+BenchmarkTrim/map-baseline-8             	    2538	    470544 ns/op	  162264 B/op	      10 allocs/op
+ok  	repro/internal/cluster	5.1s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.CPU != "Intel(R) Xeon(R)" {
+		t.Errorf("header = %+v", rep)
+	}
+	if len(rep.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkFig6Attack/parallel=1-8" || b.Package != "repro" {
+		t.Errorf("first bench = %+v", b)
+	}
+	if b.NsPerOp != 5e8 || b.Iterations != 2 {
+		t.Errorf("timing = %+v", b)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 30000 || b.BytesPerOp == nil || *b.BytesPerOp != 2e7 {
+		t.Errorf("memory = %+v", b)
+	}
+	if b.Metrics["defense-top1@500m-%"] != 12.5 {
+		t.Errorf("custom metric = %v", b.Metrics)
+	}
+	if rep.Benchmarks[2].Package != "repro/internal/cluster" {
+		t.Errorf("package tracking broken: %+v", rep.Benchmarks[2])
+	}
+}
+
+func TestDerive(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := derive(rep.Benchmarks)
+	if got := d["fig6_speedup_8_over_1_workers"]; got != 4 {
+		t.Errorf("fig6 speedup = %g, want 4", got)
+	}
+	want := 470544.0 / 66549.0
+	if got := d["trim_speedup_indexed_over_map"]; got != want {
+		t.Errorf("trim speedup = %g, want %g", got, want)
+	}
+	if derive(nil) != nil {
+		t.Error("derive(nil) should be nil")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/edge"
 	"repro/internal/geo"
 	"repro/internal/geoind"
+	"repro/internal/par"
 	"repro/internal/randx"
 	"repro/internal/rtb"
 	"repro/internal/trace"
@@ -149,6 +150,9 @@ func run(args []string) error {
 	// The exchange's metric families are registered even in direct-match
 	// mode so /metrics has a stable schema across both modes.
 	exchange.Instrument(server.Registry())
+	// The parallel fan-out layer shares the same registry so batch
+	// rebuilds triggered through the engine are observable.
+	par.Instrument(server.Registry())
 
 	if *debugAddr != "" {
 		dln, err := net.Listen("tcp", *debugAddr)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -35,6 +36,7 @@ func run(args []string) error {
 		trials   = fs.Int("trials", 0, "Monte-Carlo trials override (0 = default)")
 		maxCk    = fs.Int("max-checkins", 0, "per-user check-in cap override (0 = default)")
 		seed     = fs.Uint64("seed", 1, "randomness seed")
+		parallel = fs.Int("parallel", runtime.NumCPU(), "worker count for the deterministic fan-out (results are identical at any value)")
 		paper    = fs.Bool("paper", false, "use paper-scale options (37262 users, 100000 trials; slow)")
 		markdown = fs.String("markdown", "", "also write results as a markdown report to this path")
 	)
@@ -56,6 +58,7 @@ func run(args []string) error {
 		opts.MaxCheckIns = *maxCk
 	}
 	opts.Seed = *seed
+	opts.Parallelism = *parallel
 
 	ids := experiments.IDs()
 	if *runID != "all" {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/geo"
+	"repro/internal/spatial"
 )
 
 // Options parameterises Algorithm 1.
@@ -57,18 +58,27 @@ func TopN(observed []geo.Point, n int, opts Options) ([]geo.Point, error) {
 	}
 	remainingCount := len(observed)
 
+	// Rank iterations reuse one grid and one pair of scratch slices: each
+	// round re-packs the remaining observations and Resets/refills the
+	// index instead of allocating fresh ones per rank.
+	grid, err := spatial.NewGrid(opts.Theta)
+	if err != nil {
+		return nil, fmt.Errorf("attack: building index: %w", err)
+	}
+	idx := make([]int, 0, remainingCount)
+	pts := make([]geo.Point, 0, remainingCount)
+
 	inferred := make([]geo.Point, 0, n)
 	for rank := 0; rank < n && remainingCount > 0; rank++ {
 		// Cluster the remaining observations by connectivity (Alg. 1:4).
-		idx := make([]int, 0, remainingCount)
-		pts := make([]geo.Point, 0, remainingCount)
+		idx, pts = idx[:0], pts[:0]
 		for i, ok := range remaining {
 			if ok {
 				idx = append(idx, i)
 				pts = append(pts, observed[i])
 			}
 		}
-		clusters, err := cluster.Connectivity(pts, opts.Theta)
+		clusters, err := cluster.ConnectivityWithGrid(grid, pts, opts.Theta)
 		if err != nil {
 			return nil, fmt.Errorf("attack: clustering rank %d: %w", rank+1, err)
 		}
@@ -78,10 +88,13 @@ func TopN(observed []geo.Point, n int, opts Options) ([]geo.Point, error) {
 		largest := clusters[0] // Alg. 1:5 — the largest cluster
 
 		// Trim and refine (Alg. 1:6, 10–19). Adoption is limited to
-		// still-unassigned points, which here is every point in pts.
+		// still-unassigned points, which here is every point in pts; the
+		// connectivity grid (which holds exactly pts) doubles as the
+		// adoption index.
 		members, centroid, err := cluster.Trim(pts, largest.Members, cluster.TrimOptions{
 			Radius:        opts.ClusterRadius,
 			MaxIterations: opts.MaxTrimIterations,
+			Index:         grid,
 		}, nil)
 		if err != nil {
 			return nil, fmt.Errorf("attack: trimming rank %d: %w", rank+1, err)

@@ -36,6 +36,18 @@ func (c Cluster) Size() int { return len(c.Members) }
 // size, ties broken by the smallest member index, so results are
 // deterministic.
 func Connectivity(pts []geo.Point, threshold float64) ([]Cluster, error) {
+	return ConnectivityWithGrid(nil, pts, threshold)
+}
+
+// ConnectivityWithGrid is Connectivity with a caller-provided reusable
+// index: grid is Reset and refilled with pts (ids are slice indexes),
+// avoiding per-call map growth on hot paths that cluster many point sets
+// in sequence (the attack clusters once per rank per user). The grid's
+// own cell size is used as-is; build it with cellSize == threshold for
+// the intended near-linear behaviour. A nil grid allocates a fresh one.
+// On success the grid holds exactly pts, which callers may keep using
+// for follow-up queries such as Trim adoption.
+func ConnectivityWithGrid(grid *spatial.Grid, pts []geo.Point, threshold float64) ([]Cluster, error) {
 	if threshold <= 0 {
 		return nil, fmt.Errorf("cluster: connectivity threshold %g must be positive", threshold)
 	}
@@ -43,9 +55,14 @@ func Connectivity(pts []geo.Point, threshold float64) ([]Cluster, error) {
 		return nil, nil
 	}
 
-	grid, err := spatial.NewGrid(threshold)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: building index: %w", err)
+	if grid == nil {
+		var err error
+		grid, err = spatial.NewGrid(threshold)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: building index: %w", err)
+		}
+	} else {
+		grid.Reset()
 	}
 	for i, p := range pts {
 		grid.Insert(i, p)
@@ -103,6 +120,12 @@ type TrimOptions struct {
 	// more points to update", which converges quickly in practice but is
 	// not guaranteed to terminate in theory. Zero selects a default of 64.
 	MaxIterations int
+	// Index optionally provides a prebuilt spatial index over the same pts
+	// slice (ids are slice indexes, e.g. the grid ConnectivityWithGrid just
+	// filled). When set, the adoption pass queries the index instead of
+	// scanning every point; Trim never mutates it. The index's cell size
+	// need not match Radius — Grid.Within is exact for any query radius.
+	Index *spatial.Grid
 }
 
 // Trim implements the TRIMMING procedure of Algorithm 1. Starting from
@@ -126,64 +149,92 @@ func Trim(pts []geo.Point, initial []int, opts TrimOptions, available func(i int
 		return nil, geo.Point{}, nil
 	}
 
-	in := make(map[int]bool, len(initial))
+	// Membership is an indexed bitset plus an ascending member slice;
+	// centroid sums are maintained incrementally as members come and go,
+	// replacing the old map[int]bool set and its full per-iteration
+	// recomputation. Summation order is fixed (ascending indexes at init,
+	// then the loop's own deterministic discard/adopt order), so results
+	// are reproducible where map iteration order was not.
+	in := make([]bool, len(pts))
+	members := make([]int, 0, len(initial))
 	for _, i := range initial {
 		if i < 0 || i >= len(pts) {
 			return nil, geo.Point{}, fmt.Errorf("cluster: member index %d out of range [0, %d)", i, len(pts))
 		}
+		if in[i] {
+			continue
+		}
 		in[i] = true
+		members = append(members, i)
+	}
+	sort.Ints(members)
+	var sx, sy float64
+	for _, i := range members {
+		sx += pts[i].X
+		sy += pts[i].Y
 	}
 
 	r2 := opts.Radius * opts.Radius
-	centroid := centroidFromSet(pts, in)
+	centroid := geo.Point{X: sx / float64(len(members)), Y: sy / float64(len(members))}
+	var buf []int
 	for iter := 0; iter < maxIter; iter++ {
 		changed := false
 
-		// Discard members outside the radius.
-		for i := range in {
+		// Discard members outside the radius, compacting the member slice
+		// in place (ascending order is preserved).
+		kept := members[:0]
+		for _, i := range members {
 			if pts[i].Dist2(centroid) > r2 {
-				delete(in, i)
+				in[i] = false
+				sx -= pts[i].X
+				sy -= pts[i].Y
 				changed = true
+			} else {
+				kept = append(kept, i)
 			}
 		}
-		if len(in) == 0 {
+		members = kept
+		if len(members) == 0 {
 			return nil, geo.Point{}, nil
 		}
 
-		// Adopt available points inside the radius.
-		for i := range pts {
-			if in[i] {
-				continue
-			}
-			if available != nil && !available(i) {
-				continue
-			}
-			if pts[i].Dist2(centroid) <= r2 {
+		// Adopt available points inside the radius, against the same
+		// centroid the discard pass used.
+		adoptedAt := len(members)
+		if opts.Index != nil {
+			buf = opts.Index.Within(buf[:0], centroid, opts.Radius)
+			for _, i := range buf {
+				if in[i] || (available != nil && !available(i)) {
+					continue
+				}
 				in[i] = true
+				members = append(members, i)
+				sx += pts[i].X
+				sy += pts[i].Y
 				changed = true
 			}
+		} else {
+			for i, p := range pts {
+				if in[i] || (available != nil && !available(i)) {
+					continue
+				}
+				if p.Dist2(centroid) <= r2 {
+					in[i] = true
+					members = append(members, i)
+					sx += pts[i].X
+					sy += pts[i].Y
+					changed = true
+				}
+			}
+		}
+		if adoptedAt < len(members) {
+			sort.Ints(members)
 		}
 
-		centroid = centroidFromSet(pts, in)
+		centroid = geo.Point{X: sx / float64(len(members)), Y: sy / float64(len(members))}
 		if !changed {
 			break
 		}
 	}
-
-	members := make([]int, 0, len(in))
-	for i := range in {
-		members = append(members, i)
-	}
-	sort.Ints(members)
 	return members, centroid, nil
-}
-
-func centroidFromSet(pts []geo.Point, in map[int]bool) geo.Point {
-	var sx, sy float64
-	for i := range in {
-		sx += pts[i].X
-		sy += pts[i].Y
-	}
-	n := float64(len(in))
-	return geo.Point{X: sx / n, Y: sy / n}
 }

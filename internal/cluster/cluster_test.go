@@ -2,10 +2,13 @@ package cluster
 
 import (
 	"math"
+	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/geo"
 	"repro/internal/randx"
+	"repro/internal/spatial"
 )
 
 func TestConnectivityBasicGroups(t *testing.T) {
@@ -290,4 +293,200 @@ func BenchmarkConnectivity10k(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// gaussianSites builds a mixture of Gaussian-noised sites, the shape the
+// attack feeds Trim at scale.
+func gaussianSites(rnd *randx.Rand, perSite int) []geo.Point {
+	sites := []geo.Point{{X: 0, Y: 0}, {X: 900, Y: 400}, {X: -1200, Y: 2500}}
+	var pts []geo.Point
+	for _, s := range sites {
+		for i := 0; i < perSite; i++ {
+			pts = append(pts, s.Add(rnd.GaussianPolar(120)))
+		}
+	}
+	return pts
+}
+
+func TestConnectivityWithGridReuseMatchesFresh(t *testing.T) {
+	rnd := randx.New(4, 9)
+	grid, err := spatial.NewGrid(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reuse the same grid across successive point sets of different sizes
+	// and verify each result matches a fresh Connectivity call.
+	for round := 0; round < 4; round++ {
+		pts := gaussianSites(rnd, 50+40*round)
+		want, err := Connectivity(pts, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ConnectivityWithGrid(grid, pts, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d clusters vs %d fresh", round, len(got), len(want))
+		}
+		for c := range got {
+			if !reflect.DeepEqual(got[c].Members, want[c].Members) {
+				t.Fatalf("round %d cluster %d: members differ", round, c)
+			}
+			if got[c].Centroid != want[c].Centroid {
+				t.Fatalf("round %d cluster %d: centroid differs", round, c)
+			}
+		}
+	}
+}
+
+// TestTrimWithIndexMatchesScan: adoption through a prebuilt spatial index
+// must select exactly the same members as the full linear scan, for index
+// cell sizes both below and above the trim radius.
+func TestTrimWithIndexMatchesScan(t *testing.T) {
+	rnd := randx.New(11, 2)
+	pts := gaussianSites(rnd, 120)
+	initial := make([]int, 120)
+	for i := range initial {
+		initial[i] = i
+	}
+	avail := func(i int) bool { return i%7 != 0 }
+	wantMembers, wantCentroid, err := Trim(pts, initial, TrimOptions{Radius: 360}, avail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range []float64{50, 360, 1000} {
+		grid, err := spatial.NewGrid(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range pts {
+			grid.Insert(i, p)
+		}
+		got, centroid, err := Trim(pts, initial, TrimOptions{Radius: 360, Index: grid}, avail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, wantMembers) {
+			t.Fatalf("cell=%g: members differ from scan path", cell)
+		}
+		if centroid.Dist(wantCentroid) > 1e-9 {
+			t.Fatalf("cell=%g: centroid %v vs scan %v", cell, centroid, wantCentroid)
+		}
+	}
+}
+
+func TestTrimDeduplicatesInitial(t *testing.T) {
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}}
+	members, centroid, err := Trim(pts, []int{1, 0, 1, 0, 0}, TrimOptions{Radius: 100}, func(int) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(members, []int{0, 1}) {
+		t.Fatalf("members = %v, want [0 1]", members)
+	}
+	if want := (geo.Point{X: 5, Y: 0}); centroid.Dist(want) > 1e-9 {
+		t.Fatalf("centroid = %v, want %v (duplicates must not skew the mean)", centroid, want)
+	}
+}
+
+// trimMapBaseline reimplements the pre-optimisation Trim (map membership,
+// full centroid recomputation, linear adoption scan) as the benchmark
+// baseline for the indexed-membership rewrite.
+func trimMapBaseline(pts []geo.Point, initial []int, radius float64, maxIter int) ([]int, geo.Point) {
+	in := make(map[int]bool, len(initial))
+	for _, i := range initial {
+		in[i] = true
+	}
+	centroidFromSet := func() geo.Point {
+		var sx, sy float64
+		for i := range in {
+			sx += pts[i].X
+			sy += pts[i].Y
+		}
+		n := float64(len(in))
+		return geo.Point{X: sx / n, Y: sy / n}
+	}
+	r2 := radius * radius
+	centroid := centroidFromSet()
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i := range in {
+			if pts[i].Dist2(centroid) > r2 {
+				delete(in, i)
+				changed = true
+			}
+		}
+		if len(in) == 0 {
+			return nil, geo.Point{}
+		}
+		for i := range pts {
+			if in[i] {
+				continue
+			}
+			if pts[i].Dist2(centroid) <= r2 {
+				in[i] = true
+				changed = true
+			}
+		}
+		centroid = centroidFromSet()
+		if !changed {
+			break
+		}
+	}
+	members := make([]int, 0, len(in))
+	for i := range in {
+		members = append(members, i)
+	}
+	sort.Ints(members)
+	return members, centroid
+}
+
+func benchTrimInput(b *testing.B) ([]geo.Point, []int) {
+	b.Helper()
+	rnd := randx.New(1, 1)
+	pts := gaussianSites(rnd, 2000)
+	initial := make([]int, 2000)
+	for i := range initial {
+		initial[i] = i
+	}
+	return pts, initial
+}
+
+func BenchmarkTrim(b *testing.B) {
+	b.Run("indexed", func(b *testing.B) {
+		pts, initial := benchTrimInput(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := Trim(pts, initial, TrimOptions{Radius: 360}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("indexed-grid", func(b *testing.B) {
+		pts, initial := benchTrimInput(b)
+		grid, err := spatial.NewGrid(360)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i, p := range pts {
+			grid.Insert(i, p)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := Trim(pts, initial, TrimOptions{Radius: 360, Index: grid}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("map-baseline", func(b *testing.B) {
+		pts, initial := benchTrimInput(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			trimMapBaseline(pts, initial, 360, 64)
+		}
+	})
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/geoind"
+	"repro/internal/par"
 	"repro/internal/profile"
 	"repro/internal/randx"
 	"repro/internal/trace"
@@ -239,6 +240,30 @@ func (e *Engine) RebuildProfile(userID string, now time.Time) error {
 		return fmt.Errorf("core: rebuilding profile for %q: %w", userID, err)
 	}
 	return nil
+}
+
+// RebuildAll recomputes every known user's profile (the periodic task of
+// Section V-B run over the whole population, and the batch path the
+// Table II scaling experiment drives). Users rebuild concurrently under
+// at most parallelism workers (≤ 0 selects runtime.NumCPU()); each
+// user's randomness comes from its own ID-hash-derived stream, so the
+// resulting tables are identical at any parallelism level. Every user is
+// attempted even after failures; the returned error is the one for the
+// first failing user in sorted ID order.
+func (e *Engine) RebuildAll(now time.Time, parallelism int) error {
+	ids := e.Users()
+	return par.ForEachErr(parallelism, len(ids), func(i int) error {
+		u, err := e.lookup(ids[i])
+		if err != nil {
+			return err
+		}
+		u.mu.Lock()
+		defer u.mu.Unlock()
+		if err := e.rebuildLocked(u, now); err != nil {
+			return fmt.Errorf("core: rebuilding profile for %q: %w", ids[i], err)
+		}
+		return nil
+	})
 }
 
 // rebuildLocked recomputes the η-frequent top set from pending check-ins

@@ -2,7 +2,9 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -517,5 +519,81 @@ func BenchmarkEngineRequestTopLocation(b *testing.B) {
 		if _, _, err := e.Request("bench", home); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestEngineRebuildAllMatchesSequential: the batch rebuild must leave
+// every user with exactly the table a per-user sequential rebuild
+// produces, at any parallelism level, because per-user randomness is
+// derived from the user ID rather than shared.
+func TestEngineRebuildAllMatchesSequential(t *testing.T) {
+	build := func(parallelism int) *Engine {
+		e, err := NewEngine(testConfig(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rnd := randx.New(77, 1)
+		base := time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC)
+		for u := 0; u < 12; u++ {
+			id := fmt.Sprintf("user-%03d", u)
+			home := geo.Point{X: rnd.Float64() * 40000, Y: rnd.Float64() * 40000}
+			at := base
+			for i := 0; i < 120; i++ {
+				at = at.Add(6 * time.Hour)
+				if err := e.Report(id, home.Add(rnd.GaussianPolar(12)), at); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		now := base.AddDate(0, 2, 0)
+		if parallelism == 0 {
+			for _, id := range e.Users() {
+				if err := e.RebuildProfile(id, now); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else if err := e.RebuildAll(now, parallelism); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	want := build(0)
+	for _, parallelism := range []int{1, 8} {
+		got := build(parallelism)
+		for _, id := range want.Users() {
+			wantTable, err := want.Table(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotTable, err := got.Table(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotTable, wantTable) {
+				t.Fatalf("parallelism=%d: user %s table differs from sequential rebuild", parallelism, id)
+			}
+			wantTops, err := want.TopLocations(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotTops, err := got.TopLocations(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotTops, wantTops) {
+				t.Fatalf("parallelism=%d: user %s tops differ from sequential rebuild", parallelism, id)
+			}
+		}
+	}
+}
+
+func TestEngineRebuildAllEmptyEngine(t *testing.T) {
+	e, err := NewEngine(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RebuildAll(time.Now(), 4); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -44,6 +44,11 @@ type Options struct {
 	URSamples int
 	// Seed drives all randomness.
 	Seed uint64
+	// Parallelism bounds the worker count of the parallelized runner
+	// stages (population generation, per-user attacks, Monte-Carlo
+	// trials); ≤ 0 selects runtime.NumCPU(). Every runner produces
+	// bit-identical results at any parallelism level.
+	Parallelism int
 }
 
 // DefaultOptions returns a configuration that completes each experiment
@@ -59,7 +64,9 @@ func DefaultOptions() Options {
 }
 
 // PaperOptions returns the paper-scale configuration (37,262 users,
-// 100,000 trials). Running everything at this scale takes a long time.
+// 100,000 trials). The runners fan out across Parallelism workers with
+// bit-identical results, so at this scale run on a many-core host with
+// Parallelism left at 0 (all cores); expect minutes, not hours.
 func PaperOptions() Options {
 	return Options{
 		Users:       37262,

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -174,6 +175,79 @@ func TestFig6Shape(t *testing.T) {
 		}
 		if r.Success[0][1] > 0.15 {
 			t.Errorf("%s: top-1@500m = %.3f, want <= 0.15 (paper: 6.8%%)", r.Scheme, r.Success[0][1])
+		}
+	}
+}
+
+// TestFig6DeterministicAcrossParallelism is the regression gate for the
+// deterministic fan-out layer: the same seed must produce byte-identical
+// rows whether the pipeline runs on one worker or eight.
+func TestFig6DeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs fig6 twice")
+	}
+	opts := fastOptions()
+	opts.Users = 30
+	opts.MaxCheckIns = 300
+
+	opts.Parallelism = 1
+	seq, err := RunFig6(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallelism = 8
+	par8, err := RunFig6(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(par8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("fig6 rows differ across parallelism:\n  p=1: %s\n  p=8: %s", a, b)
+	}
+}
+
+// TestMonteCarloDeterministicAcrossParallelism pins the per-trial fan-out
+// paths (fig7/fig9/qos) to worker-count-independent results.
+func TestMonteCarloDeterministicAcrossParallelism(t *testing.T) {
+	opts := fastOptions()
+	opts.Trials = 200
+
+	run := func(parallelism int) ([]Fig9Point, []QoSPoint) {
+		o := opts
+		o.Parallelism = parallelism
+		f9, err := RunFig9(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qos, err := RunQoS(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f9, qos
+	}
+	f9seq, qosSeq := run(1)
+	f9par, qosPar := run(8)
+	for name, pair := range map[string][2]any{
+		"fig9": {f9seq, f9par},
+		"qos":  {qosSeq, qosPar},
+	} {
+		a, err := json.Marshal(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs across parallelism:\n  p=1: %s\n  p=8: %s", name, a, b)
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/geoind"
 	"repro/internal/mathx"
+	"repro/internal/par"
 	"repro/internal/profile"
 	"repro/internal/randx"
 	"repro/internal/trace"
@@ -76,9 +77,26 @@ func Fig3(opts Options) (*Result, error) {
 	cfg.Seed = opts.Seed
 	cfg.NumUsers = opts.Users
 	cfg.MaxCheckIns = opts.MaxCheckIns
+	cfg.Parallelism = opts.Parallelism
 	ds, err := trace.Generate(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("generating fig3 population: %w", err)
+	}
+
+	// Profiling is pure per user, so it fans out; the entropies land in
+	// index-addressed slots and are aggregated sequentially below so the
+	// moment sums accumulate in a fixed order.
+	entropies := make([]float64, len(ds.Users))
+	err = par.ForEachErr(opts.Parallelism, len(ds.Users), func(i int) error {
+		prof, err := profile.Build(ds.Users[i].Points(), 0)
+		if err != nil {
+			return fmt.Errorf("profiling %s: %w", ds.Users[i].ID, err)
+		}
+		entropies[i] = prof.Entropy()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	type bucket struct {
@@ -90,12 +108,8 @@ func Fig3(opts Options) (*Result, error) {
 	}
 	sums := make([]mathx.OnlineMoments, len(buckets))
 	below2 := 0
-	for _, u := range ds.Users {
-		prof, err := profile.Build(u.Points(), 0)
-		if err != nil {
-			return nil, fmt.Errorf("profiling %s: %w", u.ID, err)
-		}
-		h := prof.Entropy()
+	for ui, u := range ds.Users {
+		h := entropies[ui]
 		if h < 2 {
 			below2++
 		}
@@ -184,38 +198,43 @@ func RunFig4(opts Options) (Fig4CaseStudy, error) {
 		return Fig4CaseStudy{}, fmt.Errorf("confidence radius: %w", err)
 	}
 
-	attackWindow := func(span time.Duration) (float64, error) {
-		end := start.Add(span)
-		var observed []geo.Point
-		for _, c := range checkIns {
-			if c.Time.Before(end) {
-				out, err := mech.Obfuscate(rnd, c.Pos)
-				if err != nil {
-					return 0, fmt.Errorf("obfuscating: %w", err)
-				}
-				observed = append(observed, out[0])
-			}
-		}
-		inferred, err := attack.TopN(observed, 1, attack.Options{Theta: 150, ClusterRadius: rAlpha})
+	// Obfuscate every check-in exactly once, in parallel, each from its
+	// index-derived stream; every observation window then attacks the
+	// prefix of observations the adversary would have collected by its
+	// end, mirroring a longitudinal eavesdropper.
+	observed := make([]geo.Point, len(checkIns))
+	if err := par.MapSeeded(opts.Parallelism, len(checkIns), rnd, func(i int, rnd *randx.Rand) error {
+		out, err := mech.Obfuscate(rnd, checkIns[i].Pos)
 		if err != nil {
-			return 0, fmt.Errorf("attacking: %w", err)
+			return fmt.Errorf("obfuscating: %w", err)
 		}
-		return attack.InferenceDistance(inferred, []geo.Point{home}, 1), nil
+		observed[i] = out[0]
+		return nil
+	}); err != nil {
+		return Fig4CaseStudy{}, err
 	}
 
-	week, err := attackWindow(7 * 24 * time.Hour)
+	windows := []time.Duration{7 * 24 * time.Hour, 30 * 24 * time.Hour, year}
+	dists := make([]float64, len(windows))
+	err = par.ForEachErr(opts.Parallelism, len(windows), func(w int) error {
+		end := start.Add(windows[w])
+		var obs []geo.Point
+		for i, c := range checkIns {
+			if c.Time.Before(end) {
+				obs = append(obs, observed[i])
+			}
+		}
+		inferred, err := attack.TopN(obs, 1, attack.Options{Theta: 150, ClusterRadius: rAlpha})
+		if err != nil {
+			return fmt.Errorf("attacking: %w", err)
+		}
+		dists[w] = attack.InferenceDistance(inferred, []geo.Point{home}, 1)
+		return nil
+	})
 	if err != nil {
 		return Fig4CaseStudy{}, err
 	}
-	month, err := attackWindow(30 * 24 * time.Hour)
-	if err != nil {
-		return Fig4CaseStudy{}, err
-	}
-	full, err := attackWindow(year)
-	if err != nil {
-		return Fig4CaseStudy{}, err
-	}
-	return Fig4CaseStudy{WeekMeters: week, MonthMeters: month, YearMeters: full}, nil
+	return Fig4CaseStudy{WeekMeters: dists[0], MonthMeters: dists[1], YearMeters: dists[2]}, nil
 }
 
 // Fig4 regenerates Fig. 4 — the de-obfuscation case study: inference

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/geoind"
+	"repro/internal/par"
 	"repro/internal/randx"
 	"repro/internal/trace"
 )
@@ -32,6 +33,7 @@ func RunFig6(opts Options) ([]Fig6Row, error) {
 	cfg.Seed = opts.Seed
 	cfg.NumUsers = opts.Users
 	cfg.MaxCheckIns = opts.MaxCheckIns
+	cfg.Parallelism = opts.Parallelism
 	ds, err := trace.Generate(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("generating fig6 population: %w", err)
@@ -71,22 +73,30 @@ func RunFig6(opts Options) ([]Fig6Row, error) {
 		// bridging distinct top locations.
 		attackOpts := attack.Options{Theta: math.Max(150, rAlpha/4), ClusterRadius: rAlpha}
 
+		// Each user's obfuscation noise comes from an index-derived stream
+		// and the attack is pure, so users fan out in parallel with
+		// bit-identical results at any worker count.
 		rnd := randx.New(opts.Seed, uint64(lvl.level*1e6))
 		results := make([][]geo.Point, len(ds.Users))
-		for i, u := range ds.Users {
+		err = par.MapSeeded(opts.Parallelism, len(ds.Users), rnd, func(i int, rnd *randx.Rand) error {
+			u := ds.Users[i]
 			observed := make([]geo.Point, 0, len(u.CheckIns))
 			for _, c := range u.CheckIns {
 				out, err := mech.Obfuscate(rnd, c.Pos)
 				if err != nil {
-					return nil, fmt.Errorf("obfuscating for %s: %w", lvl.name, err)
+					return fmt.Errorf("obfuscating for %s: %w", lvl.name, err)
 				}
 				observed = append(observed, out[0])
 			}
 			inferred, err := attack.TopN(observed, 2, attackOpts)
 			if err != nil {
-				return nil, fmt.Errorf("attacking %s under %s: %w", u.ID, lvl.name, err)
+				return fmt.Errorf("attacking %s under %s: %w", u.ID, lvl.name, err)
 			}
 			results[i] = inferred
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		rows = append(rows, successRow(lvl.name, results, truths))
 	}
@@ -97,7 +107,7 @@ func RunFig6(opts Options) ([]Fig6Row, error) {
 	for _, eps := range []float64{1, 1.5} {
 		name := fmt.Sprintf("Edge-PrivLocAd 10-fold eps=%g", eps)
 		params := geoind.Params{Radius: 500, Epsilon: eps, Delta: 0.01, N: 10}
-		results, err := runDefenseExposure(ds, params, opts.Seed)
+		results, err := runDefenseExposure(ds, params, opts.Seed, opts.Parallelism)
 		if err != nil {
 			return nil, fmt.Errorf("defense exposure eps=%g: %w", eps, err)
 		}
@@ -108,8 +118,11 @@ func RunFig6(opts Options) ([]Fig6Row, error) {
 
 // runDefenseExposure replays every user's trace through the Edge-PrivLocAd
 // engine, collects the locations the ad network would observe, and runs
-// the longitudinal attack on them.
-func runDefenseExposure(ds *trace.Dataset, params geoind.Params, seed uint64) ([][]geo.Point, error) {
+// the longitudinal attack on them. Users are replayed concurrently under
+// at most parallelism workers: the engine derives each user's randomness
+// from its ID, so the exposed streams — and the attack results — are
+// identical at any parallelism level.
+func runDefenseExposure(ds *trace.Dataset, params geoind.Params, seed uint64, parallelism int) ([][]geo.Point, error) {
 	mech, err := geoind.NewNFoldGaussian(params)
 	if err != nil {
 		return nil, fmt.Errorf("building n-fold mechanism: %w", err)
@@ -134,30 +147,35 @@ func runDefenseExposure(ds *trace.Dataset, params geoind.Params, seed uint64) ([
 	attackOpts := attack.Options{Theta: 500, ClusterRadius: rAlpha}
 
 	results := make([][]geo.Point, len(ds.Users))
-	for i, u := range ds.Users {
+	err = par.ForEachErr(parallelism, len(ds.Users), func(i int) error {
+		u := ds.Users[i]
 		var end time.Time
 		for _, c := range u.CheckIns {
 			if err := engine.Report(u.ID, c.Pos, c.Time); err != nil {
-				return nil, fmt.Errorf("reporting for %s: %w", u.ID, err)
+				return fmt.Errorf("reporting for %s: %w", u.ID, err)
 			}
 			end = c.Time
 		}
 		if err := engine.RebuildProfile(u.ID, end); err != nil {
-			return nil, fmt.Errorf("rebuilding %s: %w", u.ID, err)
+			return fmt.Errorf("rebuilding %s: %w", u.ID, err)
 		}
 		observed := make([]geo.Point, 0, len(u.CheckIns))
 		for _, c := range u.CheckIns {
 			out, _, err := engine.Request(u.ID, c.Pos)
 			if err != nil {
-				return nil, fmt.Errorf("requesting for %s: %w", u.ID, err)
+				return fmt.Errorf("requesting for %s: %w", u.ID, err)
 			}
 			observed = append(observed, out)
 		}
 		inferred, err := attack.TopN(observed, 2, attackOpts)
 		if err != nil {
-			return nil, fmt.Errorf("attacking defended %s: %w", u.ID, err)
+			return fmt.Errorf("attacking defended %s: %w", u.ID, err)
 		}
 		results[i] = inferred
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }

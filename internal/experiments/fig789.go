@@ -9,21 +9,28 @@ import (
 	"repro/internal/geo"
 	"repro/internal/geoind"
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/randx"
 )
 
 // urTrials runs `trials` independent obfuscations of the origin with the
 // mechanism and returns the per-trial utilization rates at targeting
-// radius R.
-func urTrials(mech geoind.Mechanism, rnd *randx.Rand, trials, samples int, targetRadius float64) ([]float64, error) {
+// radius R. Trials are mutually independent Monte-Carlo draws, so they
+// fan out across parallelism workers, each trial on its own
+// index-derived stream.
+func urTrials(mech geoind.Mechanism, rnd *randx.Rand, trials, samples int, targetRadius float64, parallelism int) ([]float64, error) {
 	truth := geo.Point{}
-	urs := make([]float64, 0, trials)
-	for i := 0; i < trials; i++ {
+	urs := make([]float64, trials)
+	err := par.MapSeeded(parallelism, trials, rnd, func(i int, rnd *randx.Rand) error {
 		cands, err := mech.Obfuscate(rnd, truth)
 		if err != nil {
-			return nil, fmt.Errorf("obfuscating trial %d: %w", i, err)
+			return fmt.Errorf("obfuscating trial %d: %w", i, err)
 		}
-		urs = append(urs, metrics.UtilizationRate(rnd, truth, cands, targetRadius, samples))
+		urs[i] = metrics.UtilizationRate(rnd, truth, cands, targetRadius, samples)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return urs, nil
 }
@@ -58,7 +65,7 @@ func RunFig7(opts Options) ([]Fig7Point, error) {
 				return nil, fmt.Errorf("building %s n=%d: %w", b.name, n, err)
 			}
 			rnd := randx.New(opts.Seed, uint64(n*10+bi))
-			urs, err := urTrials(mech, rnd, opts.Trials, opts.URSamples, targetRadius)
+			urs, err := urTrials(mech, rnd, opts.Trials, opts.URSamples, targetRadius, opts.Parallelism)
 			if err != nil {
 				return nil, fmt.Errorf("UR trials %s n=%d: %w", b.name, n, err)
 			}
@@ -124,7 +131,7 @@ func RunFig8(opts Options) ([]Fig8Point, error) {
 					return nil, fmt.Errorf("building n-fold eps=%g r=%g n=%d: %w", eps, r, n, err)
 				}
 				rnd := randx.New(opts.Seed, uint64(eps*1000)+uint64(r)*100+uint64(n))
-				urs, err := urTrials(mech, rnd, opts.Trials, opts.URSamples, targetRadius)
+				urs, err := urTrials(mech, rnd, opts.Trials, opts.URSamples, targetRadius, opts.Parallelism)
 				if err != nil {
 					return nil, fmt.Errorf("UR trials eps=%g r=%g n=%d: %w", eps, r, n, err)
 				}
@@ -187,17 +194,28 @@ func RunFig9(opts Options) ([]Fig9Point, error) {
 			// deviation — which is what concentrates selection near the
 			// centroid and keeps efficacy flat (Observation-4).
 			posteriorSigma := mech.Sigma() / math.Sqrt(float64(n))
-			var sum float64
-			for i := 0; i < opts.Trials; i++ {
+			// Trials fan out to per-index streams; the per-trial efficacies
+			// are then summed in index order so the floating-point total is
+			// independent of worker scheduling.
+			effs := make([]float64, opts.Trials)
+			err = par.MapSeeded(opts.Parallelism, opts.Trials, rnd, func(i int, rnd *randx.Rand) error {
 				cands, err := mech.Obfuscate(rnd, truth)
 				if err != nil {
-					return nil, fmt.Errorf("obfuscating r=%g n=%d: %w", r, n, err)
+					return fmt.Errorf("obfuscating r=%g n=%d: %w", r, n, err)
 				}
 				selected, _, err := core.SelectPosterior(rnd, cands, posteriorSigma)
 				if err != nil {
-					return nil, fmt.Errorf("selecting r=%g n=%d: %w", r, n, err)
+					return fmt.Errorf("selecting r=%g n=%d: %w", r, n, err)
 				}
-				sum += metrics.EfficacyAnalytic(truth, selected, targetRadius)
+				effs[i] = metrics.EfficacyAnalytic(truth, selected, targetRadius)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var sum float64
+			for _, e := range effs {
+				sum += e
 			}
 			points = append(points, Fig9Point{Radius: r, N: n, MeanEfficacy: sum / float64(opts.Trials)})
 		}

@@ -7,7 +7,6 @@ import (
 	"repro/internal/attack"
 	"repro/internal/geo"
 	"repro/internal/geoind"
-	"repro/internal/metrics"
 	"repro/internal/randx"
 	"repro/internal/trace"
 )
@@ -31,6 +30,7 @@ func RunNSweep(opts Options) ([]NSweepPoint, error) {
 	cfg.Seed = opts.Seed
 	cfg.NumUsers = opts.Users
 	cfg.MaxCheckIns = opts.MaxCheckIns
+	cfg.Parallelism = opts.Parallelism
 	ds, err := trace.Generate(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("generating nsweep population: %w", err)
@@ -47,7 +47,7 @@ func RunNSweep(opts Options) ([]NSweepPoint, error) {
 	var points []NSweepPoint
 	for _, n := range []int{1, 2, 5, 10} {
 		params := geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: n}
-		results, err := runDefenseExposure(ds, params, opts.Seed)
+		results, err := runDefenseExposure(ds, params, opts.Seed, opts.Parallelism)
 		if err != nil {
 			return nil, fmt.Errorf("nsweep exposure n=%d: %w", n, err)
 		}
@@ -59,17 +59,17 @@ func RunNSweep(opts Options) ([]NSweepPoint, error) {
 			return nil, fmt.Errorf("nsweep mechanism n=%d: %w", n, err)
 		}
 		rnd := randx.New(opts.Seed, uint64(n)+0x5EEB)
-		var urSum float64
 		trials := opts.Trials / 10
 		if trials < 50 {
 			trials = 50
 		}
-		for i := 0; i < trials; i++ {
-			cands, err := mech.Obfuscate(rnd, geo.Point{})
-			if err != nil {
-				return nil, fmt.Errorf("nsweep UR n=%d: %w", n, err)
-			}
-			urSum += metrics.UtilizationRate(rnd, geo.Point{}, cands, 5000, opts.URSamples)
+		urs, err := urTrials(mech, rnd, trials, opts.URSamples, 5000, opts.Parallelism)
+		if err != nil {
+			return nil, fmt.Errorf("nsweep UR n=%d: %w", n, err)
+		}
+		var urSum float64
+		for _, ur := range urs {
+			urSum += ur
 		}
 		points = append(points, NSweepPoint{
 			N:          n,

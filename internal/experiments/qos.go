@@ -9,6 +9,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/geoind"
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/randx"
 )
 
@@ -41,14 +42,22 @@ func RunQoS(opts Options) ([]QoSPoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("building planar laplace: %w", err)
 	}
+	// Trials are obfuscated in parallel on per-index streams, then
+	// replayed into the distance estimator in index order.
 	rnd := randx.New(opts.Seed, 0x905)
-	s, err := metrics.ExpectedDistance(truth, opts.Trials, func() (geo.Point, error) {
+	exposed := make([]geo.Point, opts.Trials)
+	err = par.MapSeeded(opts.Parallelism, opts.Trials, rnd, func(i int, rnd *randx.Rand) error {
 		out, err := oneTime.Obfuscate(rnd, truth)
 		if err != nil {
-			return geo.Point{}, err
+			return err
 		}
-		return out[0], nil
+		exposed[i] = out[0]
+		return nil
 	})
+	if err != nil {
+		return nil, fmt.Errorf("planar laplace exposure: %w", err)
+	}
+	s, err := metrics.ExpectedDistance(truth, opts.Trials, replayPoints(exposed))
 	if err != nil {
 		return nil, fmt.Errorf("planar laplace distance: %w", err)
 	}
@@ -74,17 +83,23 @@ func RunQoS(opts Options) ([]QoSPoint, error) {
 			}
 			posteriorSigma := posteriorSigmaFor(mech, n)
 			rnd := randx.New(opts.Seed, uint64(n*100+bi))
-			s, err := metrics.ExpectedDistance(truth, opts.Trials, func() (geo.Point, error) {
+			selectedPts := make([]geo.Point, opts.Trials)
+			err = par.MapSeeded(opts.Parallelism, opts.Trials, rnd, func(i int, rnd *randx.Rand) error {
 				cands, err := mech.Obfuscate(rnd, truth)
 				if err != nil {
-					return geo.Point{}, err
+					return err
 				}
 				selected, _, err := core.SelectPosterior(rnd, cands, posteriorSigma)
 				if err != nil {
-					return geo.Point{}, err
+					return err
 				}
-				return selected, nil
+				selectedPts[i] = selected
+				return nil
 			})
+			if err != nil {
+				return nil, fmt.Errorf("%s n=%d exposure: %w", b.name, n, err)
+			}
+			s, err := metrics.ExpectedDistance(truth, opts.Trials, replayPoints(selectedPts))
 			if err != nil {
 				return nil, fmt.Errorf("%s n=%d distance: %w", b.name, n, err)
 			}
@@ -95,6 +110,17 @@ func RunQoS(opts Options) ([]QoSPoint, error) {
 		}
 	}
 	return points, nil
+}
+
+// replayPoints feeds precomputed exposures to a sampling estimator in
+// index order, one per call.
+func replayPoints(pts []geo.Point) func() (geo.Point, error) {
+	i := 0
+	return func() (geo.Point, error) {
+		p := pts[i]
+		i++
+		return p, nil
+	}
 }
 
 // posteriorSigmaFor resolves the output-selection σ the same way the

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"time"
 
@@ -9,7 +10,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/geoind"
-	"repro/internal/profile"
 	"repro/internal/randx"
 )
 
@@ -68,56 +68,68 @@ type Table2Point struct {
 
 // RunTable2 measures the obfuscation pipeline — building each user's
 // location profile and generating the permanent candidate sets — for
-// doubling user counts (the paper's Table II on a Raspberry Pi 3).
+// doubling user counts (the paper's Table II on a Raspberry Pi 3). The
+// population is ingested into the real edge engine untimed; the timed
+// section is the engine's RebuildAll batch recomputation, fanned out
+// across opts.Parallelism workers.
 func RunTable2(opts Options) ([]Table2Point, error) {
 	const checkInsPerUser = 250 // ~3 months of LBA activity
 	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
 	if err != nil {
 		return nil, fmt.Errorf("building mechanism: %w", err)
 	}
+	nomadic, err := geoind.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		return nil, fmt.Errorf("building nomadic mechanism: %w", err)
+	}
 
 	var points []Table2Point
 	for _, users := range scaleCounts(opts.Users) {
 		rnd := randx.New(opts.Seed, uint64(users))
-		// Pre-generate the per-user check-in clouds so only the pipeline
-		// is timed.
-		clouds := make([][]geo.Point, users)
-		for u := range clouds {
+		engine, err := core.NewEngine(core.Config{
+			Mechanism:        mech,
+			NomadicMechanism: nomadic,
+			Seed:             opts.Seed + uint64(users),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("building engine: %w", err)
+		}
+		// Ingest the per-user check-in clouds untimed so only the profile
+		// rebuild + candidate generation pipeline is measured. Reports are
+		// minutes apart, well inside the 90-day profile window, so no
+		// rebuild fires during ingestion.
+		base := time.Date(2020, 3, 2, 0, 0, 0, 0, time.UTC)
+		for u := 0; u < users; u++ {
+			id := fmt.Sprintf("t2-user-%06d", u)
 			home := geo.Point{X: rnd.Float64() * 90000, Y: rnd.Float64() * 75000}
 			work := home.Add(rnd.UniformDisk(15000))
-			pts := make([]geo.Point, 0, checkInsPerUser)
 			for i := 0; i < checkInsPerUser; i++ {
-				base := home
+				pos := home
 				if i%3 == 0 {
-					base = work
+					pos = work
 				}
-				pts = append(pts, base.Add(rnd.GaussianPolar(12)))
+				at := base.Add(time.Duration(i) * time.Minute)
+				if err := engine.Report(id, pos.Add(rnd.GaussianPolar(12)), at); err != nil {
+					return nil, fmt.Errorf("reporting: %w", err)
+				}
 			}
-			clouds[u] = pts
 		}
 
+		now := base.Add(time.Duration(checkInsPerUser) * time.Minute)
 		start := time.Now()
-		tableRows := 0
-		for _, pts := range clouds {
-			prof, err := profile.Build(pts, 0)
-			if err != nil {
-				return nil, fmt.Errorf("profiling: %w", err)
-			}
-			tops := prof.EtaFractionSet(0.9)
-			table, err := core.NewObfuscationTable(50)
-			if err != nil {
-				return nil, fmt.Errorf("table: %w", err)
-			}
-			for _, lf := range tops {
-				cands, err := mech.Obfuscate(rnd, lf.Loc)
-				if err != nil {
-					return nil, fmt.Errorf("obfuscating: %w", err)
-				}
-				table.Insert(lf.Loc, cands, time.Time{})
-			}
-			tableRows += table.Len()
+		if err := engine.RebuildAll(now, opts.Parallelism); err != nil {
+			return nil, fmt.Errorf("rebuilding %d users: %w", users, err)
 		}
 		elapsed := time.Since(start)
+
+		tableRows := 0
+		for _, id := range engine.Users() {
+			entries, err := engine.Table(id)
+			if err != nil {
+				return nil, fmt.Errorf("reading table for %s: %w", id, err)
+			}
+			tableRows += len(entries)
+		}
 		points = append(points, Table2Point{
 			Users:     users,
 			Elapsed:   elapsed,

@@ -1,0 +1,54 @@
+package par
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// parMetrics holds the package's telemetry handles, resolved once at
+// Instrument time. The uninstrumented fast path pays one atomic pointer
+// load per pool launch and nothing per task.
+type parMetrics struct {
+	inflight    *telemetry.Gauge
+	tasks       *telemetry.Counter
+	taskSeconds *telemetry.Histogram
+}
+
+// metrics is nil until Instrument is called.
+var metrics atomic.Pointer[parMetrics]
+
+// Instrument registers the fan-out layer's runtime metrics with reg and
+// starts recording:
+//
+//	par_inflight_workers  gauge      workers currently running in any pool
+//	par_tasks_total       counter    index tasks completed
+//	par_task_seconds      histogram  per-chunk execution time
+//
+// Chunk (not per-index) timing bounds the observation overhead: a chunk
+// is the unit a worker claims from the pool cursor, typically 1–1024
+// indexes. Calling Instrument again rebinds the handles to reg.
+func Instrument(reg *telemetry.Registry) {
+	metrics.Store(&parMetrics{
+		inflight:    reg.Gauge("par_inflight_workers", "Workers currently executing in deterministic fan-out pools."),
+		tasks:       reg.Counter("par_tasks_total", "Index tasks completed by deterministic fan-out pools."),
+		taskSeconds: reg.Histogram("par_task_seconds", "Per-chunk execution time of deterministic fan-out pools.", nil),
+	})
+}
+
+// now returns the wall clock only when instrumented, avoiding a clock
+// read per chunk on the uninstrumented path.
+func now() time.Time {
+	if metrics.Load() == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeSince records the elapsed time since start when instrumented.
+func observeSince(h *telemetry.Histogram, start time.Time) {
+	if !start.IsZero() {
+		h.ObserveDuration(time.Since(start))
+	}
+}

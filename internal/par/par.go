@@ -1,0 +1,154 @@
+// Package par is the repo's deterministic fan-out layer: a bounded
+// worker pool over index ranges whose results are bit-identical for any
+// worker count.
+//
+// The paper's evaluation runs at 37,262 users × 100,000 Monte-Carlo
+// trials; every hot path that iterates users or trials independently —
+// trace generation, the longitudinal attack, the experiment runners, the
+// engine's bulk profile rebuild — fans out through this package.
+// Determinism is preserved by construction rather than by fixing the
+// schedule: each index's work is a pure function of the index (plus, for
+// randomized work, a randx stream derived from the index via
+// randx.Seq), so which worker runs it, and in what order, cannot change
+// the result. Outputs are written to index-addressed slots, never
+// appended.
+package par
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/randx"
+)
+
+// Workers resolves a parallelism request: values ≤ 0 select
+// runtime.NumCPU(), everything else is returned unchanged.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.NumCPU()
+	}
+	return requested
+}
+
+// ForEach invokes fn(i) for every i in [0, n) using at most workers
+// goroutines (≤ 0 selects runtime.NumCPU()). fn must be safe to call
+// concurrently for distinct indexes; the iteration order is unspecified.
+// ForEach returns when every call has completed.
+func ForEach(workers, n int, fn func(i int)) {
+	_ = ForEachErr(workers, n, func(i int) error {
+		fn(i)
+		return nil
+	})
+}
+
+// ForEachErr is ForEach for fallible work. All n calls run regardless of
+// failures (no early cancellation — index i's side effects never depend
+// on index j's success), and the returned error is the one from the
+// LOWEST failing index, so error reporting is as deterministic as the
+// work itself.
+func ForEachErr(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+
+	m := metrics.Load()
+	if m != nil {
+		m.inflight.Add(int64(workers))
+	}
+
+	// Workers claim fixed-size chunks of the index range from an atomic
+	// cursor. Chunking amortises the atomic op; because every index is
+	// processed exactly once and results are index-addressed, the claim
+	// order is irrelevant to the outcome.
+	chunk := chunkSize(n, workers)
+	var (
+		cursor atomic.Int64
+		errMu  sync.Mutex
+		errIdx = n
+		err    error
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				start := now()
+				for i := lo; i < hi; i++ {
+					if e := fn(i); e != nil {
+						errMu.Lock()
+						if i < errIdx {
+							errIdx, err = i, e
+						}
+						errMu.Unlock()
+					}
+				}
+				if m != nil {
+					m.tasks.Add(uint64(hi - lo))
+					observeSince(m.taskSeconds, start)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if m != nil {
+		m.inflight.Add(-int64(workers))
+	}
+	return err
+}
+
+// MapSeeded is ForEachErr for randomized work: it derives base material
+// from rng with a single SplitSeq (two draws, independent of n and
+// workers) and hands shard i the stream Seq.Stream(i). The same rng
+// state therefore produces bit-identical per-index streams at any
+// parallelism level — the property the determinism regression tests in
+// internal/trace and internal/experiments enforce.
+//
+// rng is consumed (advanced by two draws) but never shared with the
+// workers, so the caller may keep using it after MapSeeded returns.
+func MapSeeded(workers, n int, rng *randx.Rand, fn func(i int, rnd *randx.Rand) error) error {
+	seq := rng.SplitSeq()
+	return ForEachErr(workers, n, func(i int) error {
+		return fn(i, seq.Stream(i))
+	})
+}
+
+// chunkSize balances scheduling overhead against load balance: aim for
+// ~8 chunks per worker, clamped to [1, 1024], rounded up to a power of
+// two so the cursor arithmetic stays cheap.
+func chunkSize(n, workers int) int {
+	c := n / (workers * 8)
+	if c < 1 {
+		c = 1
+	}
+	if c > 1024 {
+		c = 1024
+	}
+	if c&(c-1) != 0 {
+		c = 1 << bits.Len(uint(c))
+	}
+	return c
+}

@@ -57,6 +57,38 @@ func (r *Rand) Split() *Rand {
 	return New(r.src.Uint64(), r.src.Uint64())
 }
 
+// Seq is frozen base material for deriving an indexed family of
+// independent streams: Stream(i) is a pure function of (Seq, i), so a
+// parallel fan-out that hands shard i the stream Seq.Stream(i) produces
+// results independent of worker count and completion order. internal/par
+// builds on this for its deterministic MapSeeded.
+type Seq struct {
+	seed, stream uint64
+}
+
+// SplitSeq consumes exactly two draws from r — the same cost for any
+// later fan-out width — and returns base material for indexed streams.
+func (r *Rand) SplitSeq() Seq {
+	return Seq{seed: r.src.Uint64(), stream: r.src.Uint64()}
+}
+
+// Stream derives the i-th stream of the family. Distinct indexes yield
+// independent PCG streams via a SplitMix64 finalizer on the index.
+func (q Seq) Stream(i int) *Rand {
+	return New(q.seed, mix64(q.stream+uint64(i)*0x9E3779B97F4A7C15))
+}
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche so that
+// consecutive indexes map to well-separated PCG stream selectors.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
 // Float64 returns a uniform sample in [0, 1).
 func (r *Rand) Float64() float64 { return r.src.Float64() }
 

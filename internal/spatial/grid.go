@@ -42,6 +42,15 @@ func NewGrid(cellSize float64) (*Grid, error) {
 // CellSize returns the configured cell edge length.
 func (g *Grid) CellSize() float64 { return g.cell }
 
+// Reset empties the index while retaining the maps' bucket storage, so a
+// grid can be reused across many similar-scale point sets (the attack
+// indexes each user's check-ins in turn) without paying the map-growth
+// rehashing of a fresh NewGrid on every call.
+func (g *Grid) Reset() {
+	clear(g.cells)
+	clear(g.pts)
+}
+
 // Len returns the number of indexed points.
 func (g *Grid) Len() int { return len(g.pts) }
 

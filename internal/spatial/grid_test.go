@@ -259,3 +259,31 @@ func BenchmarkGridWithin(b *testing.B) {
 		buf = g.Within(buf[:0], q, 100)
 	}
 }
+
+func TestGridReset(t *testing.T) {
+	g, err := NewGrid(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		g.Insert(i, geo.Point{X: float64(i), Y: float64(-i)})
+	}
+	g.Reset()
+	if g.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", g.Len())
+	}
+	if got := g.Within(nil, geo.Point{X: 50, Y: -50}, 1000); len(got) != 0 {
+		t.Fatalf("Within after Reset returned %v", got)
+	}
+	if _, ok := g.Nearest(geo.Point{}); ok {
+		t.Fatal("Nearest after Reset reported a point")
+	}
+	// The grid must be fully usable again after Reset.
+	g.Insert(7, geo.Point{X: 3, Y: 4})
+	if got := g.Within(nil, geo.Point{}, 5); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("Within after refill = %v, want [7]", got)
+	}
+	if g.CellSize() != 10 {
+		t.Fatalf("CellSize changed across Reset: %g", g.CellSize())
+	}
+}

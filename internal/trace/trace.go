@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/par"
 	"repro/internal/randx"
 )
 
@@ -106,6 +107,11 @@ type Config struct {
 	End   time.Time
 	// Seed makes generation reproducible.
 	Seed uint64
+	// Parallelism bounds the worker count used to generate users
+	// concurrently; ≤ 0 selects runtime.NumCPU(). The generated dataset is
+	// bit-identical for every parallelism level: each user draws from an
+	// index-derived randx stream, never from a shared one.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper-calibrated configuration: the Shanghai
@@ -172,14 +178,21 @@ func Generate(cfg Config) (*Dataset, error) {
 	rnd := randx.New(cfg.Seed, 0x9E3779B97F4A7C15)
 	ds := &Dataset{
 		Origin: DefaultOrigin(),
-		Users:  make([]*User, 0, cfg.NumUsers),
+		Users:  make([]*User, cfg.NumUsers),
 	}
-	for i := 0; i < cfg.NumUsers; i++ {
+	// Users are generated in parallel, each from the stream derived from
+	// its index, into its own slot — the dataset does not depend on worker
+	// count or completion order.
+	err := par.MapSeeded(cfg.Parallelism, cfg.NumUsers, rnd, func(i int, rnd *randx.Rand) error {
 		u, err := generateUser(cfg, rnd, fmt.Sprintf("user-%06d", i))
 		if err != nil {
-			return nil, fmt.Errorf("generating user %d: %w", i, err)
+			return fmt.Errorf("generating user %d: %w", i, err)
 		}
-		ds.Users = append(ds.Users, u)
+		ds.Users[i] = u
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return ds, nil
 }

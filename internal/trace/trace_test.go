@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"path/filepath"
 	"testing"
@@ -383,6 +384,34 @@ func BenchmarkGenerateUser(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := GenerateUser(cfg, uint64(i), "bench", 1000); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestGenerateDeterministicAcrossParallelism: the dataset must be
+// byte-identical no matter how many workers generate it.
+func TestGenerateDeterministicAcrossParallelism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumUsers = 40
+	cfg.MaxCheckIns = 400
+	cfg.Seed = 33
+
+	encode := func(parallelism int) []byte {
+		cfg.Parallelism = parallelism
+		ds, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	want := encode(1)
+	for _, parallelism := range []int{2, 8} {
+		if got := encode(parallelism); !bytes.Equal(got, want) {
+			t.Fatalf("parallelism=%d: dataset differs from sequential generation", parallelism)
 		}
 	}
 }

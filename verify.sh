@@ -6,3 +6,8 @@ set -eux
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Smoke the benchmark harness: one cheap benchmark through bench.sh and
+# the JSON converter, writing to a scratch path (the checked-in
+# BENCH_pr2.json is regenerated only by a full ./bench.sh run).
+OUT="$(mktemp)" BENCH='BenchmarkTrim' BENCHTIME=1x PKGS=./internal/cluster/ ./bench.sh
