@@ -25,6 +25,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/edge"
+	"repro/internal/edgecluster"
 	"repro/internal/geo"
 	"repro/internal/geoind"
 	"repro/internal/randx"
@@ -49,9 +50,14 @@ func run(args []string) error {
 		seed       = fs.Uint64("seed", 1, "randomness seed")
 		useRTB     = fs.Bool("rtb", false, "serve ads through second-price RTB auctions instead of direct matching")
 		statsEvery = fs.Duration("stats-every", 5*time.Second, "interval between telemetry summaries during the replay (0 disables)")
+		edges      = fs.Int("edges", 1, "edge devices; >1 replays through a fault-tolerant multi-edge cluster")
+		chaos      = fs.Bool("chaos", false, "kill and revive edges mid-run (requires -edges > 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *chaos && *edges < 2 {
+		return fmt.Errorf("-chaos requires -edges > 1 (nothing to fail over to)")
 	}
 
 	// Workload.
@@ -62,6 +68,10 @@ func run(args []string) error {
 	ds, err := trace.Generate(cfg)
 	if err != nil {
 		return fmt.Errorf("generating users: %w", err)
+	}
+
+	if *edges > 1 {
+		return runCluster(cfg, ds, *edges, *chaos, *seed)
 	}
 
 	// Untrusted side: either a direct-matching ad network or an RTB
@@ -208,6 +218,174 @@ func run(args []string) error {
 	fmt.Printf("longitudinal attack on the bid log (%d records): top-1 recovered within 200 m for %d/%d users, within 500 m for %d/%d\n",
 		attacker.LogSize(), hits200, len(ds.Users), hits500, len(ds.Users))
 	fmt.Println("(with one-time geo-IND instead of Edge-PrivLocAd, the same attack recovers 75-93% of top-1 locations — see cmd/attack)")
+	return nil
+}
+
+// runCluster replays the workload through a fault-tolerant multi-edge
+// deployment (paper Section V-B) using the cluster API directly: check-ins
+// route to the nearest covering live edge, per-user profiles merge through
+// secure aggregation, and the merged obfuscation table replicates to every
+// edge through the versioned journal. With chaos enabled, a deterministic
+// schedule kills one edge around each user's merge and revives it after
+// the user's ad requests, exercising failover routing, degraded merges,
+// and journal catch-up. The run ends with a convergence pass plus a
+// byte-identity audit of every edge's table, and the longitudinal attack
+// on the obfuscated request stream the ad providers would observe.
+func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed uint64) error {
+	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
+	if err != nil {
+		return fmt.Errorf("building mechanism: %w", err)
+	}
+	nomadic, err := geoind.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		return fmt.Errorf("building nomadic mechanism: %w", err)
+	}
+
+	// Coverage: edge centres spread across the region's midline, each disk
+	// wide enough to cover the whole region — every point has a failover
+	// target, so a single down edge never strands traffic.
+	region := cfg.Region
+	diag := math.Hypot(region.Width(), region.Height())
+	coverage := make([]geo.Circle, edges)
+	for i := range coverage {
+		coverage[i] = geo.Circle{
+			Center: geo.Point{
+				X: region.MinX + (float64(i)+0.5)*region.Width()/float64(edges),
+				Y: region.MinY + region.Height()/2,
+			},
+			Radius: diag,
+		}
+	}
+	cluster, err := edgecluster.New(edgecluster.Config{
+		Engine:      core.Config{Mechanism: mech, NomadicMechanism: nomadic, Seed: seed},
+		Coverage:    coverage,
+		MergeRegion: region,
+		Seed:        seed,
+	})
+	if err != nil {
+		return fmt.Errorf("building cluster: %w", err)
+	}
+	reg := telemetry.NewRegistry()
+	cluster.Instrument(reg)
+
+	fmt.Printf("cluster mode: %d edges, chaos=%v\n", edges, chaos)
+
+	// Replay. Chaos kills a deterministic victim edge just before every
+	// other user's merge and revives it (journal catch-up) after their ad
+	// requests, so merges run degraded and requests fail over mid-run.
+	chaosRnd := randx.New(seed, 0xC4A05)
+	observed := make(map[string][]geo.Point, len(ds.Users))
+	start := time.Now()
+	var requests, kills int
+	var degraded, dropped int
+	for ui, u := range ds.Users {
+		for _, c := range u.CheckIns {
+			if _, err := cluster.Report(u.ID, c.Pos, c.Time); err != nil {
+				return fmt.Errorf("reporting for %s: %w", u.ID, err)
+			}
+		}
+		victim := -1
+		if chaos && ui%2 == 1 {
+			victim = chaosRnd.IntN(edges)
+			if err := cluster.MarkDown(victim); err != nil {
+				return err
+			}
+			kills++
+		}
+		_, stats, err := cluster.MergeProfilesStats(u.ID, cfg.End)
+		if err != nil {
+			return fmt.Errorf("merging %s: %w", u.ID, err)
+		}
+		if stats.Degraded {
+			degraded++
+		}
+		dropped += stats.Dropped
+		for _, c := range u.CheckIns {
+			out, _, err := cluster.Request(u.ID, c.Pos)
+			if err != nil {
+				return fmt.Errorf("requesting for %s: %w", u.ID, err)
+			}
+			observed[u.ID] = append(observed[u.ID], out)
+			requests++
+		}
+		if victim >= 0 {
+			if err := cluster.MarkUp(victim); err != nil {
+				return fmt.Errorf("reviving edge %d: %w", victim, err)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("replayed %d users, %d requests across %d edges in %s (%.0f req/s)\n",
+		len(ds.Users), requests, edges, elapsed.Round(time.Millisecond), float64(requests)/elapsed.Seconds())
+
+	// Convergence pass: revive everything, drain the journal, merge the
+	// check-ins still pending on edges that were down at their merge.
+	for i := 0; i < edges; i++ {
+		if err := cluster.MarkUp(i); err != nil {
+			return fmt.Errorf("final revive of edge %d: %w", i, err)
+		}
+	}
+	if err := cluster.Reconcile(); err != nil {
+		return fmt.Errorf("reconciling: %w", err)
+	}
+	final := cfg.End.Add(time.Hour)
+	for _, u := range ds.Users {
+		if _, err := cluster.MergeProfiles(u.ID, final); err != nil {
+			return fmt.Errorf("final merge for %s: %w", u.ID, err)
+		}
+	}
+
+	// Byte-identity audit: after catch-up, every edge must answer every
+	// user from the SAME obfuscation table — independent per-edge tables
+	// would void the (r, ε, δ, n) guarantee.
+	nodes := cluster.Nodes()
+	for _, u := range ds.Users {
+		want, err := nodes[0].Engine.TableFingerprint(u.ID)
+		if err != nil {
+			return fmt.Errorf("fingerprinting %s: %w", u.ID, err)
+		}
+		for _, n := range nodes[1:] {
+			got, err := n.Engine.TableFingerprint(u.ID)
+			if err != nil {
+				return fmt.Errorf("fingerprinting %s at %s: %w", u.ID, n.ID, err)
+			}
+			if got != want {
+				return fmt.Errorf("replication diverged: %s table for %s is %x, %s has %x",
+					n.ID, u.ID, got, nodes[0].ID, want)
+			}
+		}
+	}
+	fmt.Printf("replication audit: %d users byte-identical across all %d edges\n", len(ds.Users), edges)
+	fmt.Printf("fault tolerance: kills=%d degraded_merges=%d failovers=%d journal_replays=%d replica_errors=%d merge_dropped=%d\n",
+		kills, degraded,
+		reg.Counter("cluster_failovers_total", "").Value(),
+		reg.Counter("cluster_journal_replays_total", "").Value(),
+		reg.Counter("cluster_replica_errors_total", "").Value(),
+		dropped)
+
+	// The attacker's view: the obfuscated request stream is all any ad
+	// provider behind these edges observes.
+	rAlpha, err := mech.ConfidenceRadius(0.05)
+	if err != nil {
+		return fmt.Errorf("confidence radius: %w", err)
+	}
+	opts := attack.Options{Theta: 500, ClusterRadius: rAlpha}
+	hits200, hits500 := 0, 0
+	for _, u := range ds.Users {
+		inferred, err := attack.TopN(observed[u.ID], 1, opts)
+		if err != nil {
+			return fmt.Errorf("attacking %s: %w", u.ID, err)
+		}
+		truth := []geo.Point{u.TrueTops[0].Pos}
+		if attack.Succeeds(inferred, truth, 1, 200) {
+			hits200++
+		}
+		if attack.Succeeds(inferred, truth, 1, 500) {
+			hits500++
+		}
+	}
+	fmt.Printf("longitudinal attack on the cluster's request stream: top-1 recovered within 200 m for %d/%d users, within 500 m for %d/%d\n",
+		hits200, len(ds.Users), hits500, len(ds.Users))
 	return nil
 }
 

@@ -30,3 +30,22 @@ func TestRunBadFlags(t *testing.T) {
 		t.Error("zero users expected error")
 	}
 }
+
+func TestRunClusterWithChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulation")
+	}
+	// The cluster run self-verifies: it fails unless every edge's table is
+	// byte-identical after chaos kills, degraded merges, and journal
+	// catch-up.
+	err := run([]string{"-users", "5", "-max-checkins", "120", "-seed", "4", "-edges", "3", "-chaos", "-stats-every", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunChaosNeedsEdges(t *testing.T) {
+	if err := run([]string{"-chaos"}); err == nil {
+		t.Error("-chaos without -edges expected error")
+	}
+}

@@ -1,6 +1,14 @@
 // Package client is the mobile-device side of Edge-PrivLocAd: a typed
 // HTTP client for the edge service that mobile apps (or the trace replay
 // tooling) use to report locations and fetch privacy-filtered ads.
+//
+// Edge devices are cheap hardware on flaky last-mile links, so the
+// client retries: idempotent calls (every GET, plus POST /v1/rebuild)
+// that fail at the connection level are re-sent with exponential backoff
+// and deterministic jitter, under a per-call attempt budget and never
+// past the caller's context deadline. Non-idempotent calls (report, ads)
+// are never retried — a dropped response leaves the edge possibly having
+// recorded the check-in, and re-sending would double-count it.
 package client
 
 import (
@@ -12,22 +20,64 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/edge"
 	"repro/internal/geo"
+	"repro/internal/randx"
+	"repro/internal/telemetry"
 )
 
-// Client talks to one edge device.
+// Client talks to one edge device. It is safe for concurrent use.
 type Client struct {
 	baseURL string
 	http    *http.Client
+
+	// Retry policy for idempotent calls.
+	maxAttempts int
+	baseDelay   time.Duration
+	maxDelay    time.Duration
+
+	jmu    sync.Mutex
+	jitter *randx.Rand
+
+	retries *telemetry.Counter // nil until Instrument
+}
+
+// Option customises a Client.
+type Option func(*Client)
+
+// WithRetry sets the retry policy for idempotent calls: at most
+// maxAttempts total tries per call (1 disables retries), with
+// exponential backoff starting at baseDelay and capped at maxDelay.
+func WithRetry(maxAttempts int, baseDelay, maxDelay time.Duration) Option {
+	return func(c *Client) {
+		if maxAttempts >= 1 {
+			c.maxAttempts = maxAttempts
+		}
+		if baseDelay > 0 {
+			c.baseDelay = baseDelay
+		}
+		if maxDelay > 0 {
+			c.maxDelay = maxDelay
+		}
+	}
+}
+
+// WithRetrySeed seeds the backoff jitter stream, making retry timing
+// reproducible in tests.
+func WithRetrySeed(seed uint64) Option {
+	return func(c *Client) { c.jitter = randx.New(seed, 0xC11E47) }
 }
 
 // New builds a client for the edge service at baseURL (e.g.
 // "http://127.0.0.1:8080"). httpClient may be nil for a default with a
-// 10 s timeout.
-func New(baseURL string, httpClient *http.Client) (*Client, error) {
+// 10 s timeout. Trailing slashes on baseURL are trimmed: the client
+// appends rooted paths like /v1/report, and a kept slash would produce
+// //v1/report-style URLs that miss the edge's ServeMux patterns.
+func New(baseURL string, httpClient *http.Client, opts ...Option) (*Client, error) {
 	u, err := url.Parse(baseURL)
 	if err != nil {
 		return nil, fmt.Errorf("client: parsing base URL: %w", err)
@@ -38,7 +88,24 @@ func New(baseURL string, httpClient *http.Client) (*Client, error) {
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 10 * time.Second}
 	}
-	return &Client{baseURL: u.String(), http: httpClient}, nil
+	c := &Client{
+		baseURL:     strings.TrimRight(u.String(), "/"),
+		http:        httpClient,
+		maxAttempts: 3,
+		baseDelay:   50 * time.Millisecond,
+		maxDelay:    2 * time.Second,
+		jitter:      randx.New(1, 0xC11E47),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Instrument registers the client's retry counter
+// (client_retries_total) with reg and starts recording.
+func (c *Client) Instrument(reg *telemetry.Registry) {
+	c.retries = reg.Counter("client_retries_total", "Idempotent edge calls re-sent after a connection-level failure.")
 }
 
 // apiError is a non-2xx response from the edge.
@@ -61,31 +128,112 @@ func StatusCode(err error) int {
 	return 0
 }
 
-func (c *Client) post(ctx context.Context, path string, body, out any) error {
+// connError marks a connection-level failure: the request may never have
+// reached the edge, so no response (not even an error envelope) arrived.
+// Only these failures are retry candidates.
+type connError struct{ err error }
+
+func (e *connError) Error() string { return e.err.Error() }
+func (e *connError) Unwrap() error { return e.err }
+
+func (c *Client) post(ctx context.Context, path string, body, out any, idempotent bool) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return fmt.Errorf("client: encoding %s request: %w", path, err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+path, bytes.NewReader(payload))
-	if err != nil {
-		return fmt.Errorf("client: building %s request: %w", path, err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, out)
+	return c.call(ctx, http.MethodPost, path, payload, out, idempotent)
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+path, nil)
-	if err != nil {
-		return fmt.Errorf("client: building %s request: %w", path, err)
+	return c.call(ctx, http.MethodGet, path, nil, out, true)
+}
+
+// call performs one logical API call, re-sending idempotent requests
+// after connection-level failures under the retry budget. The request is
+// rebuilt each attempt (the body reader is consumed by a send).
+func (c *Client) call(ctx context.Context, method, path string, payload []byte, out any, idempotent bool) error {
+	attempts := 1
+	if idempotent {
+		attempts = c.maxAttempts
 	}
-	return c.do(req, out)
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(ctx, attempt); err != nil {
+				return lastErr
+			}
+			if c.retries != nil {
+				c.retries.Inc()
+			}
+		}
+		var body io.Reader
+		if payload != nil {
+			body = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, body)
+		if err != nil {
+			return fmt.Errorf("client: building %s request: %w", path, err)
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		err = c.do(req, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable(ctx, err) {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// retryable reports whether err is worth re-sending: a connection-level
+// failure with the caller's context still live. API errors, decode
+// errors, and context cancellation/expiry are final.
+func retryable(ctx context.Context, err error) bool {
+	var ce *connError
+	if !errors.As(err, &ce) {
+		return false
+	}
+	if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// backoff sleeps the attempt's jittered exponential delay. It returns a
+// non-nil error — telling the caller to give up with the previous
+// failure — when the context is done or its deadline would expire before
+// the delay elapses.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	delay := c.baseDelay << (attempt - 1)
+	if delay > c.maxDelay || delay <= 0 {
+		delay = c.maxDelay
+	}
+	// Half fixed, half jitter: spreads synchronized retry storms without
+	// ever collapsing the delay to zero.
+	c.jmu.Lock()
+	delay = delay/2 + time.Duration(c.jitter.Float64()*float64(delay/2))
+	c.jmu.Unlock()
+	if deadline, ok := ctx.Deadline(); ok && time.Now().Add(delay).After(deadline) {
+		return context.DeadlineExceeded
+	}
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
 }
 
 func (c *Client) do(req *http.Request, out any) error {
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return fmt.Errorf("client: %s %s: %w", req.Method, req.URL.Path, err)
+		return &connError{err: fmt.Errorf("client: %s %s: %w", req.Method, req.URL.Path, err)}
 	}
 	defer resp.Body.Close()
 
@@ -112,22 +260,27 @@ func (c *Client) do(req *http.Request, out any) error {
 	return nil
 }
 
-// Report sends one location check-in. A zero time lets the edge stamp it.
+// Report sends one location check-in. A zero time lets the edge stamp
+// it. Not retried: a lost response leaves the edge possibly having
+// recorded the check-in already.
 func (c *Client) Report(ctx context.Context, userID string, pos geo.Point, at time.Time) error {
-	return c.post(ctx, "/v1/report", edge.ReportRequest{UserID: userID, Pos: pos, Time: at}, nil)
+	return c.post(ctx, "/v1/report", edge.ReportRequest{UserID: userID, Pos: pos, Time: at}, nil, false)
 }
 
 // RequestAds asks the edge for ads relevant to the user's true position;
-// the edge handles obfuscation and AOI filtering.
+// the edge handles obfuscation and AOI filtering. Not retried: the edge
+// records the request position as an implicit check-in.
 func (c *Client) RequestAds(ctx context.Context, userID string, pos geo.Point, limit int) (edge.AdsResponse, error) {
 	var resp edge.AdsResponse
-	err := c.post(ctx, "/v1/ads", edge.AdsRequest{UserID: userID, Pos: pos, Limit: limit}, &resp)
+	err := c.post(ctx, "/v1/ads", edge.AdsRequest{UserID: userID, Pos: pos, Limit: limit}, &resp, false)
 	return resp, err
 }
 
 // Rebuild forces an immediate profile recomputation for the user.
+// Idempotent (recomputing twice converges to the same state), so it is
+// retried on connection failures.
 func (c *Client) Rebuild(ctx context.Context, userID string, now time.Time) error {
-	return c.post(ctx, "/v1/rebuild", edge.RebuildRequest{UserID: userID, Now: now}, nil)
+	return c.post(ctx, "/v1/rebuild", edge.RebuildRequest{UserID: userID, Now: now}, nil, true)
 }
 
 // Profile fetches the user's current top-location profile.

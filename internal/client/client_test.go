@@ -2,8 +2,11 @@ package client
 
 import (
 	"context"
+	"errors"
 	"math"
+	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -13,6 +16,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/geoind"
 	"repro/internal/randx"
+	"repro/internal/telemetry"
 )
 
 func newTestEdge(t *testing.T) (*httptest.Server, *adnet.Network) {
@@ -164,5 +168,157 @@ func TestClientConnectionFailure(t *testing.T) {
 	defer cancel()
 	if err := c.Health(ctx); err == nil {
 		t.Error("expected connection error")
+	}
+}
+
+// flakyTransport fails the first `failures` requests at the connection
+// level, then delegates to the real transport. It counts every attempt.
+type flakyTransport struct {
+	mu       sync.Mutex
+	failures int
+	attempts int
+	next     http.RoundTripper
+}
+
+func (ft *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	ft.mu.Lock()
+	ft.attempts++
+	fail := ft.failures > 0
+	if fail {
+		ft.failures--
+	}
+	ft.mu.Unlock()
+	if fail {
+		return nil, errors.New("connection reset by peer")
+	}
+	return ft.next.RoundTrip(req)
+}
+
+func (ft *flakyTransport) count() int {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.attempts
+}
+
+func TestNewTrimsTrailingSlash(t *testing.T) {
+	ts, _ := newTestEdge(t)
+	// Regression: a trailing slash used to survive into baseURL, producing
+	// //v1/... request paths that miss the edge mux and 404.
+	c, err := New(ts.URL+"/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health through slash-suffixed base URL: %v", err)
+	}
+	if err := c.Report(context.Background(), "u1", geo.Point{X: 1, Y: 2}, time.Time{}); err != nil {
+		t.Fatalf("Report through slash-suffixed base URL: %v", err)
+	}
+}
+
+func TestRetryIdempotentConnectionFailure(t *testing.T) {
+	ts, _ := newTestEdge(t)
+	ft := &flakyTransport{failures: 2, next: http.DefaultTransport}
+	c, err := New(ts.URL, &http.Client{Transport: ft},
+		WithRetry(3, time.Millisecond, 5*time.Millisecond), WithRetrySeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	c.Instrument(reg)
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health should succeed on third attempt: %v", err)
+	}
+	if got := ft.count(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+	if got := reg.Counter("client_retries_total", "").Value(); got != 2 {
+		t.Errorf("client_retries_total = %d, want 2", got)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	ts, _ := newTestEdge(t)
+	ft := &flakyTransport{failures: 99, next: http.DefaultTransport}
+	c, err := New(ts.URL, &http.Client{Transport: ft},
+		WithRetry(3, time.Millisecond, 5*time.Millisecond), WithRetrySeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("expected failure after exhausting retry budget")
+	}
+	if got := ft.count(); got != 3 {
+		t.Errorf("attempts = %d, want exactly maxAttempts=3", got)
+	}
+}
+
+func TestNoRetryNonIdempotent(t *testing.T) {
+	ts, _ := newTestEdge(t)
+	ft := &flakyTransport{failures: 99, next: http.DefaultTransport}
+	c, err := New(ts.URL, &http.Client{Transport: ft},
+		WithRetry(5, time.Millisecond, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Report records a check-in on the edge: re-sending after a lost
+	// response could double-count it, so it must never be retried.
+	if err := c.Report(context.Background(), "u1", geo.Point{}, time.Time{}); err == nil {
+		t.Fatal("expected connection error")
+	}
+	if got := ft.count(); got != 1 {
+		t.Errorf("Report attempts = %d, want 1 (no retry)", got)
+	}
+	ft2 := &flakyTransport{failures: 99, next: http.DefaultTransport}
+	c2, err := New(ts.URL, &http.Client{Transport: ft2},
+		WithRetry(5, time.Millisecond, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.RequestAds(context.Background(), "u1", geo.Point{}, 5); err == nil {
+		t.Fatal("expected connection error")
+	}
+	if got := ft2.count(); got != 1 {
+		t.Errorf("RequestAds attempts = %d, want 1 (no retry)", got)
+	}
+}
+
+func TestNoRetryAPIError(t *testing.T) {
+	ts, _ := newTestEdge(t)
+	ft := &flakyTransport{next: http.DefaultTransport}
+	c, err := New(ts.URL, &http.Client{Transport: ft},
+		WithRetry(5, time.Millisecond, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 404 is a real answer from the edge, not a connection failure.
+	if _, err := c.Profile(context.Background(), "ghost"); StatusCode(err) != 404 {
+		t.Fatalf("Profile err = %v, want 404", err)
+	}
+	if got := ft.count(); got != 1 {
+		t.Errorf("attempts = %d, want 1 (API errors are final)", got)
+	}
+}
+
+func TestRetryHonorsContextDeadline(t *testing.T) {
+	ft := &flakyTransport{failures: 99, next: http.DefaultTransport}
+	c, err := New("http://127.0.0.1:1", &http.Client{Transport: ft},
+		WithRetry(10, 200*time.Millisecond, time.Second), WithRetrySeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := c.Health(ctx); err == nil {
+		t.Fatal("expected failure")
+	}
+	// The first backoff (>=100 ms) would outlive the 50 ms deadline, so
+	// the call must give up quickly instead of sleeping through it.
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Errorf("call took %s; retries ignored the context deadline", elapsed)
+	}
+	if got := ft.count(); got != 1 {
+		t.Errorf("attempts = %d, want 1 (deadline cannot fit a backoff)", got)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -446,6 +447,20 @@ func (e *Engine) PendingProfile(userID string) (profile.Profile, error) {
 // and the collection window restarts. Existing table entries are never
 // re-obfuscated.
 func (e *Engine) InstallTops(userID string, tops profile.Profile, now time.Time) error {
+	return e.installTops(userID, tops, now, true)
+}
+
+// SyncTops is InstallTops without consuming the user's collection
+// window: the top set and table update exactly as InstallTops, but
+// pending check-ins and the window start are preserved. Multi-edge
+// deployments use it to replay merge rounds onto a replica that was down
+// during the round — the replica's own pending check-ins were NOT part
+// of that merge and must survive to contribute to the next one.
+func (e *Engine) SyncTops(userID string, tops profile.Profile, now time.Time) error {
+	return e.installTops(userID, tops, now, false)
+}
+
+func (e *Engine) installTops(userID string, tops profile.Profile, now time.Time, consumeWindow bool) error {
 	u, err := e.userFor(userID)
 	if err != nil {
 		return err
@@ -465,8 +480,10 @@ func (e *Engine) InstallTops(userID string, tops profile.Profile, now time.Time)
 	u.tops = make(profile.Profile, len(tops))
 	copy(u.tops, tops)
 	u.hasProfile = true
-	u.pending = u.pending[:0]
-	u.windowStart = now
+	if consumeWindow {
+		u.pending = u.pending[:0]
+		u.windowStart = now
+	}
 	return nil
 }
 
@@ -513,6 +530,43 @@ func (e *Engine) Table(userID string) ([]TableEntry, error) {
 		return nil, err
 	}
 	return u.table.Entries(), nil
+}
+
+// TableFingerprint hashes the user's obfuscation table — entry order,
+// top coordinates, every candidate's exact float bits, and creation
+// times — into one 64-bit digest. Two engines answer identically for the
+// user iff their fingerprints match, which is how multi-edge deployments
+// verify that replication (or a journal catch-up after downtime) left a
+// replica byte-identical to the obfuscator. An unknown user hashes to
+// the empty-table fingerprint: a replica that never saw the user agrees
+// with an obfuscator holding no entries for them.
+func (e *Engine) TableFingerprint(userID string) (uint64, error) {
+	entries, err := e.Table(userID)
+	if err != nil {
+		if errors.Is(err, ErrUnknownUser) {
+			entries = nil
+		} else {
+			return 0, err
+		}
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		_, _ = h.Write(buf[:]) // fnv Write cannot fail
+	}
+	word(uint64(len(entries)))
+	for _, entry := range entries {
+		word(math.Float64bits(entry.Top.X))
+		word(math.Float64bits(entry.Top.Y))
+		word(uint64(entry.CreatedAt.UnixNano()))
+		word(uint64(len(entry.Candidates)))
+		for _, cand := range entry.Candidates {
+			word(math.Float64bits(cand.X))
+			word(math.Float64bits(cand.Y))
+		}
+	}
+	return h.Sum64(), nil
 }
 
 // Users returns the known user IDs in sorted order.

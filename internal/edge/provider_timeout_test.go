@@ -1,0 +1,161 @@
+package edge
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/adnet"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/geoind"
+)
+
+// hungProvider blocks every RequestAds call until released, simulating a
+// wedged upstream ad network.
+type hungProvider struct {
+	release chan struct{}
+	calls   atomic.Int64
+}
+
+func (p *hungProvider) RequestAds(userID string, loc geo.Point, at time.Time, limit int) []adnet.Ad {
+	p.calls.Add(1)
+	<-p.release
+	return []adnet.Ad{{ID: "late", Location: loc}}
+}
+
+// ctxProvider is context-aware: it hangs until the deadline, then obeys it.
+type ctxProvider struct {
+	canceled atomic.Bool
+}
+
+func (p *ctxProvider) RequestAds(userID string, loc geo.Point, at time.Time, limit int) []adnet.Ad {
+	return p.RequestAdsContext(context.Background(), userID, loc, at, limit)
+}
+
+func (p *ctxProvider) RequestAdsContext(ctx context.Context, userID string, loc geo.Point, at time.Time, limit int) []adnet.Ad {
+	<-ctx.Done()
+	p.canceled.Store(true)
+	return nil
+}
+
+func newTimeoutFixture(t *testing.T, provider AdProvider, timeout time.Duration) (*httptest.Server, *Server) {
+	t.Helper()
+	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomadic, err := geoind.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := core.NewEngine(core.Config{Mechanism: mech, NomadicMechanism: nomadic, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(engine, provider, nil, nil, WithProviderTimeout(timeout))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+// TestHungProviderBoundedByTimeout is the acceptance check for bounded
+// provider calls: a provider that never returns cannot hold /v1/ads past
+// the configured timeout; the edge answers with a degraded empty ad list
+// instead of hanging the device.
+func TestHungProviderBoundedByTimeout(t *testing.T) {
+	provider := &hungProvider{release: make(chan struct{})}
+	defer close(provider.release) // drain the abandoned goroutine
+	ts, srv := newTimeoutFixture(t, provider, 100*time.Millisecond)
+
+	f := &testFixture{server: ts}
+	start := time.Now()
+	resp := f.post(t, "/v1/ads", AdsRequest{UserID: "u1", Pos: geo.Point{X: 10, Y: 10}, Limit: 5})
+	elapsed := time.Since(start)
+	defer resp.Body.Close()
+
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, want 200 degraded response", resp.StatusCode)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("/v1/ads took %s; hung provider held the handler past the timeout", elapsed)
+	}
+	var ar AdsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	if !ar.Degraded {
+		t.Error("response not marked degraded")
+	}
+	if len(ar.Ads) != 0 {
+		t.Errorf("degraded response carried %d ads, want 0", len(ar.Ads))
+	}
+	if ar.Reported == (geo.Point{X: 10, Y: 10}) {
+		t.Error("true location leaked in degraded response")
+	}
+	if got := provider.calls.Load(); got != 1 {
+		t.Errorf("provider calls = %d, want 1", got)
+	}
+	if got := srv.Registry().Counter("edge_provider_timeouts_total", "").Value(); got != 1 {
+		t.Errorf("edge_provider_timeouts_total = %d, want 1", got)
+	}
+}
+
+// TestContextProviderReceivesDeadline verifies context-aware providers
+// get the timeout as a context deadline so they can stop work early.
+func TestContextProviderReceivesDeadline(t *testing.T) {
+	provider := &ctxProvider{}
+	ts, _ := newTimeoutFixture(t, provider, 50*time.Millisecond)
+
+	f := &testFixture{server: ts}
+	resp := f.post(t, "/v1/ads", AdsRequest{UserID: "u1", Pos: geo.Point{}, Limit: 5})
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	// The provider returns only after observing cancellation; give its
+	// goroutine a beat to record it.
+	deadline := time.Now().Add(time.Second)
+	for !provider.canceled.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("context-aware provider never saw the deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFastProviderUnaffectedByTimeout: the bound is invisible when the
+// provider answers in time.
+func TestFastProviderUnaffectedByTimeout(t *testing.T) {
+	network, err := adnet.NewNetwork(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := network.Register(adnet.Campaign{
+		ID: "c1", Location: geo.Point{}, Radius: 50_000,
+		Ad: adnet.Ad{ID: "ad1", Title: "near", Location: geo.Point{}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := newTimeoutFixture(t, network, time.Second)
+	f := &testFixture{server: ts}
+	resp := f.post(t, "/v1/ads", AdsRequest{UserID: "u1", Pos: geo.Point{}, Limit: 5})
+	defer resp.Body.Close()
+	var ar AdsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Degraded {
+		t.Error("fast provider marked degraded")
+	}
+	if len(ar.Ads) == 0 {
+		t.Error("expected ads from fast provider")
+	}
+}

@@ -29,6 +29,15 @@ type AdProvider interface {
 	RequestAds(userID string, loc geo.Point, at time.Time, limit int) []adnet.Ad
 }
 
+// ContextAdProvider is the context-aware variant: providers that can
+// abandon work early (remote exchanges, networked ad services) implement
+// it and are handed the request's deadline-bounded context. Providers
+// without it still cannot hold /v1/ads past the timeout — the edge
+// abandons the call and serves a degraded empty-ads response.
+type ContextAdProvider interface {
+	RequestAdsContext(ctx context.Context, userID string, loc geo.Point, at time.Time, limit int) []adnet.Ad
+}
+
 var _ AdProvider = (*adnet.Network)(nil)
 
 // Clock abstracts time for deterministic tests.
@@ -47,6 +56,24 @@ type Server struct {
 	mux      *http.ServeMux
 	reg      *telemetry.Registry
 	inFlight *telemetry.Gauge
+
+	// providerTimeout bounds each AdProvider call; 0 disables the bound.
+	providerTimeout  time.Duration
+	providerTimeouts *telemetry.Counter
+}
+
+// ServerOption customises a Server.
+type ServerOption func(*Server)
+
+// DefaultProviderTimeout bounds AdProvider calls unless overridden: the
+// provider is untrusted remote infrastructure, and a hung call must not
+// hold /v1/ads (and its client) indefinitely.
+const DefaultProviderTimeout = 2 * time.Second
+
+// WithProviderTimeout overrides the AdProvider call bound; d ≤ 0
+// disables it (the provider may then block /v1/ads indefinitely).
+func WithProviderTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.providerTimeout = d }
 }
 
 // NewServer wires an engine and an ad provider into an HTTP service.
@@ -54,7 +81,7 @@ type Server struct {
 // The server owns a fresh telemetry registry and instruments the engine
 // against it; callers that add their own metrics (e.g. the RTB exchange)
 // register them on Registry.
-func NewServer(engine *core.Engine, provider AdProvider, clock Clock, logger *log.Logger) (*Server, error) {
+func NewServer(engine *core.Engine, provider AdProvider, clock Clock, logger *log.Logger, opts ...ServerOption) (*Server, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("edge: server requires an engine")
 	}
@@ -65,8 +92,15 @@ func NewServer(engine *core.Engine, provider AdProvider, clock Clock, logger *lo
 		clock = time.Now
 	}
 	reg := telemetry.NewRegistry()
-	s := &Server{engine: engine, provider: provider, clock: clock, logger: logger, reg: reg}
+	s := &Server{
+		engine: engine, provider: provider, clock: clock, logger: logger, reg: reg,
+		providerTimeout: DefaultProviderTimeout,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.inFlight = reg.Gauge(metricHTTPInFlight, "HTTP requests currently being served.")
+	s.providerTimeouts = reg.Counter("edge_provider_timeouts_total", "AdProvider calls abandoned at the timeout and served as degraded empty-ads responses.")
 	engine.Instrument(reg)
 	mux := http.NewServeMux()
 	routes := []struct {
@@ -160,6 +194,10 @@ type AdsResponse struct {
 	// Fetched is the number of ads returned by the provider before AOI
 	// filtering.
 	Fetched int `json:"fetched"`
+	// Degraded reports that the provider call was abandoned at the
+	// configured timeout and the empty ad list is a degraded answer, not
+	// a genuine no-match.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // RebuildRequest is the body of POST /v1/rebuild.
@@ -268,7 +306,17 @@ func (s *Server) handleAds(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Only the obfuscated location crosses the trust boundary.
-	ads := s.provider.RequestAds(req.UserID, obfuscated, at, req.Limit)
+	ads, degraded := s.fetchAds(r.Context(), req.UserID, obfuscated, at, req.Limit)
+	if degraded {
+		s.logf("ads/provider %s: timeout after %s, serving degraded empty response", req.UserID, s.providerTimeout)
+		writeJSON(w, http.StatusOK, AdsResponse{
+			Ads:       []adnet.Ad{},
+			Reported:  obfuscated,
+			FromTable: fromTable,
+			Degraded:  true,
+		})
+		return
+	}
 
 	adLocs := make([]geo.Point, len(ads))
 	for i, ad := range ads {
@@ -286,6 +334,38 @@ func (s *Server) handleAds(w http.ResponseWriter, r *http.Request) {
 		FromTable: fromTable,
 		Fetched:   len(ads),
 	})
+}
+
+// fetchAds calls the provider under the configured timeout. The provider
+// runs on its own goroutine so even a context-oblivious implementation
+// cannot hold the handler past the bound: the handler abandons the call
+// (the goroutine drains into a buffered channel when the provider
+// eventually returns) and reports a degraded response. Context-aware
+// providers additionally receive the deadline so they can stop early.
+func (s *Server) fetchAds(ctx context.Context, userID string, loc geo.Point, at time.Time, limit int) (ads []adnet.Ad, degraded bool) {
+	if s.providerTimeout <= 0 {
+		if cp, ok := s.provider.(ContextAdProvider); ok {
+			return cp.RequestAdsContext(ctx, userID, loc, at, limit), false
+		}
+		return s.provider.RequestAds(userID, loc, at, limit), false
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.providerTimeout)
+	defer cancel()
+	ch := make(chan []adnet.Ad, 1)
+	go func() {
+		if cp, ok := s.provider.(ContextAdProvider); ok {
+			ch <- cp.RequestAdsContext(ctx, userID, loc, at, limit)
+			return
+		}
+		ch <- s.provider.RequestAds(userID, loc, at, limit)
+	}()
+	select {
+	case ads = <-ch:
+		return ads, false
+	case <-ctx.Done():
+		s.providerTimeouts.Inc()
+		return nil, true
+	}
 }
 
 func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {

@@ -10,32 +10,76 @@
 // The replication step carries the deployment-critical invariant: if two
 // edges obfuscated the same top location independently, the union of
 // their outputs would exceed the (r, ε, δ, n) guarantee. The cluster
-// therefore designates the lowest-indexed edge as the obfuscator for a
-// merge round and copies its table rows to the rest.
+// therefore designates one edge as the obfuscator for a merge round and
+// copies its table rows to the rest.
+//
+// Edge devices are the class of hardware that fails, restarts, and drops
+// requests, so the cluster is fault tolerant by construction:
+//
+//   - Every node carries a health state (MarkDown/MarkUp). Routing skips
+//     down nodes and fails over to the next-nearest covering live edge.
+//   - MergeProfiles degrades gracefully: it merges over reachable edges
+//     only, picks the lowest-indexed LIVE node as the round's obfuscator,
+//     and never aborts the round because one replica is unreachable.
+//   - Replication is a versioned, idempotent journal rather than
+//     fire-and-forget: each round snapshots the obfuscator's full table
+//     for the user, and every node tracks the last version it applied. A
+//     node that was down (or crashed mid-replication) catches up to a
+//     byte-identical table on recovery — MarkUp replays the journal —
+//     instead of being left permanently inconsistent.
 package edgecluster
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/profile"
+	"repro/internal/randx"
 	"repro/internal/secagg"
 )
 
-// ErrNoCoverage reports a report or request outside every edge's
-// coverage radius.
-var ErrNoCoverage = errors.New("edgecluster: no edge covers this location")
+// Cluster errors.
+var (
+	// ErrNoCoverage reports a report or request outside every edge's
+	// coverage radius.
+	ErrNoCoverage = errors.New("edgecluster: no edge covers this location")
+	// ErrNoLiveEdge reports that every edge covering the location (or, for
+	// merges, every edge in the cluster) is marked down.
+	ErrNoLiveEdge = errors.New("edgecluster: no live edge available")
+)
 
-// Node is one edge device: its coverage centre and its engine.
+// Node is one edge device: its coverage centre, its engine, and its
+// health/replication state.
 type Node struct {
 	ID       string
 	Coverage geo.Circle
 	Engine   *core.Engine
+
+	// down is the node's health state; a down node receives no traffic
+	// and no replication until MarkUp revives it.
+	down atomic.Bool
+	// applied maps userID → the journal version this node last applied.
+	// Guarded by the cluster mutex.
+	applied map[string]uint64
+	// failApply, when non-nil (failure injection for tests and chaos
+	// runs), is consulted before each replication apply on this node; an
+	// error simulates a crash mid-replication: the journal version is NOT
+	// recorded as applied, so the node stays cleanly retryable.
+	failApply func(userID string) error
 }
+
+// Down reports whether the node is currently marked unhealthy.
+func (n *Node) Down() bool { return n.down.Load() }
+
+// SetFailApply installs (or clears, with nil) the replication failure
+// injection hook — the test/chaos seam for "node crashed mid-round".
+func (n *Node) SetFailApply(fn func(userID string) error) { n.failApply = fn }
 
 // Config parameterises a cluster.
 type Config struct {
@@ -56,14 +100,45 @@ type Config struct {
 	Seed uint64
 }
 
-// Cluster is a set of cooperating edge devices.
+// Cluster is a set of cooperating edge devices. Report and Request fan
+// out to per-node engines (which carry their own per-user locks) and are
+// safe for concurrent use; merge rounds, journal access, and health
+// transitions serialise on the cluster mutex.
 type Cluster struct {
 	cfg   Config
 	nodes []*Node
+
+	// mu guards the journal, every node's applied map, and merge rounds.
+	mu      sync.Mutex
+	journal map[string]*mergeRound
+	version uint64
+
+	met atomic.Pointer[clusterMetrics]
+}
+
+// mergeRound is one journal record: the latest merged state for a user.
+// A round snapshots the obfuscator's FULL table for the user (not a
+// delta), so applying the latest round alone brings any replica — fresh,
+// stale, or partially replicated — to the byte-identical current state;
+// intermediate rounds need never be replayed.
+type mergeRound struct {
+	version uint64
+	tops    profile.Profile
+	entries []core.TableEntry
+	at      time.Time
+}
+
+// edgeSeed derives the engine seed of edge i from the cluster seed. The
+// base seed is avalanched with SplitMix64 BEFORE the golden-ratio index
+// increment (the internal/par.MapSeeded recipe): a plain
+// seed + i*GoldenGamma is linear in both arguments, so cluster seed s
+// edge 1 would share a stream with cluster seed s+GoldenGamma edge 0.
+func edgeSeed(clusterSeed uint64, i int) uint64 {
+	return randx.Mix64(randx.Mix64(clusterSeed) + uint64(i)*randx.GoldenGamma)
 }
 
 // New validates cfg and builds the cluster with one engine per coverage
-// disk.
+// disk. All nodes start live.
 func New(cfg Config) (*Cluster, error) {
 	if len(cfg.Coverage) == 0 {
 		return nil, fmt.Errorf("edgecluster: at least one coverage disk required")
@@ -86,10 +161,17 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.EtaFraction = 0.9
 	}
 
-	cluster := &Cluster{cfg: cfg}
+	cluster := &Cluster{cfg: cfg, journal: make(map[string]*mergeRound)}
 	for i, cov := range cfg.Coverage {
 		engineCfg := cfg.Engine
-		engineCfg.Seed = cfg.Seed + uint64(i)*0x9E3779B97F4A7C15
+		engineCfg.Seed = edgeSeed(cfg.Seed, i)
+		// Profile recomputation belongs exclusively to the merge protocol:
+		// a single-edge engine rebuilds on its own when a report closes the
+		// profile window, but here that would obfuscate the same top
+		// independently on every edge that observes the user — voiding the
+		// single-obfuscator invariant on any trace longer than the window.
+		// Disable per-edge auto-rebuild by pushing the window out of reach.
+		engineCfg.ProfileWindow = time.Duration(math.MaxInt64)
 		engine, err := core.NewEngine(engineCfg)
 		if err != nil {
 			return nil, fmt.Errorf("edgecluster: building edge %d: %w", i, err)
@@ -98,6 +180,7 @@ func New(cfg Config) (*Cluster, error) {
 			ID:       fmt.Sprintf("edge-%02d", i),
 			Coverage: cov,
 			Engine:   engine,
+			applied:  make(map[string]uint64),
 		})
 	}
 	return cluster, nil
@@ -106,24 +189,141 @@ func New(cfg Config) (*Cluster, error) {
 // Nodes returns the cluster's edges.
 func (c *Cluster) Nodes() []*Node { return c.nodes }
 
-// route returns the covering edge nearest to pos.
+// MarkDown marks edge i unhealthy: routing and replication skip it until
+// MarkUp. Marking an already-down node is a no-op.
+func (c *Cluster) MarkDown(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("edgecluster: no edge %d", i)
+	}
+	if !c.nodes[i].down.Swap(true) {
+		if m := c.met.Load(); m != nil {
+			m.nodesDown.Inc()
+		}
+	}
+	return nil
+}
+
+// MarkUp revives edge i and replays the replication journal so its
+// tables catch up to the current merged state before it takes traffic
+// again. The returned error reports catch-up failures; the node stays
+// live (and cleanly retryable via Reconcile) either way.
+func (c *Cluster) MarkUp(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("edgecluster: no edge %d", i)
+	}
+	n := c.nodes[i]
+	c.mu.Lock()
+	// Catch up BEFORE flipping the health flag: the revived edge must not
+	// serve a stale table while the replay is still in flight.
+	err := c.catchUpLocked(n)
+	c.mu.Unlock()
+	if n.down.Swap(false) {
+		if m := c.met.Load(); m != nil {
+			m.nodesDown.Dec()
+		}
+	}
+	return err
+}
+
+// Reconcile replays the journal to every live node that is behind (a
+// replica that failed mid-round, or a revival whose catch-up errored).
+// It is idempotent: a fully consistent cluster is a no-op.
+func (c *Cluster) Reconcile() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var firstErr error
+	for _, n := range c.nodes {
+		if n.down.Load() {
+			continue
+		}
+		if err := c.catchUpLocked(n); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// catchUpLocked applies every journal round node has not yet applied.
+// The caller holds c.mu.
+func (c *Cluster) catchUpLocked(n *Node) error {
+	var firstErr error
+	for userID, round := range c.journal {
+		if n.applied[userID] >= round.version {
+			continue
+		}
+		if err := c.applyRoundLocked(n, userID, round, false); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if m := c.met.Load(); m != nil {
+			m.journalReplays.Inc()
+		}
+	}
+	return firstErr
+}
+
+// applyRoundLocked installs one journal round on a replica: import the
+// obfuscator's table snapshot (idempotent — existing entries win), then
+// install the merged top set so TopLocations answers identically on
+// every edge. merged reports whether the replica's pending check-ins
+// were part of this round (live replication consumes the collection
+// window; a catch-up replay preserves pending check-ins that never
+// merged, so they contribute to the next round). The caller holds c.mu.
+func (c *Cluster) applyRoundLocked(n *Node, userID string, round *mergeRound, merged bool) error {
+	if n.failApply != nil {
+		if err := n.failApply(userID); err != nil {
+			return fmt.Errorf("edgecluster: replicating round %d to %s: %w", round.version, n.ID, err)
+		}
+	}
+	if err := n.Engine.ImportTable(userID, round.entries); err != nil {
+		return fmt.Errorf("edgecluster: replicating table to %s: %w", n.ID, err)
+	}
+	install := n.Engine.SyncTops
+	if merged {
+		install = n.Engine.InstallTops
+	}
+	if err := install(userID, round.tops, round.at); err != nil {
+		return fmt.Errorf("edgecluster: installing tops at %s: %w", n.ID, err)
+	}
+	n.applied[userID] = round.version
+	return nil
+}
+
+// route returns the covering LIVE edge nearest to pos, failing over past
+// down nodes to the next-nearest covering edge.
 func (c *Cluster) route(pos geo.Point) (*Node, error) {
-	var best *Node
-	bestD := math.Inf(1)
+	var best, bestLive *Node
+	bestD, bestLiveD := math.Inf(1), math.Inf(1)
 	for _, n := range c.nodes {
 		d := n.Coverage.Center.Dist(pos)
-		if d <= n.Coverage.Radius && d < bestD {
-			best = n
-			bestD = d
+		if d > n.Coverage.Radius {
+			continue
+		}
+		if d < bestD {
+			best, bestD = n, d
+		}
+		if !n.down.Load() && d < bestLiveD {
+			bestLive, bestLiveD = n, d
 		}
 	}
 	if best == nil {
 		return nil, fmt.Errorf("%w: (%.0f, %.0f)", ErrNoCoverage, pos.X, pos.Y)
 	}
-	return best, nil
+	if bestLive == nil {
+		return nil, fmt.Errorf("%w: every edge covering (%.0f, %.0f) is down", ErrNoLiveEdge, pos.X, pos.Y)
+	}
+	if bestLive != best {
+		if m := c.met.Load(); m != nil {
+			m.failovers.Inc()
+		}
+	}
+	return bestLive, nil
 }
 
-// Report routes a check-in to the covering edge and returns its ID.
+// Report routes a check-in to the nearest covering live edge and returns
+// its ID.
 func (c *Cluster) Report(userID string, pos geo.Point, at time.Time) (string, error) {
 	node, err := c.route(pos)
 	if err != nil {
@@ -135,7 +335,7 @@ func (c *Cluster) Report(userID string, pos geo.Point, at time.Time) (string, er
 	return node.ID, nil
 }
 
-// Request routes an LBA request to the covering edge.
+// Request routes an LBA request to the nearest covering live edge.
 func (c *Cluster) Request(userID string, pos geo.Point) (geo.Point, bool, error) {
 	node, err := c.route(pos)
 	if err != nil {
@@ -148,71 +348,158 @@ func (c *Cluster) Request(userID string, pos geo.Point) (geo.Point, bool, error)
 	return out, fromTable, nil
 }
 
+// MergeStats describes how a merge round went: how much of the cluster
+// participated and what was left behind.
+type MergeStats struct {
+	// Version is the journal version this round produced.
+	Version uint64
+	// Obfuscator is the node that obfuscated this round's new tops.
+	Obfuscator string
+	// Live is the number of edges that contributed and received the round.
+	Live int
+	// SkippedDown is the number of down edges excluded from the round;
+	// their pending check-ins stay queued for a later round and their
+	// tables catch up from the journal at MarkUp.
+	SkippedDown int
+	// Dropped counts merged check-ins outside MergeRegion; they are
+	// excluded from the aggregate (and counted in telemetry) rather than
+	// failing the round.
+	Dropped int
+	// ReplicaErrors is the number of live replicas the round failed to
+	// apply to; they remain on their previous version and catch up on the
+	// next merge, a Reconcile, or their next MarkUp.
+	ReplicaErrors int
+	// Degraded reports a round that did not reach the whole cluster
+	// (SkippedDown > 0 or ReplicaErrors > 0).
+	Degraded bool
+}
+
 // MergeProfiles runs the periodic profile merge for one user:
 //
-//  1. every edge contributes its pending partial profile,
+//  1. every LIVE edge contributes its pending partial profile,
 //  2. the partials are combined with the secure aggregation protocol
 //     (no edge reveals its plaintext histogram),
 //  3. the η-frequent top set is computed on the merged profile,
-//  4. the designated obfuscator installs the tops (new ones are
-//     obfuscated exactly once), and
-//  5. the resulting permanent table rows replicate to every other edge.
+//  4. the lowest-indexed live edge — this round's obfuscator — installs
+//     the tops (new ones are obfuscated exactly once),
+//  5. the round is recorded in the versioned replication journal, and
+//  6. the journal round applies to every other live edge; failures leave
+//     that replica cleanly retryable instead of aborting the round.
 //
 // It returns the merged top set. Users the cluster has never seen yield
-// ErrUnknownUser from the underlying engines.
+// ErrUnknownUser from the underlying engines; a cluster with every edge
+// down yields ErrNoLiveEdge.
 func (c *Cluster) MergeProfiles(userID string, now time.Time) (profile.Profile, error) {
-	partials := make([]profile.Profile, 0, len(c.nodes))
-	seen := false
+	tops, _, err := c.MergeProfilesStats(userID, now)
+	return tops, err
+}
+
+// MergeProfilesStats is MergeProfiles with per-round statistics: which
+// node obfuscated, how many edges were skipped or failed replication,
+// and how many out-of-region locations were dropped from the aggregate.
+func (c *Cluster) MergeProfilesStats(userID string, now time.Time) (profile.Profile, MergeStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var stats MergeStats
+	live := make([]*Node, 0, len(c.nodes))
 	for _, n := range c.nodes {
+		if n.down.Load() {
+			stats.SkippedDown++
+			continue
+		}
+		live = append(live, n)
+	}
+	if len(live) == 0 {
+		return nil, stats, fmt.Errorf("%w: merge for %q with every edge down", ErrNoLiveEdge, userID)
+	}
+	stats.Live = len(live)
+
+	partials := make([]profile.Profile, 0, len(live))
+	seen := false
+	for _, n := range live {
 		part, err := n.Engine.PendingProfile(userID)
 		switch {
 		case errors.Is(err, core.ErrUnknownUser):
 			partials = append(partials, nil) // this edge never saw the user
 		case err != nil:
-			return nil, fmt.Errorf("edgecluster: partial profile at %s: %w", n.ID, err)
+			return nil, stats, fmt.Errorf("edgecluster: partial profile at %s: %w", n.ID, err)
 		default:
 			seen = true
 			partials = append(partials, part)
 		}
 	}
 	if !seen {
-		return nil, fmt.Errorf("edgecluster: merge for %q: %w", userID, core.ErrUnknownUser)
+		return nil, stats, fmt.Errorf("edgecluster: merge for %q: %w", userID, core.ErrUnknownUser)
 	}
 
 	var merged profile.Profile
-	if len(c.nodes) == 1 {
+	if len(live) == 1 {
 		merged = partials[0]
 	} else {
 		var dropped int
 		var err error
 		merged, dropped, err = secagg.MergeProfiles(partials, c.cfg.MergeRegion, c.cfg.MergeCell, c.cfg.Seed)
 		if err != nil {
-			return nil, fmt.Errorf("edgecluster: secure merge for %q: %w", userID, err)
+			return nil, stats, fmt.Errorf("edgecluster: secure merge for %q: %w", userID, err)
 		}
+		// A stray check-in outside the aggregation region must not block
+		// the user's merges forever: complete the round on the in-region
+		// mass and surface the drop count instead of failing.
 		if dropped > 0 {
-			return nil, fmt.Errorf("edgecluster: merge for %q dropped %d locations outside the region", userID, dropped)
+			stats.Dropped = dropped
+			if m := c.met.Load(); m != nil {
+				m.mergeDropped.Add(uint64(dropped))
+			}
 		}
 	}
 	tops := merged.EtaFractionSet(c.cfg.EtaFraction)
 
-	// Install at the designated obfuscator, then replicate its table.
-	obfuscator := c.nodes[0]
+	// Install at this round's obfuscator: the lowest-indexed LIVE node.
+	// The obfuscator must be CURRENT before generating candidates: a node
+	// revived in the instant between a round's snapshot and its health
+	// flip can be live yet missing that round's entries, and obfuscating
+	// from a stale table would re-obfuscate an already-protected top —
+	// the exact longitudinal leak the shared table prevents. Replaying
+	// the user's latest journal round first closes that window.
+	obfuscator := live[0]
+	stats.Obfuscator = obfuscator.ID
+	if prev := c.journal[userID]; prev != nil && obfuscator.applied[userID] < prev.version {
+		if err := c.applyRoundLocked(obfuscator, userID, prev, false); err != nil {
+			return nil, stats, fmt.Errorf("edgecluster: catching obfuscator %s up: %w", obfuscator.ID, err)
+		}
+	}
 	if err := obfuscator.Engine.InstallTops(userID, tops, now); err != nil {
-		return nil, fmt.Errorf("edgecluster: installing tops at %s: %w", obfuscator.ID, err)
+		return nil, stats, fmt.Errorf("edgecluster: installing tops at %s: %w", obfuscator.ID, err)
 	}
 	entries, err := obfuscator.Engine.Table(userID)
 	if err != nil {
-		return nil, fmt.Errorf("edgecluster: reading table at %s: %w", obfuscator.ID, err)
+		return nil, stats, fmt.Errorf("edgecluster: reading table at %s: %w", obfuscator.ID, err)
 	}
-	for _, n := range c.nodes[1:] {
-		if err := n.Engine.ImportTable(userID, entries); err != nil {
-			return nil, fmt.Errorf("edgecluster: replicating table to %s: %w", n.ID, err)
-		}
-		// Keep the merged top set consistent everywhere so TopLocations
-		// answers identically regardless of the edge queried.
-		if err := n.Engine.InstallTops(userID, tops, now); err != nil {
-			return nil, fmt.Errorf("edgecluster: installing tops at %s: %w", n.ID, err)
+
+	// Journal the round BEFORE touching replicas: from here on the merged
+	// state has one authoritative record, and any replica — including one
+	// that fails right now — converges to it by replaying the journal.
+	c.version++
+	round := &mergeRound{version: c.version, tops: tops, entries: entries, at: now}
+	c.journal[userID] = round
+	stats.Version = round.version
+	obfuscator.applied[userID] = round.version
+
+	for _, n := range live[1:] {
+		if err := c.applyRoundLocked(n, userID, round, true); err != nil {
+			stats.ReplicaErrors++
+			if m := c.met.Load(); m != nil {
+				m.replicaErrors.Inc()
+			}
 		}
 	}
-	return tops, nil
+	stats.Degraded = stats.SkippedDown > 0 || stats.ReplicaErrors > 0
+	if m := c.met.Load(); m != nil {
+		m.merges.Inc()
+		if stats.Degraded {
+			m.degradedMerges.Inc()
+		}
+	}
+	return tops, stats, nil
 }

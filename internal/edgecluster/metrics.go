@@ -1,0 +1,36 @@
+package edgecluster
+
+import "repro/internal/telemetry"
+
+// clusterMetrics holds the cluster's telemetry handles, resolved once at
+// Instrument time so merge/route paths never touch the registry.
+type clusterMetrics struct {
+	failovers      *telemetry.Counter
+	merges         *telemetry.Counter
+	degradedMerges *telemetry.Counter
+	mergeDropped   *telemetry.Counter
+	replicaErrors  *telemetry.Counter
+	journalReplays *telemetry.Counter
+	nodesDown      *telemetry.Gauge
+}
+
+// Instrument registers the cluster's fault-tolerance metrics with reg
+// and starts recording. Counters: cluster_failovers_total (requests
+// rerouted past a down nearest edge), cluster_merges_total,
+// cluster_degraded_merges_total (rounds that missed part of the
+// cluster), cluster_merge_dropped_total (merged check-ins outside the
+// aggregation region), cluster_replica_errors_total (replication applies
+// that failed mid-round), cluster_journal_replays_total (journal rounds
+// applied during catch-up). Gauge: cluster_nodes_down.
+func (c *Cluster) Instrument(reg *telemetry.Registry) {
+	m := &clusterMetrics{
+		failovers:      reg.Counter("cluster_failovers_total", "Requests rerouted to the next-nearest covering edge because the nearest was down."),
+		merges:         reg.Counter("cluster_merges_total", "Profile merge rounds completed."),
+		degradedMerges: reg.Counter("cluster_degraded_merges_total", "Merge rounds completed without reaching the whole cluster."),
+		mergeDropped:   reg.Counter("cluster_merge_dropped_total", "Merged check-ins dropped for falling outside the aggregation region."),
+		replicaErrors:  reg.Counter("cluster_replica_errors_total", "Replication applies that failed mid-round, leaving the replica to catch up later."),
+		journalReplays: reg.Counter("cluster_journal_replays_total", "Journal rounds applied while catching a node up after downtime or a failed apply."),
+		nodesDown:      reg.Gauge("cluster_nodes_down", "Edges currently marked down."),
+	}
+	c.met.Store(m)
+}

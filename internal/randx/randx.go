@@ -72,15 +72,24 @@ func (r *Rand) SplitSeq() Seq {
 	return Seq{seed: r.src.Uint64(), stream: r.src.Uint64()}
 }
 
+// GoldenGamma is the SplitMix64 increment (2⁶⁴/φ, odd): consecutive
+// indexes multiplied by it land maximally far apart before the Mix64
+// avalanche.
+const GoldenGamma = 0x9E3779B97F4A7C15
+
 // Stream derives the i-th stream of the family. Distinct indexes yield
 // independent PCG streams via a SplitMix64 finalizer on the index.
 func (q Seq) Stream(i int) *Rand {
-	return New(q.seed, mix64(q.stream+uint64(i)*0x9E3779B97F4A7C15))
+	return New(q.seed, Mix64(q.stream+uint64(i)*GoldenGamma))
 }
 
-// mix64 is the SplitMix64 finalizer: a bijective avalanche so that
+// Mix64 is the SplitMix64 finalizer: a bijective avalanche so that
 // consecutive indexes map to well-separated PCG stream selectors.
-func mix64(x uint64) uint64 {
+// Callers deriving an indexed seed family (e.g. per-edge engine seeds)
+// should avalanche BEFORE adding the index increment — a plain
+// seed + i*GoldenGamma is linear, so nearby base seeds collide across
+// indexes (seed s index 1 == seed s+GoldenGamma index 0).
+func Mix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xBF58476D1CE4E5B9
 	x ^= x >> 27

@@ -1,11 +1,23 @@
 #!/bin/sh
-# Repo-wide verification: vet, build, and run the full test suite with
-# the race detector. This is the bar every PR must clear.
+# Repo-wide verification: format gate, vet, build, and run the full test
+# suite with the race detector. This is the bar every PR must clear.
 set -eux
+
+UNFORMATTED="$(gofmt -l cmd internal examples)"
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt needed on:" "$UNFORMATTED" >&2
+    exit 1
+fi
 
 go vet ./...
 go build ./...
 go test -race ./...
+
+# The fault-tolerance surfaces (failover routing, degraded merges, journal
+# catch-up, client retries, bounded provider calls) are concurrency-heavy;
+# run their packages under the race detector a second time with -count=2
+# to shake out interleavings the single pass missed.
+go test -race -count=2 ./internal/edgecluster ./internal/client ./internal/edge
 
 # Smoke the benchmark harness: one cheap benchmark through bench.sh and
 # the JSON converter, writing to a scratch path (the checked-in
