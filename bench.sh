@@ -2,26 +2,50 @@
 # bench.sh — run the benchmark sweep and archive it as JSON.
 #
 #   ./bench.sh                 # full sweep -> BENCH_pr2.json
+#   SERVING=1 ./bench.sh       # serving-path sweep -> BENCH_pr4.json
 #   OUT=/tmp/b.json BENCH='BenchmarkTrim' BENCHTIME=1x ./bench.sh
 #
 # Knobs (environment):
-#   OUT       output JSON path          (default BENCH_pr2.json)
-#   BENCH     -bench regexp             (default '.')
+#   OUT       output JSON path          (default BENCH_pr2.json; BENCH_pr4.json with SERVING=1)
+#   BENCH     -bench regexp             (default '.'; the engine serving benches with SERVING=1)
 #   BENCHTIME -benchtime                (default 1s)
-#   PKGS      packages to benchmark     (default ./...)
+#   PKGS      packages to benchmark     (default ./...; repo root with SERVING=1)
+#   SERVING   when set, also run the cmd/loadgen closed-loop sweep
+#             (shards {1,8} x batch {1,64}) and embed it under the
+#             "serving" key of the output JSON. Extra knobs:
+#   LOADGEN_USERS / LOADGEN_WORKERS / LOADGEN_REQUESTS
+#             workload size of the loadgen sweep (defaults 64/8/40000)
 set -euo pipefail
 cd "$(dirname "$0")"
 
-OUT="${OUT:-BENCH_pr2.json}"
-BENCH="${BENCH:-.}"
 BENCHTIME="${BENCHTIME:-1s}"
-PKGS="${PKGS:-./...}"
 
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+serving_json=""
+trap 'rm -f "$raw" "$serving_json"' EXIT
+
+if [ -n "${SERVING:-}" ]; then
+    OUT="${OUT:-BENCH_pr4.json}"
+    BENCH="${BENCH:-BenchmarkEngine(Report|ReportBatch|Request|ReportParallel)}"
+    PKGS="${PKGS:-.}"
+    serving_json="$(mktemp)"
+    go run ./cmd/loadgen -sweep \
+        -users "${LOADGEN_USERS:-64}" \
+        -workers "${LOADGEN_WORKERS:-8}" \
+        -requests "${LOADGEN_REQUESTS:-40000}" \
+        -out "$serving_json"
+else
+    OUT="${OUT:-BENCH_pr2.json}"
+    BENCH="${BENCH:-.}"
+    PKGS="${PKGS:-./...}"
+fi
 
 # -run '^$' skips unit tests so only benchmarks execute; -count=1
 # defeats result caching.
 go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count=1 $PKGS | tee "$raw"
-go run ./cmd/benchjson < "$raw" > "$OUT"
+if [ -n "${SERVING:-}" ]; then
+    go run ./cmd/benchjson -serving "$serving_json" < "$raw" > "$OUT"
+else
+    go run ./cmd/benchjson < "$raw" > "$OUT"
+fi
 echo "wrote $OUT"

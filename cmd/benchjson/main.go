@@ -16,6 +16,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -40,21 +41,41 @@ type Report struct {
 	CPU        string             `json:"cpu,omitempty"`
 	Benchmarks []Benchmark        `json:"benchmarks"`
 	Derived    map[string]float64 `json:"derived,omitempty"`
+	// Serving embeds a cmd/loadgen -sweep document (closed-loop serving
+	// throughput and latency quantiles) when -serving is given, so
+	// BENCH_pr4.json carries microbenchmarks and macro load results in
+	// one artifact.
+	Serving json.RawMessage `json:"serving,omitempty"`
 }
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	serving := fs.String("serving", "", "embed this cmd/loadgen -sweep JSON file under the serving key")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		return err
 	}
 	rep.Derived = derive(rep.Benchmarks)
+	if *serving != "" {
+		data, err := os.ReadFile(*serving)
+		if err != nil {
+			return fmt.Errorf("reading serving sweep: %w", err)
+		}
+		if !json.Valid(data) {
+			return fmt.Errorf("serving sweep %s is not valid JSON", *serving)
+		}
+		rep.Serving = json.RawMessage(data)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
@@ -130,13 +151,21 @@ func parseLine(line string) (*Benchmark, error) {
 }
 
 // derive computes cross-benchmark quantities: the Fig6 worker-scaling
-// speedup and the Trim rewrite's improvement over the map baseline.
+// speedup, the Trim rewrite's improvement over the map baseline, and the
+// PR 4 serving-path comparisons (batched ingestion vs N single reports,
+// sharded vs single-stripe parallel reporting).
 func derive(benches []Benchmark) map[string]float64 {
-	ns := func(suffix string) float64 {
-		for _, b := range benches {
-			if strings.HasSuffix(stripProcs(b.Name), suffix) {
-				return b.NsPerOp
+	find := func(suffix string) *Benchmark {
+		for i := range benches {
+			if strings.HasSuffix(stripProcs(benches[i].Name), suffix) {
+				return &benches[i]
 			}
+		}
+		return nil
+	}
+	ns := func(suffix string) float64 {
+		if b := find(suffix); b != nil {
+			return b.NsPerOp
 		}
 		return 0
 	}
@@ -146,6 +175,25 @@ func derive(benches []Benchmark) map[string]float64 {
 	}
 	if idx, base := ns("Trim/indexed"), ns("Trim/map-baseline"); idx > 0 && base > 0 {
 		d["trim_speedup_indexed_over_map"] = base / idx
+	}
+	// Batched ingestion vs 64 single reports: one ReportBatch op ingests
+	// 64 check-ins, so the fair comparison is 64x the single-report cost
+	// against one batch op. Alloc counts amortize below 1/op on both
+	// paths, so bytes/op is the robust allocation measure.
+	if single, batch := find("EngineReport"), find("EngineReportBatch/size=64"); single != nil && batch != nil {
+		if single.NsPerOp > 0 && batch.NsPerOp > 0 {
+			d["report_batch64_speedup_per_checkin"] = single.NsPerOp * 64 / batch.NsPerOp
+		}
+		if single.BytesPerOp != nil && batch.BytesPerOp != nil && *batch.BytesPerOp > 0 {
+			d["report_batch64_bytes_reduction"] = *single.BytesPerOp * 64 / *batch.BytesPerOp
+		}
+		if single.AllocsPerOp != nil && batch.AllocsPerOp != nil {
+			d["report_allocs_per_checkin"] = *single.AllocsPerOp
+			d["report_batch64_allocs_per_checkin"] = *batch.AllocsPerOp / 64
+		}
+	}
+	if s1, s64 := ns("EngineReportParallel/shards=1"), ns("EngineReportParallel/shards=64"); s1 > 0 && s64 > 0 {
+		d["engine_shard_parallel_speedup"] = s1 / s64
 	}
 	if len(d) == 0 {
 		return nil

@@ -18,6 +18,12 @@ BenchmarkTrim/indexed-8                  	   17906	     66549 ns/op	      56 B/o
 BenchmarkTrim/indexed-grid-8             	    8554	    140289 ns/op	   14474 B/op	      16 allocs/op
 BenchmarkTrim/map-baseline-8             	    2538	    470544 ns/op	  162264 B/op	      10 allocs/op
 ok  	repro/internal/cluster	5.1s
+pkg: repro
+BenchmarkEngineReport-8                  	 1000000	       140 ns/op	     138 B/op	       0 allocs/op
+BenchmarkEngineReportBatch/size=64-8     	   50000	      4480 ns/op	    5200 B/op	       0 allocs/op
+BenchmarkEngineReportParallel/shards=1-8 	 1000000	       200 ns/op	     136 B/op	       0 allocs/op
+BenchmarkEngineReportParallel/shards=64-8	 1200000	       100 ns/op	     148 B/op	       0 allocs/op
+ok  	repro	3.2s
 `
 
 func TestParse(t *testing.T) {
@@ -28,8 +34,8 @@ func TestParse(t *testing.T) {
 	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.CPU != "Intel(R) Xeon(R)" {
 		t.Errorf("header = %+v", rep)
 	}
-	if len(rep.Benchmarks) != 5 {
-		t.Fatalf("parsed %d benchmarks, want 5", len(rep.Benchmarks))
+	if len(rep.Benchmarks) != 9 {
+		t.Fatalf("parsed %d benchmarks, want 9", len(rep.Benchmarks))
 	}
 	b := rep.Benchmarks[0]
 	if b.Name != "BenchmarkFig6Attack/parallel=1-8" || b.Package != "repro" {
@@ -61,6 +67,20 @@ func TestDerive(t *testing.T) {
 	want := 470544.0 / 66549.0
 	if got := d["trim_speedup_indexed_over_map"]; got != want {
 		t.Errorf("trim speedup = %g, want %g", got, want)
+	}
+	// PR 4 serving-path derived metrics: one batch of 64 vs 64 single
+	// reports, and the parallel shard-striping speedup.
+	if got, want := d["report_batch64_speedup_per_checkin"], 140.0*64/4480; got != want {
+		t.Errorf("batch speedup = %g, want %g", got, want)
+	}
+	if got, want := d["report_batch64_bytes_reduction"], 138.0*64/5200; got != want {
+		t.Errorf("batch bytes reduction = %g, want %g", got, want)
+	}
+	if got := d["report_batch64_allocs_per_checkin"]; got != 0 {
+		t.Errorf("batch allocs per check-in = %g, want 0", got)
+	}
+	if got, want := d["engine_shard_parallel_speedup"], 2.0; got != want {
+		t.Errorf("shard speedup = %g, want %g", got, want)
 	}
 	if derive(nil) != nil {
 		t.Error("derive(nil) should be nil")

@@ -60,6 +60,7 @@ func run(args []string) error {
 		delta     = flags.Float64("delta", 0.01, "privacy slack delta")
 		nFold     = flags.Int("n", 10, "number of obfuscated candidates per top location")
 		seed      = flags.Uint64("seed", 1, "randomness seed")
+		shards    = flags.Int("shards", core.DefaultShards, "lock-striped user-map shards (rounded up to a power of two; purely a concurrency knob — state is byte-identical at any shard count)")
 		useRTB    = flags.Bool("rtb", false, "serve ads through second-price RTB auctions instead of direct matching")
 		statePath = flags.String("state", "", "snapshot file: restored at startup when present, written on shutdown (keeps the obfuscation table permanent across restarts)")
 	)
@@ -81,6 +82,7 @@ func run(args []string) error {
 		Mechanism:        mech,
 		NomadicMechanism: nomadic,
 		Seed:             *seed,
+		Shards:           *shards,
 	})
 	if err != nil {
 		return fmt.Errorf("building engine: %w", err)

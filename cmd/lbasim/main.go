@@ -52,12 +52,16 @@ func run(args []string) error {
 		statsEvery = fs.Duration("stats-every", 5*time.Second, "interval between telemetry summaries during the replay (0 disables)")
 		edges      = fs.Int("edges", 1, "edge devices; >1 replays through a fault-tolerant multi-edge cluster")
 		chaos      = fs.Bool("chaos", false, "kill and revive edges mid-run (requires -edges > 1)")
+		batch      = fs.Int("batch", 1, "check-ins per report call; >1 replays via POST /v1/report/batch (or batched cluster routing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *chaos && *edges < 2 {
 		return fmt.Errorf("-chaos requires -edges > 1 (nothing to fail over to)")
+	}
+	if *batch < 1 {
+		return fmt.Errorf("-batch must be >= 1")
 	}
 
 	// Workload.
@@ -71,7 +75,7 @@ func run(args []string) error {
 	}
 
 	if *edges > 1 {
-		return runCluster(cfg, ds, *edges, *chaos, *seed)
+		return runCluster(cfg, ds, *edges, *chaos, *seed, *batch)
 	}
 
 	// Untrusted side: either a direct-matching ad network or an RTB
@@ -168,10 +172,8 @@ func run(args []string) error {
 	start := time.Now()
 	var adsDelivered, adsFetched, requests int
 	for _, u := range ds.Users {
-		for _, c := range u.CheckIns {
-			if err := cl.Report(ctx, u.ID, c.Pos, c.Time); err != nil {
-				return fmt.Errorf("reporting for %s: %w", u.ID, err)
-			}
+		if err := replayReports(ctx, cl, u.ID, u.CheckIns, *batch); err != nil {
+			return err
 		}
 		if err := cl.Rebuild(ctx, u.ID, cfg.End); err != nil {
 			return fmt.Errorf("rebuilding %s: %w", u.ID, err)
@@ -221,6 +223,37 @@ func run(args []string) error {
 	return nil
 }
 
+// replayReports delivers one user's check-ins to the edge: one
+// /v1/report round trip each with batch == 1, or /v1/report/batch
+// chunks of up to batch check-ins otherwise. Either path leaves the
+// engine in byte-identical state; batching only cuts round trips.
+func replayReports(ctx context.Context, cl *client.Client, userID string, checkIns []trace.CheckIn, batch int) error {
+	if batch == 1 {
+		for _, c := range checkIns {
+			if err := cl.Report(ctx, userID, c.Pos, c.Time); err != nil {
+				return fmt.Errorf("reporting for %s: %w", userID, err)
+			}
+		}
+		return nil
+	}
+	for i := 0; i < len(checkIns); i += batch {
+		end := min(i+batch, len(checkIns))
+		reports := make([]edge.ReportRequest, 0, end-i)
+		for _, c := range checkIns[i:end] {
+			reports = append(reports, edge.ReportRequest{UserID: userID, Pos: c.Pos, Time: c.Time})
+		}
+		resp, err := cl.ReportBatch(ctx, reports)
+		if err != nil {
+			return fmt.Errorf("batch-reporting for %s: %w", userID, err)
+		}
+		if len(resp.Errors) > 0 {
+			return fmt.Errorf("batch-reporting for %s: %d items rejected (first: index %d: %s)",
+				userID, len(resp.Errors), resp.Errors[0].Index, resp.Errors[0].Error)
+		}
+	}
+	return nil
+}
+
 // runCluster replays the workload through a fault-tolerant multi-edge
 // deployment (paper Section V-B) using the cluster API directly: check-ins
 // route to the nearest covering live edge, per-user profiles merge through
@@ -231,7 +264,7 @@ func run(args []string) error {
 // and journal catch-up. The run ends with a convergence pass plus a
 // byte-identity audit of every edge's table, and the longitudinal attack
 // on the obfuscated request stream the ad providers would observe.
-func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed uint64) error {
+func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed uint64, batch int) error {
 	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
 	if err != nil {
 		return fmt.Errorf("building mechanism: %w", err)
@@ -279,9 +312,24 @@ func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed
 	var requests, kills int
 	var degraded, dropped int
 	for ui, u := range ds.Users {
-		for _, c := range u.CheckIns {
-			if _, err := cluster.Report(u.ID, c.Pos, c.Time); err != nil {
-				return fmt.Errorf("reporting for %s: %w", u.ID, err)
+		if batch == 1 {
+			for _, c := range u.CheckIns {
+				if _, err := cluster.Report(u.ID, c.Pos, c.Time); err != nil {
+					return fmt.Errorf("reporting for %s: %w", u.ID, err)
+				}
+			}
+		} else {
+			// Batched routing: items fan out per-item to the nearest live
+			// edge, grouped into one engine call per edge.
+			for i := 0; i < len(u.CheckIns); i += batch {
+				end := min(i+batch, len(u.CheckIns))
+				items := make([]core.BatchReport, 0, end-i)
+				for _, c := range u.CheckIns[i:end] {
+					items = append(items, core.BatchReport{UserID: u.ID, Pos: c.Pos, At: c.Time})
+				}
+				if errs := cluster.ReportBatch(items); len(errs) > 0 {
+					return fmt.Errorf("batch-reporting for %s: %w", u.ID, errs[0].Err)
+				}
 			}
 		}
 		victim := -1

@@ -1,0 +1,429 @@
+// Command loadgen is a closed-loop load generator for the edge serving
+// path: a pool of workers drives a configurable mix of location reports
+// (optionally batched through POST /v1/report/batch) and ad requests at
+// an edge server — an in-process one by default, or any edged via
+// -addr — and reports throughput plus p50/p95/p99 client-observed
+// latency from internal/telemetry histograms.
+//
+// Closed loop means each worker waits for a response before issuing the
+// next call, so measured latency includes queueing at the configured
+// concurrency rather than at an unbounded open-loop arrival rate.
+//
+// Usage:
+//
+//	loadgen -users 256 -workers 8 -requests 20000 -mix 4:1 -batch 64
+//	loadgen -sweep -out BENCH_pr4.json   # shards {1,8} x batch {1,64} grid
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adnet"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/edge"
+	"repro/internal/geo"
+	"repro/internal/geoind"
+	"repro/internal/randx"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// config is one load-generation run.
+type config struct {
+	Users     int           `json:"users"`
+	Workers   int           `json:"workers"`
+	Requests  int           `json:"requests"`
+	Duration  time.Duration `json:"-"`
+	Mix       string        `json:"mix"`
+	Batch     int           `json:"batch"`
+	Shards    int           `json:"shards"`
+	Campaigns int           `json:"campaigns"`
+	Seed      uint64        `json:"seed"`
+	Addr      string        `json:"addr,omitempty"`
+
+	mixReports, mixAds int
+}
+
+// result is the measured outcome of one run. Latency quantiles are
+// linear interpolations inside telemetry histogram buckets (exponential
+// bounds, factor 4), so treat them as bucket-resolution estimates.
+type result struct {
+	Name          string  `json:"name"`
+	Shards        int     `json:"shards"`
+	Batch         int     `json:"batch"`
+	CheckIns      int64   `json:"checkins"`
+	AdRequests    int64   `json:"ad_requests"`
+	HTTPOps       int64   `json:"http_ops"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	CheckInsPerS  float64 `json:"checkins_per_sec"`
+	AdsPerS       float64 `json:"ads_per_sec"`
+	HTTPOpsPerS   float64 `json:"http_ops_per_sec"`
+	ReportP50Ms   float64 `json:"report_p50_ms"`
+	ReportP95Ms   float64 `json:"report_p95_ms"`
+	ReportP99Ms   float64 `json:"report_p99_ms"`
+	AdsP50Ms      float64 `json:"ads_p50_ms"`
+	AdsP95Ms      float64 `json:"ads_p95_ms"`
+	AdsP99Ms      float64 `json:"ads_p99_ms"`
+	BatchRejected int64   `json:"batch_rejected,omitempty"`
+}
+
+// sweepReport is the BENCH_pr4.json serving section: the full grid plus
+// cross-run derived speedups.
+type sweepReport struct {
+	Config  config             `json:"config"`
+	Runs    []result           `json:"runs"`
+	Derived map[string]float64 `json:"derived,omitempty"`
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		users     = fs.Int("users", 256, "distinct users in the workload")
+		workers   = fs.Int("workers", 8, "concurrent closed-loop workers")
+		requests  = fs.Int("requests", 20_000, "total operations (each batched report counts its check-ins)")
+		duration  = fs.Duration("duration", 0, "run for a fixed wall-clock time instead of a request budget")
+		mix       = fs.String("mix", "4:1", "check-in to ad-request ratio, as R:A")
+		batch     = fs.Int("batch", 1, "check-ins per report call; >1 uses POST /v1/report/batch")
+		shards    = fs.Int("shards", core.DefaultShards, "engine shard count for the in-process server")
+		campaigns = fs.Int("campaigns", 100, "campaigns registered on the in-process ad network")
+		seed      = fs.Uint64("seed", 1, "workload randomness seed")
+		addr      = fs.String("addr", "", "target an external edge (e.g. http://127.0.0.1:8080) instead of an in-process server")
+		jsonOut   = fs.Bool("json", false, "emit the result as JSON instead of a text summary")
+		sweep     = fs.Bool("sweep", false, "run the shards {1,8} x batch {1,64} grid in-process and emit the sweep JSON")
+		outPath   = fs.String("out", "", "write output to this file instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := config{
+		Users: *users, Workers: *workers, Requests: *requests, Duration: *duration,
+		Mix: *mix, Batch: *batch, Shards: *shards, Campaigns: *campaigns,
+		Seed: *seed, Addr: *addr,
+	}
+	var err error
+	cfg.mixReports, cfg.mixAds, err = parseMix(cfg.Mix)
+	if err != nil {
+		return err
+	}
+	if cfg.Users < 1 || cfg.Workers < 1 || cfg.Batch < 1 {
+		return fmt.Errorf("users, workers, and batch must be >= 1")
+	}
+	if cfg.Requests < 1 && cfg.Duration <= 0 {
+		return fmt.Errorf("need a positive -requests budget or a -duration")
+	}
+
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *sweep {
+		if cfg.Addr != "" {
+			return fmt.Errorf("-sweep controls engine sharding, so it cannot target an external -addr")
+		}
+		rep, err := runSweep(cfg)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		if *outPath != "" {
+			fmt.Printf("loadgen: wrote sweep to %s\n", *outPath)
+		}
+		return nil
+	}
+
+	res, err := runOne(cfg, fmt.Sprintf("shards=%d/batch=%d", cfg.Shards, cfg.Batch))
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Fprintf(w, "loadgen: %s users=%d workers=%d mix=%s\n", res.Name, cfg.Users, cfg.Workers, cfg.Mix)
+	fmt.Fprintf(w, "ingested %d check-ins + %d ad requests (%d HTTP ops) in %.2fs\n",
+		res.CheckIns, res.AdRequests, res.HTTPOps, res.ElapsedSec)
+	fmt.Fprintf(w, "throughput: %.0f checkins/s, %.0f ads/s, %.0f http_ops/s\n",
+		res.CheckInsPerS, res.AdsPerS, res.HTTPOpsPerS)
+	fmt.Fprintf(w, "report latency p50=%.3fms p95=%.3fms p99=%.3fms\n", res.ReportP50Ms, res.ReportP95Ms, res.ReportP99Ms)
+	fmt.Fprintf(w, "ads    latency p50=%.3fms p95=%.3fms p99=%.3fms\n", res.AdsP50Ms, res.AdsP95Ms, res.AdsP99Ms)
+	return nil
+}
+
+// parseMix parses "R:A" into the report and ads weights.
+func parseMix(s string) (reports, ads int, err error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("mix %q must be R:A (e.g. 4:1)", s)
+	}
+	if _, err := fmt.Sscanf(parts[0], "%d", &reports); err != nil {
+		return 0, 0, fmt.Errorf("mix %q: bad report weight", s)
+	}
+	if _, err := fmt.Sscanf(parts[1], "%d", &ads); err != nil {
+		return 0, 0, fmt.Errorf("mix %q: bad ads weight", s)
+	}
+	if reports < 0 || ads < 0 || reports+ads == 0 {
+		return 0, 0, fmt.Errorf("mix %q: weights must be non-negative and not both zero", s)
+	}
+	return reports, ads, nil
+}
+
+// runSweep runs the BENCH_pr4 grid: single-shard vs multi-shard engine,
+// single vs batched ingestion, same workload everywhere.
+func runSweep(base config) (*sweepReport, error) {
+	rep := &sweepReport{Config: base}
+	perf := map[[2]int]float64{}
+	for _, shards := range []int{1, 8} {
+		for _, batch := range []int{1, 64} {
+			cfg := base
+			cfg.Shards, cfg.Batch = shards, batch
+			name := fmt.Sprintf("shards=%d/batch=%d", shards, batch)
+			fmt.Fprintf(os.Stderr, "loadgen: running %s ...\n", name)
+			res, err := runOne(cfg, name)
+			if err != nil {
+				return nil, fmt.Errorf("run %s: %w", name, err)
+			}
+			rep.Runs = append(rep.Runs, *res)
+			perf[[2]int{shards, batch}] = res.CheckInsPerS
+		}
+	}
+	rep.Derived = map[string]float64{}
+	if a, b := perf[[2]int{8, 1}], perf[[2]int{1, 1}]; a > 0 && b > 0 {
+		rep.Derived["shard_speedup_batch1"] = a / b
+	}
+	if a, b := perf[[2]int{1, 64}], perf[[2]int{1, 1}]; a > 0 && b > 0 {
+		rep.Derived["batch64_speedup_shards1"] = a / b
+	}
+	if a, b := perf[[2]int{8, 64}], perf[[2]int{1, 1}]; a > 0 && b > 0 {
+		rep.Derived["combined_speedup"] = a / b
+	}
+	return rep, nil
+}
+
+// runOne executes one closed-loop run and returns its measurements.
+func runOne(cfg config, name string) (*result, error) {
+	baseURL := cfg.Addr
+	if baseURL == "" {
+		ts, err := startEdge(cfg)
+		if err != nil {
+			return nil, err
+		}
+		defer ts.Close()
+		baseURL = ts.URL
+	}
+
+	reportHist, err := telemetry.NewHistogram(telemetry.DefaultLatencyBuckets())
+	if err != nil {
+		return nil, err
+	}
+	adsHist, err := telemetry.NewHistogram(telemetry.DefaultLatencyBuckets())
+	if err != nil {
+		return nil, err
+	}
+
+	// Budget accounting: report ops consume their batch size, ads ops
+	// consume one, so -requests bounds total work independently of the
+	// batch size (the batch=64 run ingests the same number of check-ins
+	// as the batch=1 run, just in fewer HTTP round trips).
+	var budget atomic.Int64
+	budget.Store(int64(cfg.Requests))
+	deadline := time.Time{}
+	if cfg.Duration > 0 {
+		budget.Store(math.MaxInt64)
+		deadline = time.Now().Add(cfg.Duration)
+	}
+
+	var checkins, adsDone, httpOps, rejected atomic.Int64
+	// userClock gives each user a monotonically advancing check-in time;
+	// cross-worker interleavings may deliver them slightly out of order,
+	// which the engine accepts (it never requires monotonic input).
+	userClock := make([]atomic.Int64, cfg.Users)
+	baseTime := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+	region := trace.DefaultConfig().Region
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Workers)
+	ctx := context.Background()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := client.New(baseURL, nil)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			rnd := randx.New(cfg.Seed, uint64(w)+0x10AD)
+			reports := make([]edge.ReportRequest, 0, cfg.Batch)
+			for {
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				isReport := cfg.mixAds == 0 ||
+					(cfg.mixReports > 0 && rnd.IntN(cfg.mixReports+cfg.mixAds) < cfg.mixReports)
+				cost := int64(1)
+				if isReport {
+					cost = int64(cfg.Batch)
+				}
+				if budget.Add(-cost) < 0 {
+					return
+				}
+				uid := rnd.IntN(cfg.Users)
+				user := fmt.Sprintf("u%05d", uid)
+				pos := geo.Point{
+					X: region.MinX + rnd.Float64()*region.Width(),
+					Y: region.MinY + rnd.Float64()*region.Height(),
+				}
+				if isReport {
+					reports = reports[:0]
+					for i := 0; i < cfg.Batch; i++ {
+						seq := userClock[uid].Add(1)
+						reports = append(reports, edge.ReportRequest{
+							UserID: user,
+							Pos:    pos.Add(rnd.GaussianPolar(50)),
+							Time:   baseTime.Add(time.Duration(seq) * time.Minute),
+						})
+					}
+					start := time.Now()
+					if cfg.Batch == 1 {
+						err = cl.Report(ctx, reports[0].UserID, reports[0].Pos, reports[0].Time)
+					} else {
+						var resp edge.ReportBatchResponse
+						resp, err = cl.ReportBatch(ctx, reports)
+						rejected.Add(int64(len(resp.Errors)))
+					}
+					if err != nil {
+						errCh <- err
+						return
+					}
+					reportHist.ObserveDuration(time.Since(start))
+					checkins.Add(cost)
+				} else {
+					start := time.Now()
+					if _, err := cl.RequestAds(ctx, user, pos, 10); err != nil {
+						errCh <- err
+						return
+					}
+					adsHist.ObserveDuration(time.Since(start))
+					adsDone.Add(1)
+				}
+				httpOps.Add(1)
+			}
+		}(w)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	res := &result{
+		Name:          name,
+		Shards:        cfg.Shards,
+		Batch:         cfg.Batch,
+		CheckIns:      checkins.Load(),
+		AdRequests:    adsDone.Load(),
+		HTTPOps:       httpOps.Load(),
+		ElapsedSec:    elapsed.Seconds(),
+		CheckInsPerS:  float64(checkins.Load()) / elapsed.Seconds(),
+		AdsPerS:       float64(adsDone.Load()) / elapsed.Seconds(),
+		HTTPOpsPerS:   float64(httpOps.Load()) / elapsed.Seconds(),
+		ReportP50Ms:   quantileMs(reportHist, 0.50),
+		ReportP95Ms:   quantileMs(reportHist, 0.95),
+		ReportP99Ms:   quantileMs(reportHist, 0.99),
+		AdsP50Ms:      quantileMs(adsHist, 0.50),
+		AdsP95Ms:      quantileMs(adsHist, 0.95),
+		AdsP99Ms:      quantileMs(adsHist, 0.99),
+		BatchRejected: rejected.Load(),
+	}
+	return res, nil
+}
+
+// quantileMs renders a latency histogram quantile in milliseconds (0
+// before the first observation).
+func quantileMs(h *telemetry.Histogram, q float64) float64 {
+	v := h.Quantile(q)
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v * 1000
+}
+
+// startEdge stands up the in-process edge: a sharded engine, an ad
+// network with a bounded bid log (loadgen runs are exactly the sustained
+// load the ring cap exists for), and the HTTP server.
+func startEdge(cfg config) (*httptest.Server, error) {
+	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
+	if err != nil {
+		return nil, fmt.Errorf("building mechanism: %w", err)
+	}
+	nomadic, err := geoind.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		return nil, fmt.Errorf("building nomadic mechanism: %w", err)
+	}
+	engine, err := core.NewEngine(core.Config{
+		Mechanism:        mech,
+		NomadicMechanism: nomadic,
+		Seed:             cfg.Seed,
+		Shards:           cfg.Shards,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("building engine: %w", err)
+	}
+	network, err := adnet.NewNetwork(nil, adnet.WithBidLogCap(1<<16))
+	if err != nil {
+		return nil, fmt.Errorf("building network: %w", err)
+	}
+	region := trace.DefaultConfig().Region
+	rnd := randx.New(cfg.Seed, 0x51A151)
+	for i := 0; i < cfg.Campaigns; i++ {
+		loc := geo.Point{
+			X: region.MinX + rnd.Float64()*region.Width(),
+			Y: region.MinY + rnd.Float64()*region.Height(),
+		}
+		if err := network.Register(adnet.Campaign{
+			ID:       fmt.Sprintf("c%05d", i),
+			Location: loc,
+			Radius:   5000 + rnd.Float64()*20000,
+			Ad:       adnet.Ad{ID: fmt.Sprintf("ad%05d", i), Title: fmt.Sprintf("Offer %d", i), Location: loc},
+		}); err != nil {
+			return nil, fmt.Errorf("registering campaign: %w", err)
+		}
+	}
+	server, err := edge.NewServer(engine, network, nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("building server: %w", err)
+	}
+	return httptest.NewServer(server.Handler()), nil
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseMix(t *testing.T) {
+	tests := []struct {
+		in      string
+		r, a    int
+		wantErr bool
+	}{
+		{in: "4:1", r: 4, a: 1},
+		{in: "1:0", r: 1, a: 0},
+		{in: "0:1", r: 0, a: 1},
+		{in: "0:0", wantErr: true},
+		{in: "4", wantErr: true},
+		{in: "a:b", wantErr: true},
+	}
+	for _, tt := range tests {
+		r, a, err := parseMix(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseMix(%q) err = %v", tt.in, err)
+			continue
+		}
+		if err == nil && (r != tt.r || a != tt.a) {
+			t.Errorf("parseMix(%q) = %d:%d, want %d:%d", tt.in, r, a, tt.r, tt.a)
+		}
+	}
+}
+
+// TestRunSmall drives a tiny closed-loop run end to end against the
+// in-process edge, batched and unbatched.
+func TestRunSmall(t *testing.T) {
+	for _, batch := range []int{1, 8} {
+		cfg := config{
+			Users: 4, Workers: 2, Requests: 80, Mix: "4:1", Batch: batch,
+			Shards: 4, Campaigns: 5, Seed: 7,
+		}
+		var err error
+		cfg.mixReports, cfg.mixAds, err = parseMix(cfg.Mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runOne(cfg, "test")
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if res.CheckIns == 0 || res.HTTPOps == 0 {
+			t.Errorf("batch=%d: no work done: %+v", batch, res)
+		}
+		if res.BatchRejected != 0 {
+			t.Errorf("batch=%d: %d rejected items", batch, res.BatchRejected)
+		}
+	}
+}
+
+// TestSweepJSON runs a minimal sweep through the CLI and checks the
+// emitted document has the BENCH_pr4 serving shape.
+func TestSweepJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep runs four load phases")
+	}
+	out := filepath.Join(t.TempDir(), "sweep.json")
+	err := run([]string{
+		"-sweep", "-users", "4", "-workers", "2", "-requests", "120",
+		"-campaigns", "5", "-out", out,
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep sweepReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 4 {
+		t.Fatalf("runs = %d, want 4 (shards {1,8} x batch {1,64})", len(rep.Runs))
+	}
+	seen := map[string]bool{}
+	for _, r := range rep.Runs {
+		seen[r.Name] = true
+		if r.CheckIns == 0 {
+			t.Errorf("%s ingested nothing", r.Name)
+		}
+	}
+	for _, want := range []string{"shards=1/batch=1", "shards=1/batch=64", "shards=8/batch=1", "shards=8/batch=64"} {
+		if !seen[want] {
+			t.Errorf("missing run %s", want)
+		}
+	}
+}

@@ -109,12 +109,36 @@ type Network struct {
 	index     *spatial.Grid
 	order     []string // campaign ids in registration order, for the index
 	maxRadius float64
-	log       []BidRecord
+	// log holds the bid-request records. Unbounded by default; with
+	// WithBidLogCap it is a ring of logCap records where logStart indexes
+	// the oldest retained record. logged counts every record ever logged
+	// (monotonic, unaffected by rotation).
+	log      []BidRecord
+	logCap   int
+	logStart int
+	logged   uint64
+}
+
+// Option customises a Network.
+type Option func(*Network)
+
+// WithBidLogCap bounds the bid-request log to the most recent n records,
+// turning it into a ring buffer: once full, each new record overwrites
+// the oldest. Long load-generation and replay runs would otherwise grow
+// the log (one record per ad request) without bound; a bounded log keeps
+// memory flat while TotalLogged still reports the lifetime count.
+// n <= 0 leaves the log unbounded.
+func WithBidLogCap(n int) Option {
+	return func(nw *Network) {
+		if n > 0 {
+			nw.logCap = n
+		}
+	}
 }
 
 // NewNetwork creates a network enforcing the given platform limits on
 // campaign radii; a nil limit accepts any positive radius.
-func NewNetwork(limit *PlatformLimit) (*Network, error) {
+func NewNetwork(limit *PlatformLimit, opts ...Option) (*Network, error) {
 	// Cell size trades index fan-out against query cost; targeting radii
 	// are kilometres, so a 2 km cell keeps neighbourhoods small.
 	index, err := spatial.NewGrid(2_000)
@@ -126,11 +150,15 @@ func NewNetwork(limit *PlatformLimit) (*Network, error) {
 		l := *limit
 		lim = &l
 	}
-	return &Network{
+	n := &Network{
 		limit:     lim,
 		campaigns: make(map[string]Campaign),
 		index:     index,
-	}, nil
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n, nil
 }
 
 // Register adds a campaign.
@@ -192,8 +220,16 @@ func (n *Network) Match(loc geo.Point) []Campaign {
 // attacker observes) and returns up to limit matched ads, nearest first.
 // limit <= 0 returns all matches.
 func (n *Network) RequestAds(userID string, loc geo.Point, at time.Time, limit int) []Ad {
+	rec := BidRecord{UserID: userID, Loc: loc, Time: at}
 	n.mu.Lock()
-	n.log = append(n.log, BidRecord{UserID: userID, Loc: loc, Time: at})
+	if n.logCap > 0 && len(n.log) == n.logCap {
+		// Ring is full: overwrite the oldest record.
+		n.log[n.logStart] = rec
+		n.logStart = (n.logStart + 1) % n.logCap
+	} else {
+		n.log = append(n.log, rec)
+	}
+	n.logged++
 	n.mu.Unlock()
 
 	matches := n.Match(loc)
@@ -207,32 +243,55 @@ func (n *Network) RequestAds(userID string, loc geo.Point, at time.Time, limit i
 	return ads
 }
 
-// BidLog returns a copy of the full bid-request log.
+// forEachRecordLocked visits every retained record oldest-first,
+// unwinding the ring rotation. The caller holds n.mu (read or write).
+func (n *Network) forEachRecordLocked(fn func(BidRecord)) {
+	if len(n.log) == 0 {
+		return
+	}
+	for i := 0; i < len(n.log); i++ {
+		fn(n.log[(n.logStart+i)%len(n.log)])
+	}
+}
+
+// BidLog returns a copy of the retained bid-request log, oldest first.
+// With an unbounded log that is every record ever; under WithBidLogCap
+// it is the most recent cap records.
 func (n *Network) BidLog() []BidRecord {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	out := make([]BidRecord, len(n.log))
-	copy(out, n.log)
+	out := make([]BidRecord, 0, len(n.log))
+	n.forEachRecordLocked(func(rec BidRecord) { out = append(out, rec) })
 	return out
 }
 
 // ObservedLocations returns the locations a longitudinal attacker has
-// collected for one user, in request order. This is the attack's input.
+// collected for one user, in request order (oldest retained first). This
+// is the attack's input.
 func (n *Network) ObservedLocations(userID string) []geo.Point {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	var out []geo.Point
-	for _, rec := range n.log {
+	n.forEachRecordLocked(func(rec BidRecord) {
 		if rec.UserID == userID {
 			out = append(out, rec.Loc)
 		}
-	}
+	})
 	return out
 }
 
-// LogSize returns the number of logged bid requests.
+// LogSize returns the number of retained bid records (equal to the
+// lifetime count unless WithBidLogCap rotated older records out).
 func (n *Network) LogSize() int {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	return len(n.log)
+}
+
+// TotalLogged returns the lifetime number of logged bid requests,
+// counting records a bounded log has already rotated out.
+func (n *Network) TotalLogged() uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.logged
 }

@@ -1,0 +1,113 @@
+package adnet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// TestBidLogRotation pins the ring semantics of WithBidLogCap: below the
+// cap the log behaves exactly like the unbounded one; past the cap each
+// new record evicts the oldest, BidLog stays oldest-first across the
+// wrap point, and TotalLogged keeps the lifetime count.
+func TestBidLogRotation(t *testing.T) {
+	n, err := NewNetwork(nil, WithBidLogCap(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	req := func(i int) {
+		n.RequestAds(fmt.Sprintf("u%02d", i), geo.Point{X: float64(i)}, at.Add(time.Duration(i)*time.Minute), 0)
+	}
+
+	// Below the cap: nothing rotates.
+	for i := 0; i < 3; i++ {
+		req(i)
+	}
+	if n.LogSize() != 3 || n.TotalLogged() != 3 {
+		t.Fatalf("below cap: size=%d total=%d", n.LogSize(), n.TotalLogged())
+	}
+	if log := n.BidLog(); log[0].UserID != "u00" || log[2].UserID != "u02" {
+		t.Fatalf("below cap log = %+v", log)
+	}
+
+	// Cross the cap: 7 total, ring of 4 retains u03..u06 oldest-first.
+	for i := 3; i < 7; i++ {
+		req(i)
+	}
+	if n.LogSize() != 4 {
+		t.Errorf("LogSize = %d, want cap 4", n.LogSize())
+	}
+	if n.TotalLogged() != 7 {
+		t.Errorf("TotalLogged = %d, want 7", n.TotalLogged())
+	}
+	log := n.BidLog()
+	if len(log) != 4 {
+		t.Fatalf("BidLog len = %d", len(log))
+	}
+	for i, rec := range log {
+		want := fmt.Sprintf("u%02d", 3+i)
+		if rec.UserID != want {
+			t.Errorf("log[%d] = %s, want %s (oldest-first across wrap)", i, rec.UserID, want)
+		}
+		if i > 0 && rec.Time.Before(log[i-1].Time) {
+			t.Errorf("log out of time order at %d", i)
+		}
+	}
+
+	// ObservedLocations only sees retained records: u00 rotated out.
+	if got := n.ObservedLocations("u00"); got != nil {
+		t.Errorf("rotated-out user observed %v", got)
+	}
+	if got := n.ObservedLocations("u05"); len(got) != 1 || got[0].X != 5 {
+		t.Errorf("ObservedLocations(u05) = %v", got)
+	}
+}
+
+func TestBidLogCapIgnoresNonPositive(t *testing.T) {
+	n, err := NewNetwork(nil, WithBidLogCap(0), WithBidLogCap(-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Now()
+	for i := 0; i < 50; i++ {
+		n.RequestAds("u", geo.Point{X: float64(i)}, at, 0)
+	}
+	if n.LogSize() != 50 {
+		t.Errorf("non-positive cap should leave the log unbounded; size = %d", n.LogSize())
+	}
+}
+
+// TestBidLogRotationConcurrent hammers a tiny ring from many goroutines:
+// memory stays at the cap and the retained count plus lifetime count stay
+// coherent (race detector covers the rest).
+func TestBidLogRotationConcurrent(t *testing.T) {
+	n, err := NewNetwork(nil, WithBidLogCap(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const workers, each = 8, 100
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				n.RequestAds(fmt.Sprintf("u%d", i), geo.Point{X: float64(j)}, time.Now(), 0)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n.LogSize() != 16 {
+		t.Errorf("LogSize = %d, want cap 16", n.LogSize())
+	}
+	if n.TotalLogged() != workers*each {
+		t.Errorf("TotalLogged = %d, want %d", n.TotalLogged(), workers*each)
+	}
+	if got := len(n.BidLog()); got != 16 {
+		t.Errorf("BidLog len = %d", got)
+	}
+}

@@ -1,0 +1,85 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/edge"
+	"repro/internal/geo"
+)
+
+func TestClientReportBatch(t *testing.T) {
+	ts, _ := newTestEdge(t)
+	c, err := New(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC)
+	reports := []edge.ReportRequest{
+		{UserID: "u1", Pos: geo.Point{X: 1, Y: 1}, Time: at},
+		{Pos: geo.Point{X: 2, Y: 2}, Time: at}, // malformed: no user_id
+		{UserID: "u1", Pos: geo.Point{X: 3, Y: 3}, Time: at.Add(time.Minute)},
+	}
+	resp, err := c.ReportBatch(context.Background(), reports)
+	if err != nil {
+		t.Fatalf("ReportBatch: %v", err)
+	}
+	if resp.Accepted != 2 {
+		t.Errorf("accepted = %d, want 2", resp.Accepted)
+	}
+	if len(resp.Errors) != 1 || resp.Errors[0].Index != 1 {
+		t.Fatalf("errors = %+v, want one error at index 1", resp.Errors)
+	}
+}
+
+func TestNoRetryReportBatch(t *testing.T) {
+	ts, _ := newTestEdge(t)
+	ft := &flakyTransport{failures: 99, next: http.DefaultTransport}
+	c, err := New(ts.URL, &http.Client{Transport: ft},
+		WithRetry(5, time.Millisecond, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A lost batch response leaves the edge possibly having recorded the
+	// whole batch; re-sending would double-count every check-in in it.
+	if _, err := c.ReportBatch(context.Background(), []edge.ReportRequest{
+		{UserID: "u1", Pos: geo.Point{X: 1, Y: 1}},
+	}); err == nil {
+		t.Fatal("expected connection error")
+	}
+	if got := ft.count(); got != 1 {
+		t.Errorf("ReportBatch attempts = %d, want 1 (no retry)", got)
+	}
+}
+
+func TestDefaultTransportKeepAlive(t *testing.T) {
+	c, err := New("http://127.0.0.1:9", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := c.http.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("default transport is %T, want *http.Transport", c.http.Transport)
+	}
+	if tr.MaxIdleConnsPerHost != DefaultMaxIdleConnsPerHost {
+		t.Errorf("MaxIdleConnsPerHost = %d, want %d", tr.MaxIdleConnsPerHost, DefaultMaxIdleConnsPerHost)
+	}
+	if tr.MaxIdleConns < DefaultMaxIdleConnsPerHost {
+		t.Errorf("MaxIdleConns = %d, want >= %d", tr.MaxIdleConns, DefaultMaxIdleConnsPerHost)
+	}
+	// The clone must keep the stdlib defaults it doesn't override.
+	if tr.Proxy == nil {
+		t.Error("transport clone dropped the proxy function")
+	}
+	// A caller-supplied client is left untouched.
+	own := &http.Client{}
+	c2, err := New("http://127.0.0.1:9", own)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.http != own {
+		t.Error("caller-supplied http.Client was replaced")
+	}
+}

@@ -72,11 +72,33 @@ func WithRetrySeed(seed uint64) Option {
 	return func(c *Client) { c.jitter = randx.New(seed, 0xC11E47) }
 }
 
+// DefaultMaxIdleConnsPerHost is the connection-pool depth of the
+// default transport. net/http's own default keeps only 2 idle
+// connections per host, so any workload with more than two concurrent
+// workers against one edge (loadgen, lbasim replays, busy devices
+// behind a NAT) would close and re-dial connections on nearly every
+// request, serialising the serving path on TCP handshakes instead of
+// reusing keep-alive connections.
+const DefaultMaxIdleConnsPerHost = 64
+
+// defaultTransport clones the stdlib default transport (keeping its
+// proxy, dialer, and timeout settings) and deepens the keep-alive pool
+// so concurrent workers reuse connections instead of re-dialing.
+func defaultTransport() *http.Transport {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 256
+	tr.MaxIdleConnsPerHost = DefaultMaxIdleConnsPerHost
+	return tr
+}
+
 // New builds a client for the edge service at baseURL (e.g.
 // "http://127.0.0.1:8080"). httpClient may be nil for a default with a
-// 10 s timeout. Trailing slashes on baseURL are trimmed: the client
-// appends rooted paths like /v1/report, and a kept slash would produce
-// //v1/report-style URLs that miss the edge's ServeMux patterns.
+// 10 s timeout and a keep-alive pool of DefaultMaxIdleConnsPerHost idle
+// connections per edge (the stdlib default of 2 collapses concurrent
+// replays into serial re-dials). Trailing slashes on baseURL are
+// trimmed: the client appends rooted paths like /v1/report, and a kept
+// slash would produce //v1/report-style URLs that miss the edge's
+// ServeMux patterns.
 func New(baseURL string, httpClient *http.Client, opts ...Option) (*Client, error) {
 	u, err := url.Parse(baseURL)
 	if err != nil {
@@ -86,7 +108,7 @@ func New(baseURL string, httpClient *http.Client, opts ...Option) (*Client, erro
 		return nil, fmt.Errorf("client: base URL %q must be http(s)", baseURL)
 	}
 	if httpClient == nil {
-		httpClient = &http.Client{Timeout: 10 * time.Second}
+		httpClient = &http.Client{Timeout: 10 * time.Second, Transport: defaultTransport()}
 	}
 	c := &Client{
 		baseURL:     strings.TrimRight(u.String(), "/"),
@@ -265,6 +287,17 @@ func (c *Client) do(req *http.Request, out any) error {
 // recorded the check-in already.
 func (c *Client) Report(ctx context.Context, userID string, pos geo.Point, at time.Time) error {
 	return c.post(ctx, "/v1/report", edge.ReportRequest{UserID: userID, Pos: pos, Time: at}, nil, false)
+}
+
+// ReportBatch sends many location check-ins in one round trip. Like
+// Report it is not retried: a lost response leaves the edge possibly
+// having recorded some or all of the batch, and re-sending would
+// double-count those check-ins. The response carries per-item errors
+// (by input index); entries without an error were accepted.
+func (c *Client) ReportBatch(ctx context.Context, reports []edge.ReportRequest) (edge.ReportBatchResponse, error) {
+	var resp edge.ReportBatchResponse
+	err := c.post(ctx, "/v1/report/batch", edge.ReportBatchRequest{Reports: reports}, &resp, false)
+	return resp, err
 }
 
 // RequestAds asks the edge for ads relevant to the user's true position;

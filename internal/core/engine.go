@@ -72,9 +72,20 @@ type Config struct {
 	NomadicReportEpsilon float64
 	// NomadicReportDelta is the per-report δ charged against the budget.
 	NomadicReportDelta float64
+	// Shards is the number of lock-striped user-map shards; ≤ 0 selects
+	// DefaultShards and any other value rounds up to the next power of
+	// two. Sharding is purely a concurrency knob: per-user randomness is
+	// derived from the user-ID hash, so engine state is byte-identical at
+	// any shard count.
+	Shards int
 	// Seed drives all engine randomness deterministically.
 	Seed uint64
 }
+
+// DefaultShards is the default user-map shard count. 64 stripes keep
+// lock contention negligible up to many dozens of serving goroutines
+// while costing only a few kilobytes of empty maps.
+const DefaultShards = 64
 
 // withDefaults fills zero fields with the paper's defaults.
 func (c Config) withDefaults() Config {
@@ -93,7 +104,20 @@ func (c Config) withDefaults() Config {
 	if c.NomadicReportEpsilon <= 0 {
 		c.NomadicReportEpsilon = 1
 	}
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	c.Shards = nextPow2(c.Shards)
 	return c
+}
+
+// nextPow2 rounds n up to the next power of two (n ≥ 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // Validate checks the configuration.
@@ -121,9 +145,20 @@ type userState struct {
 	hasProfile  bool
 }
 
+// engineShard is one lock stripe of the engine's user map. Distinct
+// users hash to distinct shards (up to collisions), so serving-path
+// lookups on different users never contend on a shared mutex.
+type engineShard struct {
+	mu    sync.RWMutex
+	users map[string]*userState
+}
+
 // Engine is the Edge-PrivLocAd core: it manages per-user location
 // profiles, the permanent obfuscation table, and output selection. It is
-// safe for concurrent use; distinct users proceed in parallel.
+// safe for concurrent use; distinct users proceed in parallel. The user
+// map is split into Config.Shards lock stripes keyed by the FNV-64a user
+// hash — the same hash that derives each user's RNG stream — so sharding
+// changes contention, never state.
 type Engine struct {
 	cfg        Config
 	accountant *geoind.Accountant // nil when no nomadic budget is set
@@ -138,8 +173,8 @@ type Engine struct {
 	nTops       atomic.Int64
 	nCandidates atomic.Int64
 
-	mu    sync.RWMutex
-	users map[string]*userState
+	shards    []engineShard
+	shardMask uint64
 }
 
 // NewEngine validates cfg and builds an engine.
@@ -147,7 +182,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg.withDefaults(), users: make(map[string]*userState)}
+	e := &Engine{cfg: cfg.withDefaults()}
+	e.shards = make([]engineShard, e.cfg.Shards)
+	e.shardMask = uint64(e.cfg.Shards - 1)
+	for i := range e.shards {
+		e.shards[i].users = make(map[string]*userState)
+	}
 	if e.cfg.NomadicBudget != nil {
 		acct, err := geoind.NewAccountant(e.cfg.NomadicReportEpsilon, e.cfg.NomadicReportDelta)
 		if err != nil {
@@ -161,40 +201,63 @@ func NewEngine(cfg Config) (*Engine, error) {
 // Config returns the engine's effective (defaulted) configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// hashUser is FNV-64a over the user ID, allocation-free. It must stay
+// bit-equal to fnv.New64a().Write([]byte(id)).Sum64(): the value both
+// picks the shard AND seeds the user's RNG stream, so changing it would
+// change every obfuscation output.
+func hashUser(id string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return h
+}
+
+// shardFor returns the lock stripe owning userID and the user's hash.
+func (e *Engine) shardFor(userID string) (*engineShard, uint64) {
+	h := hashUser(userID)
+	return &e.shards[h&e.shardMask], h
+}
+
 // userFor returns (creating if needed) the state for userID.
 func (e *Engine) userFor(userID string) (*userState, error) {
-	e.mu.RLock()
-	u, ok := e.users[userID]
-	e.mu.RUnlock()
+	s, h := e.shardFor(userID)
+	s.mu.RLock()
+	u, ok := s.users[userID]
+	s.mu.RUnlock()
 	if ok {
 		return u, nil
 	}
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if u, ok = e.users[userID]; ok {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if u, ok = s.users[userID]; ok {
 		return u, nil
 	}
 	table, err := NewObfuscationTable(e.cfg.ConnectivityThreshold)
 	if err != nil {
 		return nil, fmt.Errorf("core: user %q table: %w", userID, err)
 	}
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(userID)) // fnv Write cannot fail
 	u = &userState{
-		rnd:   randx.New(e.cfg.Seed, h.Sum64()),
+		rnd:   randx.New(e.cfg.Seed, h),
 		table: table,
 	}
-	e.users[userID] = u
+	s.users[userID] = u
 	e.nUsers.Add(1)
 	return u, nil
 }
 
 // lookup returns the state for an existing user.
 func (e *Engine) lookup(userID string) (*userState, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	u, ok := e.users[userID]
+	s, _ := e.shardFor(userID)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	u, ok := s.users[userID]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownUser, userID)
 	}
@@ -225,6 +288,115 @@ func (e *Engine) Report(userID string, pos geo.Point, at time.Time) error {
 		}
 	}
 	return nil
+}
+
+// BatchReport is one check-in of a ReportBatch call.
+type BatchReport struct {
+	UserID string
+	Pos    geo.Point
+	At     time.Time
+}
+
+// BatchError reports the failure of one item of a batch; Index is the
+// item's position in the input slice.
+type BatchError struct {
+	Index int
+	Err   error
+}
+
+// ReportBatch ingests many check-ins in one call — the bulk analogue of
+// Report for SDKs that piggyback several location fixes per session.
+// Items are grouped by user, each user's state is locked once, and the
+// per-user arrival order of the input is preserved, so the resulting
+// engine state is byte-identical to the same items fed through Report
+// one at a time. Failing items are reported individually (by input
+// index) without aborting the rest of the batch.
+func (e *Engine) ReportBatch(items []BatchReport) []BatchError {
+	if len(items) == 0 {
+		return nil
+	}
+	if m := e.met.Load(); m != nil {
+		m.reports.Add(uint64(len(items)))
+	}
+
+	// Fast path: the dominant shape is one device flushing its own fix
+	// buffer, i.e. every item belongs to the same user — no grouping
+	// allocations needed.
+	single := true
+	for i := 1; i < len(items); i++ {
+		if items[i].UserID != items[0].UserID {
+			single = false
+			break
+		}
+	}
+	if single {
+		return e.reportUserRun(items[0].UserID, items, nil, nil)
+	}
+
+	groups := make(map[string][]int, 8)
+	order := make([]string, 0, 8)
+	for i, it := range items {
+		if _, ok := groups[it.UserID]; !ok {
+			order = append(order, it.UserID)
+		}
+		groups[it.UserID] = append(groups[it.UserID], i)
+	}
+	var errs []BatchError
+	for _, id := range order {
+		errs = e.reportUserRun(id, items, groups[id], errs)
+	}
+	return errs
+}
+
+// reportUserRun ingests the items selected by idx (nil selects all) for
+// one user under a single user-lock acquisition, applying exactly the
+// per-item append + window-rollover logic of Report.
+func (e *Engine) reportUserRun(userID string, items []BatchReport, idx []int, errs []BatchError) []BatchError {
+	n := len(idx)
+	if idx == nil {
+		n = len(items)
+	}
+	u, err := e.userFor(userID)
+	if err != nil {
+		for i := 0; i < n; i++ {
+			j := i
+			if idx != nil {
+				j = idx[i]
+			}
+			errs = append(errs, BatchError{Index: j, Err: err})
+		}
+		return errs
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	// Grow pending once for the whole run, with amortized doubling —
+	// growing to the exact need would re-copy the full history on every
+	// batch. rebuildLocked may still reset the slice mid-run on a window
+	// rollover, which just means later appends start from an empty
+	// (already-sized) slice.
+	if need := len(u.pending) + n; cap(u.pending) < need {
+		newCap := max(need, 2*cap(u.pending))
+		grown := make([]trace.CheckIn, len(u.pending), newCap)
+		copy(grown, u.pending)
+		u.pending = grown
+	}
+	for i := 0; i < n; i++ {
+		j := i
+		if idx != nil {
+			j = idx[i]
+		}
+		it := items[j]
+		if u.windowStart.IsZero() {
+			u.windowStart = it.At
+		}
+		u.pending = append(u.pending, trace.CheckIn{Pos: it.Pos, Time: it.At})
+		if it.At.Sub(u.windowStart) >= e.cfg.ProfileWindow {
+			if err := e.rebuildLocked(u, it.At); err != nil {
+				errs = append(errs, BatchError{Index: j, Err: fmt.Errorf("core: rebuilding profile for %q: %w", userID, err)})
+			}
+		}
+	}
+	return errs
 }
 
 // RebuildProfile forces an immediate profile recomputation for userID
@@ -571,11 +743,14 @@ func (e *Engine) TableFingerprint(userID string) (uint64, error) {
 
 // Users returns the known user IDs in sorted order.
 func (e *Engine) Users() []string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	ids := make([]string, 0, len(e.users))
-	for id := range e.users {
-		ids = append(ids, id)
+	ids := make([]string, 0, e.nUsers.Load())
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.RLock()
+		for id := range s.users {
+			ids = append(ids, id)
+		}
+		s.mu.RUnlock()
 	}
 	sort.Strings(ids)
 	return ids
@@ -587,12 +762,18 @@ func (e *Engine) Users() []string {
 // AOI (within TargetRadius of truePos), so the device only receives
 // relevant ads.
 func (e *Engine) FilterAds(truePos geo.Point, adLocations []geo.Point) []int {
+	return e.FilterAdsAppend(nil, truePos, adLocations)
+}
+
+// FilterAdsAppend is FilterAds appending into dst, letting hot serving
+// paths reuse one index buffer across requests instead of allocating a
+// fresh slice per call.
+func (e *Engine) FilterAdsAppend(dst []int, truePos geo.Point, adLocations []geo.Point) []int {
 	r2 := e.cfg.TargetRadius * e.cfg.TargetRadius
-	var keep []int
 	for i, ad := range adLocations {
 		if ad.Dist2(truePos) <= r2 {
-			keep = append(keep, i)
+			dst = append(dst, i)
 		}
 	}
-	return keep
+	return dst
 }

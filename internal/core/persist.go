@@ -49,17 +49,23 @@ const (
 // Snapshot serialises all per-user state as JSON lines: one header line,
 // then one line per user (sorted by ID for deterministic output).
 func (e *Engine) Snapshot(w io.Writer) error {
-	e.mu.RLock()
-	ids := make([]string, 0, len(e.users))
-	for id := range e.users {
-		ids = append(ids, id)
+	var ids []string
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.RLock()
+		for id := range s.users {
+			ids = append(ids, id)
+		}
+		s.mu.RUnlock()
 	}
 	sort.Strings(ids)
 	users := make([]*userState, len(ids))
 	for i, id := range ids {
-		users[i] = e.users[id]
+		s, _ := e.shardFor(id)
+		s.mu.RLock()
+		users[i] = s.users[id]
+		s.mu.RUnlock()
 	}
-	e.mu.RUnlock()
 
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
@@ -113,8 +119,6 @@ func (e *Engine) Restore(r io.Reader) error {
 		return fmt.Errorf("core: snapshot version %d not supported", header.Version)
 	}
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	restored := 0
 	for {
 		var snap userSnapshot
@@ -126,21 +130,24 @@ func (e *Engine) Restore(r io.Reader) error {
 		if snap.UserID == "" {
 			return fmt.Errorf("core: snapshot user %d has empty id", restored)
 		}
-		if _, exists := e.users[snap.UserID]; exists {
-			return fmt.Errorf("core: snapshot user %q already present in engine", snap.UserID)
-		}
 		table, err := NewObfuscationTable(e.cfg.ConnectivityThreshold)
 		if err != nil {
 			return fmt.Errorf("core: restoring table for %q: %w", snap.UserID, err)
-		}
-		for _, entry := range snap.Table {
-			e.noteInsert(table.Insert(entry.Top, entry.Candidates, entry.CreatedAt))
 		}
 		rnd, err := randx.NewFromState(snap.RandState)
 		if err != nil {
 			return fmt.Errorf("core: restoring PRNG state for %q: %w", snap.UserID, err)
 		}
-		e.users[snap.UserID] = &userState{
+		s, _ := e.shardFor(snap.UserID)
+		s.mu.Lock()
+		if _, exists := s.users[snap.UserID]; exists {
+			s.mu.Unlock()
+			return fmt.Errorf("core: snapshot user %q already present in engine", snap.UserID)
+		}
+		for _, entry := range snap.Table {
+			e.noteInsert(table.Insert(entry.Top, entry.Candidates, entry.CreatedAt))
+		}
+		s.users[snap.UserID] = &userState{
 			rnd:         rnd,
 			pending:     snap.Pending,
 			windowStart: snap.WindowStart,
@@ -148,6 +155,7 @@ func (e *Engine) Restore(r io.Reader) error {
 			hasProfile:  snap.HasProfile,
 			table:       table,
 		}
+		s.mu.Unlock()
 		e.nUsers.Add(1)
 		restored++
 	}

@@ -1,0 +1,145 @@
+package edge
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+func decodeBatchResponse(t *testing.T, resp *http.Response) ReportBatchResponse {
+	t.Helper()
+	defer resp.Body.Close()
+	var out ReportBatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestReportBatchEndpoint(t *testing.T) {
+	f := newFixture(t)
+	at := time.Date(2021, 1, 2, 0, 0, 0, 0, time.UTC)
+	reports := make([]ReportRequest, 0, 10)
+	for i := 0; i < 10; i++ {
+		reports = append(reports, ReportRequest{
+			UserID: "alice",
+			Pos:    geo.Point{X: float64(i), Y: 1},
+			Time:   at.Add(time.Duration(i) * time.Minute),
+		})
+	}
+	resp := f.post(t, "/v1/report/batch", ReportBatchRequest{Reports: reports})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	out := decodeBatchResponse(t, resp)
+	if out.Accepted != 10 || len(out.Errors) != 0 {
+		t.Fatalf("accepted=%d errors=%v, want 10 accepted", out.Accepted, out.Errors)
+	}
+	if got := f.engine.Stats().Users; got != 1 {
+		t.Errorf("engine users = %d, want 1", got)
+	}
+}
+
+// TestReportBatchPerItemErrors is the golden shape of partial failure:
+// malformed entries are rejected WITH their input index while every
+// well-formed entry in the same batch is still ingested — the batch is
+// never dropped wholesale.
+func TestReportBatchPerItemErrors(t *testing.T) {
+	f := newFixture(t)
+	at := time.Date(2021, 1, 2, 0, 0, 0, 0, time.UTC)
+	reports := []ReportRequest{
+		{UserID: "bob", Pos: geo.Point{X: 1, Y: 1}, Time: at},
+		{Pos: geo.Point{X: 2, Y: 2}, Time: at}, // malformed: no user_id
+		{UserID: "carol", Pos: geo.Point{X: 3, Y: 3}, Time: at},
+		{Pos: geo.Point{X: 4, Y: 4}, Time: at}, // malformed: no user_id
+	}
+	resp := f.post(t, "/v1/report/batch", ReportBatchRequest{Reports: reports})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	out := decodeBatchResponse(t, resp)
+	if out.Accepted != 2 {
+		t.Errorf("accepted = %d, want 2", out.Accepted)
+	}
+	if len(out.Errors) != 2 || out.Errors[0].Index != 1 || out.Errors[1].Index != 3 {
+		t.Fatalf("errors = %+v, want indexes [1 3]", out.Errors)
+	}
+	for _, e := range out.Errors {
+		if e.Error != "user_id is required" {
+			t.Errorf("error at %d = %q", e.Index, e.Error)
+		}
+	}
+	// The valid entries landed despite their malformed neighbours.
+	if got := f.engine.Stats().Users; got != 2 {
+		t.Errorf("engine users = %d, want 2 (bob and carol)", got)
+	}
+}
+
+func TestReportBatchValidation(t *testing.T) {
+	f := newFixture(t)
+	// Empty batch is a 400, not a silent no-op.
+	resp := f.post(t, "/v1/report/batch", ReportBatchRequest{})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch status = %d", resp.StatusCode)
+	}
+	// Unknown fields are rejected like every other endpoint.
+	raw := []byte(`{"reports":[],"bogus":1}`)
+	resp2, err := http.Post(f.server.URL+"/v1/report/batch", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field status = %d", resp2.StatusCode)
+	}
+}
+
+// TestReportBatchMatchesSingleReports drives the same check-ins through
+// /v1/report one at a time and through /v1/report/batch, and expects
+// byte-identical engine state — the HTTP batch path must not change what
+// the engine records.
+func TestReportBatchMatchesSingleReports(t *testing.T) {
+	single := newFixture(t)
+	batched := newFixture(t)
+	at := time.Date(2021, 1, 2, 0, 0, 0, 0, time.UTC)
+
+	var reports []ReportRequest
+	for i := 0; i < 30; i++ {
+		reports = append(reports, ReportRequest{
+			UserID: "dave",
+			Pos:    geo.Point{X: float64(i % 5), Y: float64(i % 3)},
+			Time:   at.Add(time.Duration(i) * time.Minute),
+		})
+	}
+	for _, rr := range reports {
+		resp := single.post(t, "/v1/report", rr)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("single report status = %d", resp.StatusCode)
+		}
+	}
+	resp := batched.post(t, "/v1/report/batch", ReportBatchRequest{Reports: reports})
+	out := decodeBatchResponse(t, resp)
+	if out.Accepted != len(reports) {
+		t.Fatalf("accepted = %d, want %d", out.Accepted, len(reports))
+	}
+
+	want, err := single.engine.TableFingerprint("dave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := batched.engine.TableFingerprint("dave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("fingerprint diverged: %x vs %x", got, want)
+	}
+}

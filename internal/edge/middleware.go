@@ -2,6 +2,7 @@ package edge
 
 import (
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/telemetry"
@@ -67,6 +68,9 @@ func statusClassLabel(class int) string {
 }
 
 // statusRecorder captures the response status for the middleware.
+// Recorders are pooled: the wrapper is the only per-request allocation
+// the middleware would otherwise make, and the serving path creates one
+// for every single request.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -77,19 +81,24 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+var statusRecorderPool = sync.Pool{New: func() any { return new(statusRecorder) }}
+
 // instrument wraps next with the telemetry middleware for one route.
 func (s *Server) instrument(route string, next http.Handler) http.Handler {
 	rm := newRouteMetrics(s.reg, route)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.inFlight.Inc()
 		start := time.Now()
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		rec := statusRecorderPool.Get().(*statusRecorder)
+		rec.ResponseWriter, rec.status = w, http.StatusOK
 		next.ServeHTTP(rec, r)
 		rm.latency.ObserveDuration(time.Since(start))
 		class := rec.status / 100
 		if class < 1 || class > 5 {
 			class = 5
 		}
+		rec.ResponseWriter = nil // don't pin the response writer in the pool
+		statusRecorderPool.Put(rec)
 		c := rm.byClass[class]
 		if c == nil {
 			// Rare classes (1xx/3xx) resolve through the registry; the

@@ -8,6 +8,7 @@
 package edge
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -15,6 +16,9 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"sort"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/adnet"
@@ -110,6 +114,7 @@ func NewServer(engine *core.Engine, provider AdProvider, clock Clock, logger *lo
 	}{
 		{"GET /healthz", "/healthz", s.handleHealth},
 		{"POST /v1/report", "/v1/report", s.handleReport},
+		{"POST /v1/report/batch", "/v1/report/batch", s.handleReportBatch},
 		{"POST /v1/ads", "/v1/ads", s.handleAds},
 		{"POST /v1/rebuild", "/v1/rebuild", s.handleRebuild},
 		{"GET /v1/profile", "/v1/profile", s.handleProfile},
@@ -232,20 +237,73 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// jsonBuf pairs a reusable buffer with a JSON encoder bound to it, so
+// the serving path neither allocates a fresh encoder per response nor
+// grows a fresh buffer through the payload size every request.
+type jsonBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonBufPool = sync.Pool{New: func() any {
+	jb := &jsonBuf{}
+	jb.enc = json.NewEncoder(&jb.buf)
+	return jb
+}}
+
+// maxPooledBuf caps the buffers the pool retains: a rare huge response
+// (a giant batch's error list) should not pin megabytes forever.
+const maxPooledBuf = 1 << 18
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	jb := jsonBufPool.Get().(*jsonBuf)
+	jb.buf.Reset()
+	// Encoding into the buffer first means an encoding failure can still
+	// become a clean 500 instead of a half-written 200; the payloads here
+	// are plain structs that cannot realistically fail.
+	if err := jb.enc.Encode(v); err != nil {
+		jsonBufPool.Put(jb)
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(jb.buf.Len()))
 	w.WriteHeader(status)
-	// Encoding errors after the header is out can only be logged by the
-	// caller; the payloads here are plain structs that cannot fail.
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(jb.buf.Bytes())
+	if jb.buf.Cap() <= maxPooledBuf {
+		jsonBufPool.Put(jb)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
+// bodyBufPool recycles request-body read buffers for decodeBody.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	return decodeBodyLimit(w, r, v, 1<<20)
+}
+
+// decodeBodyLimit reads the request body (bounded at limit bytes)
+// through a pooled buffer and decodes it strictly. Pooling the read
+// buffer keeps the per-request allocation profile flat even for large
+// batch payloads, which would otherwise regrow a decoder's internal
+// buffer on every request.
+func decodeBodyLimit(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= maxPooledBuf {
+			bodyBufPool.Put(buf)
+		}
+	}()
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, limit)); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return false
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -277,6 +335,71 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// ReportBatchRequest is the body of POST /v1/report/batch: many
+// check-ins in one round-trip (ad SDKs piggyback several location fixes
+// per session; shipping them one HTTP call at a time wastes most of the
+// serving budget on connection and framing overhead).
+type ReportBatchRequest struct {
+	Reports []ReportRequest `json:"reports"`
+}
+
+// BatchItemError is one rejected entry of a batch: Index is the entry's
+// position in the request's reports array.
+type BatchItemError struct {
+	Index int    `json:"index"`
+	Error string `json:"error"`
+}
+
+// ReportBatchResponse is the body returned by POST /v1/report/batch.
+// Malformed or failing entries are rejected individually — the rest of
+// the batch is still ingested — so clients can retry or drop exactly the
+// entries that failed.
+type ReportBatchResponse struct {
+	Accepted int              `json:"accepted"`
+	Errors   []BatchItemError `json:"errors,omitempty"`
+}
+
+// maxBatchBody bounds POST /v1/report/batch bodies; batches are bigger
+// than single reports by design, so they get a wider limit.
+const maxBatchBody = 8 << 20
+
+func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
+	var req ReportBatchRequest
+	if !decodeBodyLimit(w, r, &req, maxBatchBody) {
+		return
+	}
+	if len(req.Reports) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("reports must be non-empty"))
+		return
+	}
+
+	now := s.clock()
+	items := make([]core.BatchReport, 0, len(req.Reports))
+	origIndex := make([]int, 0, len(req.Reports)) // engine item -> request index
+	var itemErrs []BatchItemError
+	for i, rr := range req.Reports {
+		if rr.UserID == "" {
+			itemErrs = append(itemErrs, BatchItemError{Index: i, Error: "user_id is required"})
+			continue
+		}
+		at := rr.Time
+		if at.IsZero() {
+			at = now
+		}
+		items = append(items, core.BatchReport{UserID: rr.UserID, Pos: rr.Pos, At: at})
+		origIndex = append(origIndex, i)
+	}
+	for _, be := range s.engine.ReportBatch(items) {
+		s.logf("report/batch %s: %v", items[be.Index].UserID, be.Err)
+		itemErrs = append(itemErrs, BatchItemError{Index: origIndex[be.Index], Error: be.Err.Error()})
+	}
+	sort.Slice(itemErrs, func(a, b int) bool { return itemErrs[a].Index < itemErrs[b].Index })
+	writeJSON(w, http.StatusOK, ReportBatchResponse{
+		Accepted: len(req.Reports) - len(itemErrs),
+		Errors:   itemErrs,
+	})
 }
 
 func (s *Server) handleAds(w http.ResponseWriter, r *http.Request) {
@@ -318,23 +441,39 @@ func (s *Server) handleAds(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	adLocs := make([]geo.Point, len(ads))
-	for i, ad := range ads {
-		adLocs[i] = ad.Location
+	// The AOI filter runs on pooled scratch slices: writeJSON serialises
+	// synchronously before the scratch is returned, so nothing escapes.
+	sc := adsScratchPool.Get().(*adsScratch)
+	sc.locs = sc.locs[:0]
+	sc.keep = sc.keep[:0]
+	sc.filtered = sc.filtered[:0]
+	for _, ad := range ads {
+		sc.locs = append(sc.locs, ad.Location)
 	}
-	keep := s.engine.FilterAds(req.Pos, adLocs)
-	filtered := make([]adnet.Ad, 0, len(keep))
-	for _, i := range keep {
-		filtered = append(filtered, ads[i])
+	sc.keep = s.engine.FilterAdsAppend(sc.keep, req.Pos, sc.locs)
+	for _, i := range sc.keep {
+		sc.filtered = append(sc.filtered, ads[i])
 	}
 
 	writeJSON(w, http.StatusOK, AdsResponse{
-		Ads:       filtered,
+		Ads:       sc.filtered,
 		Reported:  obfuscated,
 		FromTable: fromTable,
 		Fetched:   len(ads),
 	})
+	adsScratchPool.Put(sc)
 }
+
+// adsScratch holds the per-request working slices of handleAds.
+type adsScratch struct {
+	locs     []geo.Point
+	keep     []int
+	filtered []adnet.Ad
+}
+
+// The filtered slice starts non-nil so an all-filtered response encodes
+// as [] (matching the pre-pooling behaviour), never null.
+var adsScratchPool = sync.Pool{New: func() any { return &adsScratch{filtered: []adnet.Ad{}} }}
 
 // fetchAds calls the provider under the configured timeout. The provider
 // runs on its own goroutine so even a context-oblivious implementation

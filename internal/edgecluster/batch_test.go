@@ -1,0 +1,129 @@
+package edgecluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// TestReportBatchRouting drives one batch spanning several coverage
+// areas through the cluster and checks that every item lands on the
+// edge Report would have picked, with per-item errors (not a dropped
+// batch) for uncovered positions.
+func TestReportBatchRouting(t *testing.T) {
+	c, err := New(testClusterConfig(t, threeEdges()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+	items := []core.BatchReport{
+		{UserID: "u", Pos: geo.Point{X: 100, Y: 100}, At: now},                            // edge-00
+		{UserID: "u", Pos: geo.Point{X: 19_000, Y: 500}, At: now.Add(time.Minute)},        // edge-01
+		{UserID: "u", Pos: geo.Point{X: 40_000, Y: 40_000}, At: now.Add(2 * time.Minute)}, // uncovered
+		{UserID: "v", Pos: geo.Point{X: 500, Y: 19_000}, At: now},                         // edge-02
+	}
+	errs := c.ReportBatch(items)
+	if len(errs) != 1 || errs[0].Index != 2 {
+		t.Fatalf("errs = %+v, want one error at index 2", errs)
+	}
+	if !errors.Is(errs[0].Err, ErrNoCoverage) {
+		t.Errorf("uncovered item error = %v, want ErrNoCoverage", errs[0].Err)
+	}
+	// Each edge recorded exactly the check-ins that route to it.
+	wantUsers := []int{1, 1, 1} // u on edge-00, u on edge-01, v on edge-02
+	for i, n := range c.Nodes() {
+		if got := n.Engine.Stats().Users; got != wantUsers[i] {
+			t.Errorf("%s users = %d, want %d", n.ID, got, wantUsers[i])
+		}
+	}
+}
+
+// TestReportBatchFailover marks the nearest edge down and expects the
+// batch items to fail over to the next-nearest covering live edge,
+// exactly like single Report calls would.
+func TestReportBatchFailover(t *testing.T) {
+	c, err := New(testClusterConfig(t, overlappingEdges()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+	pos := geo.Point{X: 200, Y: 100} // nearest: edge-00, then edge-01
+	if err := c.MarkDown(0); err != nil {
+		t.Fatal(err)
+	}
+	items := []core.BatchReport{
+		{UserID: "u", Pos: pos, At: now},
+		{UserID: "u", Pos: pos, At: now.Add(time.Minute)},
+	}
+	if errs := c.ReportBatch(items); len(errs) != 0 {
+		t.Fatalf("errs = %+v", errs)
+	}
+	if got := c.Nodes()[1].Engine.Stats().Users; got != 1 {
+		t.Errorf("edge-01 users = %d, want 1 (failover target)", got)
+	}
+	if got := c.Nodes()[0].Engine.Stats().Users; got != 0 {
+		t.Errorf("edge-00 users = %d, want 0 (marked down)", got)
+	}
+
+	// All covering edges down: every item errors, none vanish silently.
+	if err := c.MarkDown(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkDown(2); err != nil {
+		t.Fatal(err)
+	}
+	errs := c.ReportBatch(items)
+	if len(errs) != len(items) {
+		t.Fatalf("all-down errs = %d, want %d", len(errs), len(items))
+	}
+	for _, e := range errs {
+		if !errors.Is(e.Err, ErrNoLiveEdge) {
+			t.Errorf("error at %d = %v, want ErrNoLiveEdge", e.Index, e.Err)
+		}
+	}
+}
+
+// TestReportBatchMatchesReport checks byte-identity: a batch fed to the
+// cluster leaves every engine in exactly the state that the same
+// check-ins delivered one Report at a time would.
+func TestReportBatchMatchesReport(t *testing.T) {
+	single, err := New(testClusterConfig(t, threeEdges()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := New(testClusterConfig(t, threeEdges()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+	centers := []geo.Point{{X: 0, Y: 0}, {X: 20_000, Y: 0}, {X: 0, Y: 20_000}}
+	var items []core.BatchReport
+	for i := 0; i < 36; i++ {
+		pos := centers[i%3].Add(geo.Point{X: float64(i * 10), Y: float64(i % 7)})
+		items = append(items, core.BatchReport{UserID: "roamer", Pos: pos, At: now.Add(time.Duration(i) * time.Minute)})
+	}
+	for _, it := range items {
+		if _, err := single.Report(it.UserID, it.Pos, it.At); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if errs := batched.ReportBatch(items); len(errs) != 0 {
+		t.Fatalf("batch errs = %+v", errs)
+	}
+	if _, err := single.MergeProfiles("roamer", now.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := batched.MergeProfiles("roamer", now.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range single.Nodes() {
+		want := fingerprint(t, single.Nodes()[i], "roamer")
+		got := fingerprint(t, batched.Nodes()[i], "roamer")
+		if got != want {
+			t.Errorf("edge %d fingerprint diverged: %x vs %x", i, got, want)
+		}
+	}
+}

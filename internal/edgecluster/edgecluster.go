@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -333,6 +334,42 @@ func (c *Cluster) Report(userID string, pos geo.Point, at time.Time) (string, er
 		return "", fmt.Errorf("edgecluster: reporting to %s: %w", node.ID, err)
 	}
 	return node.ID, nil
+}
+
+// ReportBatch routes a batch of check-ins across the cluster. Each item
+// routes independently (failing over past down nodes exactly like
+// Report), so one batch from a roaming user may fan out to several
+// edges; items landing on the same edge are delivered as one
+// Engine.ReportBatch call in their original arrival order. Items that
+// route nowhere — or that the engine rejects — come back as per-item
+// errors keyed by input index; the rest of the batch is still ingested.
+func (c *Cluster) ReportBatch(items []core.BatchReport) []core.BatchError {
+	var errs []core.BatchError
+	groups := make(map[*Node][]core.BatchReport)
+	indexes := make(map[*Node][]int)
+	var order []*Node
+	for i, item := range items {
+		node, err := c.route(item.Pos)
+		if err != nil {
+			errs = append(errs, core.BatchError{Index: i, Err: err})
+			continue
+		}
+		if _, ok := groups[node]; !ok {
+			order = append(order, node)
+		}
+		groups[node] = append(groups[node], item)
+		indexes[node] = append(indexes[node], i)
+	}
+	for _, node := range order {
+		for _, be := range node.Engine.ReportBatch(groups[node]) {
+			errs = append(errs, core.BatchError{
+				Index: indexes[node][be.Index],
+				Err:   fmt.Errorf("edgecluster: reporting to %s: %w", node.ID, be.Err),
+			})
+		}
+	}
+	sort.Slice(errs, func(a, b int) bool { return errs[a].Index < errs[b].Index })
+	return errs
 }
 
 // Request routes an LBA request to the nearest covering live edge.

@@ -23,3 +23,10 @@ go test -race -count=2 ./internal/edgecluster ./internal/client ./internal/edge
 # the JSON converter, writing to a scratch path (the checked-in
 # BENCH_pr2.json is regenerated only by a full ./bench.sh run).
 OUT="$(mktemp)" BENCH='BenchmarkTrim' BENCHTIME=1x PKGS=./internal/cluster/ ./bench.sh
+
+# Smoke the serving path under closed-loop load: a few hundred batched
+# requests against an in-process edge, so every verify exercises the
+# sharded engine, /v1/report/batch, and the pooled handler hot path
+# end to end (the checked-in BENCH_pr4.json is regenerated only by a
+# full SERVING=1 ./bench.sh run).
+go run ./cmd/loadgen -users 16 -workers 4 -requests 400 -batch 16 -campaigns 20
