@@ -3,16 +3,21 @@
 #
 #   ./bench.sh                 # full sweep -> BENCH_pr2.json
 #   SERVING=1 ./bench.sh       # serving-path sweep -> BENCH_pr4.json
+#   DURABLE=1 ./bench.sh       # WAL durability sweep -> BENCH_pr5.json
 #   OUT=/tmp/b.json BENCH='BenchmarkTrim' BENCHTIME=1x ./bench.sh
 #
 # Knobs (environment):
-#   OUT       output JSON path          (default BENCH_pr2.json; BENCH_pr4.json with SERVING=1)
-#   BENCH     -bench regexp             (default '.'; the engine serving benches with SERVING=1)
+#   OUT       output JSON path          (default BENCH_pr2.json; BENCH_pr4.json with SERVING=1; BENCH_pr5.json with DURABLE=1)
+#   BENCH     -bench regexp             (default '.'; the engine serving benches with SERVING=1; the wal benches with DURABLE=1)
 #   BENCHTIME -benchtime                (default 1s)
-#   PKGS      packages to benchmark     (default ./...; repo root with SERVING=1)
+#   PKGS      packages to benchmark     (default ./...; repo root with SERVING=1; internal/wal with DURABLE=1)
 #   SERVING   when set, also run the cmd/loadgen closed-loop sweep
 #             (shards {1,8} x batch {1,64}) and embed it under the
-#             "serving" key of the output JSON. Extra knobs:
+#             "serving" key of the output JSON.
+#   DURABLE   when set, also run the cmd/loadgen durability sweep
+#             (fsync {none,never,interval,always} x batch {1,64} at
+#             shards=8) and embed it under the "durable" key.
+#   Extra knobs for either sweep:
 #   LOADGEN_USERS / LOADGEN_WORKERS / LOADGEN_REQUESTS
 #             workload size of the loadgen sweep (defaults 64/8/40000)
 set -euo pipefail
@@ -24,7 +29,17 @@ raw="$(mktemp)"
 serving_json=""
 trap 'rm -f "$raw" "$serving_json"' EXIT
 
-if [ -n "${SERVING:-}" ]; then
+if [ -n "${DURABLE:-}" ]; then
+    OUT="${OUT:-BENCH_pr5.json}"
+    BENCH="${BENCH:-BenchmarkAppend}"
+    PKGS="${PKGS:-./internal/wal}"
+    serving_json="$(mktemp)"
+    go run ./cmd/loadgen -sweep-durable \
+        -users "${LOADGEN_USERS:-64}" \
+        -workers "${LOADGEN_WORKERS:-8}" \
+        -requests "${LOADGEN_REQUESTS:-40000}" \
+        -out "$serving_json"
+elif [ -n "${SERVING:-}" ]; then
     OUT="${OUT:-BENCH_pr4.json}"
     BENCH="${BENCH:-BenchmarkEngine(Report|ReportBatch|Request|ReportParallel)}"
     PKGS="${PKGS:-.}"
@@ -43,7 +58,9 @@ fi
 # -run '^$' skips unit tests so only benchmarks execute; -count=1
 # defeats result caching.
 go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count=1 $PKGS | tee "$raw"
-if [ -n "${SERVING:-}" ]; then
+if [ -n "${DURABLE:-}" ]; then
+    go run ./cmd/benchjson -durable "$serving_json" < "$raw" > "$OUT"
+elif [ -n "${SERVING:-}" ]; then
     go run ./cmd/benchjson -serving "$serving_json" < "$raw" > "$OUT"
 else
     go run ./cmd/benchjson < "$raw" > "$OUT"

@@ -46,6 +46,10 @@ type Report struct {
 	// BENCH_pr4.json carries microbenchmarks and macro load results in
 	// one artifact.
 	Serving json.RawMessage `json:"serving,omitempty"`
+	// Durable embeds a cmd/loadgen -sweep-durable document (WAL fsync
+	// policy cost grid) when -durable is given; BENCH_pr5.json carries
+	// the wal microbenchmarks and the macro durability sweep together.
+	Durable json.RawMessage `json:"durable,omitempty"`
 }
 
 func main() {
@@ -58,6 +62,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	serving := fs.String("serving", "", "embed this cmd/loadgen -sweep JSON file under the serving key")
+	durable := fs.String("durable", "", "embed this cmd/loadgen -sweep-durable JSON file under the durable key")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,15 +71,25 @@ func run(args []string) error {
 		return err
 	}
 	rep.Derived = derive(rep.Benchmarks)
-	if *serving != "" {
-		data, err := os.ReadFile(*serving)
+	embed := func(path, what string) (json.RawMessage, error) {
+		data, err := os.ReadFile(path)
 		if err != nil {
-			return fmt.Errorf("reading serving sweep: %w", err)
+			return nil, fmt.Errorf("reading %s sweep: %w", what, err)
 		}
 		if !json.Valid(data) {
-			return fmt.Errorf("serving sweep %s is not valid JSON", *serving)
+			return nil, fmt.Errorf("%s sweep %s is not valid JSON", what, path)
 		}
-		rep.Serving = json.RawMessage(data)
+		return json.RawMessage(data), nil
+	}
+	if *serving != "" {
+		if rep.Serving, err = embed(*serving, "serving"); err != nil {
+			return err
+		}
+	}
+	if *durable != "" {
+		if rep.Durable, err = embed(*durable, "durable"); err != nil {
+			return err
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

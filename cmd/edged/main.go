@@ -10,9 +10,16 @@
 //
 // Endpoints: POST /v1/report, POST /v1/ads, POST /v1/rebuild,
 // GET /v1/profile?user=..., GET /v1/privacy?user=..., GET /v1/stats,
-// GET /metrics (Prometheus text exposition), GET /healthz. With
-// -debug-addr a second listener additionally serves net/http/pprof under
-// /debug/pprof/.
+// GET /v1/fingerprint?user=... (obfuscation-table digest, for recovery
+// and replication audits), GET /metrics (Prometheus text exposition),
+// GET /healthz. With -debug-addr a second listener additionally serves
+// net/http/pprof under /debug/pprof/.
+//
+// With -data-dir the engine writes through a crash-durable WAL: every
+// mutation is logged (fsync per -fsync) before it is acknowledged,
+// state is recovered from the newest checkpoint plus the log tail at
+// startup, and checkpoints are taken every -checkpoint-every and on
+// graceful shutdown.
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 	"repro/internal/randx"
 	"repro/internal/rtb"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -63,9 +71,15 @@ func run(args []string) error {
 		shards    = flags.Int("shards", core.DefaultShards, "lock-striped user-map shards (rounded up to a power of two; purely a concurrency knob — state is byte-identical at any shard count)")
 		useRTB    = flags.Bool("rtb", false, "serve ads through second-price RTB auctions instead of direct matching")
 		statePath = flags.String("state", "", "snapshot file: restored at startup when present, written on shutdown (keeps the obfuscation table permanent across restarts)")
+		dataDir   = flags.String("data-dir", "", "durable data directory holding the write-ahead log and checkpoints; state is recovered from it at startup and every mutation is logged (mutually exclusive with -state)")
+		fsyncFlag = flags.String("fsync", "interval", "WAL fsync policy with -data-dir: always | interval[=<duration>] | never")
+		ckptEvery = flags.Duration("checkpoint-every", 5*time.Minute, "periodic checkpoint interval with -data-dir; 0 disables periodic checkpoints (a final one is still taken on shutdown)")
 	)
 	if err := flags.Parse(args); err != nil {
 		return err
+	}
+	if *dataDir != "" && *statePath != "" {
+		return errors.New("-state and -data-dir are mutually exclusive: the data directory's checkpoints already carry the snapshot")
 	}
 
 	mech, err := geoind.NewNFoldGaussian(geoind.Params{
@@ -86,6 +100,25 @@ func run(args []string) error {
 	})
 	if err != nil {
 		return fmt.Errorf("building engine: %w", err)
+	}
+	var store *wal.Store
+	if *dataDir != "" {
+		policy, interval, err := wal.ParsePolicy(*fsyncFlag)
+		if err != nil {
+			return fmt.Errorf("parsing -fsync: %w", err)
+		}
+		store, err = wal.Open(*dataDir, wal.Options{Policy: policy, Interval: interval})
+		if err != nil {
+			return fmt.Errorf("opening data dir %s: %w", *dataDir, err)
+		}
+		defer store.Close() // idempotent; the normal path closes in serveAndPersist
+		recStart := time.Now()
+		stats, err := engine.Recover(store)
+		if err != nil {
+			return fmt.Errorf("recovering state from %s: %w", *dataDir, err)
+		}
+		log.Printf("edged: recovered from %s in %s (checkpoint lsn %d, %d records replayed, %d op errors)",
+			*dataDir, time.Since(recStart).Round(time.Millisecond), stats.CheckpointLSN, stats.Replayed, stats.OpErrors)
 	}
 	if *statePath != "" {
 		switch err := engine.RestoreFile(*statePath); {
@@ -155,6 +188,9 @@ func run(args []string) error {
 	// The parallel fan-out layer shares the same registry so batch
 	// rebuilds triggered through the engine are observable.
 	par.Instrument(server.Registry())
+	if store != nil {
+		store.Instrument(server.Registry())
+	}
 
 	if *debugAddr != "" {
 		dln, err := net.Listen("tcp", *debugAddr)
@@ -179,7 +215,7 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := serveAndPersist(ctx, server, engine, ln, *statePath, logger); err != nil {
+	if err := serveAndPersist(ctx, server, engine, ln, *statePath, store, *ckptEvery, logger); err != nil {
 		return err
 	}
 	if ls, ok := provider.(interface{ LogSize() int }); ok {
@@ -188,15 +224,53 @@ func run(args []string) error {
 	return nil
 }
 
-// serveAndPersist runs the server and snapshots the engine state to
-// statePath (when set) on the way out — even when Serve fails. A
-// listener or serve error must not discard the permanent obfuscation
-// table: losing it would force a re-obfuscation on restart, which is
-// exactly the longitudinal degradation the table exists to prevent.
-func serveAndPersist(ctx context.Context, server *edge.Server, engine *core.Engine, ln net.Listener, statePath string, logger *log.Logger) error {
+// serveAndPersist runs the server and makes the engine state durable on
+// the way out — even when Serve fails. A listener or serve error must
+// not discard the permanent obfuscation table: losing it would force a
+// re-obfuscation on restart, which is exactly the longitudinal
+// degradation the table exists to prevent. In durable mode (store !=
+// nil) it additionally runs the periodic checkpointer and takes a final
+// checkpoint before sealing the log, so the next start replays at most
+// one checkpoint interval of records.
+func serveAndPersist(ctx context.Context, server *edge.Server, engine *core.Engine, ln net.Listener, statePath string, store *wal.Store, ckptEvery time.Duration, logger *log.Logger) error {
+	var ckptDone chan struct{}
+	stopCkpt := func() {}
+	if store != nil && ckptEvery > 0 {
+		ckptCtx, cancel := context.WithCancel(ctx)
+		stopCkpt = cancel
+		ckptDone = make(chan struct{})
+		go func() {
+			defer close(ckptDone)
+			ticker := time.NewTicker(ckptEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ckptCtx.Done():
+					return
+				case <-ticker.C:
+					if err := checkpoint(engine, store, logger); err != nil {
+						logger.Printf("periodic checkpoint failed: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
 	serveErr := server.Serve(ctx, ln)
 	if serveErr != nil {
 		serveErr = fmt.Errorf("serving: %w", serveErr)
+	}
+	stopCkpt()
+	if ckptDone != nil {
+		<-ckptDone
+	}
+	if store != nil {
+		if err := checkpoint(engine, store, logger); err != nil {
+			serveErr = errors.Join(serveErr, fmt.Errorf("final checkpoint: %w", err))
+		}
+		if err := store.Close(); err != nil {
+			serveErr = errors.Join(serveErr, fmt.Errorf("closing wal: %w", err))
+		}
 	}
 	if statePath != "" {
 		if err := engine.SnapshotFile(statePath); err != nil {
@@ -205,6 +279,21 @@ func serveAndPersist(ctx context.Context, server *edge.Server, engine *core.Engi
 		logger.Printf("state persisted to %s", statePath)
 	}
 	return serveErr
+}
+
+// checkpoint captures an engine snapshot and hands it to the store,
+// which also compacts fully-covered WAL segments.
+func checkpoint(engine *core.Engine, store *wal.Store, logger *log.Logger) error {
+	start := time.Now()
+	lsn, data, err := engine.Checkpoint()
+	if err != nil {
+		return err
+	}
+	if err := store.WriteCheckpoint(lsn, data); err != nil {
+		return err
+	}
+	logger.Printf("checkpoint at lsn %d (%d bytes in %s)", lsn, len(data), time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // serveDebug serves the pprof handlers on ln. The profiling endpoints

@@ -18,6 +18,7 @@ import (
 	"repro/internal/edge"
 	"repro/internal/geo"
 	"repro/internal/geoind"
+	"repro/internal/wal"
 )
 
 func TestRunValidationErrors(t *testing.T) {
@@ -32,6 +33,8 @@ func TestRunValidationErrors(t *testing.T) {
 		{"campaign radius out of platform range rejected upstream", []string{"-addr", "127.0.0.1:0", "-campaigns", "1", "-radius", "-5"}},
 		{"unlistenable addr", []string{"-addr", "256.256.256.256:99999", "-campaigns", "0"}},
 		{"unlistenable debug addr", []string{"-debug-addr", "256.256.256.256:99999", "-campaigns", "0"}},
+		{"state and data-dir conflict", []string{"-state", "/tmp/s.jsonl", "-data-dir", "/tmp/d"}},
+		{"bad fsync policy", []string{"-data-dir", "/tmp/d", "-fsync", "sometimes"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -84,7 +87,7 @@ func TestServeAndPersistOnFailure(t *testing.T) {
 
 	statePath := filepath.Join(t.TempDir(), "state.jsonl")
 	logger := log.New(io.Discard, "", 0)
-	err = serveAndPersist(context.Background(), server, engine, ln, statePath, logger)
+	err = serveAndPersist(context.Background(), server, engine, ln, statePath, nil, 0, logger)
 	if err == nil {
 		t.Fatal("closed listener did not produce a serve error")
 	}
@@ -116,7 +119,7 @@ func TestServeAndPersistCleanShutdown(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		done <- serveAndPersist(ctx, server, engine, ln, statePath, log.New(io.Discard, "", 0))
+		done <- serveAndPersist(ctx, server, engine, ln, statePath, nil, 0, log.New(io.Discard, "", 0))
 	}()
 
 	// The server is up when /metrics answers.
@@ -149,6 +152,68 @@ func TestServeAndPersistCleanShutdown(t *testing.T) {
 	}
 	if _, err := os.Stat(statePath); err != nil {
 		t.Fatalf("state not snapshotted on clean shutdown: %v", err)
+	}
+}
+
+// TestServeAndPersistDurable checks the durable path: shutdown takes a
+// final checkpoint and seals the WAL, and a second engine recovered
+// from the same directory answers with the identical table fingerprint.
+func TestServeAndPersistDurable(t *testing.T) {
+	server, engine := newTestServer(t)
+	dir := t.TempDir()
+	store, err := wal.Open(dir, wal.Options{Policy: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Recover(store); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 20; i++ {
+		if err := engine.Report("u1", geo.Point{X: float64(5 + i%3), Y: 5}, base.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := engine.RebuildProfile("u1", base.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	wantFP, err := engine.TableFingerprint("u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // immediate clean shutdown; the durable epilogue still runs
+	if err := serveAndPersist(ctx, server, engine, ln, "", store, 10*time.Millisecond, log.New(io.Discard, "", 0)); err != nil {
+		t.Fatalf("durable shutdown returned %v", err)
+	}
+
+	store2, err := wal.Open(dir, wal.Options{Policy: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	_, engine2 := newTestServer(t)
+	stats, err := engine2.Recover(store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CheckpointLSN == 0 {
+		t.Error("shutdown did not leave a checkpoint")
+	}
+	if stats.Replayed != 0 {
+		t.Errorf("final checkpoint should cover the whole log, yet %d records replayed", stats.Replayed)
+	}
+	gotFP, err := engine2.TableFingerprint("u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFP != wantFP {
+		t.Errorf("fingerprint after recovery = %016x, want %016x", gotFP, wantFP)
 	}
 }
 

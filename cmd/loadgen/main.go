@@ -37,6 +37,7 @@ import (
 	"repro/internal/randx"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -58,9 +59,18 @@ type config struct {
 	Campaigns int           `json:"campaigns"`
 	Seed      uint64        `json:"seed"`
 	Addr      string        `json:"addr,omitempty"`
+	// DataDir and Fsync select durable mode for the in-process server:
+	// every mutation goes through a write-ahead log with the given
+	// fsync policy before the response is acknowledged. Fsync "none"
+	// (or empty) runs without a WAL.
+	DataDir string `json:"data_dir,omitempty"`
+	Fsync   string `json:"fsync,omitempty"`
 
 	mixReports, mixAds int
 }
+
+// durable reports whether the run writes through a WAL.
+func (c config) durable() bool { return c.Fsync != "" && c.Fsync != "none" }
 
 // result is the measured outcome of one run. Latency quantiles are
 // linear interpolations inside telemetry histogram buckets (exponential
@@ -69,6 +79,7 @@ type result struct {
 	Name          string  `json:"name"`
 	Shards        int     `json:"shards"`
 	Batch         int     `json:"batch"`
+	Fsync         string  `json:"fsync,omitempty"`
 	CheckIns      int64   `json:"checkins"`
 	AdRequests    int64   `json:"ad_requests"`
 	HTTPOps       int64   `json:"http_ops"`
@@ -108,6 +119,9 @@ func run(args []string, out *os.File) error {
 		addr      = fs.String("addr", "", "target an external edge (e.g. http://127.0.0.1:8080) instead of an in-process server")
 		jsonOut   = fs.Bool("json", false, "emit the result as JSON instead of a text summary")
 		sweep     = fs.Bool("sweep", false, "run the shards {1,8} x batch {1,64} grid in-process and emit the sweep JSON")
+		sweepDur  = fs.Bool("sweep-durable", false, "run the fsync {none,never,interval,always} x batch {1,64} durability grid at shards=8 and emit the sweep JSON")
+		dataDir   = fs.String("data-dir", "", "WAL directory for the in-process server (empty durable runs use a temp dir)")
+		fsyncFlag = fs.String("fsync", "", "WAL fsync policy for the in-process server: always | interval[=<duration>] | never; empty or \"none\" disables the WAL")
 		outPath   = fs.String("out", "", "write output to this file instead of stdout")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -116,7 +130,10 @@ func run(args []string, out *os.File) error {
 	cfg := config{
 		Users: *users, Workers: *workers, Requests: *requests, Duration: *duration,
 		Mix: *mix, Batch: *batch, Shards: *shards, Campaigns: *campaigns,
-		Seed: *seed, Addr: *addr,
+		Seed: *seed, Addr: *addr, DataDir: *dataDir, Fsync: *fsyncFlag,
+	}
+	if cfg.DataDir != "" && cfg.Fsync == "" {
+		cfg.Fsync = "interval"
 	}
 	var err error
 	cfg.mixReports, cfg.mixAds, err = parseMix(cfg.Mix)
@@ -140,11 +157,18 @@ func run(args []string, out *os.File) error {
 		w = f
 	}
 
-	if *sweep {
+	if *sweep || *sweepDur {
 		if cfg.Addr != "" {
-			return fmt.Errorf("-sweep controls engine sharding, so it cannot target an external -addr")
+			return fmt.Errorf("-sweep controls the in-process engine, so it cannot target an external -addr")
 		}
-		rep, err := runSweep(cfg)
+		if *sweep && *sweepDur {
+			return fmt.Errorf("-sweep and -sweep-durable are mutually exclusive")
+		}
+		runGrid := runSweep
+		if *sweepDur {
+			runGrid = runSweepDurable
+		}
+		rep, err := runGrid(cfg)
 		if err != nil {
 			return err
 		}
@@ -159,7 +183,11 @@ func run(args []string, out *os.File) error {
 		return nil
 	}
 
-	res, err := runOne(cfg, fmt.Sprintf("shards=%d/batch=%d", cfg.Shards, cfg.Batch))
+	name := fmt.Sprintf("shards=%d/batch=%d", cfg.Shards, cfg.Batch)
+	if cfg.Fsync != "" {
+		name += "/fsync=" + cfg.Fsync
+	}
+	res, err := runOne(cfg, name)
 	if err != nil {
 		return err
 	}
@@ -228,14 +256,51 @@ func runSweep(base config) (*sweepReport, error) {
 	return rep, nil
 }
 
+// runSweepDurable measures what each fsync policy costs: the same
+// serving workload at shards=8, from no WAL at all through fsync on
+// every append. Derived ratios report throughput cost as
+// none/policy (1.0 = free, 2.0 = half the throughput).
+func runSweepDurable(base config) (*sweepReport, error) {
+	rep := &sweepReport{Config: base}
+	policies := []string{"none", "never", "interval", "always"}
+	perf := map[string]float64{}
+	for _, pol := range policies {
+		for _, batch := range []int{1, 64} {
+			cfg := base
+			cfg.Shards, cfg.Batch, cfg.Fsync = 8, batch, pol
+			cfg.DataDir = "" // each durable run gets a fresh temp WAL
+			name := fmt.Sprintf("fsync=%s/batch=%d", pol, batch)
+			fmt.Fprintf(os.Stderr, "loadgen: running %s ...\n", name)
+			res, err := runOne(cfg, name)
+			if err != nil {
+				return nil, fmt.Errorf("run %s: %w", name, err)
+			}
+			rep.Runs = append(rep.Runs, *res)
+			perf[name] = res.CheckInsPerS
+		}
+	}
+	rep.Derived = map[string]float64{}
+	for _, pol := range policies[1:] {
+		for _, batch := range []int{1, 64} {
+			baseline := perf[fmt.Sprintf("fsync=none/batch=%d", batch)]
+			withPol := perf[fmt.Sprintf("fsync=%s/batch=%d", pol, batch)]
+			if baseline > 0 && withPol > 0 {
+				rep.Derived[fmt.Sprintf("%s_cost_batch%d", pol, batch)] = baseline / withPol
+			}
+		}
+	}
+	return rep, nil
+}
+
 // runOne executes one closed-loop run and returns its measurements.
 func runOne(cfg config, name string) (*result, error) {
 	baseURL := cfg.Addr
 	if baseURL == "" {
-		ts, err := startEdge(cfg)
+		ts, cleanup, err := startEdge(cfg)
 		if err != nil {
 			return nil, err
 		}
+		defer cleanup()
 		defer ts.Close()
 		baseURL = ts.URL
 	}
@@ -352,6 +417,7 @@ func runOne(cfg config, name string) (*result, error) {
 		Name:          name,
 		Shards:        cfg.Shards,
 		Batch:         cfg.Batch,
+		Fsync:         cfg.Fsync,
 		CheckIns:      checkins.Load(),
 		AdRequests:    adsDone.Load(),
 		HTTPOps:       httpOps.Load(),
@@ -382,15 +448,18 @@ func quantileMs(h *telemetry.Histogram, q float64) float64 {
 
 // startEdge stands up the in-process edge: a sharded engine, an ad
 // network with a bounded bid log (loadgen runs are exactly the sustained
-// load the ring cap exists for), and the HTTP server.
-func startEdge(cfg config) (*httptest.Server, error) {
+// load the ring cap exists for), and the HTTP server. In durable mode
+// the engine writes through a WAL in cfg.DataDir (or a temp dir) with
+// the configured fsync policy; the returned cleanup closes the store
+// and removes the temp dir.
+func startEdge(cfg config) (*httptest.Server, func(), error) {
 	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
 	if err != nil {
-		return nil, fmt.Errorf("building mechanism: %w", err)
+		return nil, nil, fmt.Errorf("building mechanism: %w", err)
 	}
 	nomadic, err := geoind.NewPlanarLaplace(math.Log(4), 200)
 	if err != nil {
-		return nil, fmt.Errorf("building nomadic mechanism: %w", err)
+		return nil, nil, fmt.Errorf("building nomadic mechanism: %w", err)
 	}
 	engine, err := core.NewEngine(core.Config{
 		Mechanism:        mech,
@@ -399,11 +468,44 @@ func startEdge(cfg config) (*httptest.Server, error) {
 		Shards:           cfg.Shards,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("building engine: %w", err)
+		return nil, nil, fmt.Errorf("building engine: %w", err)
+	}
+	cleanup := func() {}
+	if cfg.durable() {
+		dir := cfg.DataDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "loadgen-wal-")
+			if err != nil {
+				return nil, nil, fmt.Errorf("creating WAL temp dir: %w", err)
+			}
+			dir = tmp
+			cleanup = func() { _ = os.RemoveAll(tmp) }
+		}
+		policy, interval, err := wal.ParsePolicy(cfg.Fsync)
+		if err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("parsing -fsync: %w", err)
+		}
+		store, err := wal.Open(dir, wal.Options{Policy: policy, Interval: interval})
+		if err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("opening WAL: %w", err)
+		}
+		if _, err := engine.Recover(store); err != nil {
+			store.Close()
+			cleanup()
+			return nil, nil, fmt.Errorf("recovering engine: %w", err)
+		}
+		rm := cleanup
+		cleanup = func() {
+			_ = store.Close()
+			rm()
+		}
 	}
 	network, err := adnet.NewNetwork(nil, adnet.WithBidLogCap(1<<16))
 	if err != nil {
-		return nil, fmt.Errorf("building network: %w", err)
+		cleanup()
+		return nil, nil, fmt.Errorf("building network: %w", err)
 	}
 	region := trace.DefaultConfig().Region
 	rnd := randx.New(cfg.Seed, 0x51A151)
@@ -418,12 +520,14 @@ func startEdge(cfg config) (*httptest.Server, error) {
 			Radius:   5000 + rnd.Float64()*20000,
 			Ad:       adnet.Ad{ID: fmt.Sprintf("ad%05d", i), Title: fmt.Sprintf("Offer %d", i), Location: loc},
 		}); err != nil {
-			return nil, fmt.Errorf("registering campaign: %w", err)
+			cleanup()
+			return nil, nil, fmt.Errorf("registering campaign: %w", err)
 		}
 	}
 	server, err := edge.NewServer(engine, network, nil, nil)
 	if err != nil {
-		return nil, fmt.Errorf("building server: %w", err)
+		cleanup()
+		return nil, nil, fmt.Errorf("building server: %w", err)
 	}
-	return httptest.NewServer(server.Handler()), nil
+	return httptest.NewServer(server.Handler()), cleanup, nil
 }

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/wal"
 )
 
 func TestParseMix(t *testing.T) {
@@ -55,6 +57,44 @@ func TestRunSmall(t *testing.T) {
 		if res.BatchRejected != 0 {
 			t.Errorf("batch=%d: %d rejected items", batch, res.BatchRejected)
 		}
+	}
+}
+
+// TestRunDurable drives the closed loop against a WAL-backed in-process
+// edge and checks the log actually recorded the traffic.
+func TestRunDurable(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{
+		Users: 4, Workers: 2, Requests: 80, Mix: "4:1", Batch: 8,
+		Shards: 4, Campaigns: 5, Seed: 7, DataDir: dir, Fsync: "never",
+	}
+	var err error
+	cfg.mixReports, cfg.mixAds, err = parseMix(cfg.Mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runOne(cfg, "durable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CheckIns == 0 {
+		t.Fatalf("no work done: %+v", res)
+	}
+	// The WAL outlives the run (user-provided directory) and replays.
+	st, err := wal.Open(dir, wal.Options{Policy: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var records int
+	if err := st.Replay(0, func(lsn uint64, payload []byte) error {
+		records++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if records == 0 {
+		t.Error("durable run left an empty WAL")
 	}
 }
 

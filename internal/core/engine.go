@@ -173,6 +173,15 @@ type Engine struct {
 	nTops       atomic.Int64
 	nCandidates atomic.Int64
 
+	// dur is the optional durability sink (see SetDurability); nil
+	// keeps every logged path at one extra atomic load. ckptMu
+	// serialises Checkpoint against loggable operations: writers hold
+	// the read side from before their state apply until after their
+	// log append, so a checkpoint never splits an apply from its
+	// record. Lock order: ckptMu, then shard.mu, then userState.mu.
+	dur    atomic.Pointer[durHolder]
+	ckptMu sync.RWMutex
+
 	shards    []engineShard
 	shardMask uint64
 }
@@ -269,6 +278,8 @@ func (e *Engine) lookup(userID string) (*userState, error) {
 // profile window, the profile is recomputed and new top locations are
 // obfuscated into the permanent table.
 func (e *Engine) Report(userID string, pos geo.Point, at time.Time) error {
+	h := e.durBegin()
+	defer e.durEnd(h)
 	u, err := e.userFor(userID)
 	if err != nil {
 		return err
@@ -282,12 +293,20 @@ func (e *Engine) Report(userID string, pos geo.Point, at time.Time) error {
 		u.windowStart = at
 	}
 	u.pending = append(u.pending, trace.CheckIn{Pos: pos, Time: at})
+	var opErr error
 	if at.Sub(u.windowStart) >= e.cfg.ProfileWindow {
+		// A window-rollover rebuild needs no record of its own:
+		// replaying the report reproduces it deterministically.
 		if err := e.rebuildLocked(u, at); err != nil {
-			return fmt.Errorf("core: rebuilding profile for %q: %w", userID, err)
+			opErr = fmt.Errorf("core: rebuilding profile for %q: %w", userID, err)
 		}
 	}
-	return nil
+	if h != nil {
+		if lerr := h.emit(func(b []byte) []byte { return encodeReport(b, userID, pos, at) }); opErr == nil {
+			opErr = lerr
+		}
+	}
+	return opErr
 }
 
 // BatchReport is one check-in of a ReportBatch call.
@@ -315,6 +334,8 @@ func (e *Engine) ReportBatch(items []BatchReport) []BatchError {
 	if len(items) == 0 {
 		return nil
 	}
+	h := e.durBegin()
+	defer e.durEnd(h)
 	if m := e.met.Load(); m != nil {
 		m.reports.Add(uint64(len(items)))
 	}
@@ -330,7 +351,7 @@ func (e *Engine) ReportBatch(items []BatchReport) []BatchError {
 		}
 	}
 	if single {
-		return e.reportUserRun(items[0].UserID, items, nil, nil)
+		return e.reportUserRun(h, items[0].UserID, items, nil, nil)
 	}
 
 	groups := make(map[string][]int, 8)
@@ -343,7 +364,7 @@ func (e *Engine) ReportBatch(items []BatchReport) []BatchError {
 	}
 	var errs []BatchError
 	for _, id := range order {
-		errs = e.reportUserRun(id, items, groups[id], errs)
+		errs = e.reportUserRun(h, id, items, groups[id], errs)
 	}
 	return errs
 }
@@ -351,7 +372,11 @@ func (e *Engine) ReportBatch(items []BatchReport) []BatchError {
 // reportUserRun ingests the items selected by idx (nil selects all) for
 // one user under a single user-lock acquisition, applying exactly the
 // per-item append + window-rollover logic of Report.
-func (e *Engine) reportUserRun(userID string, items []BatchReport, idx []int, errs []BatchError) []BatchError {
+// One recBatch record covers the whole run: logging per-user runs
+// (rather than whole batches) under the user lock keeps the log's
+// per-user order identical to apply order even when batches touching
+// the same user race on different goroutines.
+func (e *Engine) reportUserRun(h *durHolder, userID string, items []BatchReport, idx []int, errs []BatchError) []BatchError {
 	n := len(idx)
 	if idx == nil {
 		n = len(items)
@@ -396,6 +421,19 @@ func (e *Engine) reportUserRun(userID string, items []BatchReport, idx []int, er
 			}
 		}
 	}
+	if h != nil {
+		if lerr := h.emit(func(b []byte) []byte { return encodeBatchRun(b, userID, items, idx) }); lerr != nil {
+			// The whole run is applied but unacknowledged: fail every
+			// item so the client treats them like any other error.
+			for i := 0; i < n; i++ {
+				j := i
+				if idx != nil {
+					j = idx[i]
+				}
+				errs = append(errs, BatchError{Index: j, Err: lerr})
+			}
+		}
+	}
 	return errs
 }
 
@@ -403,16 +441,27 @@ func (e *Engine) reportUserRun(userID string, items []BatchReport, idx []int, er
 // from the check-ins collected so far (the periodic task of Section V-B,
 // exposed for tests, benchmarks, and administrative control).
 func (e *Engine) RebuildProfile(userID string, now time.Time) error {
+	h := e.durBegin()
+	defer e.durEnd(h)
 	u, err := e.lookup(userID)
 	if err != nil {
 		return err
 	}
 	u.mu.Lock()
 	defer u.mu.Unlock()
+	var opErr error
 	if err := e.rebuildLocked(u, now); err != nil {
-		return fmt.Errorf("core: rebuilding profile for %q: %w", userID, err)
+		opErr = fmt.Errorf("core: rebuilding profile for %q: %w", userID, err)
 	}
-	return nil
+	// Logged even when the rebuild failed: a mid-rebuild error can
+	// leave table entries inserted and the PRNG advanced, and replay
+	// reproduces exactly that (including the error).
+	if h != nil {
+		if lerr := h.emit(func(b []byte) []byte { return encodeRebuild(b, userID, now) }); opErr == nil {
+			opErr = lerr
+		}
+	}
+	return opErr
 }
 
 // RebuildAll recomputes every known user's profile (the periodic task of
@@ -424,6 +473,12 @@ func (e *Engine) RebuildProfile(userID string, now time.Time) error {
 // attempted even after failures; the returned error is the one for the
 // first failing user in sorted ID order.
 func (e *Engine) RebuildAll(now time.Time, parallelism int) error {
+	// One checkpoint read-hold covers every worker: per-user streams
+	// are independent, so the cross-user record order the workers race
+	// into the log is irrelevant — only per-user order matters, and
+	// each worker logs under its user's lock.
+	h := e.durBegin()
+	defer e.durEnd(h)
 	ids := e.Users()
 	return par.ForEachErr(parallelism, len(ids), func(i int) error {
 		u, err := e.lookup(ids[i])
@@ -432,10 +487,16 @@ func (e *Engine) RebuildAll(now time.Time, parallelism int) error {
 		}
 		u.mu.Lock()
 		defer u.mu.Unlock()
+		var opErr error
 		if err := e.rebuildLocked(u, now); err != nil {
-			return fmt.Errorf("core: rebuilding profile for %q: %w", ids[i], err)
+			opErr = fmt.Errorf("core: rebuilding profile for %q: %w", ids[i], err)
 		}
-		return nil
+		if h != nil {
+			if lerr := h.emit(func(b []byte) []byte { return encodeRebuild(b, ids[i], now) }); opErr == nil {
+				opErr = lerr
+			}
+		}
+		return opErr
 	})
 }
 
@@ -488,6 +549,15 @@ func (e *Engine) rebuildLocked(u *userState, now time.Time) error {
 // one-time noise. The boolean reports whether the answer came from the
 // permanent table.
 func (e *Engine) Request(userID string, truePos geo.Point) (geo.Point, bool, error) {
+	// Request mutates no table state, but posterior selection and
+	// nomadic noise DRAW from the user's PRNG stream. Skipping it in
+	// the log would leave a recovered engine's stream behind the
+	// original's, and the next rebuild would mint different candidates
+	// — a second (r, ε, δ, n) release for the same top locations,
+	// exactly the longitudinal leak the permanent table prevents. So
+	// requests are logged too.
+	h := e.durBegin()
+	defer e.durEnd(h)
 	u, err := e.lookup(userID)
 	if err != nil {
 		return geo.Point{}, false, err
@@ -495,7 +565,17 @@ func (e *Engine) Request(userID string, truePos geo.Point) (geo.Point, bool, err
 	m := e.met.Load()
 	u.mu.Lock()
 	defer u.mu.Unlock()
+	out, fromTable, opErr := e.requestLocked(u, userID, truePos, m)
+	if h != nil {
+		if lerr := h.emit(func(b []byte) []byte { return encodeRequest(b, userID, truePos) }); opErr == nil {
+			opErr = lerr
+		}
+	}
+	return out, fromTable, opErr
+}
 
+// requestLocked is the serving path of Request; the caller holds u.mu.
+func (e *Engine) requestLocked(u *userState, userID string, truePos geo.Point, m *engineMetrics) (geo.Point, bool, error) {
 	if entry, ok := u.table.Lookup(truePos); ok {
 		var start time.Time
 		if m != nil {
@@ -633,30 +713,47 @@ func (e *Engine) SyncTops(userID string, tops profile.Profile, now time.Time) er
 }
 
 func (e *Engine) installTops(userID string, tops profile.Profile, now time.Time, consumeWindow bool) error {
+	h := e.durBegin()
+	defer e.durEnd(h)
 	u, err := e.userFor(userID)
 	if err != nil {
 		return err
 	}
 	u.mu.Lock()
 	defer u.mu.Unlock()
+	var opErr error
 	for _, lf := range tops {
 		if _, ok := u.table.Lookup(lf.Loc); ok {
 			continue
 		}
 		candidates, err := e.cfg.Mechanism.Obfuscate(u.rnd, lf.Loc)
 		if err != nil {
-			return fmt.Errorf("core: obfuscating installed top for %q: %w", userID, err)
+			opErr = fmt.Errorf("core: obfuscating installed top for %q: %w", userID, err)
+			break
 		}
 		e.noteInsert(u.table.Insert(lf.Loc, candidates, now))
 	}
-	u.tops = make(profile.Profile, len(tops))
-	copy(u.tops, tops)
-	u.hasProfile = true
-	if consumeWindow {
-		u.pending = u.pending[:0]
-		u.windowStart = now
+	if opErr == nil {
+		u.tops = make(profile.Profile, len(tops))
+		copy(u.tops, tops)
+		u.hasProfile = true
+		if consumeWindow {
+			u.pending = u.pending[:0]
+			u.windowStart = now
+		}
 	}
-	return nil
+	// Logged even on a mid-install failure: the inserts and PRNG draws
+	// that did happen must replay identically.
+	if h != nil {
+		tag := recSyncTops
+		if consumeWindow {
+			tag = recInstallTops
+		}
+		if lerr := h.emit(func(b []byte) []byte { return encodeTops(b, tag, userID, tops, now) }); opErr == nil {
+			opErr = lerr
+		}
+	}
+	return opErr
 }
 
 // ImportTable replicates externally generated obfuscation-table entries
@@ -666,6 +763,8 @@ func (e *Engine) installTops(userID string, tops profile.Profile, now time.Time,
 // beyond the (r, ε, δ, n) guarantee. Entries for already-known top
 // locations are ignored (first writer wins, matching table semantics).
 func (e *Engine) ImportTable(userID string, entries []TableEntry) error {
+	h := e.durBegin()
+	defer e.durEnd(h)
 	u, err := e.userFor(userID)
 	if err != nil {
 		return err
@@ -674,6 +773,9 @@ func (e *Engine) ImportTable(userID string, entries []TableEntry) error {
 	defer u.mu.Unlock()
 	for _, entry := range entries {
 		e.noteInsert(u.table.Insert(entry.Top, entry.Candidates, entry.CreatedAt))
+	}
+	if h != nil {
+		return h.emit(func(b []byte) []byte { return encodeImport(b, userID, entries) })
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -106,6 +107,13 @@ func (e *Engine) Snapshot(w io.Writer) error {
 // Restored users keep their permanent obfuscation tables verbatim —
 // the property that preserves the longitudinal guarantee across
 // restarts. Restoring over existing users is rejected.
+//
+// Restore is all-or-nothing: every user is staged (and validated) off
+// to the side first, then committed in one step under all shard locks.
+// A failure anywhere — a corrupt user mid-stream, a short stream, a
+// duplicate — leaves the engine exactly as it was, instead of leaking
+// the users before the failure point into the engine with the
+// aggregate counters already bumped.
 func (e *Engine) Restore(r io.Reader) error {
 	dec := json.NewDecoder(bufio.NewReader(r))
 	var header snapshotHeader
@@ -119,54 +127,90 @@ func (e *Engine) Restore(r io.Reader) error {
 		return fmt.Errorf("core: snapshot version %d not supported", header.Version)
 	}
 
-	restored := 0
+	type stagedUser struct {
+		id string
+		u  *userState
+	}
+	staged := make([]stagedUser, 0, header.Users)
+	seen := make(map[string]struct{}, header.Users)
+	var stagedTops, stagedCandidates int64
 	for {
 		var snap userSnapshot
 		if err := dec.Decode(&snap); err == io.EOF {
 			break
 		} else if err != nil {
-			return fmt.Errorf("core: decoding snapshot user %d: %w", restored, err)
+			return fmt.Errorf("core: decoding snapshot user %d: %w", len(staged), err)
 		}
 		if snap.UserID == "" {
-			return fmt.Errorf("core: snapshot user %d has empty id", restored)
+			return fmt.Errorf("core: snapshot user %d has empty id", len(staged))
 		}
+		if _, dup := seen[snap.UserID]; dup {
+			return fmt.Errorf("core: snapshot user %q appears twice", snap.UserID)
+		}
+		seen[snap.UserID] = struct{}{}
 		table, err := NewObfuscationTable(e.cfg.ConnectivityThreshold)
 		if err != nil {
 			return fmt.Errorf("core: restoring table for %q: %w", snap.UserID, err)
+		}
+		for _, entry := range snap.Table {
+			// Aggregate counts are tallied locally and only applied
+			// at commit: bumping e.nTops here would corrupt the
+			// counters when a later user fails the restore.
+			if _, created := table.Insert(entry.Top, entry.Candidates, entry.CreatedAt); created {
+				stagedTops++
+				stagedCandidates += int64(len(entry.Candidates))
+			}
 		}
 		rnd, err := randx.NewFromState(snap.RandState)
 		if err != nil {
 			return fmt.Errorf("core: restoring PRNG state for %q: %w", snap.UserID, err)
 		}
-		s, _ := e.shardFor(snap.UserID)
-		s.mu.Lock()
-		if _, exists := s.users[snap.UserID]; exists {
-			s.mu.Unlock()
-			return fmt.Errorf("core: snapshot user %q already present in engine", snap.UserID)
-		}
-		for _, entry := range snap.Table {
-			e.noteInsert(table.Insert(entry.Top, entry.Candidates, entry.CreatedAt))
-		}
-		s.users[snap.UserID] = &userState{
+		staged = append(staged, stagedUser{id: snap.UserID, u: &userState{
 			rnd:         rnd,
 			pending:     snap.Pending,
 			windowStart: snap.WindowStart,
 			tops:        snap.Tops,
 			hasProfile:  snap.HasProfile,
 			table:       table,
+		}})
+	}
+	if len(staged) != header.Users {
+		return fmt.Errorf("core: snapshot header says %d users, stream had %d", header.Users, len(staged))
+	}
+
+	// Commit. All shard locks are taken in index order (no other path
+	// holds two shards at once, so this cannot deadlock) and the
+	// conflict check runs before the first install.
+	for i := range e.shards {
+		e.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range e.shards {
+			e.shards[i].mu.Unlock()
 		}
-		s.mu.Unlock()
-		e.nUsers.Add(1)
-		restored++
+	}()
+	for _, su := range staged {
+		s, _ := e.shardFor(su.id)
+		if _, exists := s.users[su.id]; exists {
+			return fmt.Errorf("core: snapshot user %q already present in engine", su.id)
+		}
 	}
-	if restored != header.Users {
-		return fmt.Errorf("core: snapshot header says %d users, stream had %d", header.Users, restored)
+	for _, su := range staged {
+		s, _ := e.shardFor(su.id)
+		s.users[su.id] = su.u
 	}
+	e.nUsers.Add(int64(len(staged)))
+	e.nTops.Add(stagedTops)
+	e.nCandidates.Add(stagedCandidates)
 	return nil
 }
 
-// SnapshotFile writes the snapshot to path atomically (via a temp file
-// rename), so a crash mid-write never corrupts the previous state.
+// SnapshotFile writes the snapshot to path atomically AND durably:
+// temp file, fsync, rename, fsync of the parent directory. Without the
+// two fsyncs the rename is only atomic against a process crash — after
+// a power failure many filesystems may expose the new name with stale
+// or missing content, which is exactly the table loss the snapshot
+// exists to prevent.
 func (e *Engine) SnapshotFile(path string) (err error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -182,11 +226,27 @@ func (e *Engine) SnapshotFile(path string) (err error) {
 		_ = f.Close()
 		return err
 	}
+	if err = f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("core: fsyncing %q: %w", tmp, err)
+	}
 	if err = f.Close(); err != nil {
 		return fmt.Errorf("core: closing %q: %w", tmp, err)
 	}
 	if err = os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("core: renaming snapshot into place: %w", err)
+	}
+	dir := filepath.Dir(path)
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("core: opening %q to fsync rename: %w", dir, err)
+	}
+	if err = d.Sync(); err != nil {
+		_ = d.Close()
+		return fmt.Errorf("core: fsyncing %q: %w", dir, err)
+	}
+	if err = d.Close(); err != nil {
+		return fmt.Errorf("core: closing %q: %w", dir, err)
 	}
 	return nil
 }

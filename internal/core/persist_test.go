@@ -216,6 +216,50 @@ func TestRestoreErrors(t *testing.T) {
 	}
 }
 
+// TestRestoreAllOrNothing: a snapshot whose LAST user is corrupt must
+// not leak the valid users that preceded it into the engine, nor bump
+// the aggregate counters.
+func TestRestoreAllOrNothing(t *testing.T) {
+	cfg := testConfig(t)
+	src, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedUser(t, src, "alice", geo.Point{X: 0, Y: 0}, geo.Point{X: 8000, Y: 0})
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Header claims 2 users; alice (valid, with a real table) is
+	// followed by a user whose PRNG state is corrupt.
+	lines := strings.SplitN(buf.String(), "\n", 2)
+	mangled := `{"format":"edge-privlocad-state","version":1,"users":2}` + "\n" +
+		lines[1] +
+		`{"user_id":"mallory","rand_state":"bm90IGEgc3RhdGU="}` + "\n"
+
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Restore(strings.NewReader(mangled)); err == nil {
+		t.Fatal("restore with corrupt trailing user succeeded")
+	}
+	if got := e.Users(); len(got) != 0 {
+		t.Errorf("failed restore leaked users %v", got)
+	}
+	if st := e.Stats(); st != (EngineStats{}) {
+		t.Errorf("failed restore bumped counters: %+v", st)
+	}
+	// The engine is still usable after the rejected restore.
+	if err := e.Restore(strings.NewReader(buf.String())); err != nil {
+		t.Fatalf("clean restore after failed one: %v", err)
+	}
+	if got := e.Users(); len(got) != 1 || got[0] != "alice" {
+		t.Errorf("users after clean restore = %v", got)
+	}
+}
+
 func TestSnapshotFileAtomic(t *testing.T) {
 	cfg := testConfig(t)
 	e, err := NewEngine(cfg)

@@ -20,6 +20,7 @@ import (
 	"repro/internal/geoind"
 	"repro/internal/randx"
 	"repro/internal/telemetry"
+	"repro/internal/wal"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
@@ -28,6 +29,7 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden fi
 // reach its telemetry registry.
 type metricsFixture struct {
 	engine *core.Engine
+	store  *wal.Store
 	srv    *Server
 	ts     *httptest.Server
 	now    time.Time
@@ -52,6 +54,18 @@ func newMetricsFixture(t *testing.T) *metricsFixture {
 		t.Fatal(err)
 	}
 	f := &metricsFixture{engine: engine, now: time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)}
+	// Durable mode mirrors edged -data-dir: every mutation is WAL-logged
+	// (fsync on each append, so counts stay deterministic) and the wal_*
+	// metric families join the exposition.
+	store, err := wal.Open(t.TempDir(), wal.Options{Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	if _, err := engine.Recover(store); err != nil {
+		t.Fatal(err)
+	}
+	f.store = store
 	clock := func() time.Time {
 		f.now = f.now.Add(time.Minute)
 		return f.now
@@ -61,6 +75,7 @@ func newMetricsFixture(t *testing.T) *metricsFixture {
 		t.Fatal(err)
 	}
 	f.srv = srv
+	store.Instrument(srv.Registry())
 	f.ts = httptest.NewServer(srv.Handler())
 	t.Cleanup(f.ts.Close)
 	return f
@@ -98,7 +113,7 @@ func driveGoldenTraffic(t *testing.T, f *metricsFixture) {
 	resp.Body.Close()
 	resp = f.post(t, "/v1/ads", AdsRequest{UserID: "golden", Pos: home, Limit: 5})
 	resp.Body.Close()
-	for _, path := range []string{"/v1/profile?user=golden", "/v1/privacy?user=golden", "/v1/stats"} {
+	for _, path := range []string{"/v1/profile?user=golden", "/v1/privacy?user=golden", "/v1/stats", "/v1/fingerprint?user=golden"} {
 		resp, err := http.Get(f.ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -111,15 +126,27 @@ func driveGoldenTraffic(t *testing.T, f *metricsFixture) {
 		t.Fatalf("missing user_id: status %d", resp.StatusCode)
 	}
 	resp.Body.Close()
+	// One checkpoint populates the wal checkpoint families.
+	lsn, data, err := f.engine.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.store.WriteCheckpoint(lsn, data); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // latencyValueLine matches exposition lines whose value depends on
 // wall-clock timing: latency histogram buckets and sums. The _count
 // lines stay exact (they count requests, not durations).
-var latencyValueLine = regexp.MustCompile(`(?m)^((?:edge_request_latency_seconds|engine_rebuild_seconds|engine_selection_seconds)_(?:bucket|sum)(?:\{[^}]*\})?) .*$`)
+var latencyValueLine = regexp.MustCompile(`(?m)^((?:edge_request_latency_seconds|engine_rebuild_seconds|engine_selection_seconds|wal_fsync_seconds)_(?:bucket|sum)(?:\{[^}]*\})?) .*$`)
+
+// walTimingLine matches the remaining wall-clock-dependent wal series:
+// the last checkpoint's duration gauge.
+var walTimingLine = regexp.MustCompile(`(?m)^(wal_checkpoint_duration_seconds) .*$`)
 
 func normalizeMetrics(s string) string {
-	return latencyValueLine.ReplaceAllString(s, "$1 *")
+	return walTimingLine.ReplaceAllString(latencyValueLine.ReplaceAllString(s, "$1 *"), "$1 *")
 }
 
 // TestMetricsGolden locks the full /metrics exposition — family set,

@@ -120,6 +120,7 @@ func NewServer(engine *core.Engine, provider AdProvider, clock Clock, logger *lo
 		{"GET /v1/profile", "/v1/profile", s.handleProfile},
 		{"GET /v1/privacy", "/v1/privacy", s.handlePrivacy},
 		{"GET /v1/stats", "/v1/stats", s.handleStats},
+		{"GET /v1/fingerprint", "/v1/fingerprint", s.handleFingerprint},
 	}
 	for _, r := range routes {
 		mux.Handle(r.pattern, s.instrument(r.route, r.h))
@@ -571,6 +572,36 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Users:          st.Users,
 		ProtectedTops:  st.ProtectedTops,
 		TotalCandidate: st.Candidates,
+	})
+}
+
+// FingerprintResponse is the body of GET /v1/fingerprint.
+type FingerprintResponse struct {
+	UserID string `json:"user_id"`
+	// Fingerprint is the 64-bit obfuscation-table digest in zero-padded
+	// hex. Comparing it across a restart (or across replicas) proves the
+	// permanent table survived byte-identically.
+	Fingerprint string `json:"fingerprint"`
+}
+
+func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
+	userID := r.URL.Query().Get("user")
+	if userID == "" {
+		writeError(w, http.StatusBadRequest, errors.New("user query parameter is required"))
+		return
+	}
+	// Unknown users deliberately answer with the empty-table
+	// fingerprint rather than 404: a freshly recovered node that never
+	// replayed the user must still agree with one that did but holds no
+	// table entries for them.
+	fp, err := s.engine.TableFingerprint(userID)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FingerprintResponse{
+		UserID:      userID,
+		Fingerprint: fmt.Sprintf("%016x", fp),
 	})
 }
 

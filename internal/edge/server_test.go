@@ -324,6 +324,67 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 }
 
+func TestFingerprintEndpoint(t *testing.T) {
+	f := newFixture(t)
+	// Missing user parameter is rejected.
+	resp, err := http.Get(f.server.URL + "/v1/fingerprint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing user: status = %d", resp.StatusCode)
+	}
+
+	fetch := func(user string) string {
+		t.Helper()
+		resp, err := http.Get(f.server.URL + "/v1/fingerprint?user=" + user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fingerprint(%s): status = %d", user, resp.StatusCode)
+		}
+		var fr FingerprintResponse
+		if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+			t.Fatal(err)
+		}
+		if fr.UserID != user || len(fr.Fingerprint) != 16 {
+			t.Fatalf("fingerprint(%s) = %+v", user, fr)
+		}
+		return fr.Fingerprint
+	}
+
+	// Unknown users answer with the shared empty-table fingerprint.
+	empty := fetch("nobody")
+	if other := fetch("also-nobody"); other != empty {
+		t.Errorf("empty-table fingerprints differ: %s vs %s", other, empty)
+	}
+
+	rnd := randx.New(5, 5)
+	for i := 0; i < 80; i++ {
+		resp := f.post(t, "/v1/report", ReportRequest{
+			UserID: "fp-user",
+			Pos:    geo.Point{X: 0, Y: 0}.Add(rnd.GaussianPolar(12)),
+		})
+		resp.Body.Close()
+	}
+	resp2 := f.post(t, "/v1/rebuild", RebuildRequest{UserID: "fp-user"})
+	resp2.Body.Close()
+	got := fetch("fp-user")
+	if got == empty {
+		t.Error("populated table still hashes like an empty one")
+	}
+	want, err := f.engine.TableFingerprint("fp-user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fmt.Sprintf("%016x", want) {
+		t.Errorf("endpoint fingerprint %s != engine %016x", got, want)
+	}
+}
+
 func TestServeGracefulShutdown(t *testing.T) {
 	f := newFixture(t)
 	srv, err := NewServer(f.engine, f.network, f.clock, nil)

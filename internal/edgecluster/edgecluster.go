@@ -226,6 +226,48 @@ func (c *Cluster) MarkUp(i int) error {
 	return err
 }
 
+// RestartNode simulates a full process restart of edge i backed by
+// durable storage: a fresh engine is built from the node's
+// configuration, its state is recovered from st (latest checkpoint +
+// WAL tail replay), and the replication journal is then replayed on
+// top. The recovered state — not a cold engine — is the catch-up
+// baseline, so a revived node only needs the journal for rounds merged
+// while it was down, and its permanent obfuscation table (the
+// longitudinal guarantee) survives the crash byte-identically. The node
+// is marked live on return; a catch-up failure is reported but leaves
+// the node retryable via Reconcile, matching MarkUp.
+func (c *Cluster) RestartNode(i int, st core.DurableStore) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("edgecluster: no edge %d", i)
+	}
+	n := c.nodes[i]
+	engine, err := core.NewEngine(n.Engine.Config())
+	if err != nil {
+		return fmt.Errorf("edgecluster: rebuilding engine for %s: %w", n.ID, err)
+	}
+	if _, err := engine.Recover(st); err != nil {
+		return fmt.Errorf("edgecluster: recovering %s: %w", n.ID, err)
+	}
+	c.mu.Lock()
+	n.Engine = engine
+	// The applied map tracked the dead process's journal position; the
+	// recovered engine already holds every round it logged (journal
+	// applies go through ImportTable/SyncTops, both WAL-logged), but
+	// clearing the map and replaying the whole journal is still correct
+	// — rounds snapshot the full per-user state and re-importing is
+	// idempotent (existing table entries win) — and picks up rounds
+	// merged while the node was down.
+	clear(n.applied)
+	err = c.catchUpLocked(n)
+	c.mu.Unlock()
+	if n.down.Swap(false) {
+		if m := c.met.Load(); m != nil {
+			m.nodesDown.Dec()
+		}
+	}
+	return err
+}
+
 // Reconcile replays the journal to every live node that is behind (a
 // replica that failed mid-round, or a revival whose catch-up errored).
 // It is idempotent: a fully consistent cluster is a no-op.

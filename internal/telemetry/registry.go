@@ -24,6 +24,7 @@ type metricKind int
 
 const (
 	kindCounter metricKind = iota
+	kindCounterFunc
 	kindGauge
 	kindGaugeFunc
 	kindHistogram
@@ -31,7 +32,7 @@ const (
 
 func (k metricKind) String() string {
 	switch k {
-	case kindCounter:
+	case kindCounter, kindCounterFunc:
 		return "counter"
 	case kindGauge, kindGaugeFunc:
 		return "gauge"
@@ -47,6 +48,7 @@ type series struct {
 	c      *Counter
 	g      *Gauge
 	fn     func() float64
+	cfn    func() uint64
 	h      *Histogram
 }
 
@@ -91,6 +93,21 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	s := r.getOrCreate(name, help, kindGauge, nil, labels)
 	return s.g
+}
+
+// CounterFunc registers a counter whose value is read by fn at
+// exposition time — for subsystems (like the WAL) that maintain their
+// own always-on atomic counters and only want to surface them once a
+// registry exists. fn must be monotonically non-decreasing.
+// Re-registering the same series replaces fn.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	if fn == nil {
+		panic("telemetry: nil CounterFunc for " + name)
+	}
+	s := r.getOrCreate(name, help, kindCounterFunc, nil, labels)
+	r.mu.Lock()
+	s.cfn = fn
+	r.mu.Unlock()
 }
 
 // GaugeFunc registers a gauge whose value is computed by fn at
@@ -154,8 +171,9 @@ func (r *Registry) getOrCreate(name, help string, kind metricKind, bounds []floa
 		s.c = &Counter{}
 	case kindGauge:
 		s.g = &Gauge{}
-	case kindGaugeFunc:
-		// fn is filled in by GaugeFunc under the same lock scope.
+	case kindCounterFunc, kindGaugeFunc:
+		// fn is filled in by CounterFunc/GaugeFunc under the same
+		// lock scope.
 	case kindHistogram:
 		h, err := NewHistogram(f.bounds)
 		if err != nil {
@@ -265,6 +283,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			switch f.kind {
 			case kindCounter:
 				fmt.Fprintf(bw, "%s %d\n", seriesName(f.name, row.key), row.s.c.Value())
+			case kindCounterFunc:
+				if row.s.cfn != nil {
+					fmt.Fprintf(bw, "%s %d\n", seriesName(f.name, row.key), row.s.cfn())
+				}
 			case kindGauge:
 				fmt.Fprintf(bw, "%s %d\n", seriesName(f.name, row.key), row.s.g.Value())
 			case kindGaugeFunc:

@@ -45,6 +45,40 @@ users 7
 	}
 }
 
+func TestCounterFunc(t *testing.T) {
+	reg := NewRegistry()
+	var n uint64 = 41
+	reg.CounterFunc("appends_total", "Records appended.", func() uint64 { return n })
+	n++
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP appends_total Records appended.
+# TYPE appends_total counter
+appends_total 42
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Re-registering replaces fn; conflicting kinds panic.
+	reg.CounterFunc("appends_total", "", func() uint64 { return 7 })
+	b.Reset()
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "appends_total 7") {
+		t.Errorf("fn not replaced:\n%s", b.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind conflict did not panic")
+		}
+	}()
+	reg.Counter("appends_total", "")
+}
+
 func TestRegistryGetOrCreate(t *testing.T) {
 	reg := NewRegistry()
 	a := reg.Counter("c_total", "help")

@@ -1,0 +1,116 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// WriteCheckpoint durably stores a snapshot covering every record with
+// LSN < lsn (write temp file, fsync, rename, fsync directory), then
+// compacts: older checkpoints and every segment whose records are all
+// below lsn are deleted. The payload is opaque to the WAL — edge
+// devices store the core.Snapshot stream.
+func (s *Store) WriteCheckpoint(lsn uint64, data []byte) error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	start := time.Now()
+	final := filepath.Join(s.dir, checkpointName(lsn))
+	tmp := final + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating checkpoint temp: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: writing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: fsyncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: publishing checkpoint: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	s.checkpoints.Add(1)
+	s.ckptBytes.Store(int64(len(data)))
+	s.ckptDur.Store(math.Float64bits(time.Since(start).Seconds()))
+	s.compact(lsn)
+	return nil
+}
+
+// compact removes segments fully covered by checkpoint lsn and
+// checkpoint files older than it. Removal is best-effort: a leftover
+// file wastes disk but can never corrupt recovery, because
+// LatestCheckpoint always picks the newest checkpoint and Replay skips
+// fully-covered segments.
+func (s *Store) compact(ckpt uint64) {
+	s.mu.Lock()
+	keep := s.sealed[:0]
+	for i, base := range s.sealed {
+		end := s.activeBase
+		if i+1 < len(s.sealed) {
+			end = s.sealed[i+1]
+		}
+		if end <= ckpt {
+			os.Remove(filepath.Join(s.dir, segmentName(base)))
+			continue
+		}
+		keep = append(keep, base)
+	}
+	s.sealed = keep
+	s.mu.Unlock()
+
+	bases, ckpts, _, err := scanDir(s.dir)
+	_ = bases
+	if err != nil {
+		return
+	}
+	for _, l := range ckpts {
+		if l < ckpt {
+			os.Remove(filepath.Join(s.dir, checkpointName(l)))
+		}
+	}
+}
+
+// LatestCheckpoint opens the newest checkpoint. ok is false when none
+// exists (a cold directory); the caller owns closing the reader.
+func (s *Store) LatestCheckpoint() (lsn uint64, r io.ReadCloser, ok bool, err error) {
+	_, ckpts, _, err := scanDir(s.dir)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	if len(ckpts) == 0 {
+		return 0, nil, false, nil
+	}
+	lsn = ckpts[len(ckpts)-1]
+	f, err := os.Open(filepath.Join(s.dir, checkpointName(lsn)))
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("wal: opening checkpoint: %w", err)
+	}
+	return lsn, f, true, nil
+}
+
+// Segments returns how many segment files are live (sealed + active).
+func (s *Store) Segments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sealed) + 1
+}

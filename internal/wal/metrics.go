@@ -1,0 +1,43 @@
+package wal
+
+import (
+	"math"
+
+	"repro/internal/telemetry"
+)
+
+// storeMetrics holds the registry-backed handles that only exist after
+// Instrument; the counters themselves are always-on store atomics so a
+// store instrumented late still reports lifetime totals (recovery
+// replays happen before any registry exists).
+type storeMetrics struct {
+	fsyncSeconds *telemetry.Histogram
+}
+
+// Instrument surfaces the store's counters on reg and enables the
+// fsync latency histogram.
+func (s *Store) Instrument(reg *telemetry.Registry) {
+	reg.CounterFunc("wal_appends_total",
+		"Records appended to the write-ahead log.", s.appends.Load)
+	reg.CounterFunc("wal_bytes_total",
+		"Bytes appended to the write-ahead log, framing included.", s.bytesW.Load)
+	reg.CounterFunc("wal_fsyncs_total",
+		"fsync calls issued by the write-ahead log (group commit: one covers many appends).", s.fsyncs.Load)
+	reg.CounterFunc("wal_recovery_records_total",
+		"Records streamed by WAL replay during recovery.", s.replayed.Load)
+	reg.CounterFunc("wal_checkpoints_total",
+		"Checkpoints written.", s.checkpoints.Load)
+	reg.GaugeFunc("wal_segments",
+		"Live WAL segment files, sealed plus active.",
+		func() float64 { return float64(s.Segments()) })
+	reg.GaugeFunc("wal_checkpoint_duration_seconds",
+		"Wall time of the most recent checkpoint write.",
+		func() float64 { return math.Float64frombits(s.ckptDur.Load()) })
+	reg.GaugeFunc("wal_checkpoint_bytes",
+		"Size of the most recent checkpoint.",
+		func() float64 { return float64(s.ckptBytes.Load()) })
+	s.met.Store(&storeMetrics{
+		fsyncSeconds: reg.Histogram("wal_fsync_seconds",
+			"Latency of WAL fsync calls.", nil),
+	})
+}

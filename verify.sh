@@ -30,3 +30,52 @@ OUT="$(mktemp)" BENCH='BenchmarkTrim' BENCHTIME=1x PKGS=./internal/cluster/ ./be
 # end to end (the checked-in BENCH_pr4.json is regenerated only by a
 # full SERVING=1 ./bench.sh run).
 go run ./cmd/loadgen -users 16 -workers 4 -requests 400 -batch 16 -campaigns 20
+
+# Kill-and-recover smoke: start edged on a WAL data directory with
+# fsync=always, drive reports and a rebuild, SIGKILL the process, restart
+# it from the same directory, and require /v1/stats and the
+# obfuscation-table fingerprint to survive the crash bit-for-bit.
+EDGED_ADDR=127.0.0.1:18431
+EDGED_BIN="$(mktemp)"
+WALDIR="$(mktemp -d)"
+go build -o "$EDGED_BIN" ./cmd/edged
+
+edged_ready() {
+    for _ in $(seq 1 100); do
+        if curl -fs "http://$EDGED_ADDR/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "edged never came up" >&2
+    return 1
+}
+
+"$EDGED_BIN" -addr "$EDGED_ADDR" -data-dir "$WALDIR" -fsync always -checkpoint-every 0 -campaigns 5 &
+EDGED_PID=$!
+edged_ready
+i=0
+while [ "$i" -lt 40 ]; do
+    curl -fs -X POST "http://$EDGED_ADDR/v1/report" \
+        -d "{\"user_id\":\"smoke\",\"pos\":{\"x\":$((i % 5 * 20)),\"y\":10},\"time\":\"2021-01-01T00:$(printf '%02d' "$i"):00Z\"}" >/dev/null
+    i=$((i + 1))
+done
+curl -fs -X POST "http://$EDGED_ADDR/v1/rebuild" -d '{"user_id":"smoke"}' >/dev/null
+curl -fs "http://$EDGED_ADDR/metrics" | grep -q '^wal_appends_total [1-9]'
+PRE_STATS="$(curl -fs "http://$EDGED_ADDR/v1/stats")"
+PRE_FP="$(curl -fs "http://$EDGED_ADDR/v1/fingerprint?user=smoke")"
+kill -9 "$EDGED_PID"
+wait "$EDGED_PID" || true
+
+"$EDGED_BIN" -addr "$EDGED_ADDR" -data-dir "$WALDIR" -fsync always -checkpoint-every 0 -campaigns 5 &
+EDGED_PID=$!
+edged_ready
+POST_STATS="$(curl -fs "http://$EDGED_ADDR/v1/stats")"
+POST_FP="$(curl -fs "http://$EDGED_ADDR/v1/fingerprint?user=smoke")"
+curl -fs "http://$EDGED_ADDR/metrics" | grep -q '^wal_recovery_records_total [1-9]'
+kill "$EDGED_PID"
+wait "$EDGED_PID" || true
+rm -rf "$WALDIR" "$EDGED_BIN"
+[ "$PRE_STATS" = "$POST_STATS" ]
+[ "$PRE_FP" = "$POST_FP" ]
+echo "kill-and-recover smoke passed: $POST_FP"
