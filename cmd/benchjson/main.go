@@ -5,12 +5,19 @@
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | benchjson > BENCH_pr2.json
+//	benchjson -diff BENCH_old.json BENCH_new.json -threshold 5
 //
 // Standard fields (ns/op, B/op, allocs/op) are lifted into named JSON
 // fields; every other `value unit` pair — including the custom
 // b.ReportMetric measurements the evaluation benchmarks emit — lands in
 // the metrics map. When both Fig6 parallel variants are present, the
 // derived block reports their wall-clock speedup.
+//
+// With -diff, benchjson compares two previously emitted archives instead
+// of reading stdin: benchmarks are matched by package and name (modulo
+// the -GOMAXPROCS suffix), per-benchmark ns/op deltas are printed, and
+// the exit status is non-zero when any matched benchmark slowed down by
+// more than -threshold percent — a perf-regression gate for CI.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -63,8 +71,13 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	serving := fs.String("serving", "", "embed this cmd/loadgen -sweep JSON file under the serving key")
 	durable := fs.String("durable", "", "embed this cmd/loadgen -sweep-durable JSON file under the durable key")
+	diff := fs.Bool("diff", false, "compare two archives (old.json new.json) instead of reading stdin; exit non-zero on a regression past -threshold")
+	threshold := fs.Float64("threshold", 10, "with -diff, the ns/op slowdown in percent that counts as a regression")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *diff {
+		return runDiff(fs.Args(), *threshold, os.Stdout)
 	}
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -94,6 +107,102 @@ func run(args []string) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// runDiff is the perf-regression gate: it loads two benchjson archives,
+// matches benchmarks by package plus GOMAXPROCS-stripped name, prints
+// the ns/op delta for every match, and fails when any benchmark in the
+// new archive is more than threshold percent slower than the old one.
+//
+// The flag package stops parsing at the first positional argument, so
+// `benchjson -diff old.json new.json -threshold 5` leaves the threshold
+// flag in the residual args; runDiff scans them by hand.
+func runDiff(args []string, threshold float64, w io.Writer) error {
+	var paths []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-threshold" || a == "--threshold":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-threshold needs a value")
+			}
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil {
+				return fmt.Errorf("bad -threshold %q: %w", args[i], err)
+			}
+			threshold = v
+		case strings.HasPrefix(a, "-threshold=") || strings.HasPrefix(a, "--threshold="):
+			v, err := strconv.ParseFloat(a[strings.IndexByte(a, '=')+1:], 64)
+			if err != nil {
+				return fmt.Errorf("bad %q: %w", a, err)
+			}
+			threshold = v
+		case strings.HasPrefix(a, "-"):
+			return fmt.Errorf("unknown -diff argument %q", a)
+		default:
+			paths = append(paths, a)
+		}
+	}
+	if len(paths) != 2 {
+		return fmt.Errorf("-diff needs exactly two archives: old.json new.json (got %d)", len(paths))
+	}
+	if threshold <= 0 {
+		return fmt.Errorf("-threshold must be positive, got %g", threshold)
+	}
+	oldRep, err := loadReport(paths[0])
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(paths[1])
+	if err != nil {
+		return err
+	}
+
+	key := func(b *Benchmark) string { return b.Package + "/" + stripProcs(b.Name) }
+	oldByKey := make(map[string]*Benchmark, len(oldRep.Benchmarks))
+	for i := range oldRep.Benchmarks {
+		oldByKey[key(&oldRep.Benchmarks[i])] = &oldRep.Benchmarks[i]
+	}
+
+	matched, regressed := 0, 0
+	for i := range newRep.Benchmarks {
+		nb := &newRep.Benchmarks[i]
+		ob, ok := oldByKey[key(nb)]
+		if !ok || ob.NsPerOp <= 0 || nb.NsPerOp <= 0 {
+			continue
+		}
+		matched++
+		delta := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		mark := ""
+		if delta > threshold {
+			regressed++
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(w, "%-60s old=%.1fns/op new=%.1fns/op delta=%+.1f%%%s\n",
+			key(nb), ob.NsPerOp, nb.NsPerOp, delta, mark)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmarks in %s match %s", paths[1], paths[0])
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d of %d benchmarks regressed more than %.1f%%", regressed, matched, threshold)
+	}
+	fmt.Fprintf(w, "benchjson: %d benchmarks within %.1f%% of %s\n", matched, threshold, paths[0])
+	return nil
+}
+
+// loadReport reads one archived benchjson document back in.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parsing archive %s: %w", path, err)
+	}
+	return &rep, nil
 }
 
 // parse consumes the full `go test -bench` stream, tracking the package

@@ -2,6 +2,10 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -84,5 +88,103 @@ func TestDerive(t *testing.T) {
 	}
 	if derive(nil) != nil {
 		t.Error("derive(nil) should be nil")
+	}
+}
+
+// writeArchive emits a benchjson archive for the diff tests.
+func writeArchive(t *testing.T, name string, rep *Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffIdenticalArchivesPass(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeArchive(t, "bench.json", rep)
+	var out bytes.Buffer
+	if err := runDiff([]string{path, path}, 10, &out); err != nil {
+		t.Fatalf("identical archives should pass: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "within 10.0%") {
+		t.Errorf("missing pass summary in output:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("identical archives flagged a regression:\n%s", out.String())
+	}
+}
+
+func TestDiffSeededRegressionFails(t *testing.T) {
+	old, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowed, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed a 50% slowdown on one benchmark; everything else is unchanged.
+	for i := range slowed.Benchmarks {
+		if strings.HasPrefix(slowed.Benchmarks[i].Name, "BenchmarkTrim/indexed-8") {
+			slowed.Benchmarks[i].NsPerOp *= 1.5
+		}
+	}
+	oldPath := writeArchive(t, "old.json", old)
+	newPath := writeArchive(t, "new.json", slowed)
+
+	var out bytes.Buffer
+	err = runDiff([]string{oldPath, newPath, "-threshold", "10"}, 10, &out)
+	if err == nil {
+		t.Fatalf("seeded regression not caught; output:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "1 of") || !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("error %q does not report the regression count", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("regressed row not marked in output:\n%s", out.String())
+	}
+
+	// The same slowdown passes under a looser trailing -threshold, proving
+	// the residual-args threshold override is honoured.
+	out.Reset()
+	if err := runDiff([]string{oldPath, newPath, "-threshold", "60"}, 10, &out); err != nil {
+		t.Errorf("50%% slowdown under a 60%% threshold should pass: %v", err)
+	}
+
+	// Improvements never trip the gate.
+	out.Reset()
+	if err := runDiff([]string{newPath, oldPath}, 10, &out); err != nil {
+		t.Errorf("speedup flagged as regression: %v", err)
+	}
+}
+
+func TestDiffArgumentErrors(t *testing.T) {
+	rep := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkX-8", Package: "p", NsPerOp: 10}}}
+	path := writeArchive(t, "bench.json", rep)
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{path},                     // one archive
+		{path, path, path},         // three archives
+		{path, path, "-bogus"},     // unknown flag
+		{path, path, "-threshold"}, // missing value
+		{path, "/nonexistent.json"},
+	} {
+		if err := runDiff(args, 10, &out); err == nil {
+			t.Errorf("runDiff(%v) should fail", args)
+		}
+	}
+	// Disjoint archives have no matching benchmarks to gate on.
+	other := writeArchive(t, "other.json", &Report{Benchmarks: []Benchmark{{Name: "BenchmarkY-8", Package: "q", NsPerOp: 10}}})
+	if err := runDiff([]string{path, other}, 10, &out); err == nil {
+		t.Error("disjoint archives should fail: nothing was actually compared")
 	}
 }

@@ -12,8 +12,11 @@
 // GET /v1/profile?user=..., GET /v1/privacy?user=..., GET /v1/stats,
 // GET /v1/fingerprint?user=... (obfuscation-table digest, for recovery
 // and replication audits), GET /metrics (Prometheus text exposition),
-// GET /healthz. With -debug-addr a second listener additionally serves
-// net/http/pprof under /debug/pprof/.
+// GET /debug/traces (ring of recent and slowest request traces with
+// per-stage spans), GET /healthz. With -debug-addr a second listener
+// additionally serves net/http/pprof under /debug/pprof/.
+//
+// Logs are structured (log/slog); -log-format selects json or text.
 //
 // With -data-dir the engine writes through a crash-durable WAL: every
 // mutation is logged (fsync per -fsync) before it is acknowledged,
@@ -28,7 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"io/fs"
-	"log"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -43,10 +46,12 @@ import (
 	"repro/internal/edge"
 	"repro/internal/geo"
 	"repro/internal/geoind"
+	"repro/internal/logx"
 	"repro/internal/par"
 	"repro/internal/randx"
 	"repro/internal/rtb"
 	"repro/internal/trace"
+	"repro/internal/tracing"
 	"repro/internal/wal"
 )
 
@@ -74,8 +79,14 @@ func run(args []string) error {
 		dataDir   = flags.String("data-dir", "", "durable data directory holding the write-ahead log and checkpoints; state is recovered from it at startup and every mutation is logged (mutually exclusive with -state)")
 		fsyncFlag = flags.String("fsync", "interval", "WAL fsync policy with -data-dir: always | interval[=<duration>] | never")
 		ckptEvery = flags.Duration("checkpoint-every", 5*time.Minute, "periodic checkpoint interval with -data-dir; 0 disables periodic checkpoints (a final one is still taken on shutdown)")
+		logFormat = flags.String("log-format", logx.FormatText, "structured log format: json | text")
+		slowTrace = flags.Duration("slow-trace", 250*time.Millisecond, "log requests whose trace exceeds this duration with their per-stage breakdown; 0 disables")
 	)
 	if err := flags.Parse(args); err != nil {
+		return err
+	}
+	logger, err := logx.New(*logFormat, os.Stderr)
+	if err != nil {
 		return err
 	}
 	if *dataDir != "" && *statePath != "" {
@@ -117,15 +128,19 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("recovering state from %s: %w", *dataDir, err)
 		}
-		log.Printf("edged: recovered from %s in %s (checkpoint lsn %d, %d records replayed, %d op errors)",
-			*dataDir, time.Since(recStart).Round(time.Millisecond), stats.CheckpointLSN, stats.Replayed, stats.OpErrors)
+		logger.Info("recovered state",
+			slog.String("data_dir", *dataDir),
+			slog.Duration("took", time.Since(recStart).Round(time.Millisecond)),
+			slog.Uint64("checkpoint_lsn", stats.CheckpointLSN),
+			slog.Int("replayed", stats.Replayed),
+			slog.Int("op_errors", stats.OpErrors))
 	}
 	if *statePath != "" {
 		switch err := engine.RestoreFile(*statePath); {
 		case err == nil:
-			log.Printf("edged: restored state from %s", *statePath)
+			logger.Info("restored state", slog.String("state", *statePath))
 		case errors.Is(err, fs.ErrNotExist):
-			log.Printf("edged: no previous state at %s, starting fresh", *statePath)
+			logger.Info("no previous state, starting fresh", slog.String("state", *statePath))
 		default:
 			return fmt.Errorf("restoring state: %w", err)
 		}
@@ -177,8 +192,11 @@ func run(args []string) error {
 		provider = rtbProvider
 	}
 
-	logger := log.New(os.Stderr, "edged: ", log.LstdFlags)
-	server, err := edge.NewServer(engine, provider, nil, logger)
+	// The server's tracer is built here rather than defaulted so the slow
+	// -trace threshold and the structured logger flow into the slow-trace
+	// log lines (the in-package default traces silently).
+	tracer := tracing.New(*seed, tracing.WithSlowThreshold(*slowTrace), tracing.WithLogger(logger))
+	server, err := edge.NewServer(engine, provider, nil, logger, edge.WithTracer(tracer))
 	if err != nil {
 		return fmt.Errorf("building server: %w", err)
 	}
@@ -199,7 +217,7 @@ func run(args []string) error {
 		}
 		defer dln.Close()
 		go serveDebug(dln)
-		logger.Printf("pprof on http://%s/debug/pprof/", dln.Addr())
+		logger.Info("pprof listener up", slog.String("url", fmt.Sprintf("http://%s/debug/pprof/", dln.Addr())))
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -210,8 +228,14 @@ func run(args []string) error {
 	if *useRTB {
 		mode = fmt.Sprintf("RTB second-price auctions (%d bidders, 100 ms deadline)", exchange.Bidders())
 	}
-	logger.Printf("serving on http://%s with %d campaigns via %s (n=%d, eps=%g, r=%g m, delta=%g)",
-		ln.Addr(), *campaigns, mode, *nFold, *epsilon, *radius, *delta)
+	logger.Info("serving",
+		slog.String("url", fmt.Sprintf("http://%s", ln.Addr())),
+		slog.Int("campaigns", *campaigns),
+		slog.String("mode", mode),
+		slog.Int("n", *nFold),
+		slog.Float64("epsilon", *epsilon),
+		slog.Float64("radius_m", *radius),
+		slog.Float64("delta", *delta))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -219,7 +243,7 @@ func run(args []string) error {
 		return err
 	}
 	if ls, ok := provider.(interface{ LogSize() int }); ok {
-		logger.Printf("shut down cleanly; served %d bid requests", ls.LogSize())
+		logger.Info("shut down cleanly", slog.Int("bid_requests", ls.LogSize()))
 	}
 	return nil
 }
@@ -232,7 +256,7 @@ func run(args []string) error {
 // nil) it additionally runs the periodic checkpointer and takes a final
 // checkpoint before sealing the log, so the next start replays at most
 // one checkpoint interval of records.
-func serveAndPersist(ctx context.Context, server *edge.Server, engine *core.Engine, ln net.Listener, statePath string, store *wal.Store, ckptEvery time.Duration, logger *log.Logger) error {
+func serveAndPersist(ctx context.Context, server *edge.Server, engine *core.Engine, ln net.Listener, statePath string, store *wal.Store, ckptEvery time.Duration, logger *slog.Logger) error {
 	var ckptDone chan struct{}
 	stopCkpt := func() {}
 	if store != nil && ckptEvery > 0 {
@@ -249,7 +273,7 @@ func serveAndPersist(ctx context.Context, server *edge.Server, engine *core.Engi
 					return
 				case <-ticker.C:
 					if err := checkpoint(engine, store, logger); err != nil {
-						logger.Printf("periodic checkpoint failed: %v", err)
+						logger.Error("periodic checkpoint failed", slog.Any("err", err))
 					}
 				}
 			}
@@ -276,14 +300,14 @@ func serveAndPersist(ctx context.Context, server *edge.Server, engine *core.Engi
 		if err := engine.SnapshotFile(statePath); err != nil {
 			return errors.Join(serveErr, fmt.Errorf("persisting state: %w", err))
 		}
-		logger.Printf("state persisted to %s", statePath)
+		logger.Info("state persisted", slog.String("state", statePath))
 	}
 	return serveErr
 }
 
 // checkpoint captures an engine snapshot and hands it to the store,
 // which also compacts fully-covered WAL segments.
-func checkpoint(engine *core.Engine, store *wal.Store, logger *log.Logger) error {
+func checkpoint(engine *core.Engine, store *wal.Store, logger *slog.Logger) error {
 	start := time.Now()
 	lsn, data, err := engine.Checkpoint()
 	if err != nil {
@@ -292,7 +316,10 @@ func checkpoint(engine *core.Engine, store *wal.Store, logger *log.Logger) error
 	if err := store.WriteCheckpoint(lsn, data); err != nil {
 		return err
 	}
-	logger.Printf("checkpoint at lsn %d (%d bytes in %s)", lsn, len(data), time.Since(start).Round(time.Millisecond))
+	logger.Info("checkpoint written",
+		slog.Uint64("lsn", lsn),
+		slog.Int("bytes", len(data)),
+		slog.Duration("took", time.Since(start).Round(time.Millisecond)))
 	return nil
 }
 

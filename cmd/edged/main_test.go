@@ -3,7 +3,6 @@ package main
 import (
 	"context"
 	"io"
-	"log"
 	"math"
 	"net"
 	"net/http"
@@ -18,6 +17,7 @@ import (
 	"repro/internal/edge"
 	"repro/internal/geo"
 	"repro/internal/geoind"
+	"repro/internal/logx"
 	"repro/internal/wal"
 )
 
@@ -86,7 +86,7 @@ func TestServeAndPersistOnFailure(t *testing.T) {
 	ln.Close() // force Serve to fail immediately
 
 	statePath := filepath.Join(t.TempDir(), "state.jsonl")
-	logger := log.New(io.Discard, "", 0)
+	logger := logx.Discard()
 	err = serveAndPersist(context.Background(), server, engine, ln, statePath, nil, 0, logger)
 	if err == nil {
 		t.Fatal("closed listener did not produce a serve error")
@@ -119,7 +119,7 @@ func TestServeAndPersistCleanShutdown(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		done <- serveAndPersist(ctx, server, engine, ln, statePath, nil, 0, log.New(io.Discard, "", 0))
+		done <- serveAndPersist(ctx, server, engine, ln, statePath, nil, 0, logx.Discard())
 	}()
 
 	// The server is up when /metrics answers.
@@ -188,7 +188,7 @@ func TestServeAndPersistDurable(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // immediate clean shutdown; the durable epilogue still runs
-	if err := serveAndPersist(ctx, server, engine, ln, "", store, 10*time.Millisecond, log.New(io.Discard, "", 0)); err != nil {
+	if err := serveAndPersist(ctx, server, engine, ln, "", store, 10*time.Millisecond, logx.Discard()); err != nil {
 		t.Fatalf("durable shutdown returned %v", err)
 	}
 

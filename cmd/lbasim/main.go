@@ -14,6 +14,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http/httptest"
 	"os"
@@ -28,10 +29,12 @@ import (
 	"repro/internal/edgecluster"
 	"repro/internal/geo"
 	"repro/internal/geoind"
+	"repro/internal/logx"
 	"repro/internal/randx"
 	"repro/internal/rtb"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/tracing"
 )
 
 func main() {
@@ -53,8 +56,13 @@ func run(args []string) error {
 		edges      = fs.Int("edges", 1, "edge devices; >1 replays through a fault-tolerant multi-edge cluster")
 		chaos      = fs.Bool("chaos", false, "kill and revive edges mid-run (requires -edges > 1)")
 		batch      = fs.Int("batch", 1, "check-ins per report call; >1 replays via POST /v1/report/batch (or batched cluster routing)")
+		logFormat  = fs.String("log-format", logx.FormatText, "structured log format: json | text")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := logx.New(*logFormat, os.Stderr)
+	if err != nil {
 		return err
 	}
 	if *chaos && *edges < 2 {
@@ -75,7 +83,7 @@ func run(args []string) error {
 	}
 
 	if *edges > 1 {
-		return runCluster(cfg, ds, *edges, *chaos, *seed, *batch)
+		return runCluster(cfg, ds, *edges, *chaos, *seed, *batch, logger)
 	}
 
 	// Untrusted side: either a direct-matching ad network or an RTB
@@ -146,7 +154,7 @@ func run(args []string) error {
 		fmt.Printf("serving ads via RTB second-price auctions (%d bidders, 100 ms deadline)\n", exchange.Bidders())
 	}
 
-	server, err := edge.NewServer(engine, provider, nil, nil)
+	server, err := edge.NewServer(engine, provider, nil, logger)
 	if err != nil {
 		return fmt.Errorf("building server: %w", err)
 	}
@@ -193,6 +201,7 @@ func run(args []string) error {
 	fmt.Printf("replayed %d users, %d ad requests in %s (%.0f req/s)\n",
 		len(ds.Users), requests, elapsed.Round(time.Millisecond), float64(requests)/elapsed.Seconds())
 	printTelemetrySummary(server, *useRTB)
+	printStageBreakdown(server.Registry(), server.Tracer().ActiveSpans())
 	fmt.Printf("ads fetched from provider: %d; delivered after AOI filtering: %d (%.1f%% bandwidth saved)\n",
 		adsFetched, adsDelivered, 100*(1-float64(adsDelivered)/math.Max(1, float64(adsFetched))))
 
@@ -264,7 +273,7 @@ func replayReports(ctx context.Context, cl *client.Client, userID string, checkI
 // and journal catch-up. The run ends with a convergence pass plus a
 // byte-identity audit of every edge's table, and the longitudinal attack
 // on the obfuscated request stream the ad providers would observe.
-func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed uint64, batch int) error {
+func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed uint64, batch int, logger *slog.Logger) error {
 	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
 	if err != nil {
 		return fmt.Errorf("building mechanism: %w", err)
@@ -300,6 +309,13 @@ func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed
 	}
 	reg := telemetry.NewRegistry()
 	cluster.Instrument(reg)
+	// The cluster path has no HTTP middleware to open root spans, so the
+	// replay loop acts as the caller: one root trace per cluster call, and
+	// the engine/failover spans beneath it land in this registry's
+	// tracing_span_seconds histograms.
+	tracer := tracing.New(seed, tracing.WithSlowThreshold(250*time.Millisecond), tracing.WithLogger(logger))
+	tracer.Instrument(reg)
+	ctx := context.Background()
 
 	fmt.Printf("cluster mode: %d edges, chaos=%v\n", edges, chaos)
 
@@ -314,7 +330,10 @@ func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed
 	for ui, u := range ds.Users {
 		if batch == 1 {
 			for _, c := range u.CheckIns {
-				if _, err := cluster.Report(u.ID, c.Pos, c.Time); err != nil {
+				tctx, root := tracer.StartTrace(ctx, "cluster.report")
+				_, err := cluster.ReportCtx(tctx, u.ID, c.Pos, c.Time)
+				root.End()
+				if err != nil {
 					return fmt.Errorf("reporting for %s: %w", u.ID, err)
 				}
 			}
@@ -327,7 +346,10 @@ func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed
 				for _, c := range u.CheckIns[i:end] {
 					items = append(items, core.BatchReport{UserID: u.ID, Pos: c.Pos, At: c.Time})
 				}
-				if errs := cluster.ReportBatch(items); len(errs) > 0 {
+				tctx, root := tracer.StartTrace(ctx, "cluster.report_batch")
+				errs := cluster.ReportBatchCtx(tctx, items)
+				root.End()
+				if len(errs) > 0 {
 					return fmt.Errorf("batch-reporting for %s: %w", u.ID, errs[0].Err)
 				}
 			}
@@ -338,6 +360,7 @@ func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed
 			if err := cluster.MarkDown(victim); err != nil {
 				return err
 			}
+			logger.Info("chaos: edge killed", slog.Int("edge", victim), slog.String("user", u.ID))
 			kills++
 		}
 		_, stats, err := cluster.MergeProfilesStats(u.ID, cfg.End)
@@ -349,7 +372,9 @@ func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed
 		}
 		dropped += stats.Dropped
 		for _, c := range u.CheckIns {
-			out, _, err := cluster.Request(u.ID, c.Pos)
+			tctx, root := tracer.StartTrace(ctx, "cluster.request")
+			out, _, err := cluster.RequestCtx(tctx, u.ID, c.Pos)
+			root.End()
 			if err != nil {
 				return fmt.Errorf("requesting for %s: %w", u.ID, err)
 			}
@@ -360,6 +385,7 @@ func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed
 			if err := cluster.MarkUp(victim); err != nil {
 				return fmt.Errorf("reviving edge %d: %w", victim, err)
 			}
+			logger.Info("chaos: edge revived", slog.Int("edge", victim), slog.String("user", u.ID))
 		}
 	}
 	elapsed := time.Since(start)
@@ -410,6 +436,7 @@ func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed
 		reg.Counter("cluster_journal_replays_total", "").Value(),
 		reg.Counter("cluster_replica_errors_total", "").Value(),
 		dropped)
+	printStageBreakdown(reg, tracer.ActiveSpans())
 
 	// The attacker's view: the obfuscated request stream is all any ad
 	// provider behind these edges observes.
@@ -481,6 +508,23 @@ func printTelemetrySummary(server *edge.Server, useRTB bool) {
 			reg.Counter("rtb_deadline_miss_total", "").Value(),
 			quantileString(auctionLatency, 0.5), quantileString(auctionLatency, 0.95))
 	}
+}
+
+// printStageBreakdown renders the per-stage span latency rows next to
+// the aggregate quantiles, so a slow replay can be pinned to the engine
+// apply, provider fetch, or failover stage; the active-span count is a
+// leak check (anything above zero means a span was started and never
+// ended).
+func printStageBreakdown(reg *telemetry.Registry, activeSpans int64) {
+	fmt.Printf("per-stage breakdown (span-sourced):\n")
+	for _, st := range tracing.StageBreakdown(reg) {
+		if st.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-8s count=%-7d p50=%.3fms p95=%.3fms p99=%.3fms overflow=%d\n",
+			st.Stage, st.Count, st.P50Ms, st.P95Ms, st.P99Ms, st.Overflow)
+	}
+	fmt.Printf("tracing: active_spans=%d\n", activeSpans)
 }
 
 // quantileString renders a latency histogram quantile as a duration, or

@@ -37,6 +37,7 @@ import (
 	"repro/internal/randx"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/tracing"
 	"repro/internal/wal"
 )
 
@@ -76,24 +77,35 @@ func (c config) durable() bool { return c.Fsync != "" && c.Fsync != "none" }
 // linear interpolations inside telemetry histogram buckets (exponential
 // bounds, factor 4), so treat them as bucket-resolution estimates.
 type result struct {
-	Name          string  `json:"name"`
-	Shards        int     `json:"shards"`
-	Batch         int     `json:"batch"`
-	Fsync         string  `json:"fsync,omitempty"`
-	CheckIns      int64   `json:"checkins"`
-	AdRequests    int64   `json:"ad_requests"`
-	HTTPOps       int64   `json:"http_ops"`
-	ElapsedSec    float64 `json:"elapsed_sec"`
-	CheckInsPerS  float64 `json:"checkins_per_sec"`
-	AdsPerS       float64 `json:"ads_per_sec"`
-	HTTPOpsPerS   float64 `json:"http_ops_per_sec"`
-	ReportP50Ms   float64 `json:"report_p50_ms"`
-	ReportP95Ms   float64 `json:"report_p95_ms"`
-	ReportP99Ms   float64 `json:"report_p99_ms"`
-	AdsP50Ms      float64 `json:"ads_p50_ms"`
-	AdsP95Ms      float64 `json:"ads_p95_ms"`
-	AdsP99Ms      float64 `json:"ads_p99_ms"`
-	BatchRejected int64   `json:"batch_rejected,omitempty"`
+	Name         string  `json:"name"`
+	Shards       int     `json:"shards"`
+	Batch        int     `json:"batch"`
+	Fsync        string  `json:"fsync,omitempty"`
+	CheckIns     int64   `json:"checkins"`
+	AdRequests   int64   `json:"ad_requests"`
+	HTTPOps      int64   `json:"http_ops"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	CheckInsPerS float64 `json:"checkins_per_sec"`
+	AdsPerS      float64 `json:"ads_per_sec"`
+	HTTPOpsPerS  float64 `json:"http_ops_per_sec"`
+	ReportP50Ms  float64 `json:"report_p50_ms"`
+	ReportP95Ms  float64 `json:"report_p95_ms"`
+	ReportP99Ms  float64 `json:"report_p99_ms"`
+	AdsP50Ms     float64 `json:"ads_p50_ms"`
+	AdsP95Ms     float64 `json:"ads_p95_ms"`
+	AdsP99Ms     float64 `json:"ads_p99_ms"`
+	// Overflow counts observations past the top histogram bound; non-zero
+	// means the quantiles above saturate at that bound and undersell the
+	// real tail.
+	ReportOverflow int64 `json:"report_overflow,omitempty"`
+	AdsOverflow    int64 `json:"ads_overflow,omitempty"`
+	BatchRejected  int64 `json:"batch_rejected,omitempty"`
+	// Stages is the server-side per-stage span breakdown (in-process runs
+	// only: external edges keep their spans in their own registry).
+	Stages []tracing.StageStat `json:"stages,omitempty"`
+	// ActiveSpans is the server tracer's span gauge after the run; any
+	// value above zero is a span leak.
+	ActiveSpans int64 `json:"active_spans"`
 }
 
 // sweepReport is the BENCH_pr4.json serving section: the full grid plus
@@ -201,9 +213,30 @@ func run(args []string, out *os.File) error {
 		res.CheckIns, res.AdRequests, res.HTTPOps, res.ElapsedSec)
 	fmt.Fprintf(w, "throughput: %.0f checkins/s, %.0f ads/s, %.0f http_ops/s\n",
 		res.CheckInsPerS, res.AdsPerS, res.HTTPOpsPerS)
-	fmt.Fprintf(w, "report latency p50=%.3fms p95=%.3fms p99=%.3fms\n", res.ReportP50Ms, res.ReportP95Ms, res.ReportP99Ms)
-	fmt.Fprintf(w, "ads    latency p50=%.3fms p95=%.3fms p99=%.3fms\n", res.AdsP50Ms, res.AdsP95Ms, res.AdsP99Ms)
+	fmt.Fprintf(w, "report latency p50=%.3fms p95=%.3fms p99=%.3fms overflow=%d\n",
+		res.ReportP50Ms, res.ReportP95Ms, res.ReportP99Ms, res.ReportOverflow)
+	fmt.Fprintf(w, "ads    latency p50=%.3fms p95=%.3fms p99=%.3fms overflow=%d\n",
+		res.AdsP50Ms, res.AdsP95Ms, res.AdsP99Ms, res.AdsOverflow)
+	printStages(w, res)
 	return nil
+}
+
+// printStages renders the server-side per-stage span breakdown next to
+// the client-observed quantiles, so a p99 regression can be pinned to
+// the handler, engine apply, WAL append, provider, or failover stage.
+func printStages(w *os.File, res *result) {
+	if len(res.Stages) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "per-stage breakdown (server-side spans):\n")
+	for _, st := range res.Stages {
+		if st.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-8s count=%-7d p50=%.3fms p95=%.3fms p99=%.3fms overflow=%d\n",
+			st.Stage, st.Count, st.P50Ms, st.P95Ms, st.P99Ms, st.Overflow)
+	}
+	fmt.Fprintf(w, "tracing: active_spans=%d\n", res.ActiveSpans)
 }
 
 // parseMix parses "R:A" into the report and ads weights.
@@ -295,14 +328,15 @@ func runSweepDurable(base config) (*sweepReport, error) {
 // runOne executes one closed-loop run and returns its measurements.
 func runOne(cfg config, name string) (*result, error) {
 	baseURL := cfg.Addr
+	var srv *edge.Server
 	if baseURL == "" {
-		ts, cleanup, err := startEdge(cfg)
+		ts, s, cleanup, err := startEdge(cfg)
 		if err != nil {
 			return nil, err
 		}
 		defer cleanup()
 		defer ts.Close()
-		baseURL = ts.URL
+		baseURL, srv = ts.URL, s
 	}
 
 	reportHist, err := telemetry.NewHistogram(telemetry.DefaultLatencyBuckets())
@@ -414,24 +448,33 @@ func runOne(cfg config, name string) (*result, error) {
 	}
 
 	res := &result{
-		Name:          name,
-		Shards:        cfg.Shards,
-		Batch:         cfg.Batch,
-		Fsync:         cfg.Fsync,
-		CheckIns:      checkins.Load(),
-		AdRequests:    adsDone.Load(),
-		HTTPOps:       httpOps.Load(),
-		ElapsedSec:    elapsed.Seconds(),
-		CheckInsPerS:  float64(checkins.Load()) / elapsed.Seconds(),
-		AdsPerS:       float64(adsDone.Load()) / elapsed.Seconds(),
-		HTTPOpsPerS:   float64(httpOps.Load()) / elapsed.Seconds(),
-		ReportP50Ms:   quantileMs(reportHist, 0.50),
-		ReportP95Ms:   quantileMs(reportHist, 0.95),
-		ReportP99Ms:   quantileMs(reportHist, 0.99),
-		AdsP50Ms:      quantileMs(adsHist, 0.50),
-		AdsP95Ms:      quantileMs(adsHist, 0.95),
-		AdsP99Ms:      quantileMs(adsHist, 0.99),
-		BatchRejected: rejected.Load(),
+		Name:           name,
+		Shards:         cfg.Shards,
+		Batch:          cfg.Batch,
+		Fsync:          cfg.Fsync,
+		CheckIns:       checkins.Load(),
+		AdRequests:     adsDone.Load(),
+		HTTPOps:        httpOps.Load(),
+		ElapsedSec:     elapsed.Seconds(),
+		CheckInsPerS:   float64(checkins.Load()) / elapsed.Seconds(),
+		AdsPerS:        float64(adsDone.Load()) / elapsed.Seconds(),
+		HTTPOpsPerS:    float64(httpOps.Load()) / elapsed.Seconds(),
+		ReportP50Ms:    quantileMs(reportHist, 0.50),
+		ReportP95Ms:    quantileMs(reportHist, 0.95),
+		ReportP99Ms:    quantileMs(reportHist, 0.99),
+		AdsP50Ms:       quantileMs(adsHist, 0.50),
+		AdsP95Ms:       quantileMs(adsHist, 0.95),
+		AdsP99Ms:       quantileMs(adsHist, 0.99),
+		ReportOverflow: int64(reportHist.Overflow()),
+		AdsOverflow:    int64(adsHist.Overflow()),
+		BatchRejected:  rejected.Load(),
+	}
+	if srv != nil {
+		res.Stages = tracing.StageBreakdown(srv.Registry())
+		res.ActiveSpans = srv.Tracer().ActiveSpans()
+		if res.ActiveSpans != 0 {
+			return res, fmt.Errorf("span leak: %d spans still active after the run", res.ActiveSpans)
+		}
 	}
 	return res, nil
 }
@@ -452,14 +495,14 @@ func quantileMs(h *telemetry.Histogram, q float64) float64 {
 // the engine writes through a WAL in cfg.DataDir (or a temp dir) with
 // the configured fsync policy; the returned cleanup closes the store
 // and removes the temp dir.
-func startEdge(cfg config) (*httptest.Server, func(), error) {
+func startEdge(cfg config) (*httptest.Server, *edge.Server, func(), error) {
 	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
 	if err != nil {
-		return nil, nil, fmt.Errorf("building mechanism: %w", err)
+		return nil, nil, nil, fmt.Errorf("building mechanism: %w", err)
 	}
 	nomadic, err := geoind.NewPlanarLaplace(math.Log(4), 200)
 	if err != nil {
-		return nil, nil, fmt.Errorf("building nomadic mechanism: %w", err)
+		return nil, nil, nil, fmt.Errorf("building nomadic mechanism: %w", err)
 	}
 	engine, err := core.NewEngine(core.Config{
 		Mechanism:        mech,
@@ -468,7 +511,7 @@ func startEdge(cfg config) (*httptest.Server, func(), error) {
 		Shards:           cfg.Shards,
 	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("building engine: %w", err)
+		return nil, nil, nil, fmt.Errorf("building engine: %w", err)
 	}
 	cleanup := func() {}
 	if cfg.durable() {
@@ -476,7 +519,7 @@ func startEdge(cfg config) (*httptest.Server, func(), error) {
 		if dir == "" {
 			tmp, err := os.MkdirTemp("", "loadgen-wal-")
 			if err != nil {
-				return nil, nil, fmt.Errorf("creating WAL temp dir: %w", err)
+				return nil, nil, nil, fmt.Errorf("creating WAL temp dir: %w", err)
 			}
 			dir = tmp
 			cleanup = func() { _ = os.RemoveAll(tmp) }
@@ -484,17 +527,17 @@ func startEdge(cfg config) (*httptest.Server, func(), error) {
 		policy, interval, err := wal.ParsePolicy(cfg.Fsync)
 		if err != nil {
 			cleanup()
-			return nil, nil, fmt.Errorf("parsing -fsync: %w", err)
+			return nil, nil, nil, fmt.Errorf("parsing -fsync: %w", err)
 		}
 		store, err := wal.Open(dir, wal.Options{Policy: policy, Interval: interval})
 		if err != nil {
 			cleanup()
-			return nil, nil, fmt.Errorf("opening WAL: %w", err)
+			return nil, nil, nil, fmt.Errorf("opening WAL: %w", err)
 		}
 		if _, err := engine.Recover(store); err != nil {
 			store.Close()
 			cleanup()
-			return nil, nil, fmt.Errorf("recovering engine: %w", err)
+			return nil, nil, nil, fmt.Errorf("recovering engine: %w", err)
 		}
 		rm := cleanup
 		cleanup = func() {
@@ -505,7 +548,7 @@ func startEdge(cfg config) (*httptest.Server, func(), error) {
 	network, err := adnet.NewNetwork(nil, adnet.WithBidLogCap(1<<16))
 	if err != nil {
 		cleanup()
-		return nil, nil, fmt.Errorf("building network: %w", err)
+		return nil, nil, nil, fmt.Errorf("building network: %w", err)
 	}
 	region := trace.DefaultConfig().Region
 	rnd := randx.New(cfg.Seed, 0x51A151)
@@ -521,13 +564,13 @@ func startEdge(cfg config) (*httptest.Server, func(), error) {
 			Ad:       adnet.Ad{ID: fmt.Sprintf("ad%05d", i), Title: fmt.Sprintf("Offer %d", i), Location: loc},
 		}); err != nil {
 			cleanup()
-			return nil, nil, fmt.Errorf("registering campaign: %w", err)
+			return nil, nil, nil, fmt.Errorf("registering campaign: %w", err)
 		}
 	}
 	server, err := edge.NewServer(engine, network, nil, nil)
 	if err != nil {
 		cleanup()
-		return nil, nil, fmt.Errorf("building server: %w", err)
+		return nil, nil, nil, fmt.Errorf("building server: %w", err)
 	}
-	return httptest.NewServer(server.Handler()), cleanup, nil
+	return httptest.NewServer(server.Handler()), server, cleanup, nil
 }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/randx"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 )
 
 // Client talks to one edge device. It is safe for concurrent use.
@@ -198,6 +199,13 @@ func (c *Client) call(ctx context.Context, method, path string, payload []byte, 
 		}
 		if payload != nil {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		// When the caller's context carries a trace, propagate it as a
+		// traceparent header. Injected on every attempt — the request is
+		// rebuilt per send — so a retried call keeps its trace ID and the
+		// edge's spans join the same trace as the first attempt's.
+		if tp, ok := tracing.ContextTraceparent(ctx); ok {
+			req.Header.Set(tracing.TraceparentHeader, tp)
 		}
 		err = c.do(req, out)
 		if err == nil {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/geoind"
 	"repro/internal/randx"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 )
 
 func newTestEdge(t *testing.T) (*httptest.Server, *adnet.Network) {
@@ -234,6 +235,79 @@ func TestRetryIdempotentConnectionFailure(t *testing.T) {
 	}
 	if got := reg.Counter("client_retries_total", "").Value(); got != 2 {
 		t.Errorf("client_retries_total = %d, want 2", got)
+	}
+}
+
+// headerRecordingTransport records the traceparent header of every
+// attempt while failing the first `failures` at the connection level.
+type headerRecordingTransport struct {
+	mu           sync.Mutex
+	failures     int
+	traceparents []string
+	next         http.RoundTripper
+}
+
+func (rt *headerRecordingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rt.mu.Lock()
+	rt.traceparents = append(rt.traceparents, req.Header.Get(tracing.TraceparentHeader))
+	fail := rt.failures > 0
+	if fail {
+		rt.failures--
+	}
+	rt.mu.Unlock()
+	if fail {
+		return nil, errors.New("connection reset by peer")
+	}
+	return rt.next.RoundTrip(req)
+}
+
+// TestTraceparentSurvivesRetries checks the end-to-end propagation
+// contract on the flaky-link path: a call whose context carries a trace
+// sends the SAME traceparent on every attempt (the request is rebuilt
+// per send), so the edge's spans join one trace no matter how many
+// connection-level retries the call needed.
+func TestTraceparentSurvivesRetries(t *testing.T) {
+	ts, _ := newTestEdge(t)
+	rt := &headerRecordingTransport{failures: 2, next: http.DefaultTransport}
+	c, err := New(ts.URL, &http.Client{Transport: rt},
+		WithRetry(3, time.Millisecond, 5*time.Millisecond), WithRetrySeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracer := tracing.New(42)
+	ctx, root := tracer.StartTrace(context.Background(), "client.health")
+	want, ok := tracing.ContextTraceparent(ctx)
+	if !ok {
+		t.Fatal("trace context lost before the call")
+	}
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("Health should succeed on the third attempt: %v", err)
+	}
+	root.End()
+
+	rt.mu.Lock()
+	got := append([]string(nil), rt.traceparents...)
+	rt.mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("recorded %d attempts, want 3", len(got))
+	}
+	for i, tp := range got {
+		if tp != want {
+			t.Errorf("attempt %d traceparent = %q, want %q", i, tp, want)
+		}
+	}
+	// And the inverse: without a trace in the context, no header is sent.
+	rt.mu.Lock()
+	rt.traceparents = rt.traceparents[:0]
+	rt.mu.Unlock()
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.traceparents) != 1 || rt.traceparents[0] != "" {
+		t.Errorf("untraced call sent traceparent %q", rt.traceparents)
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/profile"
+	"repro/internal/tracing"
 )
 
 // Durability: the engine is a deterministic state machine — given the
@@ -98,8 +100,11 @@ var recBufPool = sync.Pool{
 
 // emit encodes one record into a pooled buffer and appends it to the
 // log. Callers hold the user's lock so the log preserves per-user apply
-// order.
-func (h *durHolder) emit(enc func(b []byte) []byte) error {
+// order. The append (group commit + fsync wait included) is timed as
+// the request's WAL span when ctx carries a trace.
+func (h *durHolder) emit(ctx context.Context, enc func(b []byte) []byte) error {
+	_, sp := tracing.StartSpan(ctx, tracing.StageWAL)
+	defer sp.End()
 	bp := recBufPool.Get().(*[]byte)
 	buf := enc((*bp)[:0])
 	_, err := h.d.Append(buf)

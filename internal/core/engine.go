@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/randx"
 	"repro/internal/trace"
+	"repro/internal/tracing"
 )
 
 // Engine errors.
@@ -278,6 +280,13 @@ func (e *Engine) lookup(userID string) (*userState, error) {
 // profile window, the profile is recomputed and new top locations are
 // obfuscated into the permanent table.
 func (e *Engine) Report(userID string, pos geo.Point, at time.Time) error {
+	return e.ReportCtx(context.Background(), userID, pos, at)
+}
+
+// ReportCtx is Report with trace context: when ctx carries a trace, the
+// shard-locked state apply and the WAL append are timed as separate
+// spans. An untraced ctx costs one context lookup.
+func (e *Engine) ReportCtx(ctx context.Context, userID string, pos geo.Point, at time.Time) error {
 	h := e.durBegin()
 	defer e.durEnd(h)
 	u, err := e.userFor(userID)
@@ -287,6 +296,9 @@ func (e *Engine) Report(userID string, pos geo.Point, at time.Time) error {
 	if m := e.met.Load(); m != nil {
 		m.reports.Inc()
 	}
+	// The apply span ends before the WAL emit so the breakdown separates
+	// lock + state work from durability wait.
+	_, sp := tracing.StartSpan(ctx, tracing.StageApply)
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	if u.windowStart.IsZero() {
@@ -301,8 +313,9 @@ func (e *Engine) Report(userID string, pos geo.Point, at time.Time) error {
 			opErr = fmt.Errorf("core: rebuilding profile for %q: %w", userID, err)
 		}
 	}
+	sp.End()
 	if h != nil {
-		if lerr := h.emit(func(b []byte) []byte { return encodeReport(b, userID, pos, at) }); opErr == nil {
+		if lerr := h.emit(ctx, func(b []byte) []byte { return encodeReport(b, userID, pos, at) }); opErr == nil {
 			opErr = lerr
 		}
 	}
@@ -331,6 +344,12 @@ type BatchError struct {
 // one at a time. Failing items are reported individually (by input
 // index) without aborting the rest of the batch.
 func (e *Engine) ReportBatch(items []BatchReport) []BatchError {
+	return e.ReportBatchCtx(context.Background(), items)
+}
+
+// ReportBatchCtx is ReportBatch with trace context: each per-user run
+// records one apply span and one WAL span.
+func (e *Engine) ReportBatchCtx(ctx context.Context, items []BatchReport) []BatchError {
 	if len(items) == 0 {
 		return nil
 	}
@@ -351,7 +370,7 @@ func (e *Engine) ReportBatch(items []BatchReport) []BatchError {
 		}
 	}
 	if single {
-		return e.reportUserRun(h, items[0].UserID, items, nil, nil)
+		return e.reportUserRun(ctx, h, items[0].UserID, items, nil, nil)
 	}
 
 	groups := make(map[string][]int, 8)
@@ -364,7 +383,7 @@ func (e *Engine) ReportBatch(items []BatchReport) []BatchError {
 	}
 	var errs []BatchError
 	for _, id := range order {
-		errs = e.reportUserRun(h, id, items, groups[id], errs)
+		errs = e.reportUserRun(ctx, h, id, items, groups[id], errs)
 	}
 	return errs
 }
@@ -376,7 +395,7 @@ func (e *Engine) ReportBatch(items []BatchReport) []BatchError {
 // (rather than whole batches) under the user lock keeps the log's
 // per-user order identical to apply order even when batches touching
 // the same user race on different goroutines.
-func (e *Engine) reportUserRun(h *durHolder, userID string, items []BatchReport, idx []int, errs []BatchError) []BatchError {
+func (e *Engine) reportUserRun(ctx context.Context, h *durHolder, userID string, items []BatchReport, idx []int, errs []BatchError) []BatchError {
 	n := len(idx)
 	if idx == nil {
 		n = len(items)
@@ -392,6 +411,7 @@ func (e *Engine) reportUserRun(h *durHolder, userID string, items []BatchReport,
 		}
 		return errs
 	}
+	_, sp := tracing.StartSpan(ctx, tracing.StageApply)
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	// Grow pending once for the whole run, with amortized doubling —
@@ -421,8 +441,9 @@ func (e *Engine) reportUserRun(h *durHolder, userID string, items []BatchReport,
 			}
 		}
 	}
+	sp.End()
 	if h != nil {
-		if lerr := h.emit(func(b []byte) []byte { return encodeBatchRun(b, userID, items, idx) }); lerr != nil {
+		if lerr := h.emit(ctx, func(b []byte) []byte { return encodeBatchRun(b, userID, items, idx) }); lerr != nil {
 			// The whole run is applied but unacknowledged: fail every
 			// item so the client treats them like any other error.
 			for i := 0; i < n; i++ {
@@ -441,23 +462,31 @@ func (e *Engine) reportUserRun(h *durHolder, userID string, items []BatchReport,
 // from the check-ins collected so far (the periodic task of Section V-B,
 // exposed for tests, benchmarks, and administrative control).
 func (e *Engine) RebuildProfile(userID string, now time.Time) error {
+	return e.RebuildProfileCtx(context.Background(), userID, now)
+}
+
+// RebuildProfileCtx is RebuildProfile with trace context: the rebuild
+// itself is the apply span, the log record the WAL span.
+func (e *Engine) RebuildProfileCtx(ctx context.Context, userID string, now time.Time) error {
 	h := e.durBegin()
 	defer e.durEnd(h)
 	u, err := e.lookup(userID)
 	if err != nil {
 		return err
 	}
+	_, sp := tracing.StartSpan(ctx, tracing.StageApply)
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	var opErr error
 	if err := e.rebuildLocked(u, now); err != nil {
 		opErr = fmt.Errorf("core: rebuilding profile for %q: %w", userID, err)
 	}
+	sp.End()
 	// Logged even when the rebuild failed: a mid-rebuild error can
 	// leave table entries inserted and the PRNG advanced, and replay
 	// reproduces exactly that (including the error).
 	if h != nil {
-		if lerr := h.emit(func(b []byte) []byte { return encodeRebuild(b, userID, now) }); opErr == nil {
+		if lerr := h.emit(ctx, func(b []byte) []byte { return encodeRebuild(b, userID, now) }); opErr == nil {
 			opErr = lerr
 		}
 	}
@@ -492,7 +521,7 @@ func (e *Engine) RebuildAll(now time.Time, parallelism int) error {
 			opErr = fmt.Errorf("core: rebuilding profile for %q: %w", ids[i], err)
 		}
 		if h != nil {
-			if lerr := h.emit(func(b []byte) []byte { return encodeRebuild(b, ids[i], now) }); opErr == nil {
+			if lerr := h.emit(context.Background(), func(b []byte) []byte { return encodeRebuild(b, ids[i], now) }); opErr == nil {
 				opErr = lerr
 			}
 		}
@@ -549,6 +578,12 @@ func (e *Engine) rebuildLocked(u *userState, now time.Time) error {
 // one-time noise. The boolean reports whether the answer came from the
 // permanent table.
 func (e *Engine) Request(userID string, truePos geo.Point) (geo.Point, bool, error) {
+	return e.RequestCtx(context.Background(), userID, truePos)
+}
+
+// RequestCtx is Request with trace context: output selection under the
+// user lock is the apply span, the log record the WAL span.
+func (e *Engine) RequestCtx(ctx context.Context, userID string, truePos geo.Point) (geo.Point, bool, error) {
 	// Request mutates no table state, but posterior selection and
 	// nomadic noise DRAW from the user's PRNG stream. Skipping it in
 	// the log would leave a recovered engine's stream behind the
@@ -563,11 +598,13 @@ func (e *Engine) Request(userID string, truePos geo.Point) (geo.Point, bool, err
 		return geo.Point{}, false, err
 	}
 	m := e.met.Load()
+	_, sp := tracing.StartSpan(ctx, tracing.StageApply)
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	out, fromTable, opErr := e.requestLocked(u, userID, truePos, m)
+	sp.End()
 	if h != nil {
-		if lerr := h.emit(func(b []byte) []byte { return encodeRequest(b, userID, truePos) }); opErr == nil {
+		if lerr := h.emit(ctx, func(b []byte) []byte { return encodeRequest(b, userID, truePos) }); opErr == nil {
 			opErr = lerr
 		}
 	}
@@ -749,7 +786,7 @@ func (e *Engine) installTops(userID string, tops profile.Profile, now time.Time,
 		if consumeWindow {
 			tag = recInstallTops
 		}
-		if lerr := h.emit(func(b []byte) []byte { return encodeTops(b, tag, userID, tops, now) }); opErr == nil {
+		if lerr := h.emit(context.Background(), func(b []byte) []byte { return encodeTops(b, tag, userID, tops, now) }); opErr == nil {
 			opErr = lerr
 		}
 	}
@@ -775,7 +812,7 @@ func (e *Engine) ImportTable(userID string, entries []TableEntry) error {
 		e.noteInsert(u.table.Insert(entry.Top, entry.Candidates, entry.CreatedAt))
 	}
 	if h != nil {
-		return h.emit(func(b []byte) []byte { return encodeImport(b, userID, entries) })
+		return h.emit(context.Background(), func(b []byte) []byte { return encodeImport(b, userID, entries) })
 	}
 	return nil
 }

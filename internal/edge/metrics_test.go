@@ -37,6 +37,11 @@ type metricsFixture struct {
 
 func newMetricsFixture(t *testing.T) *metricsFixture {
 	t.Helper()
+	return newMetricsFixtureOpts(t)
+}
+
+func newMetricsFixtureOpts(t *testing.T, opts ...ServerOption) *metricsFixture {
+	t.Helper()
 	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
 	if err != nil {
 		t.Fatal(err)
@@ -70,7 +75,7 @@ func newMetricsFixture(t *testing.T) *metricsFixture {
 		f.now = f.now.Add(time.Minute)
 		return f.now
 	}
-	srv, err := NewServer(engine, network, clock, nil)
+	srv, err := NewServer(engine, network, clock, nil, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,9 +142,10 @@ func driveGoldenTraffic(t *testing.T, f *metricsFixture) {
 }
 
 // latencyValueLine matches exposition lines whose value depends on
-// wall-clock timing: latency histogram buckets and sums. The _count
-// lines stay exact (they count requests, not durations).
-var latencyValueLine = regexp.MustCompile(`(?m)^((?:edge_request_latency_seconds|engine_rebuild_seconds|engine_selection_seconds|wal_fsync_seconds)_(?:bucket|sum)(?:\{[^}]*\})?) .*$`)
+// wall-clock timing: latency histogram buckets, sums, and overflow
+// counts (an observation past the top bound is timing, not traffic).
+// The _count lines stay exact (they count requests, not durations).
+var latencyValueLine = regexp.MustCompile(`(?m)^((?:edge_request_latency_seconds|engine_rebuild_seconds|engine_selection_seconds|tracing_span_seconds|wal_fsync_seconds)_(?:bucket|sum|overflow)(?:\{[^}]*\})?) .*$`)
 
 // walTimingLine matches the remaining wall-clock-dependent wal series:
 // the last checkpoint's duration gauge.

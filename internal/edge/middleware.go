@@ -1,11 +1,13 @@
 package edge
 
 import (
+	"context"
 	"net/http"
 	"sync"
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 )
 
 // HTTP telemetry middleware: every route is wrapped in an instrument
@@ -83,15 +85,28 @@ func (r *statusRecorder) WriteHeader(code int) {
 
 var statusRecorderPool = sync.Pool{New: func() any { return new(statusRecorder) }}
 
-// instrument wraps next with the telemetry middleware for one route.
+// instrument wraps next with the telemetry middleware for one route,
+// and — when the server traces — opens the request's root span, adopting
+// the client's traceparent header so edge spans join the caller's trace.
 func (s *Server) instrument(route string, next http.Handler) http.Handler {
 	rm := newRouteMetrics(s.reg, route)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.inFlight.Inc()
 		start := time.Now()
+		var root *tracing.Span
+		if s.tracer != nil {
+			var ctx context.Context
+			if id, parent, ok := tracing.ParseTraceparent(r.Header.Get(tracing.TraceparentHeader)); ok {
+				ctx, root = s.tracer.StartTraceRemote(r.Context(), route, id, parent)
+			} else {
+				ctx, root = s.tracer.StartTrace(r.Context(), route)
+			}
+			r = r.WithContext(ctx)
+		}
 		rec := statusRecorderPool.Get().(*statusRecorder)
 		rec.ResponseWriter, rec.status = w, http.StatusOK
 		next.ServeHTTP(rec, r)
+		root.End()
 		rm.latency.ObserveDuration(time.Since(start))
 		class := rec.status / 100
 		if class < 1 || class > 5 {

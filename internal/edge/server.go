@@ -13,7 +13,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"sort"
@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 )
 
 // AdProvider is the untrusted LBA service the edge forwards obfuscated
@@ -56,7 +57,8 @@ type Server struct {
 	engine   *core.Engine
 	provider AdProvider
 	clock    Clock
-	logger   *log.Logger
+	logger   *slog.Logger
+	tracer   *tracing.Tracer
 	mux      *http.ServeMux
 	reg      *telemetry.Registry
 	inFlight *telemetry.Gauge
@@ -64,6 +66,11 @@ type Server struct {
 	// providerTimeout bounds each AdProvider call; 0 disables the bound.
 	providerTimeout  time.Duration
 	providerTimeouts *telemetry.Counter
+
+	// tracerSet marks an explicit WithTracer (including nil, which
+	// disables tracing); without it NewServer builds a default tracer
+	// seeded from the engine.
+	tracerSet bool
 }
 
 // ServerOption customises a Server.
@@ -80,12 +87,21 @@ func WithProviderTimeout(d time.Duration) ServerOption {
 	return func(s *Server) { s.providerTimeout = d }
 }
 
+// WithTracer replaces the server's default request tracer — e.g. one
+// built with a slow-trace threshold and logger. nil disables tracing
+// (and the /debug/traces route) entirely.
+func WithTracer(t *tracing.Tracer) ServerOption {
+	return func(s *Server) { s.tracer, s.tracerSet = t, true }
+}
+
 // NewServer wires an engine and an ad provider into an HTTP service.
 // clock may be nil (wall clock); logger may be nil (logging disabled).
 // The server owns a fresh telemetry registry and instruments the engine
 // against it; callers that add their own metrics (e.g. the RTB exchange)
-// register them on Registry.
-func NewServer(engine *core.Engine, provider AdProvider, clock Clock, logger *log.Logger, opts ...ServerOption) (*Server, error) {
+// register them on Registry. Every instrumented route runs under a
+// request trace (adopting the client's traceparent header when present),
+// and the slowest recent traces are served at GET /debug/traces.
+func NewServer(engine *core.Engine, provider AdProvider, clock Clock, logger *slog.Logger, opts ...ServerOption) (*Server, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("edge: server requires an engine")
 	}
@@ -102,6 +118,14 @@ func NewServer(engine *core.Engine, provider AdProvider, clock Clock, logger *lo
 	}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if !s.tracerSet {
+		// The default tracer shares the engine's seed so trace IDs are as
+		// reproducible as the rest of the serving state.
+		s.tracer = tracing.New(engine.Config().Seed)
+	}
+	if s.tracer != nil {
+		s.tracer.Instrument(reg)
 	}
 	s.inFlight = reg.Gauge(metricHTTPInFlight, "HTTP requests currently being served.")
 	s.providerTimeouts = reg.Counter("edge_provider_timeouts_total", "AdProvider calls abandoned at the timeout and served as degraded empty-ads responses.")
@@ -126,11 +150,19 @@ func NewServer(engine *core.Engine, provider AdProvider, clock Clock, logger *lo
 		mux.Handle(r.pattern, s.instrument(r.route, r.h))
 	}
 	// The scrape endpoint itself is left uninstrumented so monitoring
-	// traffic does not pollute the serving-path metrics.
+	// traffic does not pollute the serving-path metrics; likewise the
+	// trace-ring debug endpoint, which must not trace itself.
 	mux.Handle("GET /metrics", reg.Handler())
+	if s.tracer != nil {
+		mux.Handle("GET /debug/traces", s.tracer.TracesHandler())
+	}
 	s.mux = mux
 	return s, nil
 }
+
+// Tracer returns the server's request tracer (nil when tracing was
+// disabled with WithTracer(nil)).
+func (s *Server) Tracer() *tracing.Tracer { return s.tracer }
 
 // Handler returns the HTTP handler for the service.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -164,10 +196,16 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.logger != nil {
-		s.logger.Printf(format, args...)
+// log emits one structured line, attaching the request's trace ID when
+// ctx carries one so log lines join their trace in /debug/traces.
+func (s *Server) log(ctx context.Context, level slog.Level, msg string, args ...any) {
+	if s.logger == nil {
+		return
 	}
+	if id, ok := tracing.ContextTraceID(ctx); ok {
+		args = append(args, slog.String("trace_id", id))
+	}
+	s.logger.Log(ctx, level, msg, args...)
 }
 
 // ReportRequest is the body of POST /v1/report.
@@ -330,8 +368,8 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if at.IsZero() {
 		at = s.clock()
 	}
-	if err := s.engine.Report(req.UserID, req.Pos, at); err != nil {
-		s.logf("report %s: %v", req.UserID, err)
+	if err := s.engine.ReportCtx(r.Context(), req.UserID, req.Pos, at); err != nil {
+		s.log(r.Context(), slog.LevelError, "report failed", "user", req.UserID, "err", err)
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -392,8 +430,8 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
 		items = append(items, core.BatchReport{UserID: rr.UserID, Pos: rr.Pos, At: at})
 		origIndex = append(origIndex, i)
 	}
-	for _, be := range s.engine.ReportBatch(items) {
-		s.logf("report/batch %s: %v", items[be.Index].UserID, be.Err)
+	for _, be := range s.engine.ReportBatchCtx(r.Context(), items) {
+		s.log(r.Context(), slog.LevelError, "batch item failed", "user", items[be.Index].UserID, "err", be.Err)
 		itemErrs = append(itemErrs, BatchItemError{Index: origIndex[be.Index], Error: be.Err.Error()})
 	}
 	sort.Slice(itemErrs, func(a, b int) bool { return itemErrs[a].Index < itemErrs[b].Index })
@@ -416,15 +454,15 @@ func (s *Server) handleAds(w http.ResponseWriter, r *http.Request) {
 	// Implicit location management: an ad request reveals the user's
 	// position to the trusted edge, which records it as a check-in.
 	at := s.clock()
-	if err := s.engine.Report(req.UserID, req.Pos, at); err != nil {
-		s.logf("ads/report %s: %v", req.UserID, err)
+	if err := s.engine.ReportCtx(r.Context(), req.UserID, req.Pos, at); err != nil {
+		s.log(r.Context(), slog.LevelError, "ads implicit report failed", "user", req.UserID, "err", err)
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 
-	obfuscated, fromTable, err := s.engine.Request(req.UserID, req.Pos)
+	obfuscated, fromTable, err := s.engine.RequestCtx(r.Context(), req.UserID, req.Pos)
 	if err != nil {
-		s.logf("ads/select %s: %v", req.UserID, err)
+		s.log(r.Context(), slog.LevelError, "ads output selection failed", "user", req.UserID, "err", err)
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -432,7 +470,8 @@ func (s *Server) handleAds(w http.ResponseWriter, r *http.Request) {
 	// Only the obfuscated location crosses the trust boundary.
 	ads, degraded := s.fetchAds(r.Context(), req.UserID, obfuscated, at, req.Limit)
 	if degraded {
-		s.logf("ads/provider %s: timeout after %s, serving degraded empty response", req.UserID, s.providerTimeout)
+		s.log(r.Context(), slog.LevelWarn, "provider timeout, serving degraded response",
+			"user", req.UserID, "timeout", s.providerTimeout)
 		writeJSON(w, http.StatusOK, AdsResponse{
 			Ads:       []adnet.Ad{},
 			Reported:  obfuscated,
@@ -483,6 +522,10 @@ var adsScratchPool = sync.Pool{New: func() any { return &adsScratch{filtered: []
 // eventually returns) and reports a degraded response. Context-aware
 // providers additionally receive the deadline so they can stop early.
 func (s *Server) fetchAds(ctx context.Context, userID string, loc geo.Point, at time.Time, limit int) (ads []adnet.Ad, degraded bool) {
+	// The provider span covers the whole call, including a timed-out
+	// wait: a degraded response records providerTimeout as provider cost.
+	_, sp := tracing.StartSpan(ctx, tracing.StageProvider)
+	defer sp.End()
 	if s.providerTimeout <= 0 {
 		if cp, ok := s.provider.(ContextAdProvider); ok {
 			return cp.RequestAdsContext(ctx, userID, loc, at, limit), false
@@ -521,7 +564,7 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	if now.IsZero() {
 		now = s.clock()
 	}
-	if err := s.engine.RebuildProfile(req.UserID, now); err != nil {
+	if err := s.engine.RebuildProfileCtx(r.Context(), req.UserID, now); err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, core.ErrUnknownUser) {
 			status = http.StatusNotFound

@@ -30,6 +30,7 @@
 package edgecluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/randx"
 	"repro/internal/secagg"
+	"repro/internal/tracing"
 )
 
 // Cluster errors.
@@ -335,8 +337,10 @@ func (c *Cluster) applyRoundLocked(n *Node, userID string, round *mergeRound, me
 }
 
 // route returns the covering LIVE edge nearest to pos, failing over past
-// down nodes to the next-nearest covering edge.
-func (c *Cluster) route(pos geo.Point) (*Node, error) {
+// down nodes to the next-nearest covering edge. failedOver reports that
+// the nearest covering edge was down, so callers can attribute the hop
+// in their trace.
+func (c *Cluster) route(pos geo.Point) (n *Node, failedOver bool, err error) {
 	var best, bestLive *Node
 	bestD, bestLiveD := math.Inf(1), math.Inf(1)
 	for _, n := range c.nodes {
@@ -352,27 +356,41 @@ func (c *Cluster) route(pos geo.Point) (*Node, error) {
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("%w: (%.0f, %.0f)", ErrNoCoverage, pos.X, pos.Y)
+		return nil, false, fmt.Errorf("%w: (%.0f, %.0f)", ErrNoCoverage, pos.X, pos.Y)
 	}
 	if bestLive == nil {
-		return nil, fmt.Errorf("%w: every edge covering (%.0f, %.0f) is down", ErrNoLiveEdge, pos.X, pos.Y)
+		return nil, false, fmt.Errorf("%w: every edge covering (%.0f, %.0f) is down", ErrNoLiveEdge, pos.X, pos.Y)
 	}
 	if bestLive != best {
 		if m := c.met.Load(); m != nil {
 			m.failovers.Inc()
 		}
+		return bestLive, true, nil
 	}
-	return bestLive, nil
+	return bestLive, false, nil
 }
 
 // Report routes a check-in to the nearest covering live edge and returns
 // its ID.
 func (c *Cluster) Report(userID string, pos geo.Point, at time.Time) (string, error) {
-	node, err := c.route(pos)
+	return c.ReportCtx(context.Background(), userID, pos, at)
+}
+
+// ReportCtx is Report with trace context: a check-in that failed over
+// past a down edge runs inside a failover span, and the engine's apply
+// and WAL work record their own spans under it — the same trace ID all
+// the way from the client's traceparent to the fsync.
+func (c *Cluster) ReportCtx(ctx context.Context, userID string, pos geo.Point, at time.Time) (string, error) {
+	node, failedOver, err := c.route(pos)
 	if err != nil {
 		return "", err
 	}
-	if err := node.Engine.Report(userID, pos, at); err != nil {
+	if failedOver {
+		var sp *tracing.Span
+		ctx, sp = tracing.StartSpan(ctx, tracing.StageFailover)
+		defer sp.End()
+	}
+	if err := node.Engine.ReportCtx(ctx, userID, pos, at); err != nil {
 		return "", fmt.Errorf("edgecluster: reporting to %s: %w", node.ID, err)
 	}
 	return node.ID, nil
@@ -386,12 +404,21 @@ func (c *Cluster) Report(userID string, pos geo.Point, at time.Time) (string, er
 // route nowhere — or that the engine rejects — come back as per-item
 // errors keyed by input index; the rest of the batch is still ingested.
 func (c *Cluster) ReportBatch(items []core.BatchReport) []core.BatchError {
+	return c.ReportBatchCtx(context.Background(), items)
+}
+
+// ReportBatchCtx is ReportBatch with trace context. A per-edge delivery
+// whose items all routed past a down node runs inside a failover span;
+// mixed groups (some items failed over, some not) attribute the whole
+// delivery to failover, since the hop is per-delivery, not per-item.
+func (c *Cluster) ReportBatchCtx(ctx context.Context, items []core.BatchReport) []core.BatchError {
 	var errs []core.BatchError
 	groups := make(map[*Node][]core.BatchReport)
 	indexes := make(map[*Node][]int)
+	failed := make(map[*Node]bool)
 	var order []*Node
 	for i, item := range items {
-		node, err := c.route(item.Pos)
+		node, failedOver, err := c.route(item.Pos)
 		if err != nil {
 			errs = append(errs, core.BatchError{Index: i, Err: err})
 			continue
@@ -401,9 +428,23 @@ func (c *Cluster) ReportBatch(items []core.BatchReport) []core.BatchError {
 		}
 		groups[node] = append(groups[node], item)
 		indexes[node] = append(indexes[node], i)
+		if failedOver {
+			failed[node] = true
+		}
 	}
 	for _, node := range order {
-		for _, be := range node.Engine.ReportBatch(groups[node]) {
+		deliver := func(ctx context.Context) []core.BatchError {
+			return node.Engine.ReportBatchCtx(ctx, groups[node])
+		}
+		var batchErrs []core.BatchError
+		if failed[node] {
+			fctx, sp := tracing.StartSpan(ctx, tracing.StageFailover)
+			batchErrs = deliver(fctx)
+			sp.End()
+		} else {
+			batchErrs = deliver(ctx)
+		}
+		for _, be := range batchErrs {
 			errs = append(errs, core.BatchError{
 				Index: indexes[node][be.Index],
 				Err:   fmt.Errorf("edgecluster: reporting to %s: %w", node.ID, be.Err),
@@ -416,11 +457,24 @@ func (c *Cluster) ReportBatch(items []core.BatchReport) []core.BatchError {
 
 // Request routes an LBA request to the nearest covering live edge.
 func (c *Cluster) Request(userID string, pos geo.Point) (geo.Point, bool, error) {
-	node, err := c.route(pos)
+	return c.RequestCtx(context.Background(), userID, pos)
+}
+
+// RequestCtx is Request with trace context: a request answered by a
+// failover edge carries a failover span around the engine call, so the
+// per-stage breakdown separates re-routed serving cost from the happy
+// path.
+func (c *Cluster) RequestCtx(ctx context.Context, userID string, pos geo.Point) (geo.Point, bool, error) {
+	node, failedOver, err := c.route(pos)
 	if err != nil {
 		return geo.Point{}, false, err
 	}
-	out, fromTable, err := node.Engine.Request(userID, pos)
+	if failedOver {
+		var sp *tracing.Span
+		ctx, sp = tracing.StartSpan(ctx, tracing.StageFailover)
+		defer sp.End()
+	}
+	out, fromTable, err := node.Engine.RequestCtx(ctx, userID, pos)
 	if err != nil {
 		return geo.Point{}, false, fmt.Errorf("edgecluster: requesting at %s: %w", node.ID, err)
 	}

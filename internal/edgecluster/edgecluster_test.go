@@ -1,6 +1,7 @@
 package edgecluster
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -10,6 +11,8 @@ import (
 	"repro/internal/geo"
 	"repro/internal/geoind"
 	"repro/internal/randx"
+	"repro/internal/telemetry"
+	"repro/internal/tracing"
 )
 
 func testClusterConfig(t *testing.T, coverage []geo.Circle) Config {
@@ -307,5 +310,92 @@ func BenchmarkClusterMerge(b *testing.B) {
 		if _, err := c.MergeProfiles("bench", at); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestFailoverTracePropagation checks that a trace started by the caller
+// flows through the cluster's failover routing into the engine: the
+// finished trace's ring record carries a failover span (opened because
+// the preferred edge was down) and the engine's apply span beneath it,
+// all under the caller's trace ID.
+func TestFailoverTracePropagation(t *testing.T) {
+	// Two overlapping disks, so a point near edge-00's centre still has
+	// edge-01 as a failover target.
+	coverage := []geo.Circle{
+		{Center: geo.Point{X: 0, Y: 0}, Radius: 10_000},
+		{Center: geo.Point{X: 5_000, Y: 0}, Radius: 10_000},
+	}
+	c, err := New(testClusterConfig(t, coverage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	c.Instrument(reg)
+	tracer := tracing.New(7)
+	tracer.Instrument(reg)
+
+	pos := geo.Point{X: 1_000, Y: 0}
+	now := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	rnd := randx.New(3, 3)
+	for i := 0; i < 50; i++ {
+		now = now.Add(time.Hour)
+		ctx, root := tracer.StartTrace(context.Background(), "cluster.report")
+		_, err := c.ReportCtx(ctx, "u", pos.Add(rnd.GaussianPolar(10)), now)
+		root.End()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Merging replicates the user's table to every edge, so the failover
+	// target can answer the request below.
+	if _, err := c.MergeProfiles("u", now); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.MarkDown(0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, root := tracer.StartTrace(context.Background(), "cluster.request")
+	wantID, _ := tracing.ContextTraceID(ctx)
+	if _, _, err := c.RequestCtx(ctx, "u", pos); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	if got := reg.Counter("cluster_failovers_total", "").Value(); got != 1 {
+		t.Fatalf("cluster_failovers_total = %d, want 1", got)
+	}
+	var rec *tracing.TraceRecord
+	for _, r := range tracer.SlowestTraces(10) {
+		if r.Name == "cluster.request" {
+			rec = &r
+			break
+		}
+	}
+	if rec == nil {
+		t.Fatal("cluster.request trace not in the ring")
+	}
+	if rec.TraceID != wantID {
+		t.Errorf("ring trace ID %s, want the caller's %s", rec.TraceID, wantID)
+	}
+	stages := map[string]tracing.SpanRecord{}
+	for _, sp := range rec.Spans {
+		stages[sp.Stage] = sp
+	}
+	fo, ok := stages["failover"]
+	if !ok {
+		t.Fatalf("no failover span in %+v", rec.Spans)
+	}
+	apply, ok := stages["apply"]
+	if !ok {
+		t.Fatalf("no apply span in %+v", rec.Spans)
+	}
+	// The engine's apply span must be nested under the failover span, not
+	// a sibling: the failed-over delivery is what invoked the engine.
+	if apply.Parent != fo.SpanID {
+		t.Errorf("apply span parent = %s, want the failover span %s", apply.Parent, fo.SpanID)
+	}
+	if spans := tracer.ActiveSpans(); spans != 0 {
+		t.Errorf("active spans after traces ended = %d, want 0", spans)
 	}
 }

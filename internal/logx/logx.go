@@ -1,0 +1,39 @@
+// Package logx builds the structured loggers shared by the serving
+// binaries: one -log-format flag value ("json" or "text") maps to a
+// log/slog handler with consistent options, so edged, lbasim, and the
+// edge handlers emit machine-parseable lines (JSON for log shippers,
+// text for terminals) with trace IDs attached where a request is in
+// scope.
+package logx
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Formats accepted by New.
+const (
+	FormatJSON = "json"
+	FormatText = "text"
+)
+
+// New returns a logger writing format-encoded lines to w. Format is
+// "json" or "text"; anything else is an error (surfaced at flag-parse
+// time, not buried in a panic mid-serve).
+func New(format string, w io.Writer) (*slog.Logger, error) {
+	switch format {
+	case FormatJSON:
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	case FormatText:
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("logx: unknown log format %q (want %q or %q)", format, FormatJSON, FormatText)
+	}
+}
+
+// Discard returns a logger that drops everything — the test-harness
+// stand-in for the old log.New(io.Discard, "", 0).
+func Discard() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}

@@ -1,0 +1,47 @@
+package logx
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewJSON(t *testing.T) {
+	var b strings.Builder
+	l, err := New(FormatJSON, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hello", "user", "u1", "trace_id", "abc")
+	var line map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &line); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, b.String())
+	}
+	if line["msg"] != "hello" || line["user"] != "u1" || line["trace_id"] != "abc" {
+		t.Errorf("unexpected fields: %v", line)
+	}
+}
+
+func TestNewText(t *testing.T) {
+	var b strings.Builder
+	l, err := New(FormatText, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hello", "user", "u1")
+	if got := b.String(); !strings.Contains(got, "msg=hello") || !strings.Contains(got, "user=u1") {
+		t.Errorf("unexpected text line: %s", got)
+	}
+}
+
+func TestNewUnknownFormat(t *testing.T) {
+	if _, err := New("yaml", nil); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	// Must be non-nil and usable (handlers treat nil loggers as disabled,
+	// but Discard exists for call sites that want a real logger).
+	Discard().Info("dropped")
+}

@@ -329,6 +329,9 @@ func writeHistogram(w io.Writer, name, key string, s HistogramSnapshot) {
 	fmt.Fprintf(w, "%s %d\n", bucketName(name, key, "+Inf"), cum)
 	fmt.Fprintf(w, "%s %s\n", seriesName(name+"_sum", key), formatFloat(s.Sum))
 	fmt.Fprintf(w, "%s %d\n", seriesName(name+"_count", key), cum)
+	// Overflow is derivable from the bucket lines but easy to miss;
+	// surfacing it as its own series makes saturated quantiles greppable.
+	fmt.Fprintf(w, "%s %d\n", seriesName(name+"_overflow", key), s.Overflow)
 }
 
 func formatFloat(v float64) string {

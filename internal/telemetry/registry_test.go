@@ -32,6 +32,7 @@ latency_seconds_bucket{le="1"} 2
 latency_seconds_bucket{le="+Inf"} 3
 latency_seconds_sum 30.55
 latency_seconds_count 3
+latency_seconds_overflow 1
 # HELP requests_total Total requests.
 # TYPE requests_total counter
 requests_total{code="2xx",route="/v1/ads"} 3

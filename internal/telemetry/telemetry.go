@@ -142,6 +142,12 @@ func (h *Histogram) Count() uint64 {
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return h.sum.Load() }
 
+// Overflow returns the number of observations above the last bucket
+// bound (the +Inf bucket). A non-zero overflow means quantile estimates
+// saturate at the top bound and understate the true tail — callers
+// sizing bounds should treat it as a misconfiguration signal.
+func (h *Histogram) Overflow() uint64 { return h.bins[len(h.bins)-1].Load() }
+
 // Bounds returns a copy of the bucket upper bounds.
 func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
 
@@ -154,6 +160,9 @@ type HistogramSnapshot struct {
 	Counts []uint64
 	Count  uint64
 	Sum    float64
+	// Overflow is Counts[len(Bounds)]: observations above the top bound,
+	// where quantile interpolation saturates.
+	Overflow uint64
 }
 
 // Snapshot copies the current bins. Under concurrent writers the copy is
@@ -169,6 +178,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Count += c
 	}
 	s.Sum = h.sum.Load()
+	s.Overflow = s.Counts[len(s.Bounds)]
 	return s
 }
 
@@ -196,7 +206,10 @@ func (h *Histogram) Merge(other *Histogram) error {
 
 // Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
 // inside the bucket containing it. Observations in the +Inf bucket are
-// reported as the last finite bound. It returns NaN on an empty histogram
+// reported as the last finite bound — i.e. the estimate SATURATES when
+// the quantile falls into overflow, understating the true tail. Check
+// Overflow (exposed as the _overflow series in /metrics) before trusting
+// a p99 that sits at the top bound. It returns NaN on an empty histogram
 // or q outside (0, 1).
 func (h *Histogram) Quantile(q float64) float64 {
 	if !(q > 0 && q < 1) {

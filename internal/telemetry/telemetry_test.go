@@ -96,6 +96,30 @@ func TestHistogramBuckets(t *testing.T) {
 	if math.Abs(s.Sum-106) > 1e-9 {
 		t.Errorf("sum = %g, want 106", s.Sum)
 	}
+	if s.Overflow != 1 {
+		t.Errorf("snapshot overflow = %d, want 1 (the 100 observation)", s.Overflow)
+	}
+	if got := h.Overflow(); got != 1 {
+		t.Errorf("Overflow() = %d, want 1", got)
+	}
+}
+
+func TestHistogramOverflowSaturatesQuantile(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every observation lands above the top bound: the quantile estimate
+	// saturates at 4, and only Overflow reveals that p99 is a lie.
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	if q := h.Quantile(0.99); q != 4 {
+		t.Errorf("saturated p99 = %g, want top bound 4", q)
+	}
+	if got := h.Overflow(); got != 100 {
+		t.Errorf("Overflow() = %d, want 100", got)
+	}
 }
 
 func TestHistogramValidation(t *testing.T) {

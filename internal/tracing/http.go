@@ -1,0 +1,90 @@
+package tracing
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// TraceparentHeader is the HTTP header carrying trace context between
+// the client and the edge, in W3C trace-context shape:
+// "00-<32 hex trace id>-<16 hex span id>-<2 hex flags>".
+const TraceparentHeader = "traceparent"
+
+// FormatTraceparent renders a traceparent header value for the given
+// trace and parent-span IDs (version 00, sampled flag set).
+func FormatTraceparent(id TraceID, span SpanID) string {
+	var b strings.Builder
+	b.Grow(55)
+	b.WriteString("00-")
+	b.WriteString(id.String())
+	b.WriteByte('-')
+	b.WriteString(span.String())
+	b.WriteString("-01")
+	return b.String()
+}
+
+// ParseTraceparent parses a traceparent header value. ok is false on
+// any malformed input: wrong field count or width, non-hex digits, the
+// forbidden version ff, or an all-zero trace or span ID.
+func ParseTraceparent(s string) (id TraceID, span SpanID, ok bool) {
+	parts := strings.Split(s, "-")
+	if len(parts) != 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return TraceID{}, 0, false
+	}
+	if _, err := strconv.ParseUint(parts[0], 16, 8); err != nil || parts[0] == "ff" {
+		return TraceID{}, 0, false
+	}
+	hi, err := strconv.ParseUint(parts[1][:16], 16, 64)
+	if err != nil {
+		return TraceID{}, 0, false
+	}
+	lo, err := strconv.ParseUint(parts[1][16:], 16, 64)
+	if err != nil {
+		return TraceID{}, 0, false
+	}
+	sp, err := strconv.ParseUint(parts[2], 16, 64)
+	if err != nil {
+		return TraceID{}, 0, false
+	}
+	if _, err := strconv.ParseUint(parts[3], 16, 8); err != nil {
+		return TraceID{}, 0, false
+	}
+	id = TraceID{Hi: hi, Lo: lo}
+	if id.IsZero() || sp == 0 {
+		return TraceID{}, 0, false
+	}
+	return id, SpanID(sp), true
+}
+
+// tracesResponse is the GET /debug/traces payload.
+type tracesResponse struct {
+	ActiveSpans int64         `json:"active_spans"`
+	Traces      []TraceRecord `json:"traces"`
+}
+
+// defaultTracesN bounds an unqualified GET /debug/traces response.
+const defaultTracesN = 32
+
+// TracesHandler serves the slowest recent traces from the ring as JSON
+// ({"active_spans": N, "traces": [...]}), slowest first. ?n= bounds the
+// count (default 32).
+func (t *Tracer) TracesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := parseN(r.URL.Query().Get("n"), defaultTracesN)
+		resp := tracesResponse{
+			ActiveSpans: t.active.Load(),
+			Traces:      t.SlowestTraces(n),
+		}
+		if resp.Traces == nil {
+			resp.Traces = []TraceRecord{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resp); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

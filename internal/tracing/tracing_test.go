@@ -1,0 +1,322 @@
+package tracing
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestDeterministicIDs(t *testing.T) {
+	// Same seed, same allocation order => identical ID streams, so a
+	// fixed workload is reproducible run to run.
+	a, b := New(42), New(42)
+	for i := 0; i < 10; i++ {
+		_, sa := a.StartTrace(context.Background(), "r")
+		_, sb := b.StartTrace(context.Background(), "r")
+		if sa.TraceID() != sb.TraceID() || sa.SpanID() != sb.SpanID() {
+			t.Fatalf("trace %d: IDs diverged: %s/%v vs %s/%v",
+				i, sa.TraceID(), sa.SpanID(), sb.TraceID(), sb.SpanID())
+		}
+		sa.End()
+		sb.End()
+	}
+	// A different seed must not reproduce the stream.
+	c := New(43)
+	_, sc := c.StartTrace(context.Background(), "r")
+	_, sa := New(42).StartTrace(context.Background(), "r")
+	if sc.TraceID() == sa.TraceID() {
+		t.Error("different seeds produced the same first trace ID")
+	}
+	sc.End()
+	sa.End()
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := New(7)
+	ctx, root := tr.StartTrace(context.Background(), "/v1/ads")
+	hdr, ok := ContextTraceparent(ctx)
+	if !ok {
+		t.Fatal("no traceparent from traced context")
+	}
+	if len(hdr) != 55 || !strings.HasPrefix(hdr, "00-") || !strings.HasSuffix(hdr, "-01") {
+		t.Fatalf("malformed traceparent %q", hdr)
+	}
+	id, span, ok := ParseTraceparent(hdr)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected own output", hdr)
+	}
+	if id.String() != root.TraceID() || span != root.SpanID() {
+		t.Errorf("round trip changed IDs: %s/%v vs %s/%v", id, span, root.TraceID(), root.SpanID())
+	}
+
+	// Remote adoption: a second tracer continuing the header joins the
+	// same trace (the failover/retry propagation invariant).
+	tr2 := New(99)
+	_, adopted := tr2.StartTraceRemote(context.Background(), "/v1/ads", id, span)
+	if adopted.TraceID() != root.TraceID() {
+		t.Errorf("remote trace ID %s, want %s", adopted.TraceID(), root.TraceID())
+	}
+	adopted.End()
+	root.End()
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"00-0123456789abcdef0123456789abcdef-0123456789abcdef", // 3 fields
+		"ff-0123456789abcdef0123456789abcdef-0123456789abcdef-01",
+		"zz-0123456789abcdef0123456789abcdef-0123456789abcdef-01",
+		"00-00000000000000000000000000000000-0123456789abcdef-01", // zero trace
+		"00-0123456789abcdef0123456789abcdef-0000000000000000-01", // zero span
+		"00-0123456789abcdefg123456789abcdef-0123456789abcdef-01", // non-hex
+		"00-0123456789abcdef0123456789abcdef-0123456789abcdef-xx",
+	}
+	for _, s := range bad {
+		if _, _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", s)
+		}
+	}
+	if _, _, ok := ParseTraceparent("00-0123456789abcdef0123456789abcdef-0123456789abcdef-01"); !ok {
+		t.Error("valid traceparent rejected")
+	}
+}
+
+func TestSpanNestingAndRing(t *testing.T) {
+	tr := New(1, WithRingSize(4))
+	reg := telemetry.NewRegistry()
+	tr.Instrument(reg)
+
+	ctx, root := tr.StartTrace(context.Background(), "/v1/report")
+	ctx2, apply := StartSpan(ctx, StageApply)
+	_, wal := StartSpan(ctx2, StageWAL)
+	wal.End()
+	apply.End()
+	root.End()
+
+	if n := tr.ActiveSpans(); n != 0 {
+		t.Fatalf("active spans = %d after all ended, want 0", n)
+	}
+	recs := tr.SlowestTraces(0)
+	if len(recs) != 1 {
+		t.Fatalf("ring has %d traces, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.TraceID != root.TraceID() || rec.Name != "/v1/report" {
+		t.Errorf("record = %+v", rec)
+	}
+	if len(rec.Spans) != 3 {
+		t.Fatalf("record has %d spans, want 3: %+v", len(rec.Spans), rec.Spans)
+	}
+	// Ended in wal, apply, root order; parents chain upward.
+	if rec.Spans[0].Stage != "wal" || rec.Spans[1].Stage != "apply" || rec.Spans[2].Stage != "handler" {
+		t.Errorf("span stages = %v", rec.Spans)
+	}
+	if rec.Spans[0].Parent != rec.Spans[1].SpanID || rec.Spans[1].Parent != rec.Spans[2].SpanID {
+		t.Errorf("parent chain broken: %+v", rec.Spans)
+	}
+
+	// The stage histograms saw one observation each.
+	for _, stage := range []string{"handler", "apply", "wal"} {
+		h := reg.Histogram("tracing_span_seconds", "", nil, telemetry.L("stage", stage))
+		if h.Count() != 1 {
+			t.Errorf("stage %s histogram count = %d, want 1", stage, h.Count())
+		}
+	}
+	if got := reg.Histogram("tracing_span_seconds", "", nil, telemetry.L("stage", "provider")).Count(); got != 0 {
+		t.Errorf("provider histogram count = %d, want 0", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// No trace in ctx: StartSpan is a no-op and the nil span is inert.
+	ctx, sp := StartSpan(context.Background(), StageApply)
+	if sp != nil {
+		t.Fatal("StartSpan without a trace returned a span")
+	}
+	sp.End()
+	sp.End()
+	if sp.TraceID() != "" || sp.SpanID() != 0 {
+		t.Error("nil span has identity")
+	}
+	if _, ok := ContextTraceparent(ctx); ok {
+		t.Error("traceparent from untraced context")
+	}
+	if _, ok := ContextTraceID(ctx); ok {
+		t.Error("trace ID from untraced context")
+	}
+	if FromContext(ctx) != nil {
+		t.Error("FromContext on untraced context")
+	}
+	if With(ctx, nil) != ctx {
+		t.Error("With(nil) changed the context")
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := New(3)
+	reg := telemetry.NewRegistry()
+	tr.Instrument(reg)
+	ctx, root := tr.StartTrace(context.Background(), "r")
+	_, sp := StartSpan(ctx, StageProvider)
+	// A provider span can race its timeout path and its drain path; both
+	// call End, only one records.
+	sp.End()
+	sp.End()
+	root.End()
+	root.End()
+	if n := tr.ActiveSpans(); n != 0 {
+		t.Errorf("active spans = %d, want 0", n)
+	}
+	if got := reg.Counter("tracing_traces_total", "").Value(); got != 1 {
+		t.Errorf("traces_total = %d, want 1", got)
+	}
+	h := reg.Histogram("tracing_span_seconds", "", nil, telemetry.L("stage", "provider"))
+	if h.Count() != 1 {
+		t.Errorf("provider observations = %d, want 1", h.Count())
+	}
+}
+
+func TestRingBoundedAndSlowest(t *testing.T) {
+	tr := New(5, WithRingSize(8))
+	for i := 0; i < 20; i++ {
+		_, root := tr.StartTrace(context.Background(), "r")
+		root.End()
+	}
+	if got := len(tr.SlowestTraces(0)); got != 8 {
+		t.Errorf("ring kept %d traces, want 8", got)
+	}
+	if got := len(tr.SlowestTraces(3)); got != 3 {
+		t.Errorf("SlowestTraces(3) returned %d", got)
+	}
+	recs := tr.SlowestTraces(8)
+	for i := 1; i < len(recs); i++ {
+		if recs[i].DurationUs > recs[i-1].DurationUs {
+			t.Errorf("traces not sorted slowest-first at %d: %v > %v", i, recs[i].DurationUs, recs[i-1].DurationUs)
+		}
+	}
+}
+
+func TestConcurrentTracesRace(t *testing.T) {
+	// Span-timing determinism under -race: concurrent traffic must leave
+	// unique IDs, zero active spans, and exact metric counts.
+	tr := New(11, WithRingSize(64))
+	reg := telemetry.NewRegistry()
+	tr.Instrument(reg)
+	const goroutines, perG = 8, 50
+	var wg sync.WaitGroup
+	ids := make(chan string, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				ctx, root := tr.StartTrace(context.Background(), "r")
+				_, sp := StartSpan(ctx, StageApply)
+				sp.End()
+				ids <- root.TraceID()
+				root.End()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[string]bool)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %s", id)
+		}
+		seen[id] = true
+	}
+	if n := tr.ActiveSpans(); n != 0 {
+		t.Errorf("active spans = %d, want 0", n)
+	}
+	if got := reg.Counter("tracing_traces_total", "").Value(); got != goroutines*perG {
+		t.Errorf("traces_total = %d, want %d", got, goroutines*perG)
+	}
+	h := reg.Histogram("tracing_span_seconds", "", nil, telemetry.L("stage", "apply"))
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("apply observations = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestSlowTraceLogAndCounter(t *testing.T) {
+	var buf strings.Builder
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	tr := New(13, WithSlowThreshold(time.Nanosecond), WithLogger(logger))
+	reg := telemetry.NewRegistry()
+	tr.Instrument(reg)
+
+	_, root := tr.StartTrace(context.Background(), "/v1/ads")
+	time.Sleep(time.Microsecond)
+	root.End()
+
+	if got := reg.Counter("tracing_slow_traces_total", "").Value(); got != 1 {
+		t.Errorf("slow_traces_total = %d, want 1", got)
+	}
+	var line map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &line); err != nil {
+		t.Fatalf("slow-trace log not JSON: %v\n%s", err, buf.String())
+	}
+	if line["trace_id"] != root.TraceID() {
+		t.Errorf("log trace_id = %v, want %s", line["trace_id"], root.TraceID())
+	}
+}
+
+func TestTracesHandler(t *testing.T) {
+	tr := New(17, WithRingSize(16))
+	for i := 0; i < 5; i++ {
+		_, root := tr.StartTrace(context.Background(), "/v1/report")
+		root.End()
+	}
+	rec := httptest.NewRecorder()
+	tr.TracesHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?n=3", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var resp struct {
+		ActiveSpans int64         `json:"active_spans"`
+		Traces      []TraceRecord `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if resp.ActiveSpans != 0 {
+		t.Errorf("active_spans = %d, want 0", resp.ActiveSpans)
+	}
+	if len(resp.Traces) != 3 {
+		t.Errorf("traces = %d, want 3 (n=3)", len(resp.Traces))
+	}
+}
+
+func TestStageBreakdown(t *testing.T) {
+	tr := New(19)
+	reg := telemetry.NewRegistry()
+	tr.Instrument(reg)
+	ctx, root := tr.StartTrace(context.Background(), "r")
+	_, sp := StartSpan(ctx, StageWAL)
+	sp.End()
+	root.End()
+
+	rows := StageBreakdown(reg)
+	if len(rows) != 5 {
+		t.Fatalf("breakdown rows = %d, want 5", len(rows))
+	}
+	byStage := make(map[string]StageStat)
+	for _, r := range rows {
+		byStage[r.Stage] = r
+	}
+	if byStage["handler"].Count != 1 || byStage["wal"].Count != 1 {
+		t.Errorf("handler/wal counts = %d/%d, want 1/1", byStage["handler"].Count, byStage["wal"].Count)
+	}
+	if byStage["failover"].Count != 0 || byStage["failover"].P99Ms != 0 {
+		t.Errorf("idle stage not zeroed: %+v", byStage["failover"])
+	}
+}

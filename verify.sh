@@ -21,15 +21,24 @@ go test -race -count=2 ./internal/edgecluster ./internal/client ./internal/edge
 
 # Smoke the benchmark harness: one cheap benchmark through bench.sh and
 # the JSON converter, writing to a scratch path (the checked-in
-# BENCH_pr2.json is regenerated only by a full ./bench.sh run).
-OUT="$(mktemp)" BENCH='BenchmarkTrim' BENCHTIME=1x PKGS=./internal/cluster/ ./bench.sh
+# BENCH_pr2.json is regenerated only by a full ./bench.sh run). The same
+# archive then smokes the perf-regression gate: diffing an archive
+# against itself must pass at any threshold.
+BENCH_SMOKE="$(mktemp)"
+OUT="$BENCH_SMOKE" BENCH='BenchmarkTrim' BENCHTIME=1x PKGS=./internal/cluster/ ./bench.sh
+go run ./cmd/benchjson -diff "$BENCH_SMOKE" "$BENCH_SMOKE" -threshold 5
+rm -f "$BENCH_SMOKE"
 
 # Smoke the serving path under closed-loop load: a few hundred batched
 # requests against an in-process edge, so every verify exercises the
 # sharded engine, /v1/report/batch, and the pooled handler hot path
 # end to end (the checked-in BENCH_pr4.json is regenerated only by a
-# full SERVING=1 ./bench.sh run).
-go run ./cmd/loadgen -users 16 -workers 4 -requests 400 -batch 16 -campaigns 20
+# full SERVING=1 ./bench.sh run). The summary must end with the span-leak
+# gate: every request trace the run opened was also closed.
+LOADGEN_OUT="$(mktemp)"
+go run ./cmd/loadgen -users 16 -workers 4 -requests 400 -batch 16 -campaigns 20 | tee "$LOADGEN_OUT"
+grep -q '^tracing: active_spans=0$' "$LOADGEN_OUT"
+rm -f "$LOADGEN_OUT"
 
 # Kill-and-recover smoke: start edged on a WAL data directory with
 # fsync=always, drive reports and a rebuild, SIGKILL the process, restart
