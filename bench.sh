@@ -4,6 +4,8 @@
 #   ./bench.sh                 # full sweep -> BENCH_pr2.json
 #   SERVING=1 ./bench.sh       # serving-path sweep -> BENCH_pr4.json
 #   DURABLE=1 ./bench.sh       # WAL durability sweep -> BENCH_pr5.json
+#   WIRE=1 ./bench.sh          # wire-codec sweep -> BENCH_pr7.json, then
+#                              # a benchjson -diff gate vs BENCH_pr4.json
 #   OUT=/tmp/b.json BENCH='BenchmarkTrim' BENCHTIME=1x ./bench.sh
 #
 # Knobs (environment):
@@ -17,6 +19,13 @@
 #   DURABLE   when set, also run the cmd/loadgen durability sweep
 #             (fsync {none,never,interval,always} x batch {1,64} at
 #             shards=8) and embed it under the "durable" key.
+#   WIRE      when set, run the engine serving microbenches (same names
+#             as BENCH_pr4, so -diff matches) plus the wire codec
+#             microbenches, embed the cmd/loadgen wire sweep (codec
+#             {json,binary} x batch {1,64} at shards=8) under the
+#             "wire" key, and finish with the perf-regression gate
+#             `benchjson -diff BENCH_pr4.json $OUT` (threshold
+#             DIFF_THRESHOLD, default 30%).
 #   Extra knobs for either sweep:
 #   LOADGEN_USERS / LOADGEN_WORKERS / LOADGEN_REQUESTS
 #             workload size of the loadgen sweep (defaults 64/8/40000)
@@ -35,6 +44,21 @@ if [ -n "${DURABLE:-}" ]; then
     PKGS="${PKGS:-./internal/wal}"
     serving_json="$(mktemp)"
     go run ./cmd/loadgen -sweep-durable \
+        -users "${LOADGEN_USERS:-64}" \
+        -workers "${LOADGEN_WORKERS:-8}" \
+        -requests "${LOADGEN_REQUESTS:-40000}" \
+        -out "$serving_json"
+elif [ -n "${WIRE:-}" ]; then
+    OUT="${OUT:-BENCH_pr7.json}"
+    # The shared engine set deliberately skips EngineReportParallel: on a
+    # single-core host that bench measures goroutine scheduling noise
+    # (observed swings of ±70% between back-to-back runs), which would
+    # trip the cross-archive diff gate below for reasons unrelated to
+    # any code change.
+    BENCH="${BENCH:-BenchmarkEngineReport\$|BenchmarkEngineReportBatch|BenchmarkEngineRequest\$|BenchmarkWire}"
+    PKGS="${PKGS:-. ./internal/wire}"
+    serving_json="$(mktemp)"
+    go run ./cmd/loadgen -sweep-wire \
         -users "${LOADGEN_USERS:-64}" \
         -workers "${LOADGEN_WORKERS:-8}" \
         -requests "${LOADGEN_REQUESTS:-40000}" \
@@ -60,9 +84,16 @@ fi
 go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count=1 $PKGS | tee "$raw"
 if [ -n "${DURABLE:-}" ]; then
     go run ./cmd/benchjson -durable "$serving_json" < "$raw" > "$OUT"
+elif [ -n "${WIRE:-}" ]; then
+    go run ./cmd/benchjson -wire "$serving_json" < "$raw" > "$OUT"
 elif [ -n "${SERVING:-}" ]; then
     go run ./cmd/benchjson -serving "$serving_json" < "$raw" > "$OUT"
 else
     go run ./cmd/benchjson < "$raw" > "$OUT"
 fi
 echo "wrote $OUT"
+if [ -n "${WIRE:-}" ] && [ -f BENCH_pr4.json ]; then
+    # Perf-regression gate: the engine serving benches shared with the
+    # PR 4 archive must not have slowed past the threshold.
+    go run ./cmd/benchjson -diff BENCH_pr4.json "$OUT" -threshold "${DIFF_THRESHOLD:-30}"
+fi

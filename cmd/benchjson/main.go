@@ -58,6 +58,10 @@ type Report struct {
 	// policy cost grid) when -durable is given; BENCH_pr5.json carries
 	// the wal microbenchmarks and the macro durability sweep together.
 	Durable json.RawMessage `json:"durable,omitempty"`
+	// Wire embeds a cmd/loadgen -sweep-wire document (json vs binary
+	// codec grid) when -wire is given; BENCH_pr7.json carries the codec
+	// microbenchmarks and the macro end-to-end comparison together.
+	Wire json.RawMessage `json:"wire,omitempty"`
 }
 
 func main() {
@@ -71,6 +75,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	serving := fs.String("serving", "", "embed this cmd/loadgen -sweep JSON file under the serving key")
 	durable := fs.String("durable", "", "embed this cmd/loadgen -sweep-durable JSON file under the durable key")
+	wireSweep := fs.String("wire", "", "embed this cmd/loadgen -sweep-wire JSON file under the wire key")
 	diff := fs.Bool("diff", false, "compare two archives (old.json new.json) instead of reading stdin; exit non-zero on a regression past -threshold")
 	threshold := fs.Float64("threshold", 10, "with -diff, the ns/op slowdown in percent that counts as a regression")
 	if err := fs.Parse(args); err != nil {
@@ -101,6 +106,11 @@ func run(args []string) error {
 	}
 	if *durable != "" {
 		if rep.Durable, err = embed(*durable, "durable"); err != nil {
+			return err
+		}
+	}
+	if *wireSweep != "" {
+		if rep.Wire, err = embed(*wireSweep, "wire"); err != nil {
 			return err
 		}
 	}
@@ -318,6 +328,18 @@ func derive(benches []Benchmark) map[string]float64 {
 	}
 	if s1, s64 := ns("EngineReportParallel/shards=1"), ns("EngineReportParallel/shards=64"); s1 > 0 && s64 > 0 {
 		d["engine_shard_parallel_speedup"] = s1 / s64
+	}
+	// PR 7 wire codec: binary-over-JSON CPU speedup per message shape,
+	// plus the on-the-wire size reduction for the canonical 64-batch.
+	for _, op := range []string{"EncodeReport", "DecodeReport", "EncodeBatch64", "DecodeBatch64", "EncodeAds10", "DecodeAds10"} {
+		if js, bin := ns("Wire"+op+"/codec=json"), ns("Wire"+op+"/codec=binary"); js > 0 && bin > 0 {
+			d["wire_"+strings.ToLower(op)+"_speedup"] = js / bin
+		}
+	}
+	if js, bin := find("WireEncodeBatch64/codec=json"), find("WireEncodeBatch64/codec=binary"); js != nil && bin != nil {
+		if a, b := js.Metrics["frame_bytes"], bin.Metrics["frame_bytes"]; a > 0 && b > 0 {
+			d["wire_batch64_size_reduction"] = a / b
+		}
 	}
 	if len(d) == 0 {
 		return nil

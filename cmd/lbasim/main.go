@@ -56,10 +56,15 @@ func run(args []string) error {
 		edges      = fs.Int("edges", 1, "edge devices; >1 replays through a fault-tolerant multi-edge cluster")
 		chaos      = fs.Bool("chaos", false, "kill and revive edges mid-run (requires -edges > 1)")
 		batch      = fs.Int("batch", 1, "check-ins per report call; >1 replays via POST /v1/report/batch (or batched cluster routing)")
+		wireFlag   = fs.String("wire", "json", "serving-path codec for the replay clients: json | binary")
 		logFormat  = fs.String("log-format", logx.FormatText, "structured log format: json | text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	codec, err := edge.ParseCodec(*wireFlag)
+	if err != nil {
+		return fmt.Errorf("-wire: %w", err)
 	}
 	logger, err := logx.New(*logFormat, os.Stderr)
 	if err != nil {
@@ -83,7 +88,7 @@ func run(args []string) error {
 	}
 
 	if *edges > 1 {
-		return runCluster(cfg, ds, *edges, *chaos, *seed, *batch, logger)
+		return runCluster(cfg, ds, *edges, *chaos, *seed, *batch, codec, logger)
 	}
 
 	// Untrusted side: either a direct-matching ad network or an RTB
@@ -162,10 +167,11 @@ func run(args []string) error {
 	ts := httptest.NewServer(server.Handler())
 	defer ts.Close()
 
-	cl, err := client.New(ts.URL, nil)
+	cl, err := client.New(ts.URL, nil, client.WithCodec(codec))
 	if err != nil {
 		return fmt.Errorf("building client: %w", err)
 	}
+	fmt.Printf("serving-path wire codec: %s\n", codec)
 	ctx := context.Background()
 
 	// Periodic telemetry emission while the replay runs, so long
@@ -273,7 +279,7 @@ func replayReports(ctx context.Context, cl *client.Client, userID string, checkI
 // and journal catch-up. The run ends with a convergence pass plus a
 // byte-identity audit of every edge's table, and the longitudinal attack
 // on the obfuscated request stream the ad providers would observe.
-func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed uint64, batch int, logger *slog.Logger) error {
+func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed uint64, batch int, codec edge.Codec, logger *slog.Logger) error {
 	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
 	if err != nil {
 		return fmt.Errorf("building mechanism: %w", err)
@@ -317,7 +323,22 @@ func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed
 	tracer.Instrument(reg)
 	ctx := context.Background()
 
-	fmt.Printf("cluster mode: %d edges, chaos=%v\n", edges, chaos)
+	// Check-ins replay through the cluster gateway over real HTTP in the
+	// chosen wire codec; the gateway opens the root span per request, so
+	// failover and engine spans land in the same registry as before.
+	gw, err := edgecluster.NewGateway(cluster, nil, edgecluster.WithGatewayTracer(tracer))
+	if err != nil {
+		return fmt.Errorf("building gateway: %w", err)
+	}
+	gw.Instrument(reg)
+	gts := httptest.NewServer(gw.Handler())
+	defer gts.Close()
+	gcl, err := client.New(gts.URL, nil, client.WithCodec(codec))
+	if err != nil {
+		return fmt.Errorf("building gateway client: %w", err)
+	}
+
+	fmt.Printf("cluster mode: %d edges, chaos=%v, wire=%s\n", edges, chaos, codec)
 
 	// Replay. Chaos kills a deterministic victim edge just before every
 	// other user's merge and revives it (journal catch-up) after their ad
@@ -328,31 +349,8 @@ func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed
 	var requests, kills int
 	var degraded, dropped int
 	for ui, u := range ds.Users {
-		if batch == 1 {
-			for _, c := range u.CheckIns {
-				tctx, root := tracer.StartTrace(ctx, "cluster.report")
-				_, err := cluster.ReportCtx(tctx, u.ID, c.Pos, c.Time)
-				root.End()
-				if err != nil {
-					return fmt.Errorf("reporting for %s: %w", u.ID, err)
-				}
-			}
-		} else {
-			// Batched routing: items fan out per-item to the nearest live
-			// edge, grouped into one engine call per edge.
-			for i := 0; i < len(u.CheckIns); i += batch {
-				end := min(i+batch, len(u.CheckIns))
-				items := make([]core.BatchReport, 0, end-i)
-				for _, c := range u.CheckIns[i:end] {
-					items = append(items, core.BatchReport{UserID: u.ID, Pos: c.Pos, At: c.Time})
-				}
-				tctx, root := tracer.StartTrace(ctx, "cluster.report_batch")
-				errs := cluster.ReportBatchCtx(tctx, items)
-				root.End()
-				if len(errs) > 0 {
-					return fmt.Errorf("batch-reporting for %s: %w", u.ID, errs[0].Err)
-				}
-			}
+		if err := replayReports(ctx, gcl, u.ID, u.CheckIns, batch); err != nil {
+			return err
 		}
 		victim := -1
 		if chaos && ui%2 == 1 {

@@ -13,6 +13,8 @@
 //
 //	loadgen -users 256 -workers 8 -requests 20000 -mix 4:1 -batch 64
 //	loadgen -sweep -out BENCH_pr4.json   # shards {1,8} x batch {1,64} grid
+//	loadgen -wire binary                 # negotiate the binary wire codec
+//	loadgen -sweep-wire                  # wire {json,binary} x batch {1,64} grid
 package main
 
 import (
@@ -66,8 +68,12 @@ type config struct {
 	// (or empty) runs without a WAL.
 	DataDir string `json:"data_dir,omitempty"`
 	Fsync   string `json:"fsync,omitempty"`
+	// Wire selects the serving-path codec the workers negotiate with
+	// the edge: "json" (default) or "binary" frames.
+	Wire string `json:"wire,omitempty"`
 
 	mixReports, mixAds int
+	codec              edge.Codec
 }
 
 // durable reports whether the run writes through a WAL.
@@ -81,6 +87,7 @@ type result struct {
 	Shards       int     `json:"shards"`
 	Batch        int     `json:"batch"`
 	Fsync        string  `json:"fsync,omitempty"`
+	Wire         string  `json:"wire,omitempty"`
 	CheckIns     int64   `json:"checkins"`
 	AdRequests   int64   `json:"ad_requests"`
 	HTTPOps      int64   `json:"http_ops"`
@@ -132,6 +139,8 @@ func run(args []string, out *os.File) error {
 		jsonOut   = fs.Bool("json", false, "emit the result as JSON instead of a text summary")
 		sweep     = fs.Bool("sweep", false, "run the shards {1,8} x batch {1,64} grid in-process and emit the sweep JSON")
 		sweepDur  = fs.Bool("sweep-durable", false, "run the fsync {none,never,interval,always} x batch {1,64} durability grid at shards=8 and emit the sweep JSON")
+		sweepWire = fs.Bool("sweep-wire", false, "run the wire {json,binary} x batch {1,64} codec grid at shards=8 and emit the sweep JSON")
+		wireFlag  = fs.String("wire", "json", "serving-path codec: json | binary")
 		dataDir   = fs.String("data-dir", "", "WAL directory for the in-process server (empty durable runs use a temp dir)")
 		fsyncFlag = fs.String("fsync", "", "WAL fsync policy for the in-process server: always | interval[=<duration>] | never; empty or \"none\" disables the WAL")
 		outPath   = fs.String("out", "", "write output to this file instead of stdout")
@@ -142,7 +151,7 @@ func run(args []string, out *os.File) error {
 	cfg := config{
 		Users: *users, Workers: *workers, Requests: *requests, Duration: *duration,
 		Mix: *mix, Batch: *batch, Shards: *shards, Campaigns: *campaigns,
-		Seed: *seed, Addr: *addr, DataDir: *dataDir, Fsync: *fsyncFlag,
+		Seed: *seed, Addr: *addr, DataDir: *dataDir, Fsync: *fsyncFlag, Wire: *wireFlag,
 	}
 	if cfg.DataDir != "" && cfg.Fsync == "" {
 		cfg.Fsync = "interval"
@@ -151,6 +160,9 @@ func run(args []string, out *os.File) error {
 	cfg.mixReports, cfg.mixAds, err = parseMix(cfg.Mix)
 	if err != nil {
 		return err
+	}
+	if cfg.codec, err = edge.ParseCodec(cfg.Wire); err != nil {
+		return fmt.Errorf("-wire: %w", err)
 	}
 	if cfg.Users < 1 || cfg.Workers < 1 || cfg.Batch < 1 {
 		return fmt.Errorf("users, workers, and batch must be >= 1")
@@ -169,16 +181,25 @@ func run(args []string, out *os.File) error {
 		w = f
 	}
 
-	if *sweep || *sweepDur {
+	if *sweep || *sweepDur || *sweepWire {
 		if cfg.Addr != "" {
 			return fmt.Errorf("-sweep controls the in-process engine, so it cannot target an external -addr")
 		}
-		if *sweep && *sweepDur {
-			return fmt.Errorf("-sweep and -sweep-durable are mutually exclusive")
+		sweeps := 0
+		for _, on := range []bool{*sweep, *sweepDur, *sweepWire} {
+			if on {
+				sweeps++
+			}
+		}
+		if sweeps > 1 {
+			return fmt.Errorf("-sweep, -sweep-durable, and -sweep-wire are mutually exclusive")
 		}
 		runGrid := runSweep
 		if *sweepDur {
 			runGrid = runSweepDurable
+		}
+		if *sweepWire {
+			runGrid = runSweepWire
 		}
 		rep, err := runGrid(cfg)
 		if err != nil {
@@ -198,6 +219,9 @@ func run(args []string, out *os.File) error {
 	name := fmt.Sprintf("shards=%d/batch=%d", cfg.Shards, cfg.Batch)
 	if cfg.Fsync != "" {
 		name += "/fsync=" + cfg.Fsync
+	}
+	if cfg.codec == edge.CodecBinary {
+		name += "/wire=binary"
 	}
 	res, err := runOne(cfg, name)
 	if err != nil {
@@ -325,6 +349,43 @@ func runSweepDurable(base config) (*sweepReport, error) {
 	return rep, nil
 }
 
+// runSweepWire measures what the binary wire protocol buys end to end:
+// the same serving workload at shards=8 in both codecs, single and
+// batched ingestion. Derived ratios report binary/json check-in
+// throughput (>1 = binary faster) and json/binary report p99 (>1 =
+// binary's tail is shorter).
+func runSweepWire(base config) (*sweepReport, error) {
+	rep := &sweepReport{Config: base}
+	runs := map[string]*result{}
+	for _, codec := range []edge.Codec{edge.CodecJSON, edge.CodecBinary} {
+		for _, batch := range []int{1, 64} {
+			cfg := base
+			cfg.Shards, cfg.Batch = 8, batch
+			cfg.Wire, cfg.codec = codec.String(), codec
+			name := fmt.Sprintf("wire=%s/batch=%d", codec, batch)
+			fmt.Fprintf(os.Stderr, "loadgen: running %s ...\n", name)
+			res, err := runOne(cfg, name)
+			if err != nil {
+				return nil, fmt.Errorf("run %s: %w", name, err)
+			}
+			rep.Runs = append(rep.Runs, *res)
+			runs[name] = res
+		}
+	}
+	rep.Derived = map[string]float64{}
+	for _, batch := range []int{1, 64} {
+		js := runs[fmt.Sprintf("wire=json/batch=%d", batch)]
+		bin := runs[fmt.Sprintf("wire=binary/batch=%d", batch)]
+		if js.CheckInsPerS > 0 && bin.CheckInsPerS > 0 {
+			rep.Derived[fmt.Sprintf("wire_binary_speedup_batch%d", batch)] = bin.CheckInsPerS / js.CheckInsPerS
+		}
+		if js.ReportP99Ms > 0 && bin.ReportP99Ms > 0 {
+			rep.Derived[fmt.Sprintf("wire_binary_p99_ratio_batch%d", batch)] = js.ReportP99Ms / bin.ReportP99Ms
+		}
+	}
+	return rep, nil
+}
+
 // runOne executes one closed-loop run and returns its measurements.
 func runOne(cfg config, name string) (*result, error) {
 	baseURL := cfg.Addr
@@ -375,7 +436,7 @@ func runOne(cfg config, name string) (*result, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			cl, err := client.New(baseURL, nil)
+			cl, err := client.New(baseURL, nil, client.WithCodec(cfg.codec))
 			if err != nil {
 				errCh <- err
 				return
@@ -452,6 +513,7 @@ func runOne(cfg config, name string) (*result, error) {
 		Shards:         cfg.Shards,
 		Batch:          cfg.Batch,
 		Fsync:          cfg.Fsync,
+		Wire:           cfg.codec.String(),
 		CheckIns:       checkins.Load(),
 		AdRequests:     adsDone.Load(),
 		HTTPOps:        httpOps.Load(),

@@ -99,6 +99,36 @@ type BidRecord struct {
 	Time   time.Time `json:"time"`
 }
 
+// tierBase is the radius bound (metres) of the smallest campaign tier;
+// tier t holds campaigns with Radius in (tierBase·2^(t-1), tierBase·2^t].
+const tierBase = 2_000
+
+// radiusTier indexes the campaigns of one radius bucket. Bucketing by
+// radius keeps Match's probe radius per tier at that tier's own maximum:
+// without it, one registered huge-radius campaign (platforms allow up to
+// 800 km) would force every query to scan enormous grid neighbourhoods
+// for every small campaign too.
+type radiusTier struct {
+	index *spatial.Grid
+	max   float64 // largest registered radius in this tier
+}
+
+// tierFor returns the tier index of a campaign radius.
+func tierFor(radius float64) int {
+	t := 0
+	for bound := float64(tierBase); radius > bound; bound *= 2 {
+		t++
+	}
+	return t
+}
+
+// tierCell is the grid cell size of tier t: half the tier's radius
+// bound, so a query probes a bounded ~5×5 cell neighbourhood per tier
+// regardless of how large the tier's radii are.
+func tierCell(t int) float64 {
+	return float64(tierBase) * math.Pow(2, float64(t)) / 2
+}
+
 // Network is an in-memory ad network with radius-targeted matching. It is
 // safe for concurrent use.
 type Network struct {
@@ -106,9 +136,8 @@ type Network struct {
 
 	mu        sync.RWMutex
 	campaigns map[string]Campaign
-	index     *spatial.Grid
-	order     []string // campaign ids in registration order, for the index
-	maxRadius float64
+	tiers     []*radiusTier // radius-bucketed campaign indexes, nil until first use
+	order     []string      // campaign ids in registration order, for the indexes
 	// log holds the bid-request records. Unbounded by default; with
 	// WithBidLogCap it is a ring of logCap records where logStart indexes
 	// the oldest retained record. logged counts every record ever logged
@@ -137,14 +166,9 @@ func WithBidLogCap(n int) Option {
 }
 
 // NewNetwork creates a network enforcing the given platform limits on
-// campaign radii; a nil limit accepts any positive radius.
+// campaign radii; a nil limit accepts any positive radius. Campaign
+// indexes are built lazily per radius tier on first registration.
 func NewNetwork(limit *PlatformLimit, opts ...Option) (*Network, error) {
-	// Cell size trades index fan-out against query cost; targeting radii
-	// are kilometres, so a 2 km cell keeps neighbourhoods small.
-	index, err := spatial.NewGrid(2_000)
-	if err != nil {
-		return nil, fmt.Errorf("adnet: building campaign index: %w", err)
-	}
 	var lim *PlatformLimit
 	if limit != nil {
 		l := *limit
@@ -153,7 +177,6 @@ func NewNetwork(limit *PlatformLimit, opts ...Option) (*Network, error) {
 	n := &Network{
 		limit:     lim,
 		campaigns: make(map[string]Campaign),
-		index:     index,
 	}
 	for _, opt := range opts {
 		opt(n)
@@ -171,11 +194,22 @@ func (n *Network) Register(c Campaign) error {
 	if _, ok := n.campaigns[c.ID]; ok {
 		return fmt.Errorf("%w: %q", ErrDuplicateCampaign, c.ID)
 	}
+	t := tierFor(c.Radius)
+	for len(n.tiers) <= t {
+		n.tiers = append(n.tiers, nil)
+	}
+	if n.tiers[t] == nil {
+		g, err := spatial.NewGrid(tierCell(t))
+		if err != nil {
+			return fmt.Errorf("adnet: building tier %d campaign index: %w", t, err)
+		}
+		n.tiers[t] = &radiusTier{index: g}
+	}
 	n.campaigns[c.ID] = c
-	n.index.Insert(len(n.order), c.Location)
+	n.tiers[t].index.Insert(len(n.order), c.Location)
 	n.order = append(n.order, c.ID)
-	if c.Radius > n.maxRadius {
-		n.maxRadius = c.Radius
+	if c.Radius > n.tiers[t].max {
+		n.tiers[t].max = c.Radius
 	}
 	return nil
 }
@@ -188,24 +222,35 @@ func (n *Network) Campaigns() int {
 }
 
 // Match returns the campaigns whose targeting circle contains loc, in
-// ascending distance order (nearest business first).
+// ascending distance order (nearest business first). Each radius tier is
+// probed only out to its own maximum radius, and candidates are rejected
+// on squared distance — the sqrt is paid only for actual matches when
+// sorting. Containment is defined as Dist2(loc) ≤ Radius², which the
+// equivalence fuzz test pins against a naive scan over all campaigns.
 func (n *Network) Match(loc geo.Point) []Campaign {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	type hit struct {
-		c Campaign
-		d float64
+		c  Campaign
+		d2 float64
 	}
 	var hits []hit
-	n.index.ForEachWithin(loc, n.maxRadius, func(id int, center geo.Point) {
-		c := n.campaigns[n.order[id]]
-		if d := center.Dist(loc); d <= c.Radius {
-			hits = append(hits, hit{c: c, d: d})
+	for _, tier := range n.tiers {
+		if tier == nil {
+			continue
 		}
-	})
+		tier.index.ForEachWithin(loc, tier.max, func(id int, center geo.Point) {
+			c := n.campaigns[n.order[id]]
+			if d2 := center.Dist2(loc); d2 <= c.Radius*c.Radius {
+				hits = append(hits, hit{c: c, d2: d2})
+			}
+		})
+	}
+	// Ordering by squared distance is ordering by distance (sqrt is
+	// monotone), with ties broken by campaign ID as before.
 	sort.Slice(hits, func(a, b int) bool {
-		if hits[a].d != hits[b].d {
-			return hits[a].d < hits[b].d
+		if hits[a].d2 != hits[b].d2 {
+			return hits[a].d2 < hits[b].d2
 		}
 		return hits[a].c.ID < hits[b].c.ID
 	})

@@ -1,0 +1,141 @@
+package adnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/randx"
+)
+
+// matchNaive is the reference implementation of Match: a linear scan
+// over every registered campaign with the same containment predicate
+// (squared distance against squared radius) and the same (distance,
+// ID) ordering, but no spatial index and no radius tiering.
+func (n *Network) matchNaive(loc geo.Point) []Campaign {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	type hit struct {
+		c  Campaign
+		d2 float64
+	}
+	var hits []hit
+	for _, id := range n.order {
+		c := n.campaigns[id]
+		if d2 := c.Location.Dist2(loc); d2 <= c.Radius*c.Radius {
+			hits = append(hits, hit{c: c, d2: d2})
+		}
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].d2 != hits[b].d2 {
+			return hits[a].d2 < hits[b].d2
+		}
+		return hits[a].c.ID < hits[b].c.ID
+	})
+	out := make([]Campaign, len(hits))
+	for i, h := range hits {
+		out[i] = h.c
+	}
+	return out
+}
+
+// buildFuzzNetwork registers a deterministic campaign population from
+// seed: locations across a ~200 km region, radii spanning every tier
+// from sub-kilometre to the 800 km platform extreme (the huge-radius
+// campaigns are exactly the case that made the pre-tiering index scan
+// the whole world per query).
+func buildFuzzNetwork(tb testing.TB, seed uint64, campaigns int) *Network {
+	tb.Helper()
+	n, err := NewNetwork(nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rnd := randx.New(seed, 0xAD1)
+	for i := 0; i < campaigns; i++ {
+		loc := geo.Point{X: rnd.Float64()*200_000 - 100_000, Y: rnd.Float64()*200_000 - 100_000}
+		var radius float64
+		switch rnd.IntN(4) {
+		case 0: // sub-tierBase
+			radius = 100 + rnd.Float64()*1_900
+		case 1: // the paper's common interval, 5–25 km
+			radius = 5_000 + rnd.Float64()*20_000
+		case 2: // mid tiers
+			radius = 25_000 + rnd.Float64()*75_000
+		default: // huge: up to the Microsoft 800 km platform limit
+			radius = 100_000 + rnd.Float64()*700_000
+		}
+		c := Campaign{
+			ID:       fmt.Sprintf("c%03d", i),
+			Location: loc,
+			Radius:   radius,
+			Ad:       Ad{ID: fmt.Sprintf("ad%03d", i), Title: "t", Location: loc},
+		}
+		if err := n.Register(c); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return n
+}
+
+// FuzzMatchEquivalence asserts the tiered, grid-indexed Match returns
+// exactly what a naive linear scan over all campaigns returns — same
+// campaigns, same order — for fuzzer-chosen query points and campaign
+// populations.
+func FuzzMatchEquivalence(f *testing.F) {
+	f.Add(uint64(1), float64(0), float64(0))
+	f.Add(uint64(2), float64(99_000), float64(-99_000))
+	f.Add(uint64(3), float64(-250_000), float64(250_000)) // outside every small tier
+	f.Add(uint64(42), float64(2_000), float64(2_000))     // on a cell boundary
+	f.Add(uint64(7), float64(0.5), float64(-0.5))
+	f.Fuzz(func(t *testing.T, seed uint64, qx, qy float64) {
+		if math.IsNaN(qx) || math.IsNaN(qy) || math.Abs(qx) > 1e7 || math.Abs(qy) > 1e7 {
+			t.Skip("query outside the plausible coordinate range")
+		}
+		n := buildFuzzNetwork(t, seed, 40+int(seed%60))
+		loc := geo.Point{X: qx, Y: qy}
+		got := n.Match(loc)
+		want := n.matchNaive(loc)
+		if len(got) != len(want) {
+			t.Fatalf("Match returned %d campaigns, naive scan %d\n got: %v\nwant: %v",
+				len(got), len(want), ids(got), ids(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("match order diverges at %d: got %v, want %v", i, ids(got), ids(want))
+			}
+		}
+	})
+}
+
+func ids(cs []Campaign) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.ID
+	}
+	return out
+}
+
+// TestMatchEquivalenceSweep runs the equivalence check over a grid of
+// deterministic query points (including points far outside every
+// campaign) so plain `go test` covers the geometry without the fuzzer.
+func TestMatchEquivalenceSweep(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		n := buildFuzzNetwork(t, seed, 80)
+		rnd := randx.New(seed, 0xF00D)
+		for i := 0; i < 200; i++ {
+			loc := geo.Point{X: rnd.Float64()*2_400_000 - 1_200_000, Y: rnd.Float64()*2_400_000 - 1_200_000}
+			got, want := n.Match(loc), n.matchNaive(loc)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d query %v: %d vs naive %d", seed, loc, len(got), len(want))
+			}
+			for j := range got {
+				if got[j].ID != want[j].ID {
+					t.Fatalf("seed %d query %v: order diverges at %d: %v vs %v",
+						seed, loc, j, ids(got), ids(want))
+				}
+			}
+		}
+	}
+}

@@ -29,12 +29,14 @@ import (
 	"repro/internal/randx"
 	"repro/internal/telemetry"
 	"repro/internal/tracing"
+	"repro/internal/wire"
 )
 
 // Client talks to one edge device. It is safe for concurrent use.
 type Client struct {
 	baseURL string
 	http    *http.Client
+	codec   edge.Codec
 
 	// Retry policy for idempotent calls.
 	maxAttempts int
@@ -72,6 +74,18 @@ func WithRetry(maxAttempts int, baseDelay, maxDelay time.Duration) Option {
 func WithRetrySeed(seed uint64) Option {
 	return func(c *Client) { c.jitter = randx.New(seed, 0xC11E47) }
 }
+
+// WithCodec selects the serving-path encoding. edge.CodecBinary sends
+// report/batch/ads bodies as application/x-privlocad-bin frames and asks
+// (via Accept, set on every retry attempt) for binary responses;
+// control-plane calls (rebuild, profile, privacy) stay JSON either way.
+// The default is edge.CodecJSON, wire-compatible with pre-binary edges.
+func WithCodec(codec edge.Codec) Option {
+	return func(c *Client) { c.codec = codec }
+}
+
+// Codec reports the serving-path encoding the client was built with.
+func (c *Client) Codec() edge.Codec { return c.codec }
 
 // DefaultMaxIdleConnsPerHost is the connection-pool depth of the
 // default transport. net/http's own default keeps only 2 idle
@@ -160,21 +174,29 @@ func (e *connError) Error() string { return e.err.Error() }
 func (e *connError) Unwrap() error { return e.err }
 
 func (c *Client) post(ctx context.Context, path string, body, out any, idempotent bool) error {
+	// Serving-path messages go binary when the client was built with
+	// WithCodec(edge.CodecBinary); everything else (and every message on a
+	// JSON client) takes the legacy JSON encoding.
+	if m, ok := body.(wire.Message); ok && c.codec == edge.CodecBinary {
+		return c.call(ctx, http.MethodPost, path, wire.ContentType, wire.Encode(m), out, idempotent)
+	}
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return fmt.Errorf("client: encoding %s request: %w", path, err)
 	}
-	return c.call(ctx, http.MethodPost, path, payload, out, idempotent)
+	return c.call(ctx, http.MethodPost, path, "application/json", payload, out, idempotent)
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
-	return c.call(ctx, http.MethodGet, path, nil, out, true)
+	return c.call(ctx, http.MethodGet, path, "", nil, out, true)
 }
 
 // call performs one logical API call, re-sending idempotent requests
 // after connection-level failures under the retry budget. The request is
-// rebuilt each attempt (the body reader is consumed by a send).
-func (c *Client) call(ctx context.Context, method, path string, payload []byte, out any, idempotent bool) error {
+// rebuilt each attempt (the body reader is consumed by a send), and the
+// codec headers are set on every rebuild so a retried call negotiates
+// identically to the first attempt.
+func (c *Client) call(ctx context.Context, method, path, contentType string, payload []byte, out any, idempotent bool) error {
 	attempts := 1
 	if idempotent {
 		attempts = c.maxAttempts
@@ -198,7 +220,10 @@ func (c *Client) call(ctx context.Context, method, path string, payload []byte, 
 			return fmt.Errorf("client: building %s request: %w", path, err)
 		}
 		if payload != nil {
-			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("Content-Type", contentType)
+		}
+		if c.codec == edge.CodecBinary {
+			req.Header.Set("Accept", wire.ContentType)
 		}
 		// When the caller's context carries a trace, propagate it as a
 		// traceparent header. Injected on every attempt — the request is
@@ -267,21 +292,42 @@ func (c *Client) do(req *http.Request, out any) error {
 	}
 	defer resp.Body.Close()
 
+	binaryResp := strings.HasPrefix(resp.Header.Get("Content-Type"), wire.ContentType)
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var env struct {
-			Error string `json:"error"`
-		}
 		msg := ""
 		if body, rerr := io.ReadAll(io.LimitReader(resp.Body, 4096)); rerr == nil {
-			if jerr := json.Unmarshal(body, &env); jerr == nil {
+			var env wire.ErrorResponse
+			switch {
+			case binaryResp:
+				if derr := wire.Decode(body, &env); derr == nil {
+					msg = env.Error
+				}
+			case json.Unmarshal(body, &env) == nil:
 				msg = env.Error
-			} else {
+			default:
 				msg = string(body)
 			}
 		}
 		return &apiError{Status: resp.StatusCode, Message: msg}
 	}
 	if out == nil {
+		return nil
+	}
+	// The response body's own Content-Type picks the decoder: a
+	// binary-preferring client still decodes JSON answers from routes (or
+	// old edges) that never negotiate.
+	if binaryResp {
+		m, ok := out.(wire.Message)
+		if !ok {
+			return fmt.Errorf("client: %s answered %s but %T is not a wire message", req.URL.Path, wire.ContentType, out)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return &connError{err: fmt.Errorf("client: reading %s response: %w", req.URL.Path, err)}
+		}
+		if err := wire.Decode(body, m); err != nil {
+			return fmt.Errorf("client: decoding %s response: %w", req.URL.Path, err)
+		}
 		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
@@ -294,7 +340,7 @@ func (c *Client) do(req *http.Request, out any) error {
 // it. Not retried: a lost response leaves the edge possibly having
 // recorded the check-in already.
 func (c *Client) Report(ctx context.Context, userID string, pos geo.Point, at time.Time) error {
-	return c.post(ctx, "/v1/report", edge.ReportRequest{UserID: userID, Pos: pos, Time: at}, nil, false)
+	return c.post(ctx, "/v1/report", &edge.ReportRequest{UserID: userID, Pos: pos, Time: at}, nil, false)
 }
 
 // ReportBatch sends many location check-ins in one round trip. Like
@@ -304,7 +350,7 @@ func (c *Client) Report(ctx context.Context, userID string, pos geo.Point, at ti
 // (by input index); entries without an error were accepted.
 func (c *Client) ReportBatch(ctx context.Context, reports []edge.ReportRequest) (edge.ReportBatchResponse, error) {
 	var resp edge.ReportBatchResponse
-	err := c.post(ctx, "/v1/report/batch", edge.ReportBatchRequest{Reports: reports}, &resp, false)
+	err := c.post(ctx, "/v1/report/batch", &edge.ReportBatchRequest{Reports: reports}, &resp, false)
 	return resp, err
 }
 
@@ -313,7 +359,7 @@ func (c *Client) ReportBatch(ctx context.Context, reports []edge.ReportRequest) 
 // records the request position as an implicit check-in.
 func (c *Client) RequestAds(ctx context.Context, userID string, pos geo.Point, limit int) (edge.AdsResponse, error) {
 	var resp edge.AdsResponse
-	err := c.post(ctx, "/v1/ads", edge.AdsRequest{UserID: userID, Pos: pos, Limit: limit}, &resp, false)
+	err := c.post(ctx, "/v1/ads", &edge.AdsRequest{UserID: userID, Pos: pos, Limit: limit}, &resp, false)
 	return resp, err
 }
 
@@ -335,6 +381,14 @@ func (c *Client) Profile(ctx context.Context, userID string) (edge.ProfileRespon
 func (c *Client) Privacy(ctx context.Context, userID string) (edge.PrivacyResponse, error) {
 	var resp edge.PrivacyResponse
 	err := c.get(ctx, "/v1/privacy?user="+url.QueryEscape(userID), &resp)
+	return resp, err
+}
+
+// Stats fetches the edge's O(1) serving aggregates. Idempotent, so it
+// is retried on connection failures; binary clients receive it framed.
+func (c *Client) Stats(ctx context.Context) (edge.StatsResponse, error) {
+	var resp edge.StatsResponse
+	err := c.get(ctx, "/v1/stats", &resp)
 	return resp, err
 }
 

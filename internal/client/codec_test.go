@@ -1,0 +1,179 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/adnet"
+	"repro/internal/edge"
+	"repro/internal/geo"
+	"repro/internal/wire"
+)
+
+// codecRecordingTransport records the codec headers of every attempt.
+type codecRecordingTransport struct {
+	mu       sync.Mutex
+	failures int
+	headers  []http.Header
+	next     http.RoundTripper
+}
+
+func (rt *codecRecordingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rt.mu.Lock()
+	rt.headers = append(rt.headers, req.Header.Clone())
+	fail := rt.failures > 0
+	if fail {
+		rt.failures--
+	}
+	rt.mu.Unlock()
+	if fail {
+		return nil, errors.New("connection reset by peer")
+	}
+	return rt.next.RoundTrip(req)
+}
+
+// TestBinaryClientRoundTrip drives the full serving path with a binary
+// client: report, batch with per-item errors, ads, and stats all frame
+// both directions, and the results match what a JSON client sees.
+func TestBinaryClientRoundTrip(t *testing.T) {
+	ts, network := newTestEdge(t)
+	if err := network.Register(adnet.Campaign{
+		ID: "c1", Location: geo.Point{X: 50, Y: 50}, Radius: 10_000,
+		Ad: adnet.Ad{ID: "ad1", Title: "t", Location: geo.Point{X: 50, Y: 50}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bin, err := New(ts.URL, nil, WithCodec(edge.CodecBinary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := New(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	home := geo.Point{X: 40, Y: 40}
+
+	if err := bin.Report(ctx, "u-bin", home, time.Time{}); err != nil {
+		t.Fatalf("binary report: %v", err)
+	}
+	batch, err := bin.ReportBatch(ctx, []edge.ReportRequest{
+		{UserID: "u-bin", Pos: home},
+		{Pos: home}, // rejected
+		{UserID: "u-bin2", Pos: home},
+	})
+	if err != nil {
+		t.Fatalf("binary batch: %v", err)
+	}
+	if batch.Accepted != 2 || len(batch.Errors) != 1 || batch.Errors[0].Index != 1 {
+		t.Fatalf("binary batch response = %+v", batch)
+	}
+	ads, err := bin.RequestAds(ctx, "u-bin", home, 5)
+	if err != nil {
+		t.Fatalf("binary ads: %v", err)
+	}
+	if ads.Reported == (geo.Point{}) {
+		t.Fatal("binary ads response missing reported location")
+	}
+	binStats, err := bin.Stats(ctx)
+	if err != nil {
+		t.Fatalf("binary stats: %v", err)
+	}
+	jsStats, err := js.Stats(ctx)
+	if err != nil {
+		t.Fatalf("json stats: %v", err)
+	}
+	if binStats != jsStats {
+		t.Fatalf("codecs disagree on stats: binary %+v, json %+v", binStats, jsStats)
+	}
+	if binStats.Users == 0 {
+		t.Fatalf("implausible stats %+v", binStats)
+	}
+
+	// Control-plane calls stay JSON but still work on a binary client.
+	if err := bin.Rebuild(ctx, "u-bin", time.Time{}); err != nil {
+		t.Fatalf("rebuild on binary client: %v", err)
+	}
+	if _, err := bin.Profile(ctx, "u-bin"); err != nil {
+		t.Fatalf("profile on binary client: %v", err)
+	}
+}
+
+// TestBinaryClientErrorEnvelope checks a binary client maps framed
+// error envelopes into the same apiError a JSON client gets.
+func TestBinaryClientErrorEnvelope(t *testing.T) {
+	ts, _ := newTestEdge(t)
+	bin, err := New(ts.URL, nil, WithCodec(edge.CodecBinary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rerr := bin.Report(context.Background(), "", geo.Point{X: 1}, time.Time{})
+	if StatusCode(rerr) != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (err %v)", StatusCode(rerr), rerr)
+	}
+	var ae *apiError
+	if !errors.As(rerr, &ae) || ae.Message != "user_id is required" {
+		t.Fatalf("error envelope not decoded: %v", rerr)
+	}
+}
+
+// TestCodecHeadersSurviveRetries pins the per-attempt header contract:
+// a retried idempotent call re-sends Accept (and Content-Type) on every
+// rebuilt request, so a retry negotiates exactly like the first attempt.
+func TestCodecHeadersSurviveRetries(t *testing.T) {
+	ts, _ := newTestEdge(t)
+	rt := &codecRecordingTransport{failures: 2, next: http.DefaultTransport}
+	bin, err := New(ts.URL, &http.Client{Transport: rt},
+		WithRetry(3, time.Millisecond, 5*time.Millisecond), WithRetrySeed(9), WithCodec(edge.CodecBinary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bin.Rebuild(context.Background(), "nobody", time.Time{}); StatusCode(err) != http.StatusNotFound {
+		t.Fatalf("rebuild on unknown user: %v", err)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.headers) != 3 {
+		t.Fatalf("recorded %d attempts, want 3", len(rt.headers))
+	}
+	for i, h := range rt.headers {
+		if got := h.Get("Accept"); got != wire.ContentType {
+			t.Errorf("attempt %d Accept = %q, want %q", i, got, wire.ContentType)
+		}
+		// Rebuild is a control-plane call: its body stays JSON even on a
+		// binary client.
+		if got := h.Get("Content-Type"); got != "application/json" {
+			t.Errorf("attempt %d Content-Type = %q, want application/json", i, got)
+		}
+	}
+}
+
+// TestJSONClientAgainstBinaryEdge is the compatibility direction: a
+// default (JSON) client must work unmodified against the binary-capable
+// edge, and must never send the wire media type.
+func TestJSONClientAgainstBinaryEdge(t *testing.T) {
+	ts, _ := newTestEdge(t)
+	rt := &codecRecordingTransport{next: http.DefaultTransport}
+	js, err := New(ts.URL, &http.Client{Transport: rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := js.Report(ctx, "u-js", geo.Point{X: 2, Y: 3}, time.Time{}); err != nil {
+		t.Fatalf("json report: %v", err)
+	}
+	if _, err := js.Stats(ctx); err != nil {
+		t.Fatalf("json stats: %v", err)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for i, h := range rt.headers {
+		if h.Get("Accept") != "" || h.Get("Content-Type") == wire.ContentType {
+			t.Errorf("attempt %d leaked wire negotiation headers: %v", i, h)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package edge
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Content negotiation for the serving-path routes. The request body
+// codec follows Content-Type; the response codec follows Accept, and
+// defaults to mirroring the request so a binary client that omits
+// Accept still gets binary back. Everything that is not the wire
+// protocol's media type is the pre-existing JSON, so old clients (and
+// plain curl) keep working against a binary-capable edge unmodified.
+
+// Codec identifies one of the two serving-path encodings.
+type Codec int
+
+const (
+	// CodecJSON is the legacy application/json encoding.
+	CodecJSON Codec = iota
+	// CodecBinary is the application/x-privlocad-bin encoding from
+	// internal/wire.
+	CodecBinary
+)
+
+// String returns the codec's metric/flag name.
+func (c Codec) String() string {
+	if c == CodecBinary {
+		return "binary"
+	}
+	return "json"
+}
+
+// ParseCodec parses a -wire style flag value.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "json":
+		return CodecJSON, nil
+	case "binary":
+		return CodecBinary, nil
+	}
+	return CodecJSON, fmt.Errorf("edge: unknown codec %q (want json or binary)", s)
+}
+
+// RequestCodec reports how the request body is encoded, from the
+// Content-Type header.
+func RequestCodec(r *http.Request) Codec {
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, wire.ContentType) {
+		return CodecBinary
+	}
+	return CodecJSON
+}
+
+// ResponseCodec reports how the response should be encoded: binary when
+// Accept names the wire media type, JSON when Accept names anything
+// else, and the request's own codec when Accept is absent.
+func ResponseCodec(r *http.Request) Codec {
+	accept := r.Header.Get("Accept")
+	if accept == "" {
+		return RequestCodec(r)
+	}
+	if strings.Contains(accept, wire.ContentType) {
+		return CodecBinary
+	}
+	return CodecJSON
+}
+
+// binBufPool recycles binary encode buffers, mirroring jsonBufPool on
+// the JSON side: the serving path reuses one flat buffer per response
+// instead of allocating a fresh frame.
+var binBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// WriteMessage writes m with the given status in the chosen codec,
+// setting Content-Type and Content-Length. It is shared by the edge
+// server and the edgecluster gateway.
+func WriteMessage(w http.ResponseWriter, codec Codec, status int, m wire.Message) {
+	if codec == CodecJSON {
+		writeJSON(w, status, m)
+		return
+	}
+	bp := binBufPool.Get().(*[]byte)
+	buf := wire.Append((*bp)[:0], m)
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.WriteHeader(status)
+	_, _ = w.Write(buf)
+	if cap(buf) <= maxPooledBuf {
+		*bp = buf
+		binBufPool.Put(bp)
+	}
+}
+
+// WriteCodecError writes the error envelope in the chosen codec. JSON
+// clients keep receiving the {"error": ...} object byte-for-byte.
+func WriteCodecError(w http.ResponseWriter, codec Codec, status int, err error) {
+	WriteMessage(w, codec, status, &wire.ErrorResponse{Error: err.Error()})
+}
+
+// ReadMessage decodes the request body (bounded at limit bytes) into m
+// according to reqCodec, answering a 400 in respCodec on failure. Both
+// codecs read through the same pooled buffer, so binary decode extends
+// the JSON path's flat allocation profile rather than forking it.
+func ReadMessage(w http.ResponseWriter, r *http.Request, reqCodec, respCodec Codec, m wire.Message, limit int64) error {
+	buf, release, err := readBodyBuf(w, r, limit)
+	if err != nil {
+		WriteCodecError(w, respCodec, http.StatusBadRequest, err)
+		return err
+	}
+	defer release()
+	if reqCodec == CodecJSON {
+		err = decodeJSONStrict(buf.Bytes(), m)
+	} else if err = wire.Decode(buf.Bytes(), m); err != nil {
+		err = fmt.Errorf("decoding request: %w", err)
+	}
+	if err != nil {
+		WriteCodecError(w, respCodec, http.StatusBadRequest, err)
+		return err
+	}
+	return nil
+}
+
+// --- server-side wrappers that feed the wire_* metric families ---
+
+// negotiate resolves both codecs for a serving-path request and counts
+// it under wire_requests_total{codec} (keyed by the response codec the
+// client ends up seeing).
+func (s *Server) negotiate(r *http.Request) (reqCodec, respCodec Codec) {
+	reqCodec, respCodec = RequestCodec(r), ResponseCodec(r)
+	s.wireReqs[respCodec].Inc()
+	return reqCodec, respCodec
+}
+
+// readBody is ReadMessage plus the decode-error counter, keyed by the
+// codec of the body that failed to parse.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, reqCodec, respCodec Codec, m wire.Message, limit int64) bool {
+	if err := ReadMessage(w, r, reqCodec, respCodec, m, limit); err != nil {
+		s.wireDecodeErrs[reqCodec].Inc()
+		return false
+	}
+	return true
+}

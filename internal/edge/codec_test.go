@@ -1,0 +1,237 @@
+package edge
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// postWire sends m with explicit Content-Type/Accept headers and returns
+// the response.
+func postWire(t *testing.T, url string, m wire.Message, contentType, accept string) *http.Response {
+	t.Helper()
+	var payload []byte
+	if contentType == wire.ContentType {
+		payload = wire.Encode(m)
+	} else {
+		var err error
+		if payload, err = json.Marshal(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", contentType)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBatchResp(t *testing.T, resp *http.Response) ReportBatchResponse {
+	t.Helper()
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ReportBatchResponse
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), wire.ContentType) {
+		if err := wire.Decode(body, &out); err != nil {
+			t.Fatalf("binary decode: %v", err)
+		}
+	} else if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("json decode: %v", err)
+	}
+	return out
+}
+
+// TestCodecNegotiationMatrix drives the same batch through all four
+// request/response codec combinations against one edge and requires
+// identical semantic results: JSON clients, binary clients, and mixed
+// clients interoperate on the same routes.
+func TestCodecNegotiationMatrix(t *testing.T) {
+	f := newFixture(t)
+	batch := &ReportBatchRequest{Reports: []ReportRequest{
+		{UserID: "alice", Pos: geo.Point{X: 10, Y: 10}},
+		{Pos: geo.Point{X: 20, Y: 20}}, // rejected: no user_id
+		{UserID: "bob", Pos: geo.Point{X: 30, Y: 30}},
+	}}
+	cases := []struct {
+		name        string
+		contentType string
+		accept      string
+		wantRespCT  string
+	}{
+		{"json_to_json", "application/json", "", "application/json"},
+		{"binary_to_binary", wire.ContentType, "", wire.ContentType},
+		{"binary_asks_json", wire.ContentType, "application/json", "application/json"},
+		{"json_asks_binary", "application/json", wire.ContentType, wire.ContentType},
+		{"curl_style_accept_any", "application/json", "*/*", "application/json"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postWire(t, f.server.URL+"/v1/report/batch", batch, tc.contentType, tc.accept)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d", resp.StatusCode)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, tc.wantRespCT) {
+				t.Fatalf("response content type = %q, want %q", ct, tc.wantRespCT)
+			}
+			out := decodeBatchResp(t, resp)
+			if out.Accepted != 2 || len(out.Errors) != 1 || out.Errors[0].Index != 1 {
+				t.Fatalf("batch response = %+v, want 2 accepted with error at index 1", out)
+			}
+		})
+	}
+}
+
+// TestBinaryReportAndAds exercises the full binary serving path: a
+// framed report (204), then a framed ads request whose binary response
+// carries the obfuscated location.
+func TestBinaryReportAndAds(t *testing.T) {
+	f := newFixture(t)
+	home := geo.Point{X: 1000, Y: 1000}
+	for i := 0; i < 3; i++ {
+		resp := postWire(t, f.server.URL+"/v1/report", &ReportRequest{UserID: "u1", Pos: home}, wire.ContentType, "")
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("binary report status = %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	resp := postWire(t, f.server.URL+"/v1/ads", &AdsRequest{UserID: "u1", Pos: home, Limit: 3}, wire.ContentType, "")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary ads status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, wire.ContentType) {
+		t.Fatalf("ads response content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ads AdsResponse
+	if err := wire.Decode(body, &ads); err != nil {
+		t.Fatalf("decoding binary ads response: %v", err)
+	}
+	if ads.Reported == (geo.Point{}) {
+		t.Fatal("binary ads response missing the reported location")
+	}
+	if ads.Ads == nil {
+		t.Fatal("binary ads response must carry a non-nil (possibly empty) ads slice")
+	}
+}
+
+// TestBinaryErrorEnvelope requires error responses to honour the
+// negotiated codec: a binary client's validation failure arrives as a
+// framed ErrorResponse, a JSON client's as the legacy JSON object.
+func TestBinaryErrorEnvelope(t *testing.T) {
+	f := newFixture(t)
+	resp := postWire(t, f.server.URL+"/v1/report", &ReportRequest{Pos: geo.Point{X: 1}}, wire.ContentType, "")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, wire.ContentType) {
+		t.Fatalf("error content type = %q, want binary", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env wire.ErrorResponse
+	if err := wire.Decode(body, &env); err != nil {
+		t.Fatalf("decoding binary error envelope: %v", err)
+	}
+	if env.Error != "user_id is required" {
+		t.Fatalf("error message = %q", env.Error)
+	}
+}
+
+// TestBinaryStats checks GET negotiation: Accept alone flips /v1/stats
+// to binary frames.
+func TestBinaryStats(t *testing.T) {
+	f := newFixture(t)
+	resp := postWire(t, f.server.URL+"/v1/report", &ReportRequest{UserID: "s", Pos: geo.Point{X: 5, Y: 5}}, wire.ContentType, "")
+	resp.Body.Close()
+
+	req, err := http.NewRequest(http.MethodGet, f.server.URL+"/v1/stats", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", wire.ContentType)
+	sresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	body, err := io.ReadAll(sresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	if err := wire.Decode(body, &stats); err != nil {
+		t.Fatalf("decoding binary stats: %v", err)
+	}
+	if stats.Users != 1 {
+		t.Fatalf("stats users = %d, want 1", stats.Users)
+	}
+}
+
+// TestWireMetricsCount checks the wire_requests_total and decode-error
+// counters follow the negotiated codecs.
+func TestWireMetricsCount(t *testing.T) {
+	f := newMetricsFixture(t)
+	reqs := func(codec Codec) uint64 {
+		return f.srv.Registry().Counter("wire_requests_total", "", telemetry.L("codec", codec.String())).Value()
+	}
+	decErrs := func(codec Codec) uint64 {
+		return f.srv.Registry().Counter("wire_decode_errors_total", "", telemetry.L("codec", codec.String())).Value()
+	}
+
+	resp := postWire(t, f.ts.URL+"/v1/report", &ReportRequest{UserID: "m", Pos: geo.Point{X: 1}}, wire.ContentType, "")
+	resp.Body.Close()
+	resp = f.post(t, "/v1/report", ReportRequest{UserID: "m", Pos: geo.Point{X: 1}})
+	resp.Body.Close()
+	if got := reqs(CodecBinary); got != 1 {
+		t.Fatalf("binary requests = %d, want 1", got)
+	}
+	if got := reqs(CodecJSON); got != 1 {
+		t.Fatalf("json requests = %d, want 1", got)
+	}
+
+	// A garbage binary frame counts one binary decode error.
+	req, err := http.NewRequest(http.MethodPost, f.ts.URL+"/v1/report", bytes.NewReader([]byte("not a frame")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", wire.ContentType)
+	bresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage frame status = %d", bresp.StatusCode)
+	}
+	if got := decErrs(CodecBinary); got != 1 {
+		t.Fatalf("binary decode errors = %d, want 1", got)
+	}
+	if got := decErrs(CodecJSON); got != 0 {
+		t.Fatalf("json decode errors = %d, want 0", got)
+	}
+}

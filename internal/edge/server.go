@@ -26,6 +26,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/telemetry"
 	"repro/internal/tracing"
+	"repro/internal/wire"
 )
 
 // AdProvider is the untrusted LBA service the edge forwards obfuscated
@@ -71,6 +72,11 @@ type Server struct {
 	// disables tracing); without it NewServer builds a default tracer
 	// seeded from the engine.
 	tracerSet bool
+
+	// wireReqs / wireDecodeErrs count serving-path requests and body
+	// decode failures per codec, indexed by Codec.
+	wireReqs       [2]*telemetry.Counter
+	wireDecodeErrs [2]*telemetry.Counter
 }
 
 // ServerOption customises a Server.
@@ -129,6 +135,12 @@ func NewServer(engine *core.Engine, provider AdProvider, clock Clock, logger *sl
 	}
 	s.inFlight = reg.Gauge(metricHTTPInFlight, "HTTP requests currently being served.")
 	s.providerTimeouts = reg.Counter("edge_provider_timeouts_total", "AdProvider calls abandoned at the timeout and served as degraded empty-ads responses.")
+	// Both codec series are pre-created so the exposition always carries
+	// them, even before the first binary (or JSON) client connects.
+	for _, c := range []Codec{CodecJSON, CodecBinary} {
+		s.wireReqs[c] = reg.Counter("wire_requests_total", "Serving-path requests by negotiated response codec.", telemetry.L("codec", c.String()))
+		s.wireDecodeErrs[c] = reg.Counter("wire_decode_errors_total", "Serving-path request bodies that failed to decode, by request codec.", telemetry.L("codec", c.String()))
+	}
 	engine.Instrument(reg)
 	mux := http.NewServeMux()
 	routes := []struct {
@@ -208,41 +220,26 @@ func (s *Server) log(ctx context.Context, level slog.Level, msg string, args ...
 	s.logger.Log(ctx, level, msg, args...)
 }
 
-// ReportRequest is the body of POST /v1/report.
-type ReportRequest struct {
-	UserID string    `json:"user_id"`
-	Pos    geo.Point `json:"pos"`
-	// Time is optional; zero means "now" at the edge.
-	Time time.Time `json:"time,omitempty"`
-}
-
-// AdsRequest is the body of POST /v1/ads.
-type AdsRequest struct {
-	UserID string    `json:"user_id"`
-	Pos    geo.Point `json:"pos"`
-	Limit  int       `json:"limit,omitempty"`
-}
-
-// AdsResponse is the body returned by POST /v1/ads.
-type AdsResponse struct {
-	// Ads are the provider's matches filtered to the user's true AOI.
-	Ads []adnet.Ad `json:"ads"`
-	// Reported is the obfuscated location the edge exposed to the
-	// provider (returned for transparency/debugging; it is already public
-	// to the provider).
-	Reported geo.Point `json:"reported"`
-	// FromTable reports whether the location was served from the
-	// permanent obfuscation table (top location) or freshly noised
-	// (nomadic).
-	FromTable bool `json:"from_table"`
-	// Fetched is the number of ads returned by the provider before AOI
-	// filtering.
-	Fetched int `json:"fetched"`
-	// Degraded reports that the provider call was abandoned at the
-	// configured timeout and the empty ad list is a degraded answer, not
-	// a genuine no-match.
-	Degraded bool `json:"degraded,omitempty"`
-}
+// The serving-path message types live in internal/wire, which defines
+// both their JSON tags and their binary encodings; the aliases keep this
+// package's exported API unchanged. Control-plane types (rebuild,
+// profile, privacy, fingerprint) stay JSON-only and are defined below.
+type (
+	// ReportRequest is the body of POST /v1/report.
+	ReportRequest = wire.ReportRequest
+	// ReportBatchRequest is the body of POST /v1/report/batch.
+	ReportBatchRequest = wire.ReportBatchRequest
+	// BatchItemError is one rejected entry of a batch response.
+	BatchItemError = wire.BatchItemError
+	// ReportBatchResponse is the body returned by POST /v1/report/batch.
+	ReportBatchResponse = wire.ReportBatchResponse
+	// AdsRequest is the body of POST /v1/ads.
+	AdsRequest = wire.AdsRequest
+	// AdsResponse is the body returned by POST /v1/ads.
+	AdsResponse = wire.AdsResponse
+	// StatsResponse is the body of GET /v1/stats.
+	StatsResponse = wire.StatsResponse
+)
 
 // RebuildRequest is the body of POST /v1/rebuild.
 type RebuildRequest struct {
@@ -269,11 +266,6 @@ type PrivacyResponse struct {
 	UserID  string  `json:"user_id"`
 	Epsilon float64 `json:"epsilon"`
 	Delta   float64 `json:"delta"`
-}
-
-// errorResponse is the JSON error envelope.
-type errorResponse struct {
-	Error string `json:"error"`
 }
 
 // jsonBuf pairs a reusable buffer with a JSON encoder bound to it, so
@@ -315,37 +307,56 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, status, wire.ErrorResponse{Error: err.Error()})
 }
 
 // bodyBufPool recycles request-body read buffers for decodeBody.
 var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	return decodeBodyLimit(w, r, v, 1<<20)
-}
+// maxRequestBody bounds single-message request bodies.
+const maxRequestBody = 1 << 20
 
-// decodeBodyLimit reads the request body (bounded at limit bytes)
-// through a pooled buffer and decodes it strictly. Pooling the read
-// buffer keeps the per-request allocation profile flat even for large
-// batch payloads, which would otherwise regrow a decoder's internal
-// buffer on every request.
-func decodeBodyLimit(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
-	buf := bodyBufPool.Get().(*bytes.Buffer)
+// readBodyBuf reads the request body (bounded at limit bytes) into a
+// pooled buffer; release returns the buffer to the pool. Pooling the
+// read buffer keeps the per-request allocation profile flat even for
+// large batch payloads, which would otherwise regrow a decoder's
+// internal buffer on every request.
+func readBodyBuf(w http.ResponseWriter, r *http.Request, limit int64) (buf *bytes.Buffer, release func(), err error) {
+	buf = bodyBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
-	defer func() {
+	release = func() {
 		if buf.Cap() <= maxPooledBuf {
 			bodyBufPool.Put(buf)
 		}
-	}()
-	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, limit)); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
-		return false
 	}
-	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, limit)); err != nil {
+		release()
+		return nil, nil, fmt.Errorf("reading request: %w", err)
+	}
+	return buf, release, nil
+}
+
+// decodeJSONStrict decodes data into v, rejecting unknown fields.
+func decodeJSONStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+// decodeBody is the JSON-only decode path used by the control-plane
+// routes (rebuild and friends), which are not wire-negotiated.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	buf, release, err := readBodyBuf(w, r, maxRequestBody)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	defer release()
+	if err := decodeJSONStrict(buf.Bytes(), v); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return false
 	}
 	return true
@@ -356,12 +367,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	reqCodec, respCodec := s.negotiate(r)
 	var req ReportRequest
-	if !decodeBody(w, r, &req) {
+	if !s.readBody(w, r, reqCodec, respCodec, &req, maxRequestBody) {
 		return
 	}
 	if req.UserID == "" {
-		writeError(w, http.StatusBadRequest, errors.New("user_id is required"))
+		WriteCodecError(w, respCodec, http.StatusBadRequest, errors.New("user_id is required"))
 		return
 	}
 	at := req.Time
@@ -370,34 +382,10 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.engine.ReportCtx(r.Context(), req.UserID, req.Pos, at); err != nil {
 		s.log(r.Context(), slog.LevelError, "report failed", "user", req.UserID, "err", err)
-		writeError(w, http.StatusInternalServerError, err)
+		WriteCodecError(w, respCodec, http.StatusInternalServerError, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
-}
-
-// ReportBatchRequest is the body of POST /v1/report/batch: many
-// check-ins in one round-trip (ad SDKs piggyback several location fixes
-// per session; shipping them one HTTP call at a time wastes most of the
-// serving budget on connection and framing overhead).
-type ReportBatchRequest struct {
-	Reports []ReportRequest `json:"reports"`
-}
-
-// BatchItemError is one rejected entry of a batch: Index is the entry's
-// position in the request's reports array.
-type BatchItemError struct {
-	Index int    `json:"index"`
-	Error string `json:"error"`
-}
-
-// ReportBatchResponse is the body returned by POST /v1/report/batch.
-// Malformed or failing entries are rejected individually — the rest of
-// the batch is still ingested — so clients can retry or drop exactly the
-// entries that failed.
-type ReportBatchResponse struct {
-	Accepted int              `json:"accepted"`
-	Errors   []BatchItemError `json:"errors,omitempty"`
 }
 
 // maxBatchBody bounds POST /v1/report/batch bodies; batches are bigger
@@ -405,12 +393,13 @@ type ReportBatchResponse struct {
 const maxBatchBody = 8 << 20
 
 func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
+	reqCodec, respCodec := s.negotiate(r)
 	var req ReportBatchRequest
-	if !decodeBodyLimit(w, r, &req, maxBatchBody) {
+	if !s.readBody(w, r, reqCodec, respCodec, &req, maxBatchBody) {
 		return
 	}
 	if len(req.Reports) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("reports must be non-empty"))
+		WriteCodecError(w, respCodec, http.StatusBadRequest, errors.New("reports must be non-empty"))
 		return
 	}
 
@@ -435,19 +424,20 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
 		itemErrs = append(itemErrs, BatchItemError{Index: origIndex[be.Index], Error: be.Err.Error()})
 	}
 	sort.Slice(itemErrs, func(a, b int) bool { return itemErrs[a].Index < itemErrs[b].Index })
-	writeJSON(w, http.StatusOK, ReportBatchResponse{
+	WriteMessage(w, respCodec, http.StatusOK, &ReportBatchResponse{
 		Accepted: len(req.Reports) - len(itemErrs),
 		Errors:   itemErrs,
 	})
 }
 
 func (s *Server) handleAds(w http.ResponseWriter, r *http.Request) {
+	reqCodec, respCodec := s.negotiate(r)
 	var req AdsRequest
-	if !decodeBody(w, r, &req) {
+	if !s.readBody(w, r, reqCodec, respCodec, &req, maxRequestBody) {
 		return
 	}
 	if req.UserID == "" {
-		writeError(w, http.StatusBadRequest, errors.New("user_id is required"))
+		WriteCodecError(w, respCodec, http.StatusBadRequest, errors.New("user_id is required"))
 		return
 	}
 
@@ -456,14 +446,14 @@ func (s *Server) handleAds(w http.ResponseWriter, r *http.Request) {
 	at := s.clock()
 	if err := s.engine.ReportCtx(r.Context(), req.UserID, req.Pos, at); err != nil {
 		s.log(r.Context(), slog.LevelError, "ads implicit report failed", "user", req.UserID, "err", err)
-		writeError(w, http.StatusInternalServerError, err)
+		WriteCodecError(w, respCodec, http.StatusInternalServerError, err)
 		return
 	}
 
 	obfuscated, fromTable, err := s.engine.RequestCtx(r.Context(), req.UserID, req.Pos)
 	if err != nil {
 		s.log(r.Context(), slog.LevelError, "ads output selection failed", "user", req.UserID, "err", err)
-		writeError(w, http.StatusInternalServerError, err)
+		WriteCodecError(w, respCodec, http.StatusInternalServerError, err)
 		return
 	}
 
@@ -472,7 +462,7 @@ func (s *Server) handleAds(w http.ResponseWriter, r *http.Request) {
 	if degraded {
 		s.log(r.Context(), slog.LevelWarn, "provider timeout, serving degraded response",
 			"user", req.UserID, "timeout", s.providerTimeout)
-		writeJSON(w, http.StatusOK, AdsResponse{
+		WriteMessage(w, respCodec, http.StatusOK, &AdsResponse{
 			Ads:       []adnet.Ad{},
 			Reported:  obfuscated,
 			FromTable: fromTable,
@@ -481,8 +471,9 @@ func (s *Server) handleAds(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// The AOI filter runs on pooled scratch slices: writeJSON serialises
-	// synchronously before the scratch is returned, so nothing escapes.
+	// The AOI filter runs on pooled scratch slices: WriteMessage
+	// serialises synchronously before the scratch is returned, so
+	// nothing escapes.
 	sc := adsScratchPool.Get().(*adsScratch)
 	sc.locs = sc.locs[:0]
 	sc.keep = sc.keep[:0]
@@ -495,7 +486,7 @@ func (s *Server) handleAds(w http.ResponseWriter, r *http.Request) {
 		sc.filtered = append(sc.filtered, ads[i])
 	}
 
-	writeJSON(w, http.StatusOK, AdsResponse{
+	WriteMessage(w, respCodec, http.StatusOK, &AdsResponse{
 		Ads:       sc.filtered,
 		Reported:  obfuscated,
 		FromTable: fromTable,
@@ -600,18 +591,14 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// StatsResponse is the body of GET /v1/stats.
-type StatsResponse struct {
-	Users          int `json:"users"`
-	ProtectedTops  int `json:"protected_tops"`
-	TotalCandidate int `json:"total_candidates"`
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// A GET carries no body, so negotiation reduces to the Accept header
+	// (absent Accept means JSON — GETs have no request codec to mirror).
+	_, respCodec := s.negotiate(r)
 	// Served from the engine's always-on atomic aggregates: O(1), no
 	// engine locks, no walk over users and tables.
 	st := s.engine.Stats()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	WriteMessage(w, respCodec, http.StatusOK, &StatsResponse{
 		Users:          st.Users,
 		ProtectedTops:  st.ProtectedTops,
 		TotalCandidate: st.Candidates,

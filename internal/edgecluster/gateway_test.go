@@ -1,0 +1,224 @@
+package edgecluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/edge"
+	"repro/internal/geo"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+func newGatewayFixture(t *testing.T) (*Cluster, *httptest.Server, *telemetry.Registry) {
+	t.Helper()
+	c, err := New(testClusterConfig(t, threeEdges()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGateway(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	g.Instrument(reg)
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(ts.Close)
+	return c, ts, reg
+}
+
+func gatewayPost(t *testing.T, url string, m wire.Message, contentType, accept string) *http.Response {
+	t.Helper()
+	var payload []byte
+	if contentType == wire.ContentType {
+		payload = wire.Encode(m)
+	} else {
+		var err error
+		if payload, err = json.Marshal(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", contentType)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeGatewayBatch(t *testing.T, resp *http.Response) edge.ReportBatchResponse {
+	t.Helper()
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out edge.ReportBatchResponse
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), wire.ContentType) {
+		if err := wire.Decode(body, &out); err != nil {
+			t.Fatalf("binary decode: %v", err)
+		}
+	} else if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("json decode: %v", err)
+	}
+	return out
+}
+
+// TestGatewayBatchCodecsAcrossFailover drives the same mixed batch — items
+// routing to different nodes, one routed past a down node, one with no
+// user id, one outside every coverage circle — through the gateway in both
+// codecs, and requires identical semantic results with the response framed
+// in the negotiated codec and error indexes in the client's original order.
+func TestGatewayBatchCodecsAcrossFailover(t *testing.T) {
+	cluster, ts, _ := newGatewayFixture(t)
+	if err := cluster.MarkDown(0); err != nil {
+		t.Fatal(err)
+	}
+	batch := &edge.ReportBatchRequest{Reports: []edge.ReportRequest{
+		{UserID: "roamer", Pos: geo.Point{X: 10_000, Y: 0}},   // edge 0 down -> fails over to edge 1
+		{Pos: geo.Point{X: 0, Y: 20_000}},                     // rejected: no user_id
+		{UserID: "roamer", Pos: geo.Point{X: 20_000, Y: 0}},   // edge 1 directly
+		{UserID: "lost", Pos: geo.Point{X: 500_000, Y: 0}},    // outside every coverage circle
+		{UserID: "roamer", Pos: geo.Point{X: 100, Y: 20_000}}, // edge 2
+	}}
+	for _, codec := range []string{"application/json", wire.ContentType} {
+		resp := gatewayPost(t, ts.URL+"/v1/report/batch", batch, codec, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("codec %s: status = %d", codec, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, codec) {
+			t.Fatalf("codec %s: response content type = %q", codec, ct)
+		}
+		out := decodeGatewayBatch(t, resp)
+		if out.Accepted != 3 || len(out.Errors) != 2 {
+			t.Fatalf("codec %s: batch response = %+v, want 3 accepted / 2 errors", codec, out)
+		}
+		if out.Errors[0].Index != 1 || out.Errors[0].Error != "user_id is required" {
+			t.Fatalf("codec %s: first error = %+v", codec, out.Errors[0])
+		}
+		if out.Errors[1].Index != 3 || !strings.Contains(out.Errors[1].Error, "no edge covers") {
+			t.Fatalf("codec %s: second error = %+v", codec, out.Errors[1])
+		}
+	}
+	// The failed-over item must have landed on a live node, not the down one.
+	if got := cluster.Nodes()[0].Engine.Stats().Users; got != 0 {
+		t.Fatalf("down node ingested %d users", got)
+	}
+}
+
+// TestGatewaySingleReportAndStats covers the binary single-report path
+// and Accept-negotiated stats aggregation over every node.
+func TestGatewaySingleReportAndStats(t *testing.T) {
+	_, ts, reg := newGatewayFixture(t)
+	for _, rr := range []edge.ReportRequest{
+		{UserID: "u0", Pos: geo.Point{X: 0, Y: 0}},
+		{UserID: "u1", Pos: geo.Point{X: 20_000, Y: 0}},
+	} {
+		resp := gatewayPost(t, ts.URL+"/v1/report", &rr, wire.ContentType, "")
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("binary report status = %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/stats", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", wire.ContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats edge.StatsResponse
+	if err := wire.Decode(body, &stats); err != nil {
+		t.Fatalf("decoding binary stats: %v", err)
+	}
+	if stats.Users != 2 {
+		t.Fatalf("aggregated users = %d, want 2", stats.Users)
+	}
+
+	binReqs := reg.Counter("wire_requests_total", "", telemetry.L("codec", "binary")).Value()
+	if binReqs != 3 { // two reports + one stats
+		t.Fatalf("wire_requests_total{codec=binary} = %d, want 3", binReqs)
+	}
+}
+
+// TestGatewayErrorsAndHealth pins the unavailable/decode error envelopes
+// and the health endpoint's live-edge count.
+func TestGatewayErrorsAndHealth(t *testing.T) {
+	cluster, ts, reg := newGatewayFixture(t)
+
+	// No coverage -> 503 framed in the request's codec.
+	resp := gatewayPost(t, ts.URL+"/v1/report",
+		&edge.ReportRequest{UserID: "far", Pos: geo.Point{X: 900_000, Y: 0}}, wire.ContentType, "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("uncovered report status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env wire.ErrorResponse
+	if err := wire.Decode(body, &env); err != nil {
+		t.Fatalf("decoding binary 503 envelope: %v", err)
+	}
+	if !strings.Contains(env.Error, "no edge covers") {
+		t.Fatalf("503 error = %q", env.Error)
+	}
+
+	// A garbage binary frame counts one decode error.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/report", bytes.NewReader([]byte("junk")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", wire.ContentType)
+	bresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage frame status = %d", bresp.StatusCode)
+	}
+	if got := reg.Counter("wire_decode_errors_total", "", telemetry.L("codec", "binary")).Value(); got != 1 {
+		t.Fatalf("wire_decode_errors_total{codec=binary} = %d, want 1", got)
+	}
+
+	if err := cluster.MarkDown(2); err != nil {
+		t.Fatal(err)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var health struct {
+		Status    string `json:"status"`
+		LiveEdges int    `json:"live_edges"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.LiveEdges != 2 {
+		t.Fatalf("health = %+v, want ok with 2 live edges", health)
+	}
+}

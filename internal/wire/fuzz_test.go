@@ -1,0 +1,340 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/adnet"
+	"repro/internal/geo"
+	"repro/internal/randx"
+)
+
+// messageTypes enumerates every serving-path message; the fuzz and
+// property tests below run each check over all of them.
+var messageTypes = []struct {
+	name string
+	new  func() Message
+}{
+	{"report", func() Message { return &ReportRequest{} }},
+	{"report_batch", func() Message { return &ReportBatchRequest{} }},
+	{"report_batch_response", func() Message { return &ReportBatchResponse{} }},
+	{"ads_request", func() Message { return &AdsRequest{} }},
+	{"ads_response", func() Message { return &AdsResponse{} }},
+	{"stats", func() Message { return &StatsResponse{} }},
+	{"error", func() Message { return &ErrorResponse{} }},
+}
+
+// genString draws a short ASCII string (JSON-marshalable without
+// replacement characters, so binary and JSON round trips can be
+// compared for struct equality).
+func genString(rnd *randx.Rand) string {
+	const charset = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _-/.:,!?\"\\{}"
+	n := rnd.IntN(24)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = charset[rnd.IntN(len(charset))]
+	}
+	return string(b)
+}
+
+// genFloat draws a finite float (JSON cannot carry NaN/Inf), mixing
+// plain coordinates with exact integers and negative values.
+func genFloat(rnd *randx.Rand) float64 {
+	switch rnd.IntN(4) {
+	case 0:
+		return 0
+	case 1:
+		return float64(rnd.IntN(2_000_000) - 1_000_000)
+	default:
+		return (rnd.Float64() - 0.5) * 2e6
+	}
+}
+
+func genPoint(rnd *randx.Rand) geo.Point {
+	return geo.Point{X: genFloat(rnd), Y: genFloat(rnd)}
+}
+
+// genTime draws either the zero time or a UTC instant with nanoseconds
+// in the RFC 3339-representable year range. UTC matters: the binary
+// codec normalizes decoded times to UTC, and JSON round-trips "Z"
+// timestamps back to UTC, so generated values compare equal under
+// reflect.DeepEqual after either codec.
+func genTime(rnd *randx.Rand) time.Time {
+	if rnd.IntN(4) == 0 {
+		return time.Time{}
+	}
+	sec := int64(rnd.IntN(4_000_000_000)) - 1_000_000_000 // ~1938..2096
+	return time.Unix(sec, int64(rnd.IntN(1_000_000_000))).UTC()
+}
+
+func genInt(rnd *randx.Rand) int {
+	return rnd.IntN(1_000_000) - 500_000
+}
+
+func genReport(rnd *randx.Rand) ReportRequest {
+	return ReportRequest{UserID: genString(rnd), Pos: genPoint(rnd), Time: genTime(rnd)}
+}
+
+// genMessage draws a random value of the given message type. Slices are
+// nil, empty, or populated with roughly equal probability, covering the
+// nil-preservation encoding.
+func genMessage(rnd *randx.Rand, name string) Message {
+	genReports := func() []ReportRequest {
+		switch rnd.IntN(3) {
+		case 0:
+			return nil
+		case 1:
+			return []ReportRequest{}
+		}
+		out := make([]ReportRequest, 1+rnd.IntN(8))
+		for i := range out {
+			out[i] = genReport(rnd)
+		}
+		return out
+	}
+	switch name {
+	case "report":
+		r := genReport(rnd)
+		return &r
+	case "report_batch":
+		return &ReportBatchRequest{Reports: genReports()}
+	case "report_batch_response":
+		m := &ReportBatchResponse{Accepted: genInt(rnd)}
+		// Errors carries json omitempty, which collapses a non-nil empty
+		// slice to nil across a JSON round trip; the server only ever
+		// produces nil or populated, so the generator does too.
+		if rnd.IntN(2) == 0 {
+			m.Errors = make([]BatchItemError, 1+rnd.IntN(6))
+			for i := range m.Errors {
+				m.Errors[i] = BatchItemError{Index: genInt(rnd), Error: genString(rnd)}
+			}
+		}
+		return m
+	case "ads_request":
+		return &AdsRequest{UserID: genString(rnd), Pos: genPoint(rnd), Limit: genInt(rnd)}
+	case "ads_response":
+		m := &AdsResponse{
+			Reported:  genPoint(rnd),
+			FromTable: rnd.IntN(2) == 0,
+			Fetched:   genInt(rnd),
+			Degraded:  rnd.IntN(2) == 0,
+		}
+		switch rnd.IntN(3) {
+		case 0:
+			m.Ads = nil
+		case 1:
+			m.Ads = []adnet.Ad{}
+		default:
+			m.Ads = make([]adnet.Ad, 1+rnd.IntN(6))
+			for i := range m.Ads {
+				m.Ads[i] = adnet.Ad{ID: genString(rnd), Title: genString(rnd), Location: genPoint(rnd)}
+			}
+		}
+		return m
+	case "stats":
+		return &StatsResponse{Users: genInt(rnd), ProtectedTops: genInt(rnd), TotalCandidate: genInt(rnd)}
+	case "error":
+		return &ErrorResponse{Error: genString(rnd)}
+	}
+	panic("unknown message type " + name)
+}
+
+// FuzzRoundTrip drives the structured properties from a fuzzer-chosen
+// seed: for every message type, (1) binary encode→decode is identity,
+// and (2) decoding the JSON encoding yields the same struct the binary
+// decode yields.
+func FuzzRoundTrip(f *testing.F) {
+	for seed := uint64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		rnd := randx.New(seed, 0x3142)
+		for _, mt := range messageTypes {
+			orig := genMessage(rnd, mt.name)
+			checkRoundTrip(t, mt.name, orig, mt.new)
+		}
+	})
+}
+
+func checkRoundTrip(t *testing.T, name string, orig Message, fresh func() Message) {
+	t.Helper()
+	// Binary round trip is identity.
+	frame := Encode(orig)
+	binDecoded := fresh()
+	if err := Decode(frame, binDecoded); err != nil {
+		t.Fatalf("%s: binary decode: %v (value %+v)", name, err, orig)
+	}
+	if !reflect.DeepEqual(orig, binDecoded) {
+		t.Fatalf("%s: binary round trip not identity:\n orig: %+v\n got:  %+v", name, orig, binDecoded)
+	}
+	// JSON and binary decodes of the same value agree struct-for-struct.
+	jsonBytes, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatalf("%s: json marshal: %v", name, err)
+	}
+	jsonDecoded := fresh()
+	if err := json.Unmarshal(jsonBytes, jsonDecoded); err != nil {
+		t.Fatalf("%s: json unmarshal: %v", name, err)
+	}
+	if !reflect.DeepEqual(jsonDecoded, binDecoded) {
+		t.Fatalf("%s: codecs disagree:\n json:   %+v\n binary: %+v", name, jsonDecoded, binDecoded)
+	}
+	// Appending to a dirty buffer produces the same frame.
+	prefixed := Append([]byte("junk-prefix"), orig)
+	if !bytes.Equal(prefixed[len("junk-prefix"):], frame) {
+		t.Fatalf("%s: Append onto a prefix diverges from Encode", name)
+	}
+}
+
+// TestRoundTripSeeds runs the seed corpus through plain `go test` with
+// many more draws per type than one fuzz execution.
+func TestRoundTripSeeds(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		rnd := randx.New(seed, 0x3142)
+		for _, mt := range messageTypes {
+			checkRoundTrip(t, mt.name, genMessage(rnd, mt.name), mt.new)
+		}
+	}
+}
+
+// FuzzDecodeArbitrary throws raw bytes at every message decoder. The
+// decoder must never panic or over-allocate; when it accepts the input,
+// re-encoding the decoded value must produce a frame that decodes to the
+// same value again (byte-compared through a second encode, which also
+// holds for NaN floats where DeepEqual would not).
+func FuzzDecodeArbitrary(f *testing.F) {
+	for _, mt := range messageTypes {
+		rnd := randx.New(7, 0x3142)
+		f.Add(Encode(genMessage(rnd, mt.name)))
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, mt := range messageTypes {
+			m := mt.new()
+			if err := Decode(data, m); err != nil {
+				continue
+			}
+			first := Encode(m)
+			m2 := mt.new()
+			if err := Decode(first, m2); err != nil {
+				t.Fatalf("%s: re-decode of canonical frame failed: %v", mt.name, err)
+			}
+			if second := Encode(m2); !bytes.Equal(first, second) {
+				t.Fatalf("%s: canonical encoding unstable:\n first:  %x\n second: %x", mt.name, first, second)
+			}
+		}
+	})
+}
+
+// TestDecodeRejectsCorruption pins the error taxonomy: truncation,
+// flipped payload bits, wrong version, and mismatched type each fail
+// with their dedicated sentinel.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	orig := &ReportRequest{UserID: "u1", Pos: geo.Point{X: 1, Y: 2}, Time: time.Unix(1609459200, 0).UTC()}
+	frame := Encode(orig)
+
+	for cut := 0; cut < len(frame); cut++ {
+		if err := Decode(frame[:cut], &ReportRequest{}); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(frame))
+		}
+	}
+	for i := headerSize; i < len(frame); i++ {
+		bad := bytes.Clone(frame)
+		bad[i] ^= 0x40
+		err := Decode(bad, &ReportRequest{})
+		if err == nil {
+			t.Fatalf("bit flip at %d accepted", i)
+		}
+		if !errors.Is(err, ErrChecksum) {
+			t.Fatalf("bit flip at %d: got %v, want checksum mismatch", i, err)
+		}
+	}
+	if err := Decode(frame, &AdsRequest{}); !errors.Is(err, ErrType) {
+		t.Fatalf("wrong message type: got %v, want ErrType", err)
+	}
+
+	// A frame with a bad version but a valid checksum.
+	payload := bytes.Clone(frame[headerSize:])
+	payload[0] = Version + 1
+	bad := make([]byte, headerSize, headerSize+len(payload))
+	bad = append(bad, payload...)
+	writeHeader(bad)
+	if err := Decode(bad, &ReportRequest{}); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: got %v, want ErrVersion", err)
+	}
+	// Trailing garbage inside a checksummed payload.
+	payload = append(bytes.Clone(frame[headerSize:]), 0xAB)
+	bad = append(make([]byte, headerSize, headerSize+len(payload)), payload...)
+	writeHeader(bad)
+	if err := Decode(bad, &ReportRequest{}); !errors.Is(err, ErrBody) {
+		t.Fatalf("trailing bytes: got %v, want ErrBody", err)
+	}
+	// An oversized length prefix must be rejected before any allocation.
+	huge := make([]byte, headerSize)
+	huge[0], huge[1], huge[2], huge[3] = 0xFF, 0xFF, 0xFF, 0x7F
+	if err := Decode(huge, &ReportRequest{}); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversized prefix: got %v, want ErrFrame", err)
+	}
+}
+
+// writeHeader stamps the length and CRC header of a hand-built frame.
+func writeHeader(frame []byte) {
+	payload := frame[headerSize:]
+	frame[0] = byte(len(payload))
+	frame[1] = byte(len(payload) >> 8)
+	frame[2] = byte(len(payload) >> 16)
+	frame[3] = byte(len(payload) >> 24)
+	sum := crc32.ChecksumIEEE(payload)
+	frame[4] = byte(sum)
+	frame[5] = byte(sum >> 8)
+	frame[6] = byte(sum >> 16)
+	frame[7] = byte(sum >> 24)
+}
+
+// TestTimeNormalization documents the one intentional lossy edge: a
+// non-UTC time decodes to the same instant in UTC.
+func TestTimeNormalization(t *testing.T) {
+	loc := time.FixedZone("UTC+7", 7*3600)
+	orig := &ReportRequest{UserID: "u", Time: time.Unix(1700000000, 123).In(loc)}
+	var got ReportRequest
+	if err := Decode(Encode(orig), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Time.Equal(orig.Time) {
+		t.Fatalf("instant changed: %v -> %v", orig.Time, got.Time)
+	}
+	if got.Time.Location() != time.UTC {
+		t.Fatalf("location = %v, want UTC", got.Time.Location())
+	}
+}
+
+// TestFrameOverhead pins the size win the protocol exists for: a
+// 64-report binary batch must be several times smaller than its JSON
+// encoding.
+func TestFrameOverhead(t *testing.T) {
+	rnd := randx.New(1, 0xBEEF)
+	batch := &ReportBatchRequest{Reports: make([]ReportRequest, 64)}
+	for i := range batch.Reports {
+		batch.Reports[i] = ReportRequest{
+			UserID: fmt.Sprintf("user-%04d", i),
+			Pos:    genPoint(rnd),
+			Time:   genTime(rnd),
+		}
+	}
+	bin := Encode(batch)
+	js, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(len(js)) / float64(len(bin)); ratio < 2 {
+		t.Fatalf("binary batch only %.2fx smaller than JSON (%d vs %d bytes)", ratio, len(bin), len(js))
+	}
+	t.Logf("64-report batch: binary %d bytes, JSON %d bytes", len(bin), len(js))
+}

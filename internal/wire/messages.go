@@ -1,0 +1,217 @@
+package wire
+
+import (
+	"time"
+
+	"repro/internal/adnet"
+	"repro/internal/geo"
+)
+
+// The serving-path message types. These are the canonical definitions:
+// internal/edge aliases them (type ReportRequest = wire.ReportRequest)
+// so the HTTP layer's exported API is unchanged while both codecs share
+// one struct per message. JSON tags define the legacy encoding; the
+// methods below define the binary one.
+
+// ReportRequest is the body of POST /v1/report.
+type ReportRequest struct {
+	UserID string    `json:"user_id"`
+	Pos    geo.Point `json:"pos"`
+	// Time is optional; zero means "now" at the edge.
+	Time time.Time `json:"time,omitempty"`
+}
+
+func (*ReportRequest) wireType() byte { return typeReport }
+
+func (m *ReportRequest) appendBody(dst []byte) []byte {
+	dst = appendString(dst, m.UserID)
+	dst = appendPoint(dst, m.Pos)
+	return appendTime(dst, m.Time)
+}
+
+func (m *ReportRequest) readBody(r *reader) {
+	m.UserID = r.str()
+	m.Pos = r.point()
+	m.Time = r.time()
+}
+
+// ReportBatchRequest is the body of POST /v1/report/batch: many
+// check-ins in one round-trip (ad SDKs piggyback several location fixes
+// per session; shipping them one HTTP call at a time wastes most of the
+// serving budget on connection and framing overhead).
+type ReportBatchRequest struct {
+	Reports []ReportRequest `json:"reports"`
+}
+
+func (*ReportBatchRequest) wireType() byte { return typeReportBatch }
+
+func (m *ReportBatchRequest) appendBody(dst []byte) []byte {
+	dst = appendLen(dst, m.Reports)
+	for i := range m.Reports {
+		dst = m.Reports[i].appendBody(dst)
+	}
+	return dst
+}
+
+func (m *ReportBatchRequest) readBody(r *reader) {
+	n, ok := r.sliceLen()
+	if !ok {
+		m.Reports = nil
+		return
+	}
+	m.Reports = make([]ReportRequest, n)
+	for i := range m.Reports {
+		m.Reports[i].readBody(r)
+	}
+}
+
+// BatchItemError is one rejected entry of a batch: Index is the entry's
+// position in the request's reports array.
+type BatchItemError struct {
+	Index int    `json:"index"`
+	Error string `json:"error"`
+}
+
+// ReportBatchResponse is the body returned by POST /v1/report/batch.
+// Malformed or failing entries are rejected individually — the rest of
+// the batch is still ingested — so clients can retry or drop exactly the
+// entries that failed.
+type ReportBatchResponse struct {
+	Accepted int              `json:"accepted"`
+	Errors   []BatchItemError `json:"errors,omitempty"`
+}
+
+func (*ReportBatchResponse) wireType() byte { return typeReportBatchResponse }
+
+func (m *ReportBatchResponse) appendBody(dst []byte) []byte {
+	dst = appendInt(dst, m.Accepted)
+	dst = appendLen(dst, m.Errors)
+	for i := range m.Errors {
+		dst = appendInt(dst, m.Errors[i].Index)
+		dst = appendString(dst, m.Errors[i].Error)
+	}
+	return dst
+}
+
+func (m *ReportBatchResponse) readBody(r *reader) {
+	m.Accepted = r.int_()
+	n, ok := r.sliceLen()
+	if !ok {
+		m.Errors = nil
+		return
+	}
+	m.Errors = make([]BatchItemError, n)
+	for i := range m.Errors {
+		m.Errors[i].Index = r.int_()
+		m.Errors[i].Error = r.str()
+	}
+}
+
+// AdsRequest is the body of POST /v1/ads.
+type AdsRequest struct {
+	UserID string    `json:"user_id"`
+	Pos    geo.Point `json:"pos"`
+	Limit  int       `json:"limit,omitempty"`
+}
+
+func (*AdsRequest) wireType() byte { return typeAdsRequest }
+
+func (m *AdsRequest) appendBody(dst []byte) []byte {
+	dst = appendString(dst, m.UserID)
+	dst = appendPoint(dst, m.Pos)
+	return appendInt(dst, m.Limit)
+}
+
+func (m *AdsRequest) readBody(r *reader) {
+	m.UserID = r.str()
+	m.Pos = r.point()
+	m.Limit = r.int_()
+}
+
+// AdsResponse is the body returned by POST /v1/ads.
+type AdsResponse struct {
+	// Ads are the provider's matches filtered to the user's true AOI.
+	Ads []adnet.Ad `json:"ads"`
+	// Reported is the obfuscated location the edge exposed to the
+	// provider (returned for transparency/debugging; it is already public
+	// to the provider).
+	Reported geo.Point `json:"reported"`
+	// FromTable reports whether the location was served from the
+	// permanent obfuscation table (top location) or freshly noised
+	// (nomadic).
+	FromTable bool `json:"from_table"`
+	// Fetched is the number of ads returned by the provider before AOI
+	// filtering.
+	Fetched int `json:"fetched"`
+	// Degraded reports that the provider call was abandoned at the
+	// configured timeout and the empty ad list is a degraded answer, not
+	// a genuine no-match.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+func (*AdsResponse) wireType() byte { return typeAdsResponse }
+
+func (m *AdsResponse) appendBody(dst []byte) []byte {
+	dst = appendLen(dst, m.Ads)
+	for i := range m.Ads {
+		dst = appendString(dst, m.Ads[i].ID)
+		dst = appendString(dst, m.Ads[i].Title)
+		dst = appendPoint(dst, m.Ads[i].Location)
+	}
+	dst = appendPoint(dst, m.Reported)
+	dst = appendBool(dst, m.FromTable)
+	dst = appendInt(dst, m.Fetched)
+	return appendBool(dst, m.Degraded)
+}
+
+func (m *AdsResponse) readBody(r *reader) {
+	n, ok := r.sliceLen()
+	if !ok {
+		m.Ads = nil
+	} else {
+		m.Ads = make([]adnet.Ad, n)
+		for i := range m.Ads {
+			m.Ads[i].ID = r.str()
+			m.Ads[i].Title = r.str()
+			m.Ads[i].Location = r.point()
+		}
+	}
+	m.Reported = r.point()
+	m.FromTable = r.bool_()
+	m.Fetched = r.int_()
+	m.Degraded = r.bool_()
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Users          int `json:"users"`
+	ProtectedTops  int `json:"protected_tops"`
+	TotalCandidate int `json:"total_candidates"`
+}
+
+func (*StatsResponse) wireType() byte { return typeStats }
+
+func (m *StatsResponse) appendBody(dst []byte) []byte {
+	dst = appendInt(dst, m.Users)
+	dst = appendInt(dst, m.ProtectedTops)
+	return appendInt(dst, m.TotalCandidate)
+}
+
+func (m *StatsResponse) readBody(r *reader) {
+	m.Users = r.int_()
+	m.ProtectedTops = r.int_()
+	m.TotalCandidate = r.int_()
+}
+
+// ErrorResponse is the error envelope of every serving-path route, in
+// whichever codec the client negotiated (JSON clients keep receiving
+// the {"error": ...} object unchanged).
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func (*ErrorResponse) wireType() byte { return typeError }
+
+func (m *ErrorResponse) appendBody(dst []byte) []byte { return appendString(dst, m.Error) }
+
+func (m *ErrorResponse) readBody(r *reader) { m.Error = r.str() }

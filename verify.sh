@@ -29,15 +29,18 @@ OUT="$BENCH_SMOKE" BENCH='BenchmarkTrim' BENCHTIME=1x PKGS=./internal/cluster/ .
 go run ./cmd/benchjson -diff "$BENCH_SMOKE" "$BENCH_SMOKE" -threshold 5
 rm -f "$BENCH_SMOKE"
 
-# Smoke the serving path under closed-loop load: a few hundred batched
-# requests against an in-process edge, so every verify exercises the
-# sharded engine, /v1/report/batch, and the pooled handler hot path
-# end to end (the checked-in BENCH_pr4.json is regenerated only by a
-# full SERVING=1 ./bench.sh run). The summary must end with the span-leak
-# gate: every request trace the run opened was also closed.
+# Smoke the serving path under closed-loop load in both wire codecs: a
+# few hundred batched requests against an in-process edge, so every
+# verify exercises the sharded engine, /v1/report/batch, the pooled
+# handler hot path, and the binary frame codec end to end (the
+# checked-in BENCH_pr4.json is regenerated only by a full SERVING=1
+# ./bench.sh run). Each summary must end with the span-leak gate: every
+# request trace the run opened was also closed.
 LOADGEN_OUT="$(mktemp)"
-go run ./cmd/loadgen -users 16 -workers 4 -requests 400 -batch 16 -campaigns 20 | tee "$LOADGEN_OUT"
-grep -q '^tracing: active_spans=0$' "$LOADGEN_OUT"
+for WIRE_CODEC in json binary; do
+    go run ./cmd/loadgen -users 16 -workers 4 -requests 400 -batch 16 -campaigns 20 -wire "$WIRE_CODEC" | tee "$LOADGEN_OUT"
+    grep -q '^tracing: active_spans=0$' "$LOADGEN_OUT"
+done
 rm -f "$LOADGEN_OUT"
 
 # Kill-and-recover smoke: start edged on a WAL data directory with
@@ -71,6 +74,15 @@ while [ "$i" -lt 40 ]; do
 done
 curl -fs -X POST "http://$EDGED_ADDR/v1/rebuild" -d '{"user_id":"smoke"}' >/dev/null
 curl -fs "http://$EDGED_ADDR/metrics" | grep -q '^wal_appends_total [1-9]'
+
+# Mixed-protocol interop smoke: the same live edged instance the JSON
+# curl traffic above drove now takes binary-wire traffic from loadgen.
+# Both codecs share one server, the negotiated-codec counters must show
+# it, and the binary-ingested reports ride through the crash-recovery
+# check below like any JSON ones.
+go run ./cmd/loadgen -users 8 -workers 2 -requests 200 -batch 8 -mix 1:0 -wire binary -addr "http://$EDGED_ADDR" >/dev/null
+curl -fs "http://$EDGED_ADDR/metrics" | grep -q 'wire_requests_total{codec="binary"} [1-9]'
+curl -fs "http://$EDGED_ADDR/metrics" | grep -q 'wire_requests_total{codec="json"} [1-9]'
 PRE_STATS="$(curl -fs "http://$EDGED_ADDR/v1/stats")"
 PRE_FP="$(curl -fs "http://$EDGED_ADDR/v1/fingerprint?user=smoke")"
 kill -9 "$EDGED_PID"
