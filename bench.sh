@@ -6,6 +6,7 @@
 #   DURABLE=1 ./bench.sh       # WAL durability sweep -> BENCH_pr5.json
 #   WIRE=1 ./bench.sh          # wire-codec sweep -> BENCH_pr7.json, then
 #                              # a benchjson -diff gate vs BENCH_pr4.json
+#   REPL=1 ./bench.sh          # delta-replication sweep -> BENCH_pr8.json
 #   OUT=/tmp/b.json BENCH='BenchmarkTrim' BENCHTIME=1x ./bench.sh
 #
 # Knobs (environment):
@@ -26,6 +27,11 @@
 #             "wire" key, and finish with the perf-regression gate
 #             `benchjson -diff BENCH_pr4.json $OUT` (threshold
 #             DIFF_THRESHOLD, default 30%).
+#   REPL      when set, run the wire delta-codec microbenches and embed
+#             the cmd/lbasim -repl-sweep grid (replicated bytes per
+#             merge round vs changed users) under the "repl" key; the
+#             sweep itself fails the run if per-changed-user bytes are
+#             not flat or deltas do not beat snapshots.
 #   Extra knobs for either sweep:
 #   LOADGEN_USERS / LOADGEN_WORKERS / LOADGEN_REQUESTS
 #             workload size of the loadgen sweep (defaults 64/8/40000)
@@ -47,6 +53,15 @@ if [ -n "${DURABLE:-}" ]; then
         -users "${LOADGEN_USERS:-64}" \
         -workers "${LOADGEN_WORKERS:-8}" \
         -requests "${LOADGEN_REQUESTS:-40000}" \
+        -out "$serving_json"
+elif [ -n "${REPL:-}" ]; then
+    OUT="${OUT:-BENCH_pr8.json}"
+    BENCH="${BENCH:-BenchmarkWire(Encode|Decode)ReplDelta}"
+    PKGS="${PKGS:-./internal/wire}"
+    serving_json="$(mktemp)"
+    go run ./cmd/lbasim -repl-sweep \
+        -users "${LOADGEN_USERS:-32}" \
+        -seed 1 \
         -out "$serving_json"
 elif [ -n "${WIRE:-}" ]; then
     OUT="${OUT:-BENCH_pr7.json}"
@@ -84,6 +99,8 @@ fi
 go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count=1 $PKGS | tee "$raw"
 if [ -n "${DURABLE:-}" ]; then
     go run ./cmd/benchjson -durable "$serving_json" < "$raw" > "$OUT"
+elif [ -n "${REPL:-}" ]; then
+    go run ./cmd/benchjson -repl "$serving_json" < "$raw" > "$OUT"
 elif [ -n "${WIRE:-}" ]; then
     go run ./cmd/benchjson -wire "$serving_json" < "$raw" > "$OUT"
 elif [ -n "${SERVING:-}" ]; then

@@ -62,6 +62,11 @@ type Report struct {
 	// codec grid) when -wire is given; BENCH_pr7.json carries the codec
 	// microbenchmarks and the macro end-to-end comparison together.
 	Wire json.RawMessage `json:"wire,omitempty"`
+	// Repl embeds a cmd/lbasim -repl-sweep document (replicated bytes
+	// per merge round against changed-user count) when -repl is given;
+	// BENCH_pr8.json carries the delta codec microbenchmarks and the
+	// macro replication-cost grid together.
+	Repl json.RawMessage `json:"repl,omitempty"`
 }
 
 func main() {
@@ -76,6 +81,7 @@ func run(args []string) error {
 	serving := fs.String("serving", "", "embed this cmd/loadgen -sweep JSON file under the serving key")
 	durable := fs.String("durable", "", "embed this cmd/loadgen -sweep-durable JSON file under the durable key")
 	wireSweep := fs.String("wire", "", "embed this cmd/loadgen -sweep-wire JSON file under the wire key")
+	replSweep := fs.String("repl", "", "embed this cmd/lbasim -repl-sweep JSON file under the repl key")
 	diff := fs.Bool("diff", false, "compare two archives (old.json new.json) instead of reading stdin; exit non-zero on a regression past -threshold")
 	threshold := fs.Float64("threshold", 10, "with -diff, the ns/op slowdown in percent that counts as a regression")
 	if err := fs.Parse(args); err != nil {
@@ -111,6 +117,11 @@ func run(args []string) error {
 	}
 	if *wireSweep != "" {
 		if rep.Wire, err = embed(*wireSweep, "wire"); err != nil {
+			return err
+		}
+	}
+	if *replSweep != "" {
+		if rep.Repl, err = embed(*replSweep, "repl"); err != nil {
 			return err
 		}
 	}
@@ -331,7 +342,7 @@ func derive(benches []Benchmark) map[string]float64 {
 	}
 	// PR 7 wire codec: binary-over-JSON CPU speedup per message shape,
 	// plus the on-the-wire size reduction for the canonical 64-batch.
-	for _, op := range []string{"EncodeReport", "DecodeReport", "EncodeBatch64", "DecodeBatch64", "EncodeAds10", "DecodeAds10"} {
+	for _, op := range []string{"EncodeReport", "DecodeReport", "EncodeBatch64", "DecodeBatch64", "EncodeAds10", "DecodeAds10", "EncodeReplDelta4", "DecodeReplDelta4"} {
 		if js, bin := ns("Wire"+op+"/codec=json"), ns("Wire"+op+"/codec=binary"); js > 0 && bin > 0 {
 			d["wire_"+strings.ToLower(op)+"_speedup"] = js / bin
 		}

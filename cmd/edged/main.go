@@ -333,7 +333,7 @@ func serveDebug(ln net.Listener) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	srv := edge.NewHTTPServer(mux)
 	_ = srv.Serve(ln)
 }
 

@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -54,7 +55,9 @@ func run(args []string) error {
 		useRTB     = fs.Bool("rtb", false, "serve ads through second-price RTB auctions instead of direct matching")
 		statsEvery = fs.Duration("stats-every", 5*time.Second, "interval between telemetry summaries during the replay (0 disables)")
 		edges      = fs.Int("edges", 1, "edge devices; >1 replays through a fault-tolerant multi-edge cluster")
-		chaos      = fs.Bool("chaos", false, "kill and revive edges mid-run (requires -edges > 1)")
+		chaos      = fs.Bool("chaos", false, "kill and revive edges mid-run (requires -edges > 1); health transitions are detector-driven")
+		replSweep  = fs.Bool("repl-sweep", false, "measure replicated bytes per merge round against the number of changed users and exit")
+		outPath    = fs.String("out", "", "with -repl-sweep, write the sweep document to this JSON file")
 		batch      = fs.Int("batch", 1, "check-ins per report call; >1 replays via POST /v1/report/batch (or batched cluster routing)")
 		wireFlag   = fs.String("wire", "json", "serving-path codec for the replay clients: json | binary")
 		logFormat  = fs.String("log-format", logx.FormatText, "structured log format: json | text")
@@ -75,6 +78,13 @@ func run(args []string) error {
 	}
 	if *batch < 1 {
 		return fmt.Errorf("-batch must be >= 1")
+	}
+	if *replSweep {
+		e := *edges
+		if e < 2 {
+			e = 3
+		}
+		return runReplSweep(e, *users, *seed, *outPath)
 	}
 
 	// Workload.
@@ -269,30 +279,156 @@ func replayReports(ctx context.Context, cl *client.Client, userID string, checkI
 	return nil
 }
 
-// runCluster replays the workload through a fault-tolerant multi-edge
-// deployment (paper Section V-B) using the cluster API directly: check-ins
-// route to the nearest covering live edge, per-user profiles merge through
-// secure aggregation, and the merged obfuscation table replicates to every
-// edge through the versioned journal. With chaos enabled, a deterministic
-// schedule kills one edge around each user's merge and revives it after
-// the user's ad requests, exercising failover routing, degraded merges,
-// and journal catch-up. The run ends with a convergence pass plus a
-// byte-identity audit of every edge's table, and the longitudinal attack
-// on the obfuscated request stream the ad providers would observe.
-func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed uint64, batch int, codec edge.Codec, logger *slog.Logger) error {
+// replRound is one measured merge round of the replication sweep.
+type replRound struct {
+	ChangedUsers  int     `json:"changed_users"`
+	DeltaBytes    int     `json:"delta_bytes"`
+	SnapshotBytes int     `json:"snapshot_bytes"`
+	Entries       int     `json:"entries"`
+	BytesPerUser  float64 `json:"delta_bytes_per_changed_user"`
+}
+
+// replSweepDoc is the JSON document -repl-sweep emits; bench.sh embeds
+// it under the "repl" key of BENCH_pr8.json via benchjson -repl.
+type replSweepDoc struct {
+	Edges  int         `json:"edges"`
+	Users  int         `json:"users"`
+	Seed   uint64      `json:"seed"`
+	Rounds []replRound `json:"rounds"`
+	// Ratio is total delta bytes over total would-be snapshot bytes
+	// across the measured rounds (lower is better; 1.0 means deltas
+	// saved nothing).
+	Ratio float64 `json:"delta_to_snapshot_ratio"`
+}
+
+// runReplSweep measures how replication traffic scales with the number
+// of users a merge round actually changed. Every user's table is warmed
+// with one merged top first (so later rounds replicate against
+// populated tables); each measured round then gives exactly k users a
+// new frequent location and merges them, recording the cluster's delta
+// and would-be snapshot byte counters around the round. The run fails
+// if per-changed-user delta bytes drift apart across rounds — the
+// "replicated bytes ∝ changed users" property this sweep archives.
+func runReplSweep(edges, users int, seed uint64, outPath string) error {
+	if users < 8 {
+		users = 8
+	}
+	region := trace.DefaultConfig().Region
+	cluster, _, err := buildSimCluster(region, edges, seed)
+	if err != nil {
+		return err
+	}
+	rnd := randx.New(seed, 0x5EEB)
+	at := time.Date(2021, 5, 1, 0, 0, 0, 0, time.UTC)
+	userID := func(u int) string { return fmt.Sprintf("u%04d", u) }
+	// Per-user home spots on a grid well inside the region; each phase
+	// shifts every changed user to a fresh spot far past the table's
+	// identity radius, so one merged round adds about one table entry.
+	spot := func(u, phase int) geo.Point {
+		return geo.Point{
+			X: region.MinX + 0.1*region.Width() + float64(u)*600,
+			Y: region.MinY + 0.1*region.Height() + float64(phase)*900,
+		}
+	}
+	visit := func(u, phase int) error {
+		for i := 0; i < 20; i++ {
+			at = at.Add(time.Hour)
+			if _, err := cluster.Report(userID(u), spot(u, phase).Add(rnd.GaussianPolar(10)), at); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	mergeRound := func(changed int, phase int) (replRound, error) {
+		before := cluster.ReplStats()
+		for u := 0; u < changed; u++ {
+			if err := visit(u, phase); err != nil {
+				return replRound{}, err
+			}
+		}
+		for u := 0; u < changed; u++ {
+			if _, err := cluster.MergeProfiles(userID(u), at); err != nil {
+				return replRound{}, fmt.Errorf("merging %s: %w", userID(u), err)
+			}
+		}
+		after := cluster.ReplStats()
+		r := replRound{
+			ChangedUsers:  changed,
+			DeltaBytes:    after.DeltaBytes - before.DeltaBytes,
+			SnapshotBytes: after.SnapshotBytes - before.SnapshotBytes,
+			Entries:       after.Entries - before.Entries,
+		}
+		r.BytesPerUser = float64(r.DeltaBytes) / float64(changed)
+		return r, nil
+	}
+
+	// Warm round: every table is born (delta == snapshot here, excluded
+	// from the measured grid).
+	if _, err := mergeRound(users, 0); err != nil {
+		return err
+	}
+
+	doc := replSweepDoc{Edges: edges, Users: users, Seed: seed}
+	var totalDelta, totalSnapshot int
+	grid := []int{1, users / 8, users / 4, users / 2, users}
+	for phase, k := range grid {
+		r, err := mergeRound(k, phase+1)
+		if err != nil {
+			return err
+		}
+		doc.Rounds = append(doc.Rounds, r)
+		totalDelta += r.DeltaBytes
+		totalSnapshot += r.SnapshotBytes
+		fmt.Printf("repl-sweep: changed_users=%-4d delta_bytes=%-8d snapshot_bytes=%-8d entries=%-5d bytes_per_changed_user=%.0f\n",
+			r.ChangedUsers, r.DeltaBytes, r.SnapshotBytes, r.Entries, r.BytesPerUser)
+	}
+	if totalSnapshot > 0 {
+		doc.Ratio = float64(totalDelta) / float64(totalSnapshot)
+	}
+	fmt.Printf("repl-sweep: delta_to_snapshot_ratio=%.3f over %d rounds (%d edges, %d users)\n",
+		doc.Ratio, len(doc.Rounds), edges, users)
+
+	// Proportionality gate: per-changed-user cost must stay in a tight
+	// band no matter how many users the round touched, and deltas must
+	// undercut snapshots now that tables span several rounds.
+	minPer, maxPer := doc.Rounds[0].BytesPerUser, doc.Rounds[0].BytesPerUser
+	for _, r := range doc.Rounds[1:] {
+		minPer = math.Min(minPer, r.BytesPerUser)
+		maxPer = math.Max(maxPer, r.BytesPerUser)
+	}
+	if maxPer > 2*minPer {
+		return fmt.Errorf("replicated bytes not proportional to changed users: per-user cost spans %.0f..%.0f bytes", minPer, maxPer)
+	}
+	if totalDelta == 0 || totalDelta >= totalSnapshot {
+		return fmt.Errorf("delta replication did not beat snapshots: delta=%d snapshot=%d", totalDelta, totalSnapshot)
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", outPath, err)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	return nil
+}
+
+// buildSimCluster stands up the simulation's multi-edge deployment:
+// edge centres spread across the region's midline, each disk wide
+// enough to cover the whole region — every point has a failover target,
+// so a single down edge never strands traffic.
+func buildSimCluster(region geo.BBox, edges int, seed uint64) (*edgecluster.Cluster, *geoind.NFoldGaussian, error) {
 	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
 	if err != nil {
-		return fmt.Errorf("building mechanism: %w", err)
+		return nil, nil, fmt.Errorf("building mechanism: %w", err)
 	}
 	nomadic, err := geoind.NewPlanarLaplace(math.Log(4), 200)
 	if err != nil {
-		return fmt.Errorf("building nomadic mechanism: %w", err)
+		return nil, nil, fmt.Errorf("building nomadic mechanism: %w", err)
 	}
-
-	// Coverage: edge centres spread across the region's midline, each disk
-	// wide enough to cover the whole region — every point has a failover
-	// target, so a single down edge never strands traffic.
-	region := cfg.Region
 	diag := math.Hypot(region.Width(), region.Height())
 	coverage := make([]geo.Circle, edges)
 	for i := range coverage {
@@ -311,7 +447,25 @@ func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed
 		Seed:        seed,
 	})
 	if err != nil {
-		return fmt.Errorf("building cluster: %w", err)
+		return nil, nil, fmt.Errorf("building cluster: %w", err)
+	}
+	return cluster, mech, nil
+}
+
+// runCluster replays the workload through a fault-tolerant multi-edge
+// deployment (paper Section V-B) using the cluster API directly: check-ins
+// route to the nearest covering live edge, per-user profiles merge through
+// secure aggregation, and the merged obfuscation table replicates to every
+// edge through the versioned journal. With chaos enabled, a deterministic
+// schedule kills one edge around each user's merge and revives it after
+// the user's ad requests, exercising failover routing, degraded merges,
+// and journal catch-up. The run ends with a convergence pass plus a
+// byte-identity audit of every edge's table, and the longitudinal attack
+// on the obfuscated request stream the ad providers would observe.
+func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed uint64, batch int, codec edge.Codec, logger *slog.Logger) error {
+	cluster, mech, err := buildSimCluster(cfg.Region, edges, seed)
+	if err != nil {
+		return err
 	}
 	reg := telemetry.NewRegistry()
 	cluster.Instrument(reg)
@@ -340,9 +494,27 @@ func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed
 
 	fmt.Printf("cluster mode: %d edges, chaos=%v, wire=%s\n", edges, chaos, codec)
 
-	// Replay. Chaos kills a deterministic victim edge just before every
-	// other user's merge and revives it (journal catch-up) after their ad
-	// requests, so merges run degraded and requests fail over mid-run.
+	// Replay. Chaos kills a deterministic victim edge (its endpoint stops
+	// answering — SetReachable, the ground-truth seam) just before every
+	// other user's merge. The failure DETECTOR, not the simulation,
+	// drives the cluster's health state: seeded probe ticks confirm the
+	// victim down mid-run and revive it (journal catch-up) once its
+	// endpoint answers again. The simulation never calls MarkDown/MarkUp.
+	det := cluster.NewDetector(edgecluster.DetectorConfig{
+		Probes: edges, SuspectAfter: 2, ConfirmAfter: 1, Seed: seed,
+	})
+	tickUntil := func(cond func() bool) {
+		for i := 0; i < 4*(det.Cfg().SuspectAfter+det.Cfg().ConfirmAfter) && !cond(); i++ {
+			if trs, err := det.Tick(); err != nil {
+				logger.Warn("chaos: detector tick", slog.Any("err", err))
+			} else {
+				for _, tr := range trs {
+					logger.Info("chaos: detector transition",
+						slog.String("node", tr.Node), slog.String("from", tr.From.String()), slog.String("to", tr.To.String()))
+				}
+			}
+		}
+	}
 	chaosRnd := randx.New(seed, 0xC4A05)
 	observed := make(map[string][]geo.Point, len(ds.Users))
 	start := time.Now()
@@ -355,11 +527,16 @@ func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed
 		victim := -1
 		if chaos && ui%2 == 1 {
 			victim = chaosRnd.IntN(edges)
-			if err := cluster.MarkDown(victim); err != nil {
+			if err := cluster.SetReachable(victim, false); err != nil {
 				return err
 			}
-			logger.Info("chaos: edge killed", slog.Int("edge", victim), slog.String("user", u.ID))
+			logger.Info("chaos: edge endpoint killed", slog.Int("edge", victim), slog.String("user", u.ID))
 			kills++
+			// The merge below may run before OR after confirmation — both
+			// paths must exclude the victim. Tick once so suspicion starts.
+			if _, err := det.Tick(); err != nil {
+				return fmt.Errorf("detector: %w", err)
+			}
 		}
 		_, stats, err := cluster.MergeProfilesStats(u.ID, cfg.End)
 		if err != nil {
@@ -369,6 +546,14 @@ func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed
 			degraded++
 		}
 		dropped += stats.Dropped
+		if victim >= 0 {
+			// Probes confirm the victim down while requests fail over
+			// around it.
+			tickUntil(func() bool { return cluster.Nodes()[victim].Down() })
+			if !cluster.Nodes()[victim].Down() {
+				return fmt.Errorf("chaos: detector never confirmed edge %d down", victim)
+			}
+		}
 		for _, c := range u.CheckIns {
 			tctx, root := tracer.StartTrace(ctx, "cluster.request")
 			out, _, err := cluster.RequestCtx(tctx, u.ID, c.Pos)
@@ -380,21 +565,39 @@ func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed
 			requests++
 		}
 		if victim >= 0 {
-			if err := cluster.MarkUp(victim); err != nil {
-				return fmt.Errorf("reviving edge %d: %w", victim, err)
+			if err := cluster.SetReachable(victim, true); err != nil {
+				return err
 			}
-			logger.Info("chaos: edge revived", slog.Int("edge", victim), slog.String("user", u.ID))
+			tickUntil(func() bool { return !cluster.Nodes()[victim].Down() })
+			if cluster.Nodes()[victim].Down() {
+				return fmt.Errorf("chaos: detector never revived edge %d", victim)
+			}
+			logger.Info("chaos: edge auto-revived", slog.Int("edge", victim), slog.String("user", u.ID))
 		}
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("replayed %d users, %d requests across %d edges in %s (%.0f req/s)\n",
 		len(ds.Users), requests, edges, elapsed.Round(time.Millisecond), float64(requests)/elapsed.Seconds())
 
-	// Convergence pass: revive everything, drain the journal, merge the
+	// Convergence pass: restore every endpoint and let the detector
+	// notice (still no manual MarkUp), drain the journal, merge the
 	// check-ins still pending on edges that were down at their merge.
 	for i := 0; i < edges; i++ {
-		if err := cluster.MarkUp(i); err != nil {
-			return fmt.Errorf("final revive of edge %d: %w", i, err)
+		if err := cluster.SetReachable(i, true); err != nil {
+			return fmt.Errorf("restoring edge %d endpoint: %w", i, err)
+		}
+	}
+	tickUntil(func() bool {
+		for _, n := range cluster.Nodes() {
+			if n.Down() {
+				return false
+			}
+		}
+		return true
+	})
+	for i, n := range cluster.Nodes() {
+		if n.Down() {
+			return fmt.Errorf("chaos: edge %d still down after endpoints restored", i)
 		}
 	}
 	if err := cluster.Reconcile(); err != nil {
@@ -428,12 +631,35 @@ func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed
 		}
 	}
 	fmt.Printf("replication audit: %d users byte-identical across all %d edges\n", len(ds.Users), edges)
-	fmt.Printf("fault tolerance: kills=%d degraded_merges=%d failovers=%d journal_replays=%d replica_errors=%d merge_dropped=%d\n",
-		kills, degraded,
+	fmt.Printf("fault tolerance: kills=%d auto_downs=%d auto_revives=%d degraded_merges=%d failovers=%d journal_replays=%d replica_errors=%d merge_dropped=%d\n",
+		kills,
+		reg.Counter("cluster_auto_downs_total", "").Value(),
+		reg.Counter("cluster_auto_revives_total", "").Value(),
+		degraded,
 		reg.Counter("cluster_failovers_total", "").Value(),
 		reg.Counter("cluster_journal_replays_total", "").Value(),
 		reg.Counter("cluster_replica_errors_total", "").Value(),
 		dropped)
+
+	// Delta replication accounting: the convergence invariant above held
+	// while shipping only suffixes. Snapshot bytes are what whole-table
+	// replication would have cost for the very same applies; deltas must
+	// come in strictly under it once tables span multiple merge rounds.
+	repl := cluster.ReplStats()
+	ratio := 1.0
+	if repl.SnapshotBytes > 0 {
+		ratio = float64(repl.DeltaBytes) / float64(repl.SnapshotBytes)
+	}
+	fmt.Printf("replication: delta_bytes=%d snapshot_bytes=%d ratio=%.3f entries=%d fallbacks=%d\n",
+		repl.DeltaBytes, repl.SnapshotBytes, ratio, repl.Entries, repl.Fallbacks)
+	if repl.DeltaBytes == 0 || repl.DeltaBytes >= repl.SnapshotBytes {
+		return fmt.Errorf("delta replication did not beat snapshots: delta=%d snapshot=%d", repl.DeltaBytes, repl.SnapshotBytes)
+	}
+	if chaos {
+		if d, r := reg.Counter("cluster_auto_downs_total", "").Value(), reg.Counter("cluster_auto_revives_total", "").Value(); d == 0 || r == 0 {
+			return fmt.Errorf("chaos ran without detector-driven transitions: auto_downs=%d auto_revives=%d", d, r)
+		}
+	}
 	printStageBreakdown(reg, tracer.ActiveSpans())
 
 	// The attacker's view: the obfuscated request stream is all any ad

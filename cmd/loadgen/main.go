@@ -43,6 +43,23 @@ import (
 	"repro/internal/wal"
 )
 
+// Stream selector bases for the generator's independent PRNG families.
+// Worker streams are derived with the avalanche-then-increment idiom
+// (randx.Mix64 over a GoldenGamma-spaced index): a plain additive
+// selector like stream = w + base is linear, so the worker family can
+// collide with any other additively chosen stream — and with PCG,
+// low-entropy consecutive selectors pick correlated streams, skewing
+// the generated load toward shared user/timing choices.
+const (
+	streamWorkerBase = 0x10AD
+	streamCampaigns  = 0x51A151
+)
+
+// workerStream returns the PRNG stream selector for load worker w.
+func workerStream(w int) uint64 {
+	return randx.Mix64(streamWorkerBase + uint64(w)*randx.GoldenGamma)
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -441,7 +458,7 @@ func runOne(cfg config, name string) (*result, error) {
 				errCh <- err
 				return
 			}
-			rnd := randx.New(cfg.Seed, uint64(w)+0x10AD)
+			rnd := randx.New(cfg.Seed, workerStream(w))
 			reports := make([]edge.ReportRequest, 0, cfg.Batch)
 			for {
 				if !deadline.IsZero() && time.Now().After(deadline) {
@@ -613,7 +630,7 @@ func startEdge(cfg config) (*httptest.Server, *edge.Server, func(), error) {
 		return nil, nil, nil, fmt.Errorf("building network: %w", err)
 	}
 	region := trace.DefaultConfig().Region
-	rnd := randx.New(cfg.Seed, 0x51A151)
+	rnd := randx.New(cfg.Seed, streamCampaigns)
 	for i := 0; i < cfg.Campaigns; i++ {
 		loc := geo.Point{
 			X: region.MinX + rnd.Float64()*region.Width(),

@@ -2,12 +2,53 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/randx"
 	"repro/internal/wal"
 )
+
+// TestWorkerStreamDerivation is the regression for the additive worker
+// stream selector (stream = w + base): worker streams must be pairwise
+// distinct across realistic fan-out widths, must never land on the
+// campaign-placement stream, and must not recur when the base itself
+// shifts by a worker index (the linear-collision family the additive
+// scheme suffered — selector w+base equals selector w'+base whenever
+// w' = w, but ALSO equals any other additively derived stream whose
+// base differs by an index delta).
+func TestWorkerStreamDerivation(t *testing.T) {
+	seen := map[uint64]string{streamCampaigns: "campaign stream"}
+	for w := 0; w < 4096; w++ {
+		s := workerStream(w)
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("worker %d stream %#x collides with %s", w, s, prev)
+		}
+		seen[s] = fmt.Sprintf("worker %d", w)
+	}
+	// The old additive scheme collapses under index-shifted bases; the
+	// avalanche must not: Mix64(base + w·γ) with a base offset of one
+	// gamma is exactly the stream of worker w+1, so derive from a
+	// DIFFERENT family base and require full separation.
+	for w := 0; w < 4096; w++ {
+		s := randx.Mix64(streamCampaigns + uint64(w)*randx.GoldenGamma)
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("campaign-family stream %d (%#x) collides with %s", w, s, prev)
+		}
+	}
+	// Old-scheme demonstration pinned down: additive selectors from two
+	// bases overlap as soon as the bases differ by less than the width.
+	oldStream := func(base uint64, w int) uint64 { return base + uint64(w) }
+	if oldStream(streamWorkerBase, 8) != oldStream(streamWorkerBase+3, 5) {
+		t.Fatal("additive selectors stopped colliding — update this regression's premise")
+	}
+	gamma := uint64(randx.GoldenGamma)
+	if workerStream(8) == randx.Mix64(streamWorkerBase+3+8*gamma) {
+		t.Fatal("avalanche derivation reproduced the additive collision")
+	}
+}
 
 func TestParseMix(t *testing.T) {
 	tests := []struct {

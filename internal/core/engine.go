@@ -2,10 +2,8 @@ package core
 
 import (
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"sort"
 	"sync"
@@ -845,39 +843,45 @@ func (e *Engine) Table(userID string) ([]TableEntry, error) {
 
 // TableFingerprint hashes the user's obfuscation table — entry order,
 // top coordinates, every candidate's exact float bits, and creation
-// times — into one 64-bit digest. Two engines answer identically for the
-// user iff their fingerprints match, which is how multi-edge deployments
-// verify that replication (or a journal catch-up after downtime) left a
-// replica byte-identical to the obfuscator. An unknown user hashes to
-// the empty-table fingerprint: a replica that never saw the user agrees
-// with an obfuscator holding no entries for them.
+// times — into one 64-bit digest (the FingerprintTable chain). Two
+// engines answer identically for the user iff their fingerprints match,
+// which is how multi-edge deployments verify that replication (or a
+// journal catch-up after downtime) left a replica byte-identical to the
+// obfuscator. An unknown user hashes to the empty-table fingerprint: a
+// replica that never saw the user agrees with an obfuscator holding no
+// entries for them.
 func (e *Engine) TableFingerprint(userID string) (uint64, error) {
-	entries, err := e.Table(userID)
+	_, fp, err := e.TableState(userID)
+	return fp, err
+}
+
+// TableState returns the user's table length and fingerprint without
+// copying entries. An unknown user reads as the empty table (length 0,
+// FingerprintSeed), matching TableFingerprint's convention.
+func (e *Engine) TableState(userID string) (int, uint64, error) {
+	u, err := e.lookup(userID)
 	if err != nil {
 		if errors.Is(err, ErrUnknownUser) {
-			entries = nil
-		} else {
-			return 0, err
+			return 0, FingerprintSeed, nil
 		}
+		return 0, 0, err
 	}
-	h := fnv.New64a()
-	var buf [8]byte
-	word := func(x uint64) {
-		binary.LittleEndian.PutUint64(buf[:], x)
-		_, _ = h.Write(buf[:]) // fnv Write cannot fail
-	}
-	word(uint64(len(entries)))
-	for _, entry := range entries {
-		word(math.Float64bits(entry.Top.X))
-		word(math.Float64bits(entry.Top.Y))
-		word(uint64(entry.CreatedAt.UnixNano()))
-		word(uint64(len(entry.Candidates)))
-		for _, cand := range entry.Candidates {
-			word(math.Float64bits(cand.X))
-			word(math.Float64bits(cand.Y))
+	n, fp := u.table.State()
+	return n, fp, nil
+}
+
+// TableLen returns the number of entries in the user's obfuscation
+// table without copying it. An unknown user has zero entries, matching
+// TableFingerprint's empty-table convention.
+func (e *Engine) TableLen(userID string) (int, error) {
+	u, err := e.lookup(userID)
+	if err != nil {
+		if errors.Is(err, ErrUnknownUser) {
+			return 0, nil
 		}
+		return 0, err
 	}
-	return h.Sum64(), nil
+	return u.table.Len(), nil
 }
 
 // Users returns the known user IDs in sorted order.

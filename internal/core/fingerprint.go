@@ -1,0 +1,59 @@
+package core
+
+import "math"
+
+// Table fingerprints are FNV-64a digests folded entry by entry, so the
+// digest of a table is a *chain*: hashing entries[:k] and then extending
+// with entries[k:] yields the same value as hashing the full slice in
+// one pass. Obfuscation tables are append-only (first writer wins), so
+// two replicas of the same table can only ever differ by a suffix — the
+// chain property is what lets the cluster's replication layer address
+// table state by content: a replica proves "I hold exactly the first k
+// entries" with one 64-bit value, and the obfuscator ships entries[k:]
+// instead of the whole table.
+
+const (
+	// FingerprintSeed is the fingerprint of an empty table: the FNV-64a
+	// offset basis, before any entry has been folded in.
+	FingerprintSeed uint64 = 0xcbf29ce484222325
+	fnvPrime        uint64 = 0x100000001b3
+)
+
+// fnvWord folds one 64-bit little-endian word into the digest.
+func fnvWord(fp, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		fp ^= x & 0xff
+		fp *= fnvPrime
+		x >>= 8
+	}
+	return fp
+}
+
+// ExtendFingerprint folds entries onto a running table fingerprint.
+// Each entry contributes its top's exact float bits, its creation time,
+// and every candidate's float bits — the full byte identity the
+// replication audit compares. ExtendFingerprint(FingerprintSeed, t) is
+// the fingerprint of table t, and for any split point k,
+//
+//	ExtendFingerprint(FingerprintTable(t[:k]), t[k:]) == FingerprintTable(t)
+//
+// which is the prefix property delta replication relies on.
+func ExtendFingerprint(fp uint64, entries []TableEntry) uint64 {
+	for _, entry := range entries {
+		fp = fnvWord(fp, math.Float64bits(entry.Top.X))
+		fp = fnvWord(fp, math.Float64bits(entry.Top.Y))
+		fp = fnvWord(fp, uint64(entry.CreatedAt.UnixNano()))
+		fp = fnvWord(fp, uint64(len(entry.Candidates)))
+		for _, cand := range entry.Candidates {
+			fp = fnvWord(fp, math.Float64bits(cand.X))
+			fp = fnvWord(fp, math.Float64bits(cand.Y))
+		}
+	}
+	return fp
+}
+
+// FingerprintTable hashes an entry slice from scratch. An empty (or
+// nil) table hashes to FingerprintSeed.
+func FingerprintTable(entries []TableEntry) uint64 {
+	return ExtendFingerprint(FingerprintSeed, entries)
+}

@@ -88,6 +88,63 @@ func TestTableFingerprint(t *testing.T) {
 	}
 }
 
+func TestFingerprintChain(t *testing.T) {
+	e, err := NewEngine(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tops := profile.Profile{
+		{Loc: geo.Point{X: 100, Y: 100}, Freq: 50},
+		{Loc: geo.Point{X: 9000, Y: 0}, Freq: 20},
+		{Loc: geo.Point{X: 3000, Y: 7000}, Freq: 11},
+	}
+	now := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+	if err := e.InstallTops("u", tops, now); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := e.Table("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("want >= 3 entries, got %d", len(entries))
+	}
+
+	// The exported chain agrees with the engine's own digest.
+	engineFP, err := e.TableFingerprint("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FingerprintTable(entries); got != engineFP {
+		t.Fatalf("FingerprintTable = %x, engine digest %x", got, engineFP)
+	}
+	if got := FingerprintTable(nil); got != FingerprintSeed {
+		t.Fatalf("empty fingerprint = %x, want seed %x", got, FingerprintSeed)
+	}
+
+	// Prefix property: extending the fingerprint of any prefix with the
+	// remaining suffix reproduces the full digest — the invariant that
+	// lets delta replication verify a replica's table by content before
+	// shipping only the suffix.
+	for k := 0; k <= len(entries); k++ {
+		prefix := FingerprintTable(entries[:k])
+		if got := ExtendFingerprint(prefix, entries[k:]); got != engineFP {
+			t.Errorf("split at %d: extend(%x, suffix) = %x, want %x", k, prefix, got, engineFP)
+		}
+		if k < len(entries) && prefix == engineFP {
+			t.Errorf("split at %d: prefix digest collided with the full table", k)
+		}
+	}
+
+	// TableLen matches without copying; unknown users have length 0.
+	if n, err := e.TableLen("u"); err != nil || n != len(entries) {
+		t.Fatalf("TableLen = %d, %v; want %d", n, err, len(entries))
+	}
+	if n, err := e.TableLen("ghost"); err != nil || n != 0 {
+		t.Fatalf("TableLen(ghost) = %d, %v; want 0, nil", n, err)
+	}
+}
+
 func TestSyncTopsPreservesWindow(t *testing.T) {
 	e, err := NewEngine(testConfig(t))
 	if err != nil {

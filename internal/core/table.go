@@ -117,6 +117,16 @@ func (t *ObfuscationTable) Insert(top geo.Point, candidates []geo.Point, at time
 }
 
 // Entries returns a copy of all rows, in insertion order.
+// State returns the table's length and fingerprint-chain digest in one
+// read-locked pass, without copying entries — the cheap content proof
+// replication uses to decide how much of the table a replica already
+// holds.
+func (t *ObfuscationTable) State() (int, uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries), FingerprintTable(t.entries)
+}
+
 func (t *ObfuscationTable) Entries() []TableEntry {
 	t.mu.RLock()
 	defer t.mu.RUnlock()

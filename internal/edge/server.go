@@ -183,13 +183,24 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // subsystems (RTB exchange, command-level gauges) into GET /metrics.
 func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
+// NewHTTPServer builds the http.Server every HTTP front of the service
+// runs on: ReadHeaderTimeout caps how long a connection may dribble its
+// request headers (the classic slowloris hold) and IdleTimeout reclaims
+// keep-alive connections that stop sending requests. Body sizes are
+// bounded per route (MaxRequestBody / MaxBatchBody), not here, because
+// the batch route legitimately accepts bigger payloads.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 // Serve runs the service on the listener until ctx is cancelled, then
 // shuts down gracefully.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
-	srv := &http.Server{
-		Handler:           s.mux,
-		ReadHeaderTimeout: 5 * time.Second,
-	}
+	srv := NewHTTPServer(s.mux)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -313,8 +324,11 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // bodyBufPool recycles request-body read buffers for decodeBody.
 var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
-// maxRequestBody bounds single-message request bodies.
-const maxRequestBody = 1 << 20
+// MaxRequestBody bounds single-message request bodies. Exported so
+// every HTTP front of the service (the edge server here and the
+// cluster gateway in internal/edgecluster) enforces the same limit
+// instead of drifting apart on hardcoded copies.
+const MaxRequestBody = 1 << 20
 
 // readBodyBuf reads the request body (bounded at limit bytes) into a
 // pooled buffer; release returns the buffer to the pool. Pooling the
@@ -349,7 +363,7 @@ func decodeJSONStrict(data []byte, v any) error {
 // decodeBody is the JSON-only decode path used by the control-plane
 // routes (rebuild and friends), which are not wire-negotiated.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	buf, release, err := readBodyBuf(w, r, maxRequestBody)
+	buf, release, err := readBodyBuf(w, r, MaxRequestBody)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return false
@@ -369,7 +383,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	reqCodec, respCodec := s.negotiate(r)
 	var req ReportRequest
-	if !s.readBody(w, r, reqCodec, respCodec, &req, maxRequestBody) {
+	if !s.readBody(w, r, reqCodec, respCodec, &req, MaxRequestBody) {
 		return
 	}
 	if req.UserID == "" {
@@ -388,14 +402,14 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// maxBatchBody bounds POST /v1/report/batch bodies; batches are bigger
+// MaxBatchBody bounds POST /v1/report/batch bodies; batches are bigger
 // than single reports by design, so they get a wider limit.
-const maxBatchBody = 8 << 20
+const MaxBatchBody = 8 << 20
 
 func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
 	reqCodec, respCodec := s.negotiate(r)
 	var req ReportBatchRequest
-	if !s.readBody(w, r, reqCodec, respCodec, &req, maxBatchBody) {
+	if !s.readBody(w, r, reqCodec, respCodec, &req, MaxBatchBody) {
 		return
 	}
 	if len(req.Reports) == 0 {
@@ -433,7 +447,7 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAds(w http.ResponseWriter, r *http.Request) {
 	reqCodec, respCodec := s.negotiate(r)
 	var req AdsRequest
-	if !s.readBody(w, r, reqCodec, respCodec, &req, maxRequestBody) {
+	if !s.readBody(w, r, reqCodec, respCodec, &req, MaxRequestBody) {
 		return
 	}
 	if req.UserID == "" {

@@ -452,3 +452,22 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 		t.Errorf("bid log = %d, want 160", got)
 	}
 }
+
+// TestNewHTTPServer is the regression for the missing slowloris
+// bounds: every HTTP front built through NewHTTPServer must cap
+// header-read time and reclaim idle keep-alive connections. Without
+// ReadHeaderTimeout a client can hold a connection open indefinitely by
+// dribbling header bytes; without IdleTimeout finished connections pin
+// server resources forever.
+func TestNewHTTPServer(t *testing.T) {
+	srv := NewHTTPServer(http.NewServeMux())
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("NewHTTPServer: ReadHeaderTimeout unset — slowloris headers unbounded")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("NewHTTPServer: IdleTimeout unset — idle keep-alives pinned forever")
+	}
+	if srv.Handler == nil {
+		t.Error("NewHTTPServer: handler not wired")
+	}
+}

@@ -16,17 +16,24 @@
 // Edge devices are the class of hardware that fails, restarts, and drops
 // requests, so the cluster is fault tolerant by construction:
 //
-//   - Every node carries a health state (MarkDown/MarkUp). Routing skips
-//     down nodes and fails over to the next-nearest covering live edge.
+//   - Every node carries a health state (MarkDown/MarkUp, or the
+//     ping-based Detector driving those transitions automatically).
+//     Routing skips down and unreachable nodes and fails over to the
+//     next-nearest covering live edge.
 //   - MergeProfiles degrades gracefully: it merges over reachable edges
 //     only, picks the lowest-indexed LIVE node as the round's obfuscator,
 //     and never aborts the round because one replica is unreachable.
-//   - Replication is a versioned, idempotent journal rather than
-//     fire-and-forget: each round snapshots the obfuscator's full table
-//     for the user, and every node tracks the last version it applied. A
-//     node that was down (or crashed mid-replication) catches up to a
-//     byte-identical table on recovery — MarkUp replays the journal —
-//     instead of being left permanently inconsistent.
+//   - Replication is a versioned, idempotent journal shipping
+//     content-addressed deltas: obfuscation tables are append-only, so a
+//     round records the obfuscator's table plus its fingerprint chain
+//     (core.FingerprintTable), and each replica receives only the suffix
+//     beyond the prefix it proves it holds — O(changed entries) bytes,
+//     not O(table). A replica whose content proof fails (arbitrary
+//     divergence, e.g. a corrupt store) falls back to the full snapshot,
+//     which the idempotent import still converges. A node that was down
+//     (or crashed mid-replication) catches up to a byte-identical table
+//     on recovery; a restarted node recovers its position from its own
+//     durable state and replays only genuinely missed rounds.
 package edgecluster
 
 import (
@@ -45,6 +52,7 @@ import (
 	"repro/internal/randx"
 	"repro/internal/secagg"
 	"repro/internal/tracing"
+	"repro/internal/wire"
 )
 
 // Cluster errors.
@@ -64,21 +72,41 @@ type Node struct {
 	Coverage geo.Circle
 	Engine   *core.Engine
 
-	// down is the node's health state; a down node receives no traffic
-	// and no replication until MarkUp revives it.
+	// down is the node's health state — the cluster's *belief*, driven
+	// by MarkDown/MarkUp or the failure detector; a down node receives
+	// no traffic and no replication until revived.
 	down atomic.Bool
-	// applied maps userID → the journal version this node last applied.
-	// Guarded by the cluster mutex.
-	applied map[string]uint64
+	// unreachable simulates loss of the node's endpoint (process death,
+	// network partition) — the seam chaos runs kill. Unlike down, it is
+	// ground truth: an unreachable node answers no probes, takes no
+	// traffic, and fails replication applies whether or not the cluster
+	// has noticed yet.
+	unreachable atomic.Bool
+	// lag maps userID → the journal version this node is known to be
+	// missing, and carries an entry ONLY while the node is behind the
+	// journal head for that user: a successful apply deletes the entry.
+	// A healthy cluster therefore keeps every lag map empty regardless
+	// of user count (the old always-growing applied map leaked an entry
+	// per user forever). Guarded by the cluster mutex.
+	lag map[string]uint64
 	// failApply, when non-nil (failure injection for tests and chaos
 	// runs), is consulted before each replication apply on this node; an
-	// error simulates a crash mid-replication: the journal version is NOT
-	// recorded as applied, so the node stays cleanly retryable.
+	// error simulates a crash mid-replication: the lag entry survives,
+	// so the node stays cleanly retryable.
 	failApply func(userID string) error
 }
 
 // Down reports whether the node is currently marked unhealthy.
 func (n *Node) Down() bool { return n.down.Load() }
+
+// Reachable reports whether the node's endpoint is answering — the
+// ground truth the failure detector discovers, as opposed to Down, the
+// cluster's current belief.
+func (n *Node) Reachable() bool { return !n.unreachable.Load() }
+
+// LagLen returns the number of users this node is known to be behind
+// on. Guarded by the cluster mutex via Cluster.NodeLag.
+func (n *Node) lagLen() int { return len(n.lag) }
 
 // SetFailApply installs (or clears, with nil) the replication failure
 // injection hook — the test/chaos seam for "node crashed mid-round".
@@ -111,24 +139,76 @@ type Cluster struct {
 	cfg   Config
 	nodes []*Node
 
-	// mu guards the journal, every node's applied map, and merge rounds.
+	// mu guards the journal, every node's lag map, merge rounds, and the
+	// encode scratch buffer.
 	mu      sync.Mutex
 	journal map[string]*mergeRound
 	version uint64
+	// encBuf is the pooled wire-encode buffer replication frames are
+	// sized with; reused across applies under mu.
+	encBuf []byte
+	// repl accumulates replication traffic accounting across rounds.
+	repl ReplStats
 
 	met atomic.Pointer[clusterMetrics]
 }
 
 // mergeRound is one journal record: the latest merged state for a user.
-// A round snapshots the obfuscator's FULL table for the user (not a
-// delta), so applying the latest round alone brings any replica — fresh,
-// stale, or partially replicated — to the byte-identical current state;
-// intermediate rounds need never be replayed.
+// A round records the obfuscator's FULL authoritative table next to its
+// fingerprint chain, but *ships* only deltas: the table is append-only,
+// so any replica's table is a prefix of entries, and prefix[k] — the
+// core.FingerprintTable digest of entries[:k] — lets a replica prove
+// which prefix it holds and receive entries[k:] alone. Applying the
+// latest round still brings any replica — fresh, stale, or partially
+// replicated — to the byte-identical current state; intermediate rounds
+// need never be replayed.
 type mergeRound struct {
 	version uint64
 	tops    profile.Profile
 	entries []core.TableEntry
-	at      time.Time
+	// prefix has len(entries)+1 values: prefix[k] is the fingerprint
+	// chain of entries[:k], so prefix[0] == core.FingerprintSeed and
+	// prefix[len(entries)] is the round's full-table digest.
+	prefix []uint64
+	// snapshotBytes is the wire frame size a full-snapshot scheme would
+	// ship per replica for this round, computed once at journal time;
+	// replication metrics report it next to the actual delta bytes.
+	snapshotBytes int
+	at            time.Time
+}
+
+// ReplStats is the cluster's cumulative replication-traffic accounting:
+// what delta replication actually shipped versus what the old
+// full-snapshot scheme would have shipped for the same applies.
+type ReplStats struct {
+	// DeltaBytes is the wire bytes actually shipped (delta frames).
+	DeltaBytes int
+	// SnapshotBytes is the bytes a full-snapshot round would have
+	// shipped for the same applies.
+	SnapshotBytes int
+	// Entries is the table entries actually shipped.
+	Entries int
+	// Fallbacks counts applies whose content proof failed, forcing a
+	// full-snapshot delta (BaseLen 0).
+	Fallbacks int
+}
+
+// ReplStats returns the cluster's cumulative replication accounting.
+func (c *Cluster) ReplStats() ReplStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.repl
+}
+
+// NodeLag returns how many users edge i is known to be behind on — the
+// size of its lag map, which a healthy caught-up cluster keeps at zero.
+func (c *Cluster) NodeLag(i int) int {
+	if i < 0 || i >= len(c.nodes) {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[i].lagLen()
 }
 
 // edgeSeed derives the engine seed of edge i from the cluster seed. The
@@ -183,7 +263,7 @@ func New(cfg Config) (*Cluster, error) {
 			ID:       fmt.Sprintf("edge-%02d", i),
 			Coverage: cov,
 			Engine:   engine,
-			applied:  make(map[string]uint64),
+			lag:      make(map[string]uint64),
 		})
 	}
 	return cluster, nil
@@ -191,6 +271,19 @@ func New(cfg Config) (*Cluster, error) {
 
 // Nodes returns the cluster's edges.
 func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// SetReachable flips edge i's endpoint between answering and dead — the
+// chaos seam simulating process kill or partition. It does NOT touch the
+// cluster's health belief: discovering (and eventually reviving) the
+// node is the failure detector's job, or an operator's via
+// MarkDown/MarkUp.
+func (c *Cluster) SetReachable(i int, reachable bool) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("edgecluster: no edge %d", i)
+	}
+	c.nodes[i].unreachable.Store(!reachable)
+	return nil
+}
 
 // MarkDown marks edge i unhealthy: routing and replication skip it until
 // MarkUp. Marking an already-down node is a no-op.
@@ -252,15 +345,17 @@ func (c *Cluster) RestartNode(i int, st core.DurableStore) error {
 	}
 	c.mu.Lock()
 	n.Engine = engine
-	// The applied map tracked the dead process's journal position; the
-	// recovered engine already holds every round it logged (journal
-	// applies go through ImportTable/SyncTops, both WAL-logged), but
-	// clearing the map and replaying the whole journal is still correct
-	// — rounds snapshot the full per-user state and re-importing is
-	// idempotent (existing table entries win) — and picks up rounds
-	// merged while the node was down.
-	clear(n.applied)
-	err = c.catchUpLocked(n)
+	// The lag map tracked the dead process's journal position, but a
+	// recovered engine can be behind what the bookkeeping says: a WAL
+	// running fsync=interval/never loses its tail on a crash, silently
+	// rewinding users the cluster believed current. Audit the whole
+	// journal content-addressed instead of trusting the map: each user's
+	// recovered table proves (by fingerprint chain) which prefix it
+	// holds, users whose tables and tops already match the journal head
+	// ship nothing, and the rest receive exactly the missing suffix —
+	// the node's own WAL does the bulk of the recovery, the journal only
+	// fills genuinely missed rounds.
+	err = c.auditLocked(n)
 	c.mu.Unlock()
 	if n.down.Swap(false) {
 		if m := c.met.Load(); m != nil {
@@ -278,7 +373,7 @@ func (c *Cluster) Reconcile() error {
 	defer c.mu.Unlock()
 	var firstErr error
 	for _, n := range c.nodes {
-		if n.down.Load() {
+		if n.down.Load() || !n.Reachable() {
 			continue
 		}
 		if err := c.catchUpLocked(n); err != nil && firstErr == nil {
@@ -288,12 +383,17 @@ func (c *Cluster) Reconcile() error {
 	return firstErr
 }
 
-// catchUpLocked applies every journal round node has not yet applied.
-// The caller holds c.mu.
+// catchUpLocked applies the journal head for every user the node is
+// known to be behind on. It walks the lag map, not the journal, so
+// catch-up cost is proportional to how far the node fell behind, not to
+// the cluster's total user count. The caller holds c.mu.
 func (c *Cluster) catchUpLocked(n *Node) error {
 	var firstErr error
-	for userID, round := range c.journal {
-		if n.applied[userID] >= round.version {
+	for userID := range n.lag {
+		round := c.journal[userID]
+		if round == nil {
+			// The lag entry outlived its journal round; nothing to apply.
+			delete(n.lag, userID)
 			continue
 		}
 		if err := c.applyRoundLocked(n, userID, round, false); err != nil {
@@ -309,20 +409,120 @@ func (c *Cluster) catchUpLocked(n *Node) error {
 	return firstErr
 }
 
-// applyRoundLocked installs one journal round on a replica: import the
-// obfuscator's table snapshot (idempotent — existing entries win), then
-// install the merged top set so TopLocations answers identically on
-// every edge. merged reports whether the replica's pending check-ins
-// were part of this round (live replication consumes the collection
-// window; a catch-up replay preserves pending check-ins that never
-// merged, so they contribute to the next round). The caller holds c.mu.
-func (c *Cluster) applyRoundLocked(n *Node, userID string, round *mergeRound, merged bool) error {
+// auditLocked walks the WHOLE journal and repairs any user whose state
+// on n is not byte-identical to the journal head — the recovery path
+// where the lag bookkeeping cannot be trusted (a restarted process may
+// have lost WAL tail beyond what the map records). Users whose content
+// proof (fingerprint chain) and installed tops already match ship
+// nothing at all. The caller holds c.mu.
+func (c *Cluster) auditLocked(n *Node) error {
+	var firstErr error
+	for userID, round := range c.journal {
+		ln, fp, err := n.Engine.TableState(userID)
+		if err == nil && ln == len(round.entries) && fp == round.prefix[ln] && c.topsCurrent(n, userID, round) {
+			delete(n.lag, userID)
+			continue
+		}
+		if err := c.applyRoundLocked(n, userID, round, false); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if m := c.met.Load(); m != nil {
+			m.journalReplays.Inc()
+		}
+	}
+	return firstErr
+}
+
+// topsCurrent reports whether the node already has the round's merged
+// top set installed, so an audit can skip the user entirely.
+func (c *Cluster) topsCurrent(n *Node, userID string, round *mergeRound) bool {
+	got, err := n.Engine.TopLocations(userID)
+	if err != nil || len(got) != len(round.tops) {
+		return false
+	}
+	for i := range got {
+		if got[i] != round.tops[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// resolveBaseLocked returns how many of the round's entries the replica
+// already holds, verified by content: the replica's table length and
+// fingerprint must name a prefix of the round's chain. ok is false when
+// the proof fails — the replica diverged arbitrarily (corrupt store,
+// foreign state) and needs the full snapshot. The caller holds c.mu.
+func (c *Cluster) resolveBaseLocked(n *Node, userID string, round *mergeRound) (base int, ok bool) {
+	ln, fp, err := n.Engine.TableState(userID)
+	if err != nil {
+		return 0, false
+	}
+	if ln <= len(round.entries) && round.prefix[ln] == fp {
+		return ln, true
+	}
+	return 0, false
+}
+
+// applyRoundLocked installs one journal round on a replica as a
+// content-addressed delta: resolve the prefix the replica proves it
+// holds, ship only the suffix beyond it (a failed proof falls back to
+// the full snapshot, which the idempotent import — existing entries win
+// — still converges), then install the merged top set so TopLocations
+// answers identically on every edge. The shipped frame is sized with
+// the real wire encoding so the replication metrics report bytes a
+// networked deployment would put on the wire. merged reports whether
+// the replica's pending check-ins were part of this round (live
+// replication consumes the collection window; a catch-up replay
+// preserves pending check-ins that never merged, so they contribute to
+// the next round). On failure the node keeps a lag entry for the round,
+// staying cleanly retryable. The caller holds c.mu.
+func (c *Cluster) applyRoundLocked(n *Node, userID string, round *mergeRound, merged bool) (err error) {
+	defer func() {
+		if err != nil {
+			n.lag[userID] = round.version
+		} else {
+			delete(n.lag, userID)
+		}
+	}()
+	if !n.Reachable() {
+		return fmt.Errorf("edgecluster: replicating round %d to %s: node unreachable", round.version, n.ID)
+	}
 	if n.failApply != nil {
 		if err := n.failApply(userID); err != nil {
 			return fmt.Errorf("edgecluster: replicating round %d to %s: %w", round.version, n.ID, err)
 		}
 	}
-	if err := n.Engine.ImportTable(userID, round.entries); err != nil {
+	base, ok := c.resolveBaseLocked(n, userID, round)
+	if !ok {
+		c.repl.Fallbacks++
+		if m := c.met.Load(); m != nil {
+			m.snapshotFallbacks.Inc()
+		}
+	}
+	delta := wire.ReplDelta{
+		UserID:  userID,
+		Version: round.version,
+		BaseLen: base,
+		BaseFP:  round.prefix[base],
+		FullFP:  round.prefix[len(round.entries)],
+		Entries: round.entries[base:],
+		Tops:    round.tops,
+		At:      round.at,
+	}
+	c.encBuf = wire.Append(c.encBuf[:0], &delta)
+	c.repl.DeltaBytes += len(c.encBuf)
+	c.repl.SnapshotBytes += round.snapshotBytes
+	c.repl.Entries += len(delta.Entries)
+	if m := c.met.Load(); m != nil {
+		m.replicationBytes.Add(uint64(len(c.encBuf)))
+		m.replicationSnapshotBytes.Add(uint64(round.snapshotBytes))
+		m.replicationEntries.Add(uint64(len(delta.Entries)))
+	}
+	if err := n.Engine.ImportTable(userID, delta.Entries); err != nil {
 		return fmt.Errorf("edgecluster: replicating table to %s: %w", n.ID, err)
 	}
 	install := n.Engine.SyncTops
@@ -332,14 +532,15 @@ func (c *Cluster) applyRoundLocked(n *Node, userID string, round *mergeRound, me
 	if err := install(userID, round.tops, round.at); err != nil {
 		return fmt.Errorf("edgecluster: installing tops at %s: %w", n.ID, err)
 	}
-	n.applied[userID] = round.version
 	return nil
 }
 
 // route returns the covering LIVE edge nearest to pos, failing over past
-// down nodes to the next-nearest covering edge. failedOver reports that
-// the nearest covering edge was down, so callers can attribute the hop
-// in their trace.
+// down or unreachable nodes to the next-nearest covering edge. A dead
+// node the detector has not yet confirmed is skipped the same way a
+// marked-down one is — the request path is its own passive failure
+// detector. failedOver reports that the nearest covering edge was
+// skipped, so callers can attribute the hop in their trace.
 func (c *Cluster) route(pos geo.Point) (n *Node, failedOver bool, err error) {
 	var best, bestLive *Node
 	bestD, bestLiveD := math.Inf(1), math.Inf(1)
@@ -351,7 +552,7 @@ func (c *Cluster) route(pos geo.Point) (n *Node, failedOver bool, err error) {
 		if d < bestD {
 			best, bestD = n, d
 		}
-		if !n.down.Load() && d < bestLiveD {
+		if !n.down.Load() && n.Reachable() && d < bestLiveD {
 			bestLive, bestLiveD = n, d
 		}
 	}
@@ -505,6 +706,14 @@ type MergeStats struct {
 	// Degraded reports a round that did not reach the whole cluster
 	// (SkippedDown > 0 or ReplicaErrors > 0).
 	Degraded bool
+	// DeltaBytes is the wire bytes this round actually shipped to
+	// replicas (content-addressed delta frames).
+	DeltaBytes int
+	// SnapshotBytes is what the old full-snapshot scheme would have
+	// shipped for the same applies.
+	SnapshotBytes int
+	// DeltaEntries is the table entries this round shipped.
+	DeltaEntries int
 }
 
 // MergeProfiles runs the periodic profile merge for one user:
@@ -536,9 +745,15 @@ func (c *Cluster) MergeProfilesStats(userID string, now time.Time) (profile.Prof
 
 	var stats MergeStats
 	live := make([]*Node, 0, len(c.nodes))
+	excluded := make([]*Node, 0, 2)
 	for _, n := range c.nodes {
-		if n.down.Load() {
+		// An unreachable node the detector has not yet confirmed down is
+		// excluded exactly like a marked-down one: the merge protocol
+		// cannot wait on a dead endpoint, and the journal lets it catch up
+		// on revival either way.
+		if n.down.Load() || !n.Reachable() {
 			stats.SkippedDown++
+			excluded = append(excluded, n)
 			continue
 		}
 		live = append(live, n)
@@ -597,9 +812,11 @@ func (c *Cluster) MergeProfilesStats(userID string, now time.Time) (profile.Prof
 	// the user's latest journal round first closes that window.
 	obfuscator := live[0]
 	stats.Obfuscator = obfuscator.ID
-	if prev := c.journal[userID]; prev != nil && obfuscator.applied[userID] < prev.version {
-		if err := c.applyRoundLocked(obfuscator, userID, prev, false); err != nil {
-			return nil, stats, fmt.Errorf("edgecluster: catching obfuscator %s up: %w", obfuscator.ID, err)
+	if _, behind := obfuscator.lag[userID]; behind {
+		if prev := c.journal[userID]; prev != nil {
+			if err := c.applyRoundLocked(obfuscator, userID, prev, false); err != nil {
+				return nil, stats, fmt.Errorf("edgecluster: catching obfuscator %s up: %w", obfuscator.ID, err)
+			}
 		}
 	}
 	if err := obfuscator.Engine.InstallTops(userID, tops, now); err != nil {
@@ -613,12 +830,36 @@ func (c *Cluster) MergeProfilesStats(userID string, now time.Time) (profile.Prof
 	// Journal the round BEFORE touching replicas: from here on the merged
 	// state has one authoritative record, and any replica — including one
 	// that fails right now — converges to it by replaying the journal.
+	// The fingerprint chain computed here is the round's content address:
+	// every replica proves its prefix against it, and the byte-identity
+	// gate compares its final value.
 	c.version++
 	round := &mergeRound{version: c.version, tops: tops, entries: entries, at: now}
+	round.prefix = make([]uint64, len(entries)+1)
+	round.prefix[0] = core.FingerprintSeed
+	for i := range entries {
+		round.prefix[i+1] = core.ExtendFingerprint(round.prefix[i], entries[i:i+1])
+	}
+	c.encBuf = wire.Append(c.encBuf[:0], &wire.ReplDelta{
+		UserID:  userID,
+		Version: c.version,
+		BaseFP:  core.FingerprintSeed,
+		FullFP:  round.prefix[len(entries)],
+		Entries: entries,
+		Tops:    tops,
+		At:      now,
+	})
+	round.snapshotBytes = len(c.encBuf)
 	c.journal[userID] = round
 	stats.Version = round.version
-	obfuscator.applied[userID] = round.version
+	delete(obfuscator.lag, userID)
+	// Excluded nodes miss this round by construction; record the debt so
+	// their revival catch-up walks exactly the users they fell behind on.
+	for _, n := range excluded {
+		n.lag[userID] = round.version
+	}
 
+	before := c.repl
 	for _, n := range live[1:] {
 		if err := c.applyRoundLocked(n, userID, round, true); err != nil {
 			stats.ReplicaErrors++
@@ -627,6 +868,9 @@ func (c *Cluster) MergeProfilesStats(userID string, now time.Time) (profile.Prof
 			}
 		}
 	}
+	stats.DeltaBytes = c.repl.DeltaBytes - before.DeltaBytes
+	stats.SnapshotBytes = c.repl.SnapshotBytes - before.SnapshotBytes
+	stats.DeltaEntries = c.repl.Entries - before.Entries
 	stats.Degraded = stats.SkippedDown > 0 || stats.ReplicaErrors > 0
 	if m := c.met.Load(); m != nil {
 		m.merges.Inc()

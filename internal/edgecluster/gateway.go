@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"sort"
 	"time"
@@ -69,6 +70,30 @@ func NewGateway(c *Cluster, clock edge.Clock, opts ...GatewayOption) (*Gateway, 
 // Handler returns the HTTP handler for the gateway.
 func (g *Gateway) Handler() http.Handler { return g.mux }
 
+// Serve runs the gateway on the listener until ctx is cancelled, then
+// shuts down gracefully. It uses the same hardened http.Server as the
+// single-edge front (edge.NewHTTPServer): header-read and idle
+// timeouts, per-route body limits.
+func (g *Gateway) Serve(ctx context.Context, ln net.Listener) error {
+	srv := edge.NewHTTPServer(g.mux)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("edgecluster: gateway shutdown: %w", err)
+		}
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return fmt.Errorf("edgecluster: gateway serve: %w", err)
+	}
+}
+
 // Instrument registers the gateway's wire_requests_total and
 // wire_decode_errors_total families with reg and starts recording.
 func (g *Gateway) Instrument(reg *telemetry.Registry) {
@@ -131,7 +156,7 @@ func (g *Gateway) handleReport(w http.ResponseWriter, r *http.Request) {
 	r, root := g.trace(r, "/v1/report")
 	defer root.End()
 	var req edge.ReportRequest
-	if !g.readBody(w, r, reqCodec, respCodec, &req, 1<<20) {
+	if !g.readBody(w, r, reqCodec, respCodec, &req, edge.MaxRequestBody) {
 		return
 	}
 	if req.UserID == "" {
@@ -158,7 +183,7 @@ func (g *Gateway) handleReportBatch(w http.ResponseWriter, r *http.Request) {
 	r, root := g.trace(r, "/v1/report/batch")
 	defer root.End()
 	var req edge.ReportBatchRequest
-	if !g.readBody(w, r, reqCodec, respCodec, &req, 8<<20) {
+	if !g.readBody(w, r, reqCodec, respCodec, &req, edge.MaxBatchBody) {
 		return
 	}
 	if len(req.Reports) == 0 {

@@ -2,8 +2,10 @@ package edgecluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -220,5 +222,79 @@ func TestGatewayErrorsAndHealth(t *testing.T) {
 	}
 	if health.Status != "ok" || health.LiveEdges != 2 {
 		t.Fatalf("health = %+v, want ok with 2 live edges", health)
+	}
+}
+
+// TestGatewayBodyLimits is the regression for the gateway's hardcoded
+// body-limit copies: both fronts must enforce the SAME per-route limits
+// (edge.MaxRequestBody / edge.MaxBatchBody), rejecting oversized bodies
+// instead of buffering whatever a client streams.
+func TestGatewayBodyLimits(t *testing.T) {
+	_, ts, _ := newGatewayFixture(t)
+
+	post := func(path string, size int) int {
+		t.Helper()
+		body := bytes.NewReader(bytes.Repeat([]byte("x"), size))
+		resp, err := http.Post(ts.URL+path, "application/json", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if got := post("/v1/report", edge.MaxRequestBody+1); got != http.StatusBadRequest {
+		t.Errorf("report body over MaxRequestBody: status %d, want %d", got, http.StatusBadRequest)
+	}
+	if got := post("/v1/report/batch", edge.MaxBatchBody+1); got != http.StatusBadRequest {
+		t.Errorf("batch body over MaxBatchBody: status %d, want %d", got, http.StatusBadRequest)
+	}
+	// A batch bigger than the single-message limit but under the batch
+	// limit must NOT be rejected for size (it fails later, on content):
+	// proves the two routes use their own limits, not one shared cap.
+	padded := bytes.Repeat([]byte(" "), edge.MaxRequestBody+1)
+	copy(padded, "{\"reports\":[]}")
+	resp, err := http.Post(ts.URL+"/v1/report/batch", "application/json", bytes.NewReader(padded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(raw), "non-empty") {
+		t.Errorf("mid-size batch: status %d body %q, want empty-reports rejection", resp.StatusCode, raw)
+	}
+}
+
+// TestGatewayServeHardened boots Gateway.Serve on a real listener and
+// checks it serves traffic and shuts down on context cancel; the
+// slowloris bounds themselves are pinned by edge.TestNewHTTPServer.
+func TestGatewayServeHardened(t *testing.T) {
+	c, err := New(testClusterConfig(t, threeEdges()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGateway(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- g.Serve(ctx, ln) }()
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
 	}
 }

@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"repro/internal/adnet"
+	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/profile"
 )
 
 // benchReport builds one representative check-in.
@@ -120,4 +122,39 @@ func BenchmarkWireEncodeAds10(b *testing.B) {
 
 func BenchmarkWireDecodeAds10(b *testing.B) {
 	benchDecode(b, benchAds(), func() Message { return &AdsResponse{} })
+}
+
+// benchReplDelta builds a replication delta carrying n table entries
+// with the engine's default 8 candidates each — the shape one merge
+// round ships per changed user.
+func benchReplDelta(n int) *ReplDelta {
+	d := &ReplDelta{
+		UserID:  "u00042",
+		Version: 12345,
+		BaseLen: 7,
+		BaseFP:  0x1234_5678_9abc_def0,
+		FullFP:  0x0fed_cba9_8765_4321,
+		Entries: make([]core.TableEntry, n),
+		Tops:    make(profile.Profile, n),
+		At:      time.Date(2021, 6, 1, 12, 0, 0, 0, time.UTC),
+	}
+	for i := range d.Entries {
+		e := &d.Entries[i]
+		e.Top = geo.Point{X: float64(i) * 500, Y: 250}
+		e.Candidates = make([]geo.Point, 8)
+		for j := range e.Candidates {
+			e.Candidates[j] = geo.Point{X: float64(i*100 + j), Y: float64(j) * 33.5}
+		}
+		e.CreatedAt = d.At.Add(time.Duration(i) * time.Minute)
+		d.Tops[i] = profile.LocationFreq{Loc: e.Top, Freq: 50 - i}
+	}
+	return d
+}
+
+func BenchmarkWireEncodeReplDelta4(b *testing.B) {
+	benchEncode(b, benchReplDelta(4))
+}
+
+func BenchmarkWireDecodeReplDelta4(b *testing.B) {
+	benchDecode(b, benchReplDelta(4), func() Message { return &ReplDelta{} })
 }

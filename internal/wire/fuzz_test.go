@@ -11,7 +11,9 @@ import (
 	"time"
 
 	"repro/internal/adnet"
+	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/profile"
 	"repro/internal/randx"
 )
 
@@ -28,6 +30,7 @@ var messageTypes = []struct {
 	{"ads_response", func() Message { return &AdsResponse{} }},
 	{"stats", func() Message { return &StatsResponse{} }},
 	{"error", func() Message { return &ErrorResponse{} }},
+	{"repl_delta", func() Message { return &ReplDelta{} }},
 }
 
 // genString draws a short ASCII string (JSON-marshalable without
@@ -141,8 +144,105 @@ func genMessage(rnd *randx.Rand, name string) Message {
 		return &StatsResponse{Users: genInt(rnd), ProtectedTops: genInt(rnd), TotalCandidate: genInt(rnd)}
 	case "error":
 		return &ErrorResponse{Error: genString(rnd)}
+	case "repl_delta":
+		d := genReplDelta(rnd)
+		return &d
 	}
 	panic("unknown message type " + name)
+}
+
+func genTableEntries(rnd *randx.Rand, n int) []core.TableEntry {
+	out := make([]core.TableEntry, n)
+	for i := range out {
+		out[i].Top = genPoint(rnd)
+		switch rnd.IntN(3) {
+		case 0:
+			out[i].Candidates = nil
+		case 1:
+			out[i].Candidates = []geo.Point{}
+		default:
+			out[i].Candidates = make([]geo.Point, 1+rnd.IntN(6))
+			for j := range out[i].Candidates {
+				out[i].Candidates[j] = genPoint(rnd)
+			}
+		}
+		out[i].CreatedAt = genTime(rnd)
+	}
+	return out
+}
+
+func genReplDelta(rnd *randx.Rand) ReplDelta {
+	d := ReplDelta{
+		UserID:  genString(rnd),
+		Version: rnd.Uint64(),
+		BaseLen: rnd.IntN(1000),
+		BaseFP:  rnd.Uint64(),
+		FullFP:  rnd.Uint64(),
+		At:      genTime(rnd),
+	}
+	switch rnd.IntN(3) {
+	case 0:
+		d.Entries = nil
+	case 1:
+		d.Entries = []core.TableEntry{}
+	default:
+		d.Entries = genTableEntries(rnd, 1+rnd.IntN(6))
+	}
+	switch rnd.IntN(3) {
+	case 0:
+		d.Tops = nil
+	case 1:
+		d.Tops = profile.Profile{}
+	default:
+		d.Tops = make(profile.Profile, 1+rnd.IntN(6))
+		for i := range d.Tops {
+			d.Tops[i] = profile.LocationFreq{Loc: genPoint(rnd), Freq: genInt(rnd)}
+		}
+	}
+	return d
+}
+
+// FuzzReplDelta is the delta codec fuzzer verify.sh smokes: beyond
+// round-trip identity, it pins the content-address contract — for a
+// random table and a fuzzer-chosen split point, the delta built from the
+// suffix names its base and full states by fingerprint chain, and
+// applying the decoded suffix onto the base prefix reproduces the full
+// table's fingerprint exactly (delta ≡ snapshot).
+func FuzzReplDelta(f *testing.F) {
+	for seed := uint64(0); seed < 8; seed++ {
+		f.Add(seed, uint(seed))
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, splitRaw uint) {
+		rnd := randx.New(seed, 0x0DE1)
+		d := genReplDelta(rnd)
+		checkRoundTrip(t, "repl_delta", &d, func() Message { return &ReplDelta{} })
+
+		full := genTableEntries(rnd, 1+rnd.IntN(12))
+		split := int(splitRaw % uint(len(full)+1))
+		delta := ReplDelta{
+			UserID:  genString(rnd),
+			Version: rnd.Uint64(),
+			BaseLen: split,
+			BaseFP:  core.FingerprintTable(full[:split]),
+			FullFP:  core.FingerprintTable(full),
+			Entries: full[split:],
+			At:      genTime(rnd),
+		}
+		var got ReplDelta
+		if err := Decode(Encode(&delta), &got); err != nil {
+			t.Fatalf("delta decode: %v", err)
+		}
+		if fp := core.ExtendFingerprint(got.BaseFP, got.Entries); fp != got.FullFP {
+			t.Fatalf("split %d: applying decoded suffix onto base fp %x gives %x, want %x",
+				split, got.BaseFP, fp, got.FullFP)
+		}
+		if snap := core.FingerprintTable(full); snap != got.FullFP {
+			t.Fatalf("split %d: delta landed on %x, snapshot says %x", split, got.FullFP, snap)
+		}
+		if split == 0 && got.BaseFP != core.FingerprintSeed {
+			t.Fatalf("snapshot delta base fp = %x, want seed", got.BaseFP)
+		}
+	})
 }
 
 // FuzzRoundTrip drives the structured properties from a fuzzer-chosen

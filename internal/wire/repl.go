@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/profile"
+)
+
+// ReplDelta is the replication-path message: one merge round's update
+// for one user, shipped obfuscator → replica. Obfuscation tables are
+// append-only (first writer wins), so any replica's table is a prefix of
+// the obfuscator's; a delta therefore carries only the suffix the
+// replica is missing, content-addressed by the fingerprint chain of
+// internal/core:
+//
+//   - BaseLen/BaseFP name the prefix the delta extends: the replica
+//     must hold exactly BaseLen entries hashing to BaseFP (the
+//     core.FingerprintTable chain value) for Entries to apply.
+//   - FullFP is the chain value after appending Entries — the
+//     byte-identity the replica must land on.
+//   - BaseLen == 0 (BaseFP == core.FingerprintSeed) is a full snapshot:
+//     the fallback when a replica's content proof fails.
+//
+// Unlike the serving messages, deltas never travel as JSON in
+// production — the struct still carries tags so the codec-equivalence
+// fuzzers can cross-check the binary encoding against encoding/json.
+type ReplDelta struct {
+	UserID string `json:"user_id"`
+	// Version is the journal version this delta brings the replica to.
+	Version uint64 `json:"version"`
+	BaseLen int    `json:"base_len"`
+	BaseFP  uint64 `json:"base_fp"`
+	FullFP  uint64 `json:"full_fp"`
+	// Entries are the obfuscator's table rows [BaseLen, BaseLen+len) —
+	// the suffix the replica is missing.
+	Entries []core.TableEntry `json:"entries"`
+	// Tops is the merged η-frequent top set installed with the round.
+	Tops profile.Profile `json:"tops"`
+	// At is the merge round's timestamp.
+	At time.Time `json:"at"`
+}
+
+func (*ReplDelta) wireType() byte { return typeReplDelta }
+
+func (m *ReplDelta) appendBody(dst []byte) []byte {
+	dst = appendString(dst, m.UserID)
+	dst = appendUvarint(dst, m.Version)
+	dst = appendInt(dst, m.BaseLen)
+	dst = appendUint64(dst, m.BaseFP)
+	dst = appendUint64(dst, m.FullFP)
+	dst = appendLen(dst, m.Entries)
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		dst = appendPoint(dst, e.Top)
+		dst = appendLen(dst, e.Candidates)
+		for _, cand := range e.Candidates {
+			dst = appendPoint(dst, cand)
+		}
+		dst = appendTime(dst, e.CreatedAt)
+	}
+	dst = appendLen(dst, m.Tops)
+	for i := range m.Tops {
+		dst = appendPoint(dst, m.Tops[i].Loc)
+		dst = appendInt(dst, m.Tops[i].Freq)
+	}
+	return appendTime(dst, m.At)
+}
+
+func (m *ReplDelta) readBody(r *reader) {
+	m.UserID = r.str()
+	m.Version = r.uvarint()
+	m.BaseLen = r.int_()
+	m.BaseFP = r.uint64()
+	m.FullFP = r.uint64()
+	n, ok := r.sliceLen()
+	if !ok {
+		m.Entries = nil
+	} else {
+		m.Entries = make([]core.TableEntry, n)
+		for i := range m.Entries {
+			e := &m.Entries[i]
+			e.Top = r.point()
+			cn, cok := r.sliceLen()
+			if !cok {
+				e.Candidates = nil
+			} else {
+				e.Candidates = make([]geo.Point, cn)
+				for j := range e.Candidates {
+					e.Candidates[j] = r.point()
+				}
+			}
+			e.CreatedAt = r.time()
+		}
+	}
+	n, ok = r.sliceLen()
+	if !ok {
+		m.Tops = nil
+	} else {
+		m.Tops = make(profile.Profile, n)
+		for i := range m.Tops {
+			m.Tops[i].Loc = r.point()
+			m.Tops[i].Freq = r.int_()
+		}
+	}
+	m.At = r.time()
+}

@@ -64,6 +64,7 @@ const (
 	typeAdsResponse
 	typeStats
 	typeError
+	typeReplDelta
 )
 
 // Codec errors.
@@ -157,6 +158,13 @@ func appendFloat64(dst []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 }
 
+// appendUint64 encodes a fixed 8-byte little-endian word. Fingerprints
+// use it instead of a varint: hash values occupy the full 64-bit range,
+// where varints cost 9-10 bytes.
+func appendUint64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
 func appendString(dst []byte, s string) []byte {
 	dst = appendUvarint(dst, uint64(len(s)))
 	return append(dst, s...)
@@ -239,6 +247,19 @@ func (r *reader) varint64() int64 {
 }
 
 func (r *reader) int_() int { return int(r.varint64()) }
+
+func (r *reader) uint64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.fail("truncated uint64 at offset %d", r.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
 
 func (r *reader) float64() float64 {
 	if r.err != nil {

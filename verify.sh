@@ -19,6 +19,29 @@ go test -race ./...
 # to shake out interleavings the single pass missed.
 go test -race -count=2 ./internal/edgecluster ./internal/client ./internal/edge
 
+# Short fuzz smoke over the delta replication codec: round-trip identity
+# and the content-addressing invariant (extending the base fingerprint by
+# the shipped entries must land on the full-table fingerprint, i.e. a
+# delta is provably equivalent to the snapshot it replaces), then the
+# cluster-level equivalence fuzzer (delta-converged replicas must be
+# byte-identical to a one-shot snapshot import).
+go test ./internal/wire -run '^$' -fuzz 'FuzzReplDelta$' -fuzztime 10s
+go test ./internal/edgecluster -run '^$' -fuzz 'FuzzDeltaCatchUpEquivalence$' -fuzztime 15s
+
+# Chaos smoke: kill edge endpoints under live traffic and let the
+# ping-based failure detector confirm and revive them — the simulation
+# itself never calls MarkDown/MarkUp, and it exits non-zero unless the
+# byte-identity audit passes and delta bytes undercut snapshot bytes.
+# The greps pin the detector-driven transitions and the replication
+# accounting lines the run must report.
+CHAOS_OUT="$(mktemp)"
+go run ./cmd/lbasim -edges 3 -chaos -users 10 -max-checkins 200 | tee "$CHAOS_OUT"
+grep -q 'replication audit: .* byte-identical' "$CHAOS_OUT"
+grep -Eq 'auto_downs=[1-9]' "$CHAOS_OUT"
+grep -Eq 'auto_revives=[1-9]' "$CHAOS_OUT"
+grep -Eq 'replication: delta_bytes=[1-9][0-9]* snapshot_bytes=[1-9][0-9]* ratio=0\.' "$CHAOS_OUT"
+rm -f "$CHAOS_OUT"
+
 # Smoke the benchmark harness: one cheap benchmark through bench.sh and
 # the JSON converter, writing to a scratch path (the checked-in
 # BENCH_pr2.json is regenerated only by a full ./bench.sh run). The same
