@@ -7,6 +7,8 @@
 #   WIRE=1 ./bench.sh          # wire-codec sweep -> BENCH_pr7.json, then
 #                              # a benchjson -diff gate vs BENCH_pr4.json
 #   REPL=1 ./bench.sh          # delta-replication sweep -> BENCH_pr8.json
+#   MEM=1 ./bench.sh           # million-user memory sweep -> BENCH_pr9.json,
+#                              # then a benchjson -diff gate vs BENCH_pr7.json
 #   OUT=/tmp/b.json BENCH='BenchmarkTrim' BENCHTIME=1x ./bench.sh
 #
 # Knobs (environment):
@@ -32,9 +34,17 @@
 #             merge round vs changed users) under the "repl" key; the
 #             sweep itself fails the run if per-changed-user bytes are
 #             not flat or deltas do not beat snapshots.
+#   MEM       when set, run the same engine serving microbenches as
+#             BENCH_pr7 (so -diff matches), embed the cmd/loadgen
+#             -sweep-mem grid (resident caps {users/100, users/10,
+#             unbounded} over a LOADGEN_USERS=1000000 population,
+#             peak/steady HeapAlloc + RSS, fingerprint identity across
+#             caps) under the "mem" key, and finish with the gate
+#             `benchjson -diff BENCH_pr7.json $OUT`.
 #   Extra knobs for either sweep:
 #   LOADGEN_USERS / LOADGEN_WORKERS / LOADGEN_REQUESTS
-#             workload size of the loadgen sweep (defaults 64/8/40000)
+#             workload size of the loadgen sweep (defaults 64/8/40000;
+#             LOADGEN_USERS defaults to 1000000 with MEM=1)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -62,6 +72,18 @@ elif [ -n "${REPL:-}" ]; then
     go run ./cmd/lbasim -repl-sweep \
         -users "${LOADGEN_USERS:-32}" \
         -seed 1 \
+        -out "$serving_json"
+elif [ -n "${MEM:-}" ]; then
+    OUT="${OUT:-BENCH_pr9.json}"
+    # Same engine serving set as the WIRE mode (see the comment there on
+    # EngineReportParallel), so the diff gate vs BENCH_pr7 matches.
+    BENCH="${BENCH:-BenchmarkEngineReport\$|BenchmarkEngineReportBatch|BenchmarkEngineRequest\$|BenchmarkWire}"
+    PKGS="${PKGS:-. ./internal/wire}"
+    serving_json="$(mktemp)"
+    go run ./cmd/loadgen -sweep-mem \
+        -users "${LOADGEN_USERS:-1000000}" \
+        -batch 64 \
+        -wire binary \
         -out "$serving_json"
 elif [ -n "${WIRE:-}" ]; then
     OUT="${OUT:-BENCH_pr7.json}"
@@ -99,6 +121,8 @@ fi
 go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count=1 $PKGS | tee "$raw"
 if [ -n "${DURABLE:-}" ]; then
     go run ./cmd/benchjson -durable "$serving_json" < "$raw" > "$OUT"
+elif [ -n "${MEM:-}" ]; then
+    go run ./cmd/benchjson -mem "$serving_json" < "$raw" > "$OUT"
 elif [ -n "${REPL:-}" ]; then
     go run ./cmd/benchjson -repl "$serving_json" < "$raw" > "$OUT"
 elif [ -n "${WIRE:-}" ]; then
@@ -113,4 +137,9 @@ if [ -n "${WIRE:-}" ] && [ -f BENCH_pr4.json ]; then
     # Perf-regression gate: the engine serving benches shared with the
     # PR 4 archive must not have slowed past the threshold.
     go run ./cmd/benchjson -diff BENCH_pr4.json "$OUT" -threshold "${DIFF_THRESHOLD:-30}"
+fi
+if [ -n "${MEM:-}" ] && [ -f BENCH_pr7.json ]; then
+    # Perf-regression gate: the tiering refactor must not have slowed
+    # the serving microbenches shared with the PR 7 archive.
+    go run ./cmd/benchjson -diff BENCH_pr7.json "$OUT" -threshold "${DIFF_THRESHOLD:-30}"
 fi

@@ -67,6 +67,11 @@ type Report struct {
 	// BENCH_pr8.json carries the delta codec microbenchmarks and the
 	// macro replication-cost grid together.
 	Repl json.RawMessage `json:"repl,omitempty"`
+	// Mem embeds a cmd/loadgen -sweep-mem document (peak/steady
+	// HeapAlloc and RSS per resident cap, bytes-per-resident-user) when
+	// -mem is given; BENCH_pr9.json carries the serving microbenchmarks
+	// and the macro memory-footprint sweep together.
+	Mem json.RawMessage `json:"mem,omitempty"`
 }
 
 func main() {
@@ -82,6 +87,7 @@ func run(args []string) error {
 	durable := fs.String("durable", "", "embed this cmd/loadgen -sweep-durable JSON file under the durable key")
 	wireSweep := fs.String("wire", "", "embed this cmd/loadgen -sweep-wire JSON file under the wire key")
 	replSweep := fs.String("repl", "", "embed this cmd/lbasim -repl-sweep JSON file under the repl key")
+	memSweep := fs.String("mem", "", "embed this cmd/loadgen -sweep-mem JSON file under the mem key")
 	diff := fs.Bool("diff", false, "compare two archives (old.json new.json) instead of reading stdin; exit non-zero on a regression past -threshold")
 	threshold := fs.Float64("threshold", 10, "with -diff, the ns/op slowdown in percent that counts as a regression")
 	if err := fs.Parse(args); err != nil {
@@ -122,6 +128,11 @@ func run(args []string) error {
 	}
 	if *replSweep != "" {
 		if rep.Repl, err = embed(*replSweep, "repl"); err != nil {
+			return err
+		}
+	}
+	if *memSweep != "" {
+		if rep.Mem, err = embed(*memSweep, "mem"); err != nil {
 			return err
 		}
 	}

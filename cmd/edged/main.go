@@ -23,6 +23,13 @@
 // state is recovered from the newest checkpoint plus the log tail at
 // startup, and checkpoints are taken every -checkpoint-every and on
 // graceful shutdown.
+//
+// With -max-resident and/or -evict-idle the engine is memory-tiered:
+// cold users are spilled to disk (under -data-dir/spill, or a temp dir)
+// and faulted back in transparently on their next touch, bounding RSS
+// for long-tailed populations far larger than memory. -rebuild-every
+// with -rebuild-parts amortizes the periodic profile rebuild across
+// incremental sub-rounds instead of stopping the world.
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -81,6 +89,11 @@ func run(args []string) error {
 		ckptEvery = flags.Duration("checkpoint-every", 5*time.Minute, "periodic checkpoint interval with -data-dir; 0 disables periodic checkpoints (a final one is still taken on shutdown)")
 		logFormat = flags.String("log-format", logx.FormatText, "structured log format: json | text")
 		slowTrace = flags.Duration("slow-trace", 250*time.Millisecond, "log requests whose trace exceeds this duration with their per-stage breakdown; 0 disables")
+
+		maxResident  = flags.Int("max-resident", 0, "bound on users resident in memory; least-recently-touched users beyond it are spilled to disk and faulted back in transparently (0 = unbounded)")
+		evictIdle    = flags.Duration("evict-idle", 0, "periodically spill users idle for at least this long (0 disables; enables the spill tier even without -max-resident)")
+		rebuildEvery = flags.Duration("rebuild-every", 0, "run one incremental profile-rebuild sub-round this often, covering the population every -rebuild-parts ticks (0 disables)")
+		rebuildParts = flags.Int("rebuild-parts", 4, "sub-rounds an incremental rebuild spreads the population across (with -rebuild-every)")
 	)
 	if err := flags.Parse(args); err != nil {
 		return err
@@ -103,15 +116,38 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("building nomadic mechanism: %w", err)
 	}
+	if *rebuildParts < 1 {
+		return errors.New("-rebuild-parts must be at least 1")
+	}
+	// The spill tier is process-local scratch, never durable state: under
+	// -data-dir it lives in a subdirectory the WAL scanner ignores, and
+	// without one it lives in a temp dir removed on exit. Crash recovery
+	// always rebuilds from the WAL.
+	var spillDir string
+	if *maxResident > 0 || *evictIdle > 0 {
+		if *dataDir != "" {
+			spillDir = filepath.Join(*dataDir, "spill")
+		} else {
+			tmp, err := os.MkdirTemp("", "edged-spill-*")
+			if err != nil {
+				return fmt.Errorf("creating spill dir: %w", err)
+			}
+			defer os.RemoveAll(tmp)
+			spillDir = tmp
+		}
+	}
 	engine, err := core.NewEngine(core.Config{
 		Mechanism:        mech,
 		NomadicMechanism: nomadic,
 		Seed:             *seed,
 		Shards:           *shards,
+		SpillDir:         spillDir,
+		MaxResidentUsers: *maxResident,
 	})
 	if err != nil {
 		return fmt.Errorf("building engine: %w", err)
 	}
+	defer engine.Close() // releases spill files; a no-op without the tier
 	var store *wal.Store
 	if *dataDir != "" {
 		policy, interval, err := wal.ParsePolicy(*fsyncFlag)
@@ -239,6 +275,12 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *evictIdle > 0 {
+		go sweepIdle(ctx, engine, *evictIdle, logger)
+	}
+	if *rebuildEvery > 0 {
+		go rebuildIncremental(ctx, engine, *rebuildEvery, *rebuildParts, logger)
+	}
 	if err := serveAndPersist(ctx, server, engine, ln, *statePath, store, *ckptEvery, logger); err != nil {
 		return err
 	}
@@ -303,6 +345,59 @@ func serveAndPersist(ctx context.Context, server *edge.Server, engine *core.Engi
 		logger.Info("state persisted", slog.String("state", statePath))
 	}
 	return serveErr
+}
+
+// sweepIdle periodically spills users idle for at least minIdle,
+// keeping a long-tailed population's cold majority out of memory even
+// when no hard -max-resident cap is set.
+func sweepIdle(ctx context.Context, engine *core.Engine, minIdle time.Duration, logger *slog.Logger) {
+	ticker := time.NewTicker(minIdle)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			n, err := engine.EvictIdle(minIdle)
+			if err != nil {
+				logger.Error("idle eviction sweep failed", slog.Any("err", err))
+				continue
+			}
+			if n > 0 {
+				ts := engine.TierStats()
+				logger.Info("evicted idle users",
+					slog.Int("evicted", n),
+					slog.Int("resident", ts.Resident),
+					slog.Int("spilled", ts.Spilled))
+			}
+		}
+	}
+}
+
+// rebuildIncremental runs one RebuildPart sub-round per tick, covering
+// the whole population every parts ticks — the amortized form of the
+// paper's periodic profile recomputation, which at millions of users
+// must never stop the world.
+func rebuildIncremental(ctx context.Context, engine *core.Engine, every time.Duration, parts int, logger *slog.Logger) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for tick := 0; ; tick++ {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-ticker.C:
+			start := time.Now()
+			if err := engine.RebuildPart(now, 0, tick%parts, parts); err != nil {
+				logger.Error("incremental rebuild sub-round failed",
+					slog.Int("part", tick%parts), slog.Int("parts", parts), slog.Any("err", err))
+				continue
+			}
+			logger.Debug("incremental rebuild sub-round",
+				slog.Int("part", tick%parts),
+				slog.Int("parts", parts),
+				slog.Duration("took", time.Since(start).Round(time.Millisecond)))
+		}
+	}
 }
 
 // checkpoint captures an engine snapshot and hands it to the store,

@@ -15,6 +15,8 @@
 //	loadgen -sweep -out BENCH_pr4.json   # shards {1,8} x batch {1,64} grid
 //	loadgen -wire binary                 # negotiate the binary wire codec
 //	loadgen -sweep-wire                  # wire {json,binary} x batch {1,64} grid
+//	loadgen -users 1000000 -sweep-mem    # memory-footprint sweep across resident caps
+//	loadgen -max-resident 10000          # single run with the tiered engine
 package main
 
 import (
@@ -88,9 +90,17 @@ type config struct {
 	// Wire selects the serving-path codec the workers negotiate with
 	// the edge: "json" (default) or "binary" frames.
 	Wire string `json:"wire,omitempty"`
+	// MaxResident bounds the in-process engine's resident users; beyond
+	// it, least-recently-touched users spill to a temp dir and fault
+	// back in transparently (0 = unbounded, untiered).
+	MaxResident int `json:"max_resident,omitempty"`
 
 	mixReports, mixAds int
 	codec              edge.Codec
+	// clock overrides the in-process server's wall clock. The ads path
+	// records an implicit check-in at server time, so any run that
+	// asserts bit-for-bit state identity (the mem sweep) must pin it.
+	clock edge.Clock
 }
 
 // durable reports whether the run writes through a WAL.
@@ -130,6 +140,19 @@ type result struct {
 	// ActiveSpans is the server tracer's span gauge after the run; any
 	// value above zero is a span leak.
 	ActiveSpans int64 `json:"active_spans"`
+	// Tier is present only for -max-resident runs: the engine's
+	// memory-tier counters after the run.
+	Tier *tierResult `json:"tier,omitempty"`
+}
+
+// tierResult is the engine's memory-tier state after a capped run.
+type tierResult struct {
+	MaxResident int    `json:"max_resident"`
+	Resident    int    `json:"resident"`
+	Spilled     int    `json:"spilled"`
+	Evictions   uint64 `json:"evictions"`
+	FaultIns    uint64 `json:"faultins"`
+	SpillErrors uint64 `json:"spill_errors"`
 }
 
 // sweepReport is the BENCH_pr4.json serving section: the full grid plus
@@ -157,6 +180,8 @@ func run(args []string, out *os.File) error {
 		sweep     = fs.Bool("sweep", false, "run the shards {1,8} x batch {1,64} grid in-process and emit the sweep JSON")
 		sweepDur  = fs.Bool("sweep-durable", false, "run the fsync {none,never,interval,always} x batch {1,64} durability grid at shards=8 and emit the sweep JSON")
 		sweepWire = fs.Bool("sweep-wire", false, "run the wire {json,binary} x batch {1,64} codec grid at shards=8 and emit the sweep JSON")
+		sweepMem  = fs.Bool("sweep-mem", false, "run the memory-footprint sweep: resident caps {users/100, users/10, unbounded} over the full population, sampling HeapAlloc/RSS")
+		maxRes    = fs.Int("max-resident", 0, "bound the in-process engine's resident users; cold users spill to a temp dir (0 = unbounded)")
 		wireFlag  = fs.String("wire", "json", "serving-path codec: json | binary")
 		dataDir   = fs.String("data-dir", "", "WAL directory for the in-process server (empty durable runs use a temp dir)")
 		fsyncFlag = fs.String("fsync", "", "WAL fsync policy for the in-process server: always | interval[=<duration>] | never; empty or \"none\" disables the WAL")
@@ -169,6 +194,13 @@ func run(args []string, out *os.File) error {
 		Users: *users, Workers: *workers, Requests: *requests, Duration: *duration,
 		Mix: *mix, Batch: *batch, Shards: *shards, Campaigns: *campaigns,
 		Seed: *seed, Addr: *addr, DataDir: *dataDir, Fsync: *fsyncFlag, Wire: *wireFlag,
+		MaxResident: *maxRes,
+	}
+	if cfg.MaxResident < 0 {
+		return fmt.Errorf("-max-resident must be >= 0")
+	}
+	if cfg.MaxResident > 0 && cfg.Addr != "" {
+		return fmt.Errorf("-max-resident configures the in-process engine, so it cannot target an external -addr")
 	}
 	if cfg.DataDir != "" && cfg.Fsync == "" {
 		cfg.Fsync = "interval"
@@ -198,18 +230,33 @@ func run(args []string, out *os.File) error {
 		w = f
 	}
 
-	if *sweep || *sweepDur || *sweepWire {
+	if *sweep || *sweepDur || *sweepWire || *sweepMem {
 		if cfg.Addr != "" {
 			return fmt.Errorf("-sweep controls the in-process engine, so it cannot target an external -addr")
 		}
 		sweeps := 0
-		for _, on := range []bool{*sweep, *sweepDur, *sweepWire} {
+		for _, on := range []bool{*sweep, *sweepDur, *sweepWire, *sweepMem} {
 			if on {
 				sweeps++
 			}
 		}
 		if sweeps > 1 {
-			return fmt.Errorf("-sweep, -sweep-durable, and -sweep-wire are mutually exclusive")
+			return fmt.Errorf("-sweep, -sweep-durable, -sweep-wire, and -sweep-mem are mutually exclusive")
+		}
+		if *sweepMem {
+			rep, err := runSweepMem(cfg)
+			if err != nil {
+				return err
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				return err
+			}
+			if *outPath != "" {
+				fmt.Printf("loadgen: wrote mem sweep to %s\n", *outPath)
+			}
+			return nil
 		}
 		runGrid := runSweep
 		if *sweepDur {
@@ -240,6 +287,9 @@ func run(args []string, out *os.File) error {
 	if cfg.codec == edge.CodecBinary {
 		name += "/wire=binary"
 	}
+	if cfg.MaxResident > 0 {
+		name += fmt.Sprintf("/cap=%d", cfg.MaxResident)
+	}
 	res, err := runOne(cfg, name)
 	if err != nil {
 		return err
@@ -258,6 +308,11 @@ func run(args []string, out *os.File) error {
 		res.ReportP50Ms, res.ReportP95Ms, res.ReportP99Ms, res.ReportOverflow)
 	fmt.Fprintf(w, "ads    latency p50=%.3fms p95=%.3fms p99=%.3fms overflow=%d\n",
 		res.AdsP50Ms, res.AdsP95Ms, res.AdsP99Ms, res.AdsOverflow)
+	if res.Tier != nil {
+		fmt.Fprintf(w, "tier: max_resident=%d resident=%d spilled=%d core_evictions_total=%d core_faultins_total=%d spill_errors=%d\n",
+			res.Tier.MaxResident, res.Tier.Resident, res.Tier.Spilled,
+			res.Tier.Evictions, res.Tier.FaultIns, res.Tier.SpillErrors)
+	}
 	printStages(w, res)
 	return nil
 }
@@ -407,14 +462,15 @@ func runSweepWire(base config) (*sweepReport, error) {
 func runOne(cfg config, name string) (*result, error) {
 	baseURL := cfg.Addr
 	var srv *edge.Server
+	var engine *core.Engine
 	if baseURL == "" {
-		ts, s, cleanup, err := startEdge(cfg)
+		ts, s, e, cleanup, err := startEdge(cfg)
 		if err != nil {
 			return nil, err
 		}
 		defer cleanup()
 		defer ts.Close()
-		baseURL, srv = ts.URL, s
+		baseURL, srv, engine = ts.URL, s, e
 	}
 
 	reportHist, err := telemetry.NewHistogram(telemetry.DefaultLatencyBuckets())
@@ -555,6 +611,17 @@ func runOne(cfg config, name string) (*result, error) {
 			return res, fmt.Errorf("span leak: %d spans still active after the run", res.ActiveSpans)
 		}
 	}
+	if engine != nil && cfg.MaxResident > 0 {
+		ts := engine.TierStats()
+		res.Tier = &tierResult{
+			MaxResident: cfg.MaxResident,
+			Resident:    ts.Resident,
+			Spilled:     ts.Spilled,
+			Evictions:   ts.Evictions,
+			FaultIns:    ts.FaultIns,
+			SpillErrors: ts.SpillErrors,
+		}
+	}
 	return res, nil
 }
 
@@ -572,51 +639,75 @@ func quantileMs(h *telemetry.Histogram, q float64) float64 {
 // network with a bounded bid log (loadgen runs are exactly the sustained
 // load the ring cap exists for), and the HTTP server. In durable mode
 // the engine writes through a WAL in cfg.DataDir (or a temp dir) with
-// the configured fsync policy; the returned cleanup closes the store
-// and removes the temp dir.
-func startEdge(cfg config) (*httptest.Server, *edge.Server, func(), error) {
+// the configured fsync policy. With MaxResident > 0 the engine runs
+// tiered, spilling cold users to a temp dir. The returned cleanup
+// closes the engine and store and removes the temp dirs.
+func startEdge(cfg config) (*httptest.Server, *edge.Server, *core.Engine, func(), error) {
 	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("building mechanism: %w", err)
+		return nil, nil, nil, nil, fmt.Errorf("building mechanism: %w", err)
 	}
 	nomadic, err := geoind.NewPlanarLaplace(math.Log(4), 200)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("building nomadic mechanism: %w", err)
+		return nil, nil, nil, nil, fmt.Errorf("building nomadic mechanism: %w", err)
 	}
-	engine, err := core.NewEngine(core.Config{
+	ecfg := core.Config{
 		Mechanism:        mech,
 		NomadicMechanism: nomadic,
 		Seed:             cfg.Seed,
 		Shards:           cfg.Shards,
-	})
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("building engine: %w", err)
 	}
 	cleanup := func() {}
+	if cfg.MaxResident > 0 {
+		tmp, err := os.MkdirTemp("", "loadgen-spill-")
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("creating spill temp dir: %w", err)
+		}
+		ecfg.SpillDir = tmp
+		ecfg.MaxResidentUsers = cfg.MaxResident
+		cleanup = func() { _ = os.RemoveAll(tmp) }
+	}
+	engine, err := core.NewEngine(ecfg)
+	if err != nil {
+		cleanup()
+		return nil, nil, nil, nil, fmt.Errorf("building engine: %w", err)
+	}
+	{
+		rm := cleanup
+		cleanup = func() {
+			_ = engine.Close()
+			rm()
+		}
+	}
 	if cfg.durable() {
 		dir := cfg.DataDir
 		if dir == "" {
 			tmp, err := os.MkdirTemp("", "loadgen-wal-")
 			if err != nil {
-				return nil, nil, nil, fmt.Errorf("creating WAL temp dir: %w", err)
+				cleanup()
+				return nil, nil, nil, nil, fmt.Errorf("creating WAL temp dir: %w", err)
 			}
 			dir = tmp
-			cleanup = func() { _ = os.RemoveAll(tmp) }
+			rm := cleanup
+			cleanup = func() {
+				rm()
+				_ = os.RemoveAll(tmp)
+			}
 		}
 		policy, interval, err := wal.ParsePolicy(cfg.Fsync)
 		if err != nil {
 			cleanup()
-			return nil, nil, nil, fmt.Errorf("parsing -fsync: %w", err)
+			return nil, nil, nil, nil, fmt.Errorf("parsing -fsync: %w", err)
 		}
 		store, err := wal.Open(dir, wal.Options{Policy: policy, Interval: interval})
 		if err != nil {
 			cleanup()
-			return nil, nil, nil, fmt.Errorf("opening WAL: %w", err)
+			return nil, nil, nil, nil, fmt.Errorf("opening WAL: %w", err)
 		}
 		if _, err := engine.Recover(store); err != nil {
 			store.Close()
 			cleanup()
-			return nil, nil, nil, fmt.Errorf("recovering engine: %w", err)
+			return nil, nil, nil, nil, fmt.Errorf("recovering engine: %w", err)
 		}
 		rm := cleanup
 		cleanup = func() {
@@ -627,7 +718,7 @@ func startEdge(cfg config) (*httptest.Server, *edge.Server, func(), error) {
 	network, err := adnet.NewNetwork(nil, adnet.WithBidLogCap(1<<16))
 	if err != nil {
 		cleanup()
-		return nil, nil, nil, fmt.Errorf("building network: %w", err)
+		return nil, nil, nil, nil, fmt.Errorf("building network: %w", err)
 	}
 	region := trace.DefaultConfig().Region
 	rnd := randx.New(cfg.Seed, streamCampaigns)
@@ -643,13 +734,13 @@ func startEdge(cfg config) (*httptest.Server, *edge.Server, func(), error) {
 			Ad:       adnet.Ad{ID: fmt.Sprintf("ad%05d", i), Title: fmt.Sprintf("Offer %d", i), Location: loc},
 		}); err != nil {
 			cleanup()
-			return nil, nil, nil, fmt.Errorf("registering campaign: %w", err)
+			return nil, nil, nil, nil, fmt.Errorf("registering campaign: %w", err)
 		}
 	}
-	server, err := edge.NewServer(engine, network, nil, nil)
+	server, err := edge.NewServer(engine, network, cfg.clock, nil)
 	if err != nil {
 		cleanup()
-		return nil, nil, nil, fmt.Errorf("building server: %w", err)
+		return nil, nil, nil, nil, fmt.Errorf("building server: %w", err)
 	}
-	return httptest.NewServer(server.Handler()), server, cleanup, nil
+	return httptest.NewServer(server.Handler()), server, engine, cleanup, nil
 }

@@ -1,0 +1,394 @@
+// Memory-footprint sweep (-sweep-mem): the proof that the tiered engine
+// holds a million-user population in a bounded resident set.
+//
+// Each run drives the same deterministic workload — every user checked
+// in once per pass, two passes, then an incremental RebuildPart round —
+// at a different resident cap, sampling runtime.MemStats.HeapAlloc and
+// the process RSS throughout. Pass 2 re-touches users pass 1 evicted,
+// so a capped run exercises the full evict → fault-in → evict cycle at
+// population scale, and the per-run population fingerprint (a fold of
+// every user's TableFingerprint in sorted ID order) must be identical
+// across caps: the cap may only move state between tiers, never change
+// what the obfuscator answers.
+//
+// Workers are forced to 1. The sweep's contract is byte-identical state
+// across caps, and with >1 closed-loop workers the request budget race
+// makes the op multiset itself nondeterministic.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/edge"
+	"repro/internal/geo"
+	"repro/internal/randx"
+	"repro/internal/trace"
+)
+
+// memPasses is how many times the sweep walks the full population. Two
+// is the minimum that makes a capped run fault spilled users back in.
+const memPasses = 2
+
+// memRebuildParts is the sub-round count for the post-ingest incremental
+// rebuild — the RebuildPart schedule a real edged would run on a timer.
+const memRebuildParts = 8
+
+// memAdEvery issues one ad request per this many report batches, so the
+// serving read path (and its PRNG draws) is part of the determinism
+// contract, not just ingestion.
+const memAdEvery = 16
+
+// memResult is one cap's measurements. JSON keys for the tier counters
+// match the telemetry metric names (core_faultins_total etc.) so the
+// sweep output greps the same as a /metrics scrape.
+type memResult struct {
+	Name         string  `json:"name"`
+	MaxResident  int     `json:"max_resident"`
+	Users        int     `json:"users"`
+	CheckIns     int64   `json:"checkins"`
+	AdRequests   int64   `json:"ad_requests"`
+	IngestSec    float64 `json:"ingest_sec"`
+	CheckInsPerS float64 `json:"checkins_per_sec"`
+	RebuildSec   float64 `json:"rebuild_sec"`
+	FingerprSec  float64 `json:"fingerprint_sec"`
+	// PopulationFP folds every user's TableFingerprint in sorted ID
+	// order; equal across caps or the sweep fails.
+	PopulationFP string `json:"population_fingerprint"`
+	Resident     int    `json:"resident"`
+	Spilled      int    `json:"spilled"`
+	Evictions    uint64 `json:"core_evictions_total"`
+	FaultIns     uint64 `json:"core_faultins_total"`
+	SpillErrors  uint64 `json:"spill_errors"`
+	// Peak values are sampled every 100ms across ingest + rebuild +
+	// fingerprinting; steady values are read after a forced GC at the
+	// end, when only the engine's long-lived state remains live.
+	PeakHeapBytes   uint64 `json:"peak_heap_alloc_bytes"`
+	PeakRSSBytes    uint64 `json:"peak_rss_bytes"`
+	SteadyHeapBytes uint64 `json:"steady_heap_alloc_bytes"`
+	SteadyRSSBytes  uint64 `json:"steady_rss_bytes"`
+	// HeapPerResident is SteadyHeapBytes over the resident-user count —
+	// the marginal in-memory cost of one hot user.
+	HeapPerResident float64 `json:"heap_bytes_per_resident_user"`
+}
+
+// memSweepReport is the BENCH_pr9.json "mem" section.
+type memSweepReport struct {
+	Config config      `json:"config"`
+	Runs   []memResult `json:"runs"`
+	// FingerprintsIdentical records that every run produced the same
+	// population fingerprint (the sweep errors out otherwise, so a
+	// written report always says true — the field keeps the claim
+	// visible in the archived JSON).
+	FingerprintsIdentical bool               `json:"fingerprints_identical"`
+	Derived               map[string]float64 `json:"derived,omitempty"`
+}
+
+// runSweepMem measures the footprint at caps {users/100, users/10,
+// unbounded}, smallest first so a big run's freed pages cannot inflate a
+// small run's RSS baseline.
+func runSweepMem(base config) (*memSweepReport, error) {
+	rep := &memSweepReport{Config: base}
+	for _, cap := range memCaps(base.Users) {
+		name := fmt.Sprintf("cap=%d", cap)
+		if cap == 0 {
+			name = "cap=unbounded"
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: running mem %s ...\n", name)
+		res, err := runMemOne(base, cap, name)
+		if err != nil {
+			return nil, fmt.Errorf("run %s: %w", name, err)
+		}
+		fmt.Fprintf(os.Stderr,
+			"loadgen: %s peak_heap=%.0fMB peak_rss=%.0fMB steady_heap=%.0fMB resident=%d spilled=%d core_faultins_total=%d fp=%s\n",
+			name, mb(res.PeakHeapBytes), mb(res.PeakRSSBytes), mb(res.SteadyHeapBytes),
+			res.Resident, res.Spilled, res.FaultIns, res.PopulationFP)
+		rep.Runs = append(rep.Runs, *res)
+		// Return freed pages to the OS so the next run's RSS samples
+		// start from this run's true floor, not its leftovers.
+		debug.FreeOSMemory()
+	}
+	for i := 1; i < len(rep.Runs); i++ {
+		if rep.Runs[i].PopulationFP != rep.Runs[0].PopulationFP {
+			return nil, fmt.Errorf("population fingerprint diverged across caps: %s=%s vs %s=%s — the resident cap changed obfuscator state",
+				rep.Runs[0].Name, rep.Runs[0].PopulationFP, rep.Runs[i].Name, rep.Runs[i].PopulationFP)
+		}
+	}
+	rep.FingerprintsIdentical = true
+
+	rep.Derived = map[string]float64{}
+	var unbounded *memResult
+	for i := range rep.Runs {
+		if rep.Runs[i].MaxResident == 0 {
+			unbounded = &rep.Runs[i]
+		}
+	}
+	for i := range rep.Runs {
+		r := &rep.Runs[i]
+		if r.MaxResident == 0 || unbounded == nil {
+			continue
+		}
+		if r.SteadyHeapBytes > 0 {
+			rep.Derived[fmt.Sprintf("steady_heap_reduction_cap%d", r.MaxResident)] =
+				float64(unbounded.SteadyHeapBytes) / float64(r.SteadyHeapBytes)
+		}
+		if r.PeakHeapBytes > 0 {
+			rep.Derived[fmt.Sprintf("peak_heap_reduction_cap%d", r.MaxResident)] =
+				float64(unbounded.PeakHeapBytes) / float64(r.PeakHeapBytes)
+		}
+		if unbounded.PeakRSSBytes > 0 && r.PeakRSSBytes > 0 {
+			rep.Derived[fmt.Sprintf("peak_rss_reduction_cap%d", r.MaxResident)] =
+				float64(unbounded.PeakRSSBytes) / float64(r.PeakRSSBytes)
+		}
+	}
+	if unbounded != nil {
+		rep.Derived["heap_bytes_per_user_unbounded"] = unbounded.HeapPerResident
+	}
+	return rep, nil
+}
+
+// memCaps picks the sweep's resident caps: two orders of magnitude of
+// tiering plus the unbounded reference, smallest first.
+func memCaps(users int) []int {
+	var caps []int
+	for _, c := range []int{users / 100, users / 10} {
+		if c >= 1 && c < users && (len(caps) == 0 || c != caps[len(caps)-1]) {
+			caps = append(caps, c)
+		}
+	}
+	return append(caps, 0)
+}
+
+// runMemOne drives the deterministic population workload at one cap.
+func runMemOne(base config, maxResident int, name string) (*memResult, error) {
+	cfg := base
+	cfg.Workers = 1
+	cfg.MaxResident = maxResident
+	baseTime := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+	// Pin the server clock: the ads path records an implicit check-in at
+	// server time, which would otherwise smuggle wall-clock nanos into
+	// table state and break cross-cap fingerprint identity.
+	cfg.clock = func() time.Time { return baseTime.Add(30 * time.Second) }
+	ts, _, engine, cleanup, err := startEdge(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	defer ts.Close()
+
+	sampler := newMemSampler(100 * time.Millisecond)
+	defer sampler.stop()
+
+	cl, err := client.New(ts.URL, nil, client.WithCodec(cfg.codec))
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	rnd := randx.New(cfg.Seed, workerStream(0))
+	region := trace.DefaultConfig().Region
+
+	res := &memResult{Name: name, MaxResident: maxResident, Users: cfg.Users}
+	items := make([]edge.ReportRequest, 0, cfg.Batch)
+	ingestStart := time.Now()
+	for pass := 0; pass < memPasses; pass++ {
+		at := baseTime.Add(time.Duration(pass) * time.Minute)
+		for lo := 0; lo < cfg.Users; lo += cfg.Batch {
+			hi := lo + cfg.Batch
+			if hi > cfg.Users {
+				hi = cfg.Users
+			}
+			items = items[:0]
+			for uid := lo; uid < hi; uid++ {
+				items = append(items, edge.ReportRequest{
+					UserID: memUserID(uid),
+					Pos:    memHome(region, uid).Add(rnd.GaussianPolar(50)),
+					Time:   at,
+				})
+			}
+			if len(items) == 1 {
+				err = cl.Report(ctx, items[0].UserID, items[0].Pos, items[0].Time)
+			} else {
+				var resp edge.ReportBatchResponse
+				resp, err = cl.ReportBatch(ctx, items)
+				if err == nil && len(resp.Errors) > 0 {
+					err = fmt.Errorf("batch rejected %d of %d check-ins", len(resp.Errors), len(items))
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("pass %d users [%d,%d): %w", pass, lo, hi, err)
+			}
+			res.CheckIns += int64(len(items))
+			if (lo/cfg.Batch)%memAdEvery == 0 {
+				if _, err := cl.RequestAds(ctx, items[0].UserID, items[0].Pos, 10); err != nil {
+					return nil, fmt.Errorf("ad request for %s: %w", items[0].UserID, err)
+				}
+				res.AdRequests++
+			}
+		}
+	}
+	res.IngestSec = time.Since(ingestStart).Seconds()
+	if res.IngestSec > 0 {
+		res.CheckInsPerS = float64(res.CheckIns) / res.IngestSec
+	}
+
+	// The incremental rebuild schedule: K timer ticks, each covering
+	// 1/K of the shards, exactly as edged -rebuild-every runs it.
+	rebuildStart := time.Now()
+	rebuildAt := baseTime.Add(time.Hour)
+	for part := 0; part < memRebuildParts; part++ {
+		if err := engine.RebuildPart(rebuildAt, 0, part, memRebuildParts); err != nil {
+			return nil, fmt.Errorf("rebuild part %d/%d: %w", part, memRebuildParts, err)
+		}
+	}
+	res.RebuildSec = time.Since(rebuildStart).Seconds()
+
+	// Fingerprint the whole population through viewUser — spilled users
+	// are peek-decoded, not promoted, so this pass must not disturb the
+	// resident set it is about to report on.
+	fpStart := time.Now()
+	fp := uint64(core.FingerprintSeed)
+	for _, id := range engine.Users() {
+		ufp, err := engine.TableFingerprint(id)
+		if err != nil {
+			return nil, fmt.Errorf("fingerprinting %s: %w", id, err)
+		}
+		fp = randx.Mix64(fp ^ ufp)
+	}
+	res.FingerprSec = time.Since(fpStart).Seconds()
+	res.PopulationFP = fmt.Sprintf("%016x", fp)
+
+	tier := engine.TierStats()
+	res.Resident = tier.Resident
+	res.Spilled = tier.Spilled
+	res.Evictions = tier.Evictions
+	res.FaultIns = tier.FaultIns
+	res.SpillErrors = tier.SpillErrors
+	if maxResident > 0 {
+		if tier.SpillErrors > 0 {
+			return nil, fmt.Errorf("%d spill errors at cap %d", tier.SpillErrors, maxResident)
+		}
+		// Per-shard quotas round up, so the hard bound is the cap plus
+		// at most one user per shard.
+		if slack := cfg.Shards; tier.Resident > maxResident+max(slack, core.DefaultShards) {
+			return nil, fmt.Errorf("resident=%d exceeds cap %d: eviction is not holding the line", tier.Resident, maxResident)
+		}
+		if tier.FaultIns == 0 {
+			return nil, fmt.Errorf("cap %d run recorded zero fault-ins: the workload never exercised the cold tier", maxResident)
+		}
+	}
+
+	// Steady state: force a full GC so only genuinely live engine state
+	// remains, then read both the heap and the OS view.
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	res.SteadyHeapBytes = ms.HeapAlloc
+	res.SteadyRSSBytes = readRSS()
+	res.PeakHeapBytes, res.PeakRSSBytes = sampler.stop()
+	if res.Resident > 0 {
+		res.HeapPerResident = float64(res.SteadyHeapBytes) / float64(res.Resident)
+	}
+	return res, nil
+}
+
+// memUserID maps a sweep user index to its stable ID.
+func memUserID(uid int) string {
+	return fmt.Sprintf("u%07d", uid)
+}
+
+// memHome places each user's home deterministically in the region from a
+// hash of the index alone, so a user's check-in cluster does not depend
+// on how many PRNG draws preceded it.
+func memHome(region geo.BBox, uid int) geo.Point {
+	hx := randx.Mix64(uint64(uid)*randx.GoldenGamma + 0xB0E)
+	hy := randx.Mix64(uint64(uid)*randx.GoldenGamma + 0xB0F)
+	return geo.Point{
+		X: region.MinX + float64(hx>>11)/(1<<53)*region.Width(),
+		Y: region.MinY + float64(hy>>11)/(1<<53)*region.Height(),
+	}
+}
+
+// memSampler tracks peak HeapAlloc and RSS on a background ticker.
+type memSampler struct {
+	stopCh   chan struct{}
+	done     chan struct{}
+	once     sync.Once
+	mu       sync.Mutex
+	peakHeap uint64
+	peakRSS  uint64
+}
+
+func newMemSampler(every time.Duration) *memSampler {
+	s := &memSampler{stopCh: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			s.sample()
+			select {
+			case <-s.stopCh:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+	return s
+}
+
+func (s *memSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rss := readRSS()
+	s.mu.Lock()
+	if ms.HeapAlloc > s.peakHeap {
+		s.peakHeap = ms.HeapAlloc
+	}
+	if rss > s.peakRSS {
+		s.peakRSS = rss
+	}
+	s.mu.Unlock()
+}
+
+// stop takes a final sample, halts the ticker, and returns the peaks.
+// Safe to call more than once.
+func (s *memSampler) stop() (peakHeap, peakRSS uint64) {
+	s.once.Do(func() {
+		close(s.stopCh)
+		<-s.done
+		s.sample()
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peakHeap, s.peakRSS
+}
+
+// readRSS returns the process resident set in bytes from
+// /proc/self/statm (0 where procfs is unavailable — peaks then reflect
+// HeapAlloc only).
+func readRSS() uint64 {
+	b, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(b))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * uint64(os.Getpagesize())
+}
+
+func mb(b uint64) float64 { return float64(b) / (1 << 20) }

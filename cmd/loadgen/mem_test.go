@@ -1,0 +1,88 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/edge"
+)
+
+// TestRunSweepMemSmall runs the full memory sweep at a toy population
+// and pins its contract: the population fingerprint is identical at
+// every resident cap (the sweep itself errors out otherwise), capped
+// runs actually exercise the cold tier, and the derived reductions are
+// present. This is the same code path MEM=1 ./bench.sh archives at a
+// million users.
+func TestRunSweepMemSmall(t *testing.T) {
+	base := config{
+		Users: 300, Workers: 4, Requests: 1, Mix: "4:1", Batch: 16,
+		Shards: core.DefaultShards, Campaigns: 20, Seed: 7, Wire: "binary",
+	}
+	var err error
+	if base.codec, err = edge.ParseCodec(base.Wire); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runSweepMem(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FingerprintsIdentical {
+		t.Error("FingerprintsIdentical = false")
+	}
+	if len(rep.Runs) != 3 {
+		t.Fatalf("got %d runs, want 3 (caps 3, 30, unbounded)", len(rep.Runs))
+	}
+	for _, r := range rep.Runs {
+		if r.CheckIns != int64(memPasses*base.Users) {
+			t.Errorf("%s: %d check-ins, want %d", r.Name, r.CheckIns, memPasses*base.Users)
+		}
+		if r.PopulationFP != rep.Runs[0].PopulationFP {
+			t.Errorf("%s: fingerprint %s differs from %s", r.Name, r.PopulationFP, rep.Runs[0].PopulationFP)
+		}
+		if r.MaxResident > 0 {
+			if r.FaultIns == 0 {
+				t.Errorf("%s: zero fault-ins, cold tier never exercised", r.Name)
+			}
+			if r.Spilled == 0 {
+				t.Errorf("%s: nothing spilled at cap %d", r.Name, r.MaxResident)
+			}
+		} else if r.Spilled != 0 || r.Resident != base.Users {
+			t.Errorf("unbounded run: resident=%d spilled=%d, want %d/0", r.Resident, r.Spilled, base.Users)
+		}
+	}
+	for _, key := range []string{"steady_heap_reduction_cap3", "steady_heap_reduction_cap30"} {
+		if _, ok := rep.Derived[key]; !ok {
+			t.Errorf("derived metric %s missing", key)
+		}
+	}
+}
+
+// TestMemCaps pins the cap schedule: two tiering levels when the
+// population is large enough, always ending unbounded, never a cap of 0
+// users or one at/above the population.
+func TestMemCaps(t *testing.T) {
+	cases := []struct {
+		users int
+		want  []int
+	}{
+		{1_000_000, []int{10_000, 100_000, 0}},
+		{300, []int{3, 30, 0}},
+		{150, []int{1, 15, 0}},
+		{50, []int{5, 0}},
+		{5, []int{0}},
+		{1, []int{0}},
+	}
+	for _, tc := range cases {
+		got := memCaps(tc.users)
+		if len(got) != len(tc.want) {
+			t.Errorf("memCaps(%d) = %v, want %v", tc.users, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("memCaps(%d) = %v, want %v", tc.users, got, tc.want)
+				break
+			}
+		}
+	}
+}

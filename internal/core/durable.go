@@ -308,7 +308,10 @@ func (r *recReader) time(what string) time.Time {
 	}
 	sec := r.varint(what)
 	nsec := r.varint(what)
-	return time.Unix(sec, nsec)
+	// UTC for the same reason the wire codec normalizes on decode: a
+	// replayed or faulted-in instant must serialize (snapshot JSON)
+	// byte-identically to the live one regardless of host zone.
+	return time.Unix(sec, nsec).UTC()
 }
 
 func (r *recReader) count(what string, itemFloor int) int {

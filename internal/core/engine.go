@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/randx"
 	"repro/internal/trace"
 	"repro/internal/tracing"
+	"repro/internal/wal"
 )
 
 // Engine errors.
@@ -74,12 +76,29 @@ type Config struct {
 	NomadicReportDelta float64
 	// Shards is the number of lock-striped user-map shards; ≤ 0 selects
 	// DefaultShards and any other value rounds up to the next power of
-	// two. Sharding is purely a concurrency knob: per-user randomness is
-	// derived from the user-ID hash, so engine state is byte-identical at
-	// any shard count.
+	// two (at most MaxShards). Sharding is purely a concurrency knob:
+	// per-user randomness is derived from the user-ID hash, so engine
+	// state is byte-identical at any shard count.
 	Shards int
 	// Seed drives all engine randomness deterministically.
 	Seed uint64
+	// SpillDir, when set, enables the cold tier: idle users can be
+	// evicted from memory into per-shard spill files under this
+	// directory and are faulted back in transparently on their next
+	// touch. The spill tier is process-local scratch (crash recovery
+	// comes from the WAL, never from spill files); the directory must
+	// not be shared between live engines.
+	SpillDir string
+	// MaxResidentUsers bounds how many users' state stays resident in
+	// memory; the least-recently-touched users beyond the bound are
+	// evicted to SpillDir (which must be set). The bound is enforced
+	// per shard (cap/Shards each, minimum one resident per shard), so
+	// the effective engine-wide bound is max(MaxResidentUsers, Shards).
+	// 0 means unbounded residency; eviction is then only ever triggered
+	// explicitly via EvictIdle. Eviction never changes logical state:
+	// TableFingerprint and Snapshot bytes are byte-identical across any
+	// evict/fault-in schedule.
+	MaxResidentUsers int
 }
 
 // DefaultShards is the default user-map shard count. 64 stripes keep
@@ -111,10 +130,16 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// nextPow2 rounds n up to the next power of two (n ≥ 1).
+// MaxShards bounds Config.Shards. Shards exist to stripe locks across
+// serving goroutines; 2^16 stripes are already far past any contention
+// benefit, and the bound keeps nextPow2 well-defined (doubling toward an
+// absurd n would overflow int before reaching it).
+const MaxShards = 1 << 16
+
+// nextPow2 rounds n up to the next power of two, clamped to [1, MaxShards].
 func nextPow2(n int) int {
 	p := 1
-	for p < n {
+	for p < n && p < MaxShards {
 		p <<= 1
 	}
 	return p
@@ -131,6 +156,15 @@ func (c Config) Validate() error {
 	if c.EtaFraction > 1 {
 		return fmt.Errorf("core: eta fraction %g must be at most 1", c.EtaFraction)
 	}
+	if c.Shards > MaxShards {
+		return fmt.Errorf("core: shard count %d exceeds MaxShards (%d)", c.Shards, MaxShards)
+	}
+	if c.MaxResidentUsers > 0 && c.SpillDir == "" {
+		return fmt.Errorf("core: MaxResidentUsers requires a SpillDir to evict into")
+	}
+	if c.MaxResidentUsers < 0 {
+		return fmt.Errorf("core: MaxResidentUsers %d must not be negative", c.MaxResidentUsers)
+	}
 	return nil
 }
 
@@ -143,14 +177,38 @@ type userState struct {
 	tops        profile.Profile
 	table       *ObfuscationTable
 	hasProfile  bool
+	// gone marks a state that was evicted to the spill tier after this
+	// pointer escaped the shard map: a holder that acquires mu and finds
+	// gone set must drop the orphan and re-resolve through the shard
+	// (which faults the user back in). Guarded by mu.
+	gone bool
+	// lastTouch is the wall-clock nanosecond of the user's last
+	// serving-path touch; the eviction sweep picks its victims by it.
+	// Only maintained when the spill tier is enabled.
+	lastTouch atomic.Int64
+}
+
+// spillMeta is the resident-side record of one spilled user: just
+// enough to decide, without reading the spill frame, whether a
+// population-wide pass (RebuildAll/RebuildPart) can skip the user.
+type spillMeta struct {
+	// pending is the user's pending check-in count at eviction time; a
+	// rebuild pass over a user with no pending check-ins is a no-op, so
+	// spilled users with pending == 0 are rebuilt without fault-in.
+	pending int
 }
 
 // engineShard is one lock stripe of the engine's user map. Distinct
 // users hash to distinct shards (up to collisions), so serving-path
-// lookups on different users never contend on a shared mutex.
+// lookups on different users never contend on a shared mutex. Each
+// shard owns its slice of the cold tier: the spilled-user index and the
+// spill file evicted state is written to.
 type engineShard struct {
-	mu    sync.RWMutex
-	users map[string]*userState
+	mu      sync.RWMutex
+	idx     int // position in Engine.shards; names the shard's spill file
+	users   map[string]*userState
+	spilled map[string]spillMeta // nil until the first eviction
+	spill   *wal.SpillFile       // opened lazily on first eviction
 }
 
 // Engine is the Edge-PrivLocAd core: it manages per-user location
@@ -172,6 +230,19 @@ type Engine struct {
 	nUsers      atomic.Int64
 	nTops       atomic.Int64
 	nCandidates atomic.Int64
+
+	// Memory-tier accounting (see spill.go). nResident counts users
+	// whose state is in the shard maps (nUsers counts resident +
+	// spilled); the counters feed core_resident_users /
+	// core_evictions_total / core_faultins_total.
+	nResident  atomic.Int64
+	nEvictions atomic.Uint64
+	nFaultIns  atomic.Uint64
+	nSpillErrs atomic.Uint64
+
+	// residentQuota is the per-shard resident bound derived from
+	// Config.MaxResidentUsers (0 = unbounded).
+	residentQuota int
 
 	// dur is the optional durability sink (see SetDurability); nil
 	// keeps every logged path at one extra atomic load. ckptMu
@@ -195,7 +266,19 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.shards = make([]engineShard, e.cfg.Shards)
 	e.shardMask = uint64(e.cfg.Shards - 1)
 	for i := range e.shards {
+		e.shards[i].idx = i
 		e.shards[i].users = make(map[string]*userState)
+	}
+	if e.cfg.SpillDir != "" {
+		if err := os.MkdirAll(e.cfg.SpillDir, 0o755); err != nil {
+			return nil, fmt.Errorf("core: creating spill dir: %w", err)
+		}
+		if e.cfg.MaxResidentUsers > 0 {
+			// Ceiling division so Shards quotas always cover the cap;
+			// at least one resident per shard keeps a touched user
+			// resident for the duration of its own operation.
+			e.residentQuota = max(1, (e.cfg.MaxResidentUsers+e.cfg.Shards-1)/e.cfg.Shards)
+		}
 	}
 	if e.cfg.NomadicBudget != nil {
 		acct, err := geoind.NewAccountant(e.cfg.NomadicReportEpsilon, e.cfg.NomadicReportDelta)
@@ -233,19 +316,42 @@ func (e *Engine) shardFor(userID string) (*engineShard, uint64) {
 	return &e.shards[h&e.shardMask], h
 }
 
-// userFor returns (creating if needed) the state for userID.
+// tiered reports whether the cold tier is enabled.
+func (e *Engine) tiered() bool { return e.cfg.SpillDir != "" }
+
+// touch stamps the user's LRU clock. Only paid when the cold tier is on.
+func (e *Engine) touch(u *userState) {
+	if e.tiered() {
+		u.lastTouch.Store(time.Now().UnixNano())
+	}
+}
+
+// userFor returns (creating or faulting in if needed) the state for
+// userID. The returned pointer may be concurrently evicted; mutators
+// must go through lockUser, which re-resolves on eviction.
 func (e *Engine) userFor(userID string) (*userState, error) {
 	s, h := e.shardFor(userID)
 	s.mu.RLock()
 	u, ok := s.users[userID]
 	s.mu.RUnlock()
 	if ok {
+		e.touch(u)
 		return u, nil
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if u, ok = s.users[userID]; ok {
+		e.touch(u)
+		return u, nil
+	}
+	if _, ok := s.spilled[userID]; ok {
+		u, err := e.faultInLocked(s, userID)
+		if err != nil {
+			return nil, err
+		}
+		e.touch(u)
+		e.enforceQuotaLocked(s, u)
 		return u, nil
 	}
 	table, err := NewObfuscationTable(e.cfg.ConnectivityThreshold)
@@ -258,19 +364,65 @@ func (e *Engine) userFor(userID string) (*userState, error) {
 	}
 	s.users[userID] = u
 	e.nUsers.Add(1)
+	e.nResident.Add(1)
+	e.touch(u)
+	e.enforceQuotaLocked(s, u)
 	return u, nil
 }
 
-// lookup returns the state for an existing user.
+// lookup returns the state for an existing user, faulting a spilled
+// user back into residency. Read-only paths that must not promote cold
+// users use viewUser (spill.go) instead.
 func (e *Engine) lookup(userID string) (*userState, error) {
 	s, _ := e.shardFor(userID)
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	u, ok := s.users[userID]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownUser, userID)
+	s.mu.RUnlock()
+	if ok {
+		e.touch(u)
+		return u, nil
 	}
-	return u, nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if u, ok := s.users[userID]; ok {
+		e.touch(u)
+		return u, nil
+	}
+	if _, ok := s.spilled[userID]; ok {
+		u, err := e.faultInLocked(s, userID)
+		if err != nil {
+			return nil, err
+		}
+		e.touch(u)
+		e.enforceQuotaLocked(s, u)
+		return u, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownUser, userID)
+}
+
+// lockUser resolves userID and returns its state with u.mu held. When
+// create is set, unknown users are created (userFor semantics);
+// otherwise they fail with ErrUnknownUser. The loop absorbs the
+// eviction race: a state evicted between resolution and lock acquisition
+// is marked gone, and the retry faults the user back in.
+func (e *Engine) lockUser(userID string, create bool) (*userState, error) {
+	for {
+		var u *userState
+		var err error
+		if create {
+			u, err = e.userFor(userID)
+		} else {
+			u, err = e.lookup(userID)
+		}
+		if err != nil {
+			return nil, err
+		}
+		u.mu.Lock()
+		if !u.gone {
+			return u, nil
+		}
+		u.mu.Unlock()
+	}
 }
 
 // Report ingests one check-in for userID (the location management
@@ -287,17 +439,17 @@ func (e *Engine) Report(userID string, pos geo.Point, at time.Time) error {
 func (e *Engine) ReportCtx(ctx context.Context, userID string, pos geo.Point, at time.Time) error {
 	h := e.durBegin()
 	defer e.durEnd(h)
-	u, err := e.userFor(userID)
-	if err != nil {
-		return err
-	}
 	if m := e.met.Load(); m != nil {
 		m.reports.Inc()
 	}
 	// The apply span ends before the WAL emit so the breakdown separates
-	// lock + state work from durability wait.
+	// lock + state work (fault-in included) from durability wait.
 	_, sp := tracing.StartSpan(ctx, tracing.StageApply)
-	u.mu.Lock()
+	u, err := e.lockUser(userID, true)
+	if err != nil {
+		sp.End()
+		return err
+	}
 	defer u.mu.Unlock()
 	if u.windowStart.IsZero() {
 		u.windowStart = at
@@ -398,8 +550,10 @@ func (e *Engine) reportUserRun(ctx context.Context, h *durHolder, userID string,
 	if idx == nil {
 		n = len(items)
 	}
-	u, err := e.userFor(userID)
+	_, sp := tracing.StartSpan(ctx, tracing.StageApply)
+	u, err := e.lockUser(userID, true)
 	if err != nil {
+		sp.End()
 		for i := 0; i < n; i++ {
 			j := i
 			if idx != nil {
@@ -409,8 +563,6 @@ func (e *Engine) reportUserRun(ctx context.Context, h *durHolder, userID string,
 		}
 		return errs
 	}
-	_, sp := tracing.StartSpan(ctx, tracing.StageApply)
-	u.mu.Lock()
 	defer u.mu.Unlock()
 	// Grow pending once for the whole run, with amortized doubling —
 	// growing to the exact need would re-copy the full history on every
@@ -468,12 +620,12 @@ func (e *Engine) RebuildProfile(userID string, now time.Time) error {
 func (e *Engine) RebuildProfileCtx(ctx context.Context, userID string, now time.Time) error {
 	h := e.durBegin()
 	defer e.durEnd(h)
-	u, err := e.lookup(userID)
+	_, sp := tracing.StartSpan(ctx, tracing.StageApply)
+	u, err := e.lockUser(userID, false)
 	if err != nil {
+		sp.End()
 		return err
 	}
-	_, sp := tracing.StartSpan(ctx, tracing.StageApply)
-	u.mu.Lock()
 	defer u.mu.Unlock()
 	var opErr error
 	if err := e.rebuildLocked(u, now); err != nil {
@@ -500,19 +652,39 @@ func (e *Engine) RebuildProfileCtx(ctx context.Context, userID string, now time.
 // attempted even after failures; the returned error is the one for the
 // first failing user in sorted ID order.
 func (e *Engine) RebuildAll(now time.Time, parallelism int) error {
+	return e.RebuildPart(now, parallelism, 0, 1)
+}
+
+// RebuildPart is the incremental form of RebuildAll: it rebuilds only
+// the users owned by shards whose index is congruent to part modulo
+// parts. Running parts sub-rounds (part = 0..parts-1) with the same now
+// covers every user exactly once and — because each user's rebuild
+// depends only on that user's own state and PRNG stream — leaves the
+// engine byte-identical to one RebuildAll(now) call, while bounding
+// each pause to 1/parts of the population. A million-user engine
+// amortizes its periodic rebuild by calling RebuildPart(now, p, tick%K,
+// K) on a timer instead of stopping the world once per window.
+//
+// Spilled users with no pending check-ins are skipped without fault-in:
+// their rebuild is a no-op by construction (see rebuildLocked), so the
+// cold tail costs a map lookup, not disk traffic.
+func (e *Engine) RebuildPart(now time.Time, parallelism, part, parts int) error {
+	if parts <= 0 {
+		parts = 1
+	}
+	part = ((part % parts) + parts) % parts
 	// One checkpoint read-hold covers every worker: per-user streams
 	// are independent, so the cross-user record order the workers race
 	// into the log is irrelevant — only per-user order matters, and
 	// each worker logs under its user's lock.
 	h := e.durBegin()
 	defer e.durEnd(h)
-	ids := e.Users()
+	ids := e.rebuildTargets(part, parts)
 	return par.ForEachErr(parallelism, len(ids), func(i int) error {
-		u, err := e.lookup(ids[i])
+		u, err := e.lockUser(ids[i], false)
 		if err != nil {
 			return err
 		}
-		u.mu.Lock()
 		defer u.mu.Unlock()
 		var opErr error
 		if err := e.rebuildLocked(u, now); err != nil {
@@ -525,6 +697,43 @@ func (e *Engine) RebuildAll(now time.Time, parallelism int) error {
 		}
 		return opErr
 	})
+}
+
+// rebuildTargets lists (sorted) the users a RebuildPart sub-round must
+// touch: every resident user of the selected shards, plus the spilled
+// users whose eviction-time state still had pending check-ins.
+func (e *Engine) rebuildTargets(part, parts int) []string {
+	var ids []string
+	for i := range e.shards {
+		if i%parts != part {
+			continue
+		}
+		s := &e.shards[i]
+		s.mu.RLock()
+		for id := range s.users {
+			ids = append(ids, id)
+		}
+		for id, meta := range s.spilled {
+			if meta.pending > 0 {
+				ids = append(ids, id)
+			}
+		}
+		s.mu.RUnlock()
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ptsPool recycles the per-rebuild point scratch. A rebuild (and
+// PendingProfile) needs one []geo.Point the size of the user's pending
+// window; at a million users × periodic rebuild rounds, allocating it
+// fresh each time is pure garbage-collector load — profile.Build does
+// not retain the slice, so it is safe to pool.
+var ptsPool = sync.Pool{
+	New: func() any {
+		b := make([]geo.Point, 0, 64)
+		return &b
+	},
 }
 
 // rebuildLocked recomputes the η-frequent top set from pending check-ins
@@ -541,11 +750,14 @@ func (e *Engine) rebuildLocked(u *userState, now time.Time) error {
 		start = time.Now()
 		defer func() { observeSince(m.rebuildSeconds, start) }()
 	}
-	pts := make([]geo.Point, len(u.pending))
-	for i, c := range u.pending {
-		pts[i] = c.Pos
+	bp := ptsPool.Get().(*[]geo.Point)
+	pts := (*bp)[:0]
+	for _, c := range u.pending {
+		pts = append(pts, c.Pos)
 	}
 	prof, err := profile.Build(pts, e.cfg.ConnectivityThreshold)
+	*bp = pts[:0]
+	ptsPool.Put(bp)
 	if err != nil {
 		return fmt.Errorf("building profile: %w", err)
 	}
@@ -591,13 +803,13 @@ func (e *Engine) RequestCtx(ctx context.Context, userID string, truePos geo.Poin
 	// requests are logged too.
 	h := e.durBegin()
 	defer e.durEnd(h)
-	u, err := e.lookup(userID)
-	if err != nil {
-		return geo.Point{}, false, err
-	}
 	m := e.met.Load()
 	_, sp := tracing.StartSpan(ctx, tracing.StageApply)
-	u.mu.Lock()
+	u, err := e.lockUser(userID, false)
+	if err != nil {
+		sp.End()
+		return geo.Point{}, false, err
+	}
 	defer u.mu.Unlock()
 	out, fromTable, opErr := e.requestLocked(u, userID, truePos, m)
 	sp.End()
@@ -708,20 +920,22 @@ func (e *Engine) posteriorSigma(candidates []geo.Point) float64 {
 // Multi-edge deployments use it to extract each edge's partial profile
 // for the secure merge (Section V-B).
 func (e *Engine) PendingProfile(userID string) (profile.Profile, error) {
-	u, err := e.lookup(userID)
+	u, release, err := e.viewUser(userID)
 	if err != nil {
 		return nil, err
 	}
-	u.mu.Lock()
-	defer u.mu.Unlock()
+	defer release()
 	if len(u.pending) == 0 {
 		return nil, nil
 	}
-	pts := make([]geo.Point, len(u.pending))
-	for i, c := range u.pending {
-		pts[i] = c.Pos
+	bp := ptsPool.Get().(*[]geo.Point)
+	pts := (*bp)[:0]
+	for _, c := range u.pending {
+		pts = append(pts, c.Pos)
 	}
 	prof, err := profile.Build(pts, e.cfg.ConnectivityThreshold)
+	*bp = pts[:0]
+	ptsPool.Put(bp)
 	if err != nil {
 		return nil, fmt.Errorf("core: pending profile for %q: %w", userID, err)
 	}
@@ -750,11 +964,10 @@ func (e *Engine) SyncTops(userID string, tops profile.Profile, now time.Time) er
 func (e *Engine) installTops(userID string, tops profile.Profile, now time.Time, consumeWindow bool) error {
 	h := e.durBegin()
 	defer e.durEnd(h)
-	u, err := e.userFor(userID)
+	u, err := e.lockUser(userID, true)
 	if err != nil {
 		return err
 	}
-	u.mu.Lock()
 	defer u.mu.Unlock()
 	var opErr error
 	for _, lf := range tops {
@@ -800,11 +1013,10 @@ func (e *Engine) installTops(userID string, tops profile.Profile, now time.Time,
 func (e *Engine) ImportTable(userID string, entries []TableEntry) error {
 	h := e.durBegin()
 	defer e.durEnd(h)
-	u, err := e.userFor(userID)
+	u, err := e.lockUser(userID, true)
 	if err != nil {
 		return err
 	}
-	u.mu.Lock()
 	defer u.mu.Unlock()
 	for _, entry := range entries {
 		e.noteInsert(u.table.Insert(entry.Top, entry.Candidates, entry.CreatedAt))
@@ -818,12 +1030,11 @@ func (e *Engine) ImportTable(userID string, entries []TableEntry) error {
 // TopLocations returns the user's current η-frequent top set (copy),
 // ordered by descending frequency.
 func (e *Engine) TopLocations(userID string) (profile.Profile, error) {
-	u, err := e.lookup(userID)
+	u, release, err := e.viewUser(userID)
 	if err != nil {
 		return nil, err
 	}
-	u.mu.Lock()
-	defer u.mu.Unlock()
+	defer release()
 	if !u.hasProfile {
 		return nil, fmt.Errorf("%w for %q", ErrNoProfile, userID)
 	}
@@ -834,10 +1045,11 @@ func (e *Engine) TopLocations(userID string) (profile.Profile, error) {
 
 // Table returns the user's obfuscation table entries (copy).
 func (e *Engine) Table(userID string) ([]TableEntry, error) {
-	u, err := e.lookup(userID)
+	u, release, err := e.viewUser(userID)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	return u.table.Entries(), nil
 }
 
@@ -859,13 +1071,14 @@ func (e *Engine) TableFingerprint(userID string) (uint64, error) {
 // copying entries. An unknown user reads as the empty table (length 0,
 // FingerprintSeed), matching TableFingerprint's convention.
 func (e *Engine) TableState(userID string) (int, uint64, error) {
-	u, err := e.lookup(userID)
+	u, release, err := e.viewUser(userID)
 	if err != nil {
 		if errors.Is(err, ErrUnknownUser) {
 			return 0, FingerprintSeed, nil
 		}
 		return 0, 0, err
 	}
+	defer release()
 	n, fp := u.table.State()
 	return n, fp, nil
 }
@@ -874,23 +1087,28 @@ func (e *Engine) TableState(userID string) (int, uint64, error) {
 // table without copying it. An unknown user has zero entries, matching
 // TableFingerprint's empty-table convention.
 func (e *Engine) TableLen(userID string) (int, error) {
-	u, err := e.lookup(userID)
+	u, release, err := e.viewUser(userID)
 	if err != nil {
 		if errors.Is(err, ErrUnknownUser) {
 			return 0, nil
 		}
 		return 0, err
 	}
+	defer release()
 	return u.table.Len(), nil
 }
 
-// Users returns the known user IDs in sorted order.
+// Users returns the known user IDs — resident and spilled — in sorted
+// order.
 func (e *Engine) Users() []string {
 	ids := make([]string, 0, e.nUsers.Load())
 	for i := range e.shards {
 		s := &e.shards[i]
 		s.mu.RLock()
 		for id := range s.users {
+			ids = append(ids, id)
+		}
+		for id := range s.spilled {
 			ids = append(ids, id)
 		}
 		s.mu.RUnlock()

@@ -70,6 +70,18 @@ func (e *Engine) Instrument(reg *telemetry.Registry) {
 	reg.GaugeFunc("engine_candidates", "Obfuscated candidates recorded across all tables.", func() float64 {
 		return float64(e.nCandidates.Load())
 	})
+	reg.GaugeFunc("core_resident_users", "Users whose state is resident in memory (engine_users minus the spilled cold tier).", func() float64 {
+		return float64(e.nResident.Load())
+	})
+	reg.CounterFunc("core_evictions_total", "Users evicted from the resident tier into spill files.", func() uint64 {
+		return e.nEvictions.Load()
+	})
+	reg.CounterFunc("core_faultins_total", "Spilled users faulted back into residency.", func() uint64 {
+		return e.nFaultIns.Load()
+	})
+	reg.CounterFunc("core_spill_errors_total", "Eviction attempts that failed (the user stayed resident).", func() uint64 {
+		return e.nSpillErrs.Load()
+	})
 	e.met.Store(m)
 }
 

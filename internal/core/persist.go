@@ -7,7 +7,6 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
 	"time"
 
 	"repro/internal/profile"
@@ -49,25 +48,11 @@ const (
 
 // Snapshot serialises all per-user state as JSON lines: one header line,
 // then one line per user (sorted by ID for deterministic output).
+// Spilled users are read through viewUser without promoting them, so a
+// snapshot of a memory-tiered engine is byte-identical to one of an
+// untired engine with the same history — eviction is invisible here.
 func (e *Engine) Snapshot(w io.Writer) error {
-	var ids []string
-	for i := range e.shards {
-		s := &e.shards[i]
-		s.mu.RLock()
-		for id := range s.users {
-			ids = append(ids, id)
-		}
-		s.mu.RUnlock()
-	}
-	sort.Strings(ids)
-	users := make([]*userState, len(ids))
-	for i, id := range ids {
-		s, _ := e.shardFor(id)
-		s.mu.RLock()
-		users[i] = s.users[id]
-		s.mu.RUnlock()
-	}
-
+	ids := e.Users()
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	if err := enc.Encode(snapshotHeader{
@@ -77,30 +62,43 @@ func (e *Engine) Snapshot(w io.Writer) error {
 	}); err != nil {
 		return fmt.Errorf("core: encoding snapshot header: %w", err)
 	}
-	for i, u := range users {
-		u.mu.Lock()
-		randState, rerr := u.rnd.MarshalState()
-		snap := userSnapshot{
-			UserID:      ids[i],
-			Pending:     append([]trace.CheckIn(nil), u.pending...),
-			WindowStart: u.windowStart,
-			Tops:        append(profile.Profile(nil), u.tops...),
-			HasProfile:  u.hasProfile,
-			Table:       u.table.Entries(),
-			RandState:   randState,
-		}
-		u.mu.Unlock()
-		if rerr != nil {
-			return fmt.Errorf("core: capturing PRNG state for %q: %w", ids[i], rerr)
+	for _, id := range ids {
+		snap, err := e.snapshotUser(id)
+		if err != nil {
+			return err
 		}
 		if err := enc.Encode(snap); err != nil {
-			return fmt.Errorf("core: encoding snapshot for %q: %w", ids[i], err)
+			return fmt.Errorf("core: encoding snapshot for %q: %w", id, err)
 		}
 	}
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("core: flushing snapshot: %w", err)
 	}
 	return nil
+}
+
+// snapshotUser captures one user's state. viewUser re-resolves through
+// the shard, so a user evicted (or faulted in) between the ID walk and
+// this read is still captured exactly once, consistently.
+func (e *Engine) snapshotUser(id string) (userSnapshot, error) {
+	u, release, err := e.viewUser(id)
+	if err != nil {
+		return userSnapshot{}, fmt.Errorf("core: snapshotting %q: %w", id, err)
+	}
+	defer release()
+	randState, err := u.rnd.MarshalState()
+	if err != nil {
+		return userSnapshot{}, fmt.Errorf("core: capturing PRNG state for %q: %w", id, err)
+	}
+	return userSnapshot{
+		UserID:      id,
+		Pending:     append([]trace.CheckIn(nil), u.pending...),
+		WindowStart: u.windowStart,
+		Tops:        append(profile.Profile(nil), u.tops...),
+		HasProfile:  u.hasProfile,
+		Table:       u.table.Entries(),
+		RandState:   randState,
+	}, nil
 }
 
 // Restore loads a snapshot produced by Snapshot into a fresh engine.
@@ -180,28 +178,48 @@ func (e *Engine) Restore(r io.Reader) error {
 
 	// Commit. All shard locks are taken in index order (no other path
 	// holds two shards at once, so this cannot deadlock) and the
-	// conflict check runs before the first install.
+	// conflict check — against both tiers — runs before the first
+	// install.
 	for i := range e.shards {
 		e.shards[i].mu.Lock()
 	}
-	defer func() {
+	var conflict error
+	for _, su := range staged {
+		s, _ := e.shardFor(su.id)
+		_, resident := s.users[su.id]
+		_, spilled := s.spilled[su.id]
+		if resident || spilled {
+			conflict = fmt.Errorf("core: snapshot user %q already present in engine", su.id)
+			break
+		}
+	}
+	if conflict == nil {
+		for _, su := range staged {
+			s, _ := e.shardFor(su.id)
+			s.users[su.id] = su.u
+		}
+		e.nUsers.Add(int64(len(staged)))
+		e.nResident.Add(int64(len(staged)))
+		e.nTops.Add(stagedTops)
+		e.nCandidates.Add(stagedCandidates)
+	}
+	for i := range e.shards {
+		e.shards[i].mu.Unlock()
+	}
+	if conflict != nil {
+		return conflict
+	}
+	// A restore can overshoot a resident cap by the whole snapshot; trim
+	// back down before serving resumes (shard by shard, after the global
+	// commit released the other locks).
+	if e.residentQuota > 0 {
 		for i := range e.shards {
-			e.shards[i].mu.Unlock()
-		}
-	}()
-	for _, su := range staged {
-		s, _ := e.shardFor(su.id)
-		if _, exists := s.users[su.id]; exists {
-			return fmt.Errorf("core: snapshot user %q already present in engine", su.id)
+			s := &e.shards[i]
+			s.mu.Lock()
+			e.enforceQuotaLocked(s, nil)
+			s.mu.Unlock()
 		}
 	}
-	for _, su := range staged {
-		s, _ := e.shardFor(su.id)
-		s.users[su.id] = su.u
-	}
-	e.nUsers.Add(int64(len(staged)))
-	e.nTops.Add(stagedTops)
-	e.nCandidates.Add(stagedCandidates)
 	return nil
 }
 

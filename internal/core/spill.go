@@ -1,0 +1,460 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"path/filepath"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/profile"
+	"repro/internal/randx"
+	"repro/internal/trace"
+	"repro/internal/wal"
+)
+
+// Memory tiering: the paper's obfuscation table is *permanent* (Section
+// V-C — replacing entries is exactly the longitudinal degradation the
+// defense prevents), so an edge serving a long-tailed population of
+// millions of users would otherwise pay RAM forever for every user it
+// has ever seen. With Config.SpillDir set, the engine keeps only the
+// recently-touched users resident: the least-recently-touched state
+// beyond Config.MaxResidentUsers is serialized into a compact binary
+// frame — table (already packed, see table.go), top set, pending
+// window, window start, and the exact PCG PRNG position via
+// randx.Rand.MarshalState — and appended to a per-shard spill file. The
+// next Report/Request/merge touch faults the user back in.
+//
+// Determinism is sacred: a faulted-in user draws the same PRNG stream,
+// holds the same table bytes, and snapshots identically — the engine's
+// TableFingerprint and Snapshot output are byte-identical across ANY
+// evict/fault-in schedule, a property the audit matrix in
+// shard_test.go pins at resident caps {unbounded, tiny}.
+//
+// The spill tier is scratch, not durability: crash recovery replays the
+// WAL (whose logical records are orthogonal to residency — replaying an
+// operation on a spilled user simply faults it in), and spill files are
+// truncated on open and removed on Close.
+
+// spillFrameVersion versions the evicted-user frame layout.
+const spillFrameVersion = 1
+
+// encodeUserFrame serializes one user's complete logical state. The
+// caller holds u.mu.
+func encodeUserFrame(b []byte, u *userState) ([]byte, error) {
+	st, err := u.rnd.MarshalState()
+	if err != nil {
+		return nil, fmt.Errorf("capturing PRNG state: %w", err)
+	}
+	b = append(b, spillFrameVersion)
+	b = binary.AppendUvarint(b, uint64(len(st)))
+	b = append(b, st...)
+	if u.hasProfile {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendTime(b, u.windowStart)
+	b = binary.AppendUvarint(b, uint64(len(u.pending)))
+	for _, c := range u.pending {
+		b = appendPoint(b, c.Pos)
+		b = appendTime(b, c.Time)
+	}
+	b = appendTops(b, u.tops)
+	return u.table.appendSpill(b), nil
+}
+
+// decodeUserFrame rebuilds a userState from encodeUserFrame output.
+func (e *Engine) decodeUserFrame(payload []byte) (*userState, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("%w: empty spill frame", ErrCorruptRecord)
+	}
+	if payload[0] != spillFrameVersion {
+		return nil, fmt.Errorf("%w: spill frame version %d", ErrCorruptRecord, payload[0])
+	}
+	r := &recReader{b: payload[1:]}
+	st := r.bytes("spill rnd state")
+	hasProfile := r.bytes1("spill has-profile") == 1
+	windowStart := r.time("spill window start")
+	np := r.count("spill pending", 17) // 16B point + ≥1B time
+	pending := make([]trace.CheckIn, 0, np)
+	for i := 0; i < np; i++ {
+		pos := r.point("spill pending pos")
+		at := r.time("spill pending time")
+		pending = append(pending, trace.CheckIn{Pos: pos, Time: at})
+	}
+	nt := r.count("spill tops", 17) // 16B point + ≥1B freq
+	var tops profile.Profile
+	if nt > 0 {
+		tops = make(profile.Profile, 0, nt)
+		for i := 0; i < nt; i++ {
+			loc := r.point("spill top loc")
+			freq := r.varint("spill top freq")
+			tops = append(tops, profile.LocationFreq{Loc: loc, Freq: int(freq)})
+		}
+	}
+	table, err := NewObfuscationTable(e.cfg.ConnectivityThreshold)
+	if err != nil {
+		return nil, fmt.Errorf("core: fault-in table: %w", err)
+	}
+	table.loadSpill(r)
+	if err := r.done("spill frame"); err != nil {
+		return nil, err
+	}
+	rnd, err := randx.NewFromState(st)
+	if err != nil {
+		return nil, fmt.Errorf("core: fault-in PRNG state: %w", err)
+	}
+	if np == 0 {
+		pending = nil
+	}
+	return &userState{
+		rnd:         rnd,
+		pending:     pending,
+		windowStart: windowStart,
+		tops:        tops,
+		hasProfile:  hasProfile,
+		table:       table,
+	}, nil
+}
+
+// bytes reads a uvarint-length-prefixed byte string.
+func (r *recReader) bytes(what string) []byte {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.b)) < n {
+		r.fail(what)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[:n])
+	r.b = r.b[n:]
+	return out
+}
+
+// bytes1 reads a single byte.
+func (r *recReader) bytes1(what string) byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 1 {
+		r.fail(what)
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+// i64le reads a fixed 8-byte little-endian int64.
+func (r *recReader) i64le(what string) int64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.fail(what)
+		return 0
+	}
+	v := int64(binary.LittleEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return v
+}
+
+// appendSpill serializes the packed table: an entry-header section
+// (top, created-nanos, candidate count), then the candidate arena
+// verbatim. The layout is a direct dump of the flat representation —
+// fault-in is array reconstruction, not per-entry re-insertion.
+func (t *ObfuscationTable) appendSpill(b []byte) []byte {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	b = binary.AppendUvarint(b, uint64(len(t.tops)))
+	for i := range t.tops {
+		b = appendPoint(b, t.tops[i])
+		b = binary.LittleEndian.AppendUint64(b, uint64(t.createdNs[i]))
+		b = binary.AppendUvarint(b, uint64(len(t.candsLocked(i))))
+	}
+	for _, p := range t.arena {
+		b = appendPoint(b, p)
+	}
+	return b
+}
+
+// loadSpill fills an empty table from appendSpill output. The spatial
+// index stays unbuilt: a faulted-in table is cold by definition and
+// rebuilds its index on demand (see Lookup).
+func (t *ObfuscationTable) loadSpill(r *recReader) {
+	n := r.count("spill table entries", 25) // 16B top + 8B nanos + ≥1B count
+	if n == 0 {
+		return
+	}
+	t.tops = make([]geo.Point, 0, n)
+	t.createdNs = make([]int64, 0, n)
+	t.offs = make([]uint32, 0, n)
+	var total uint64
+	for i := 0; i < n; i++ {
+		t.tops = append(t.tops, r.point("spill table top"))
+		t.createdNs = append(t.createdNs, r.i64le("spill table created"))
+		cn := r.uvarint("spill table cand count")
+		if total+cn > uint64(math.MaxUint32) {
+			r.fail("spill table arena size")
+			return
+		}
+		t.offs = append(t.offs, uint32(total))
+		total += cn
+	}
+	if r.err != nil || total > uint64(len(r.b))/16 {
+		r.fail("spill table arena")
+		return
+	}
+	t.arena = make([]geo.Point, 0, total)
+	for j := uint64(0); j < total; j++ {
+		t.arena = append(t.arena, r.point("spill table candidate"))
+	}
+}
+
+// ensureSpillLocked opens the shard's spill file on first use. The
+// caller holds s.mu.
+func (e *Engine) ensureSpillLocked(s *engineShard) error {
+	if s.spill != nil {
+		return nil
+	}
+	sf, err := wal.OpenSpill(filepath.Join(e.cfg.SpillDir, fmt.Sprintf("spill-%04x.dat", s.idx)))
+	if err != nil {
+		return fmt.Errorf("core: opening shard %d spill file: %w", s.idx, err)
+	}
+	s.spill = sf
+	if s.spilled == nil {
+		s.spilled = make(map[string]spillMeta)
+	}
+	return nil
+}
+
+// evictLocked serializes u into the shard's spill file and drops it
+// from the resident tier. The caller holds s.mu and u.mu; on success u
+// is marked gone and any other holder of the pointer re-resolves
+// through lockUser.
+func (e *Engine) evictLocked(s *engineShard, id string, u *userState) error {
+	if err := e.ensureSpillLocked(s); err != nil {
+		return err
+	}
+	bp := recBufPool.Get().(*[]byte)
+	payload, err := encodeUserFrame((*bp)[:0], u)
+	if err == nil {
+		err = s.spill.Put(id, payload)
+	}
+	*bp = payload[:0]
+	recBufPool.Put(bp)
+	if err != nil {
+		return fmt.Errorf("core: evicting %q: %w", id, err)
+	}
+	s.spilled[id] = spillMeta{pending: len(u.pending)}
+	delete(s.users, id)
+	u.gone = true
+	e.nResident.Add(-1)
+	e.nEvictions.Add(1)
+	return nil
+}
+
+// faultInLocked loads a spilled user back into residency. The caller
+// holds s.mu and has found id in s.spilled.
+func (e *Engine) faultInLocked(s *engineShard, id string) (*userState, error) {
+	payload, ok, err := s.spill.Get(id, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: faulting in %q: %w", id, err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: spilled user %q missing from spill file", id)
+	}
+	u, err := e.decodeUserFrame(payload)
+	if err != nil {
+		return nil, fmt.Errorf("core: faulting in %q: %w", id, err)
+	}
+	delete(s.spilled, id)
+	s.spill.Delete(id)
+	s.users[id] = u
+	e.nResident.Add(1)
+	e.nFaultIns.Add(1)
+	return u, nil
+}
+
+// enforceQuotaLocked evicts least-recently-touched residents until the
+// shard is back under its quota. keep (the user the caller is about to
+// operate on) is never evicted. Best-effort: victims whose locks are
+// contended are skipped, and a spill error stops the sweep (the shard
+// just stays over quota until the next touch). The caller holds s.mu.
+func (e *Engine) enforceQuotaLocked(s *engineShard, keep *userState) {
+	if e.residentQuota <= 0 {
+		return
+	}
+	for len(s.users) > e.residentQuota {
+		if !e.evictOneLocked(s, keep) {
+			return
+		}
+	}
+}
+
+// evictOneLocked evicts the least-recently-touched evictable resident.
+// The caller holds s.mu.
+func (e *Engine) evictOneLocked(s *engineShard, keep *userState) bool {
+	var skipped map[*userState]bool
+	for attempt := 0; attempt < 8; attempt++ {
+		var victimID string
+		var victim *userState
+		oldest := int64(math.MaxInt64)
+		for id, u := range s.users {
+			if u == keep || skipped[u] {
+				continue
+			}
+			if t := u.lastTouch.Load(); t < oldest {
+				oldest = t
+				victimID, victim = id, u
+			}
+		}
+		if victim == nil {
+			return false
+		}
+		// TryLock, never Lock: the victim's holder may be mid-operation,
+		// and blocking here while holding s.mu would stall the whole
+		// shard. Eviction choice never affects logical state, so skipping
+		// a busy victim is always sound.
+		if victim.mu.TryLock() {
+			err := e.evictLocked(s, victimID, victim)
+			victim.mu.Unlock()
+			if err != nil {
+				e.nSpillErrs.Add(1)
+				return false
+			}
+			return true
+		}
+		if skipped == nil {
+			skipped = make(map[*userState]bool)
+		}
+		skipped[victim] = true
+	}
+	return false
+}
+
+// EvictIdle sweeps every shard and evicts residents whose last touch is
+// at least minIdle ago (0 evicts everything not actively locked). It
+// returns the number of users evicted. Requires Config.SpillDir; the
+// sweep is how a deployment without a hard resident cap still sheds its
+// cold tail on a timer (edged -evict-idle).
+func (e *Engine) EvictIdle(minIdle time.Duration) (int, error) {
+	if !e.tiered() {
+		return 0, fmt.Errorf("core: EvictIdle requires Config.SpillDir")
+	}
+	cutoff := time.Now().Add(-minIdle).UnixNano()
+	total := 0
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.Lock()
+		ids := make([]string, 0, len(s.users))
+		for id, u := range s.users {
+			if u.lastTouch.Load() <= cutoff {
+				ids = append(ids, id)
+			}
+		}
+		for _, id := range ids {
+			u, ok := s.users[id]
+			if !ok || !u.mu.TryLock() {
+				continue
+			}
+			err := e.evictLocked(s, id, u)
+			u.mu.Unlock()
+			if err != nil {
+				e.nSpillErrs.Add(1)
+				break
+			}
+			total++
+		}
+		s.mu.Unlock()
+	}
+	return total, nil
+}
+
+// viewUser returns a read-consistent view of the user's state with its
+// lock held (release it via the returned func). Spilled users are
+// decoded into a private transient state instead of being promoted —
+// read-only paths (fingerprints, snapshots, stats endpoints) must not
+// churn the resident set.
+func (e *Engine) viewUser(userID string) (*userState, func(), error) {
+	s, _ := e.shardFor(userID)
+	for {
+		s.mu.RLock()
+		if u, ok := s.users[userID]; ok {
+			s.mu.RUnlock()
+			u.mu.Lock()
+			if !u.gone {
+				return u, u.mu.Unlock, nil
+			}
+			u.mu.Unlock()
+			continue // evicted between resolve and lock; re-resolve
+		}
+		if _, ok := s.spilled[userID]; ok {
+			payload, ok, err := s.spill.Get(userID, nil)
+			s.mu.RUnlock()
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: reading spilled %q: %w", userID, err)
+			}
+			if !ok {
+				continue // raced with a concurrent fault-in; re-resolve
+			}
+			u, err := e.decodeUserFrame(payload)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: reading spilled %q: %w", userID, err)
+			}
+			return u, func() {}, nil
+		}
+		s.mu.RUnlock()
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownUser, userID)
+	}
+}
+
+// TierStats is a point-in-time view of the memory tier.
+type TierStats struct {
+	// Resident is the number of users whose state is in memory.
+	Resident int
+	// Spilled is the number of users currently in the cold tier.
+	Spilled int
+	// Evictions and FaultIns count tier transitions since start.
+	Evictions uint64
+	FaultIns  uint64
+	// SpillErrors counts failed eviction attempts (the user simply
+	// stayed resident).
+	SpillErrors uint64
+}
+
+// TierStats returns the memory-tier counters; all O(1) atomics.
+func (e *Engine) TierStats() TierStats {
+	resident := e.nResident.Load()
+	return TierStats{
+		Resident:    int(resident),
+		Spilled:     int(e.nUsers.Load() - resident),
+		Evictions:   e.nEvictions.Load(),
+		FaultIns:    e.nFaultIns.Load(),
+		SpillErrors: e.nSpillErrs.Load(),
+	}
+}
+
+// Close releases the cold tier's spill files (deleting them — spilled
+// state never outlives the process; durability is the WAL's job). The
+// engine must not serve after Close: spilled users would fail to fault
+// in.
+func (e *Engine) Close() error {
+	var first error
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.Lock()
+		if s.spill != nil {
+			if err := s.spill.Close(); err != nil && first == nil {
+				first = err
+			}
+			s.spill = nil
+		}
+		s.mu.Unlock()
+	}
+	return first
+}

@@ -23,7 +23,8 @@ type TableEntry struct {
 	// Top is the true top location this entry protects.
 	Top geo.Point `json:"top"`
 	// Candidates are the obfuscated locations generated once and reused
-	// for every exposure of Top.
+	// for every exposure of Top. Entries returned by table accessors
+	// share the table's backing storage: treat Candidates as read-only.
 	Candidates []geo.Point `json:"candidates"`
 	// CreatedAt records when the entry was generated.
 	CreatedAt time.Time `json:"created_at"`
@@ -35,12 +36,75 @@ type TableEntry struct {
 // privacy exactly the way the longitudinal attack exploits, so lookups
 // match any previously recorded top within the match radius.
 //
+// The table is stored packed, not boxed: all candidate points live in one
+// contiguous arena with per-entry offsets, tops and creation instants in
+// parallel flat slices. At a million resident users this is the
+// difference between three slice headers plus a map-backed spatial index
+// per user and a handful of cache-friendly arrays — and it makes the
+// evict/fault-in codec a straight array copy. Creation instants are held
+// as int64 unix-nanos and materialized as UTC time.Time values on read;
+// the zero time is kept distinct with a sentinel so "no timestamp"
+// round-trips exactly.
+//
+// The spatial index over tops is built lazily, only once a table has
+// enough entries that linear nearest-neighbour scans stop being cheaper
+// than the index's maps — so the long tail of cold users with a few
+// entries (and every freshly faulted-in table) never pays for a resident
+// spatial.Grid at all.
+//
 // The table is safe for concurrent use.
 type ObfuscationTable struct {
 	mu          sync.RWMutex
 	matchRadius float64
-	entries     []TableEntry
-	index       *spatial.Grid
+	tops        []geo.Point
+	createdNs   []int64
+	offs        []uint32 // entry i's candidates are arena[offs[i]:offs[i+1]] (end = len(arena) for the last entry)
+	arena       []geo.Point
+	index       *spatial.Grid // nil until the table outgrows linear scans
+}
+
+// tableIndexThreshold is the entry count at which a table builds its
+// spatial index. Below it a linear scan over the flat tops slice is
+// both faster and far smaller than the grid's maps.
+const tableIndexThreshold = 32
+
+// zeroCreatedNs is the in-table sentinel for the zero time.Time.
+// time.Time{}.UnixNano() overflows (its instant predates the int64
+// nanosecond range), so the zero value needs an explicit marker to
+// survive the packed encoding; MinInt64 is unreachable by any
+// representable instant.
+const zeroCreatedNs = math.MinInt64
+
+// zeroTimeUnixNano is the (overflowed, but deterministic) value
+// time.Time{}.UnixNano() yields — the value fingerprints have always
+// folded for a zero CreatedAt, preserved for chain compatibility.
+var zeroTimeUnixNano = time.Time{}.UnixNano()
+
+// timeToNanos packs a creation instant for the flat layout.
+func timeToNanos(t time.Time) int64 {
+	if t.IsZero() {
+		return zeroCreatedNs
+	}
+	return t.UnixNano()
+}
+
+// nanosToTime is the inverse of timeToNanos. Instants come back in UTC:
+// all serving inputs are UTC already (the wire codec normalizes on
+// decode), and a fixed zone keeps snapshot bytes host-independent.
+func nanosToTime(ns int64) time.Time {
+	if ns == zeroCreatedNs {
+		return time.Time{}
+	}
+	return time.Unix(0, ns).UTC()
+}
+
+// fingerprintNanos maps a packed creation instant to the value the
+// fingerprint chain folds (see ExtendFingerprint).
+func fingerprintNanos(ns int64) int64 {
+	if ns == zeroCreatedNs {
+		return zeroTimeUnixNano
+	}
+	return ns
 }
 
 // NewObfuscationTable builds an empty table. matchRadius decides when a
@@ -50,11 +114,7 @@ func NewObfuscationTable(matchRadius float64) (*ObfuscationTable, error) {
 	if !(matchRadius > 0) || math.IsInf(matchRadius, 0) {
 		return nil, fmt.Errorf("core: table match radius %g must be positive and finite", matchRadius)
 	}
-	index, err := spatial.NewGrid(matchRadius)
-	if err != nil {
-		return nil, fmt.Errorf("core: table index: %w", err)
-	}
-	return &ObfuscationTable{matchRadius: matchRadius, index: index}, nil
+	return &ObfuscationTable{matchRadius: matchRadius}, nil
 }
 
 // MatchRadius returns the configured identity radius.
@@ -66,35 +126,97 @@ func (t *ObfuscationTable) MatchRadius() float64 {
 func (t *ObfuscationTable) Len() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.entries)
+	return len(t.tops)
+}
+
+// candsLocked returns entry i's candidate window of the arena. The
+// caller holds t.mu (either side).
+func (t *ObfuscationTable) candsLocked(i int) []geo.Point {
+	end := len(t.arena)
+	if i+1 < len(t.offs) {
+		end = int(t.offs[i+1])
+	}
+	return t.arena[t.offs[i]:end:end]
+}
+
+// entryLocked materializes entry i. Candidates alias the arena (the
+// same sharing the boxed layout's Entries had): read-only by contract.
+func (t *ObfuscationTable) entryLocked(i int) TableEntry {
+	return TableEntry{
+		Top:        t.tops[i],
+		Candidates: t.candsLocked(i),
+		CreatedAt:  nanosToTime(t.createdNs[i]),
+	}
 }
 
 // Lookup returns the entry whose top location is nearest to p within the
 // match radius. The boolean reports whether such an entry exists.
 func (t *ObfuscationTable) Lookup(p geo.Point) (TableEntry, bool) {
 	t.mu.RLock()
+	if t.index == nil && len(t.tops) >= tableIndexThreshold {
+		// The table has outgrown linear scans but holds no index (cold:
+		// freshly faulted in, or just past the threshold). Upgrade to the
+		// write lock and build it on demand.
+		t.mu.RUnlock()
+		t.mu.Lock()
+		t.ensureIndexLocked()
+		id, ok := t.lookupLocked(p)
+		var entry TableEntry
+		if ok {
+			entry = t.entryLocked(id)
+		}
+		t.mu.Unlock()
+		return entry, ok
+	}
 	defer t.mu.RUnlock()
 	id, ok := t.lookupLocked(p)
 	if !ok {
 		return TableEntry{}, false
 	}
-	return t.entries[id], true
+	return t.entryLocked(id), true
 }
 
-// lookupLocked returns the index of the nearest entry within matchRadius.
+// lookupLocked returns the index of the nearest entry within matchRadius,
+// via the spatial index when present and a flat scan otherwise.
 func (t *ObfuscationTable) lookupLocked(p geo.Point) (int, bool) {
 	best := -1
 	bestD2 := t.matchRadius * t.matchRadius
-	t.index.ForEachWithin(p, t.matchRadius, func(id int, top geo.Point) {
-		if d2 := top.Dist2(p); d2 <= bestD2 {
-			bestD2 = d2
-			best = id
+	if t.index != nil {
+		t.index.ForEachWithin(p, t.matchRadius, func(id int, top geo.Point) {
+			if d2 := top.Dist2(p); d2 <= bestD2 {
+				bestD2 = d2
+				best = id
+			}
+		})
+	} else {
+		for id := range t.tops {
+			if d2 := t.tops[id].Dist2(p); d2 <= bestD2 {
+				bestD2 = d2
+				best = id
+			}
 		}
-	})
+	}
 	if best < 0 {
 		return 0, false
 	}
 	return best, true
+}
+
+// ensureIndexLocked builds the spatial index over the recorded tops if
+// the table is large enough to want one. The caller holds the write
+// lock.
+func (t *ObfuscationTable) ensureIndexLocked() {
+	if t.index != nil || len(t.tops) < tableIndexThreshold {
+		return
+	}
+	index, err := spatial.NewGrid(t.matchRadius)
+	if err != nil {
+		return // validated radius; unreachable, but a nil index only costs linear scans
+	}
+	for id, top := range t.tops {
+		index.Insert(id, top)
+	}
+	t.index = index
 }
 
 // Insert records candidates for a top location unless an entry for that
@@ -104,33 +226,65 @@ func (t *ObfuscationTable) lookupLocked(p geo.Point) (int, bool) {
 func (t *ObfuscationTable) Insert(top geo.Point, candidates []geo.Point, at time.Time) (TableEntry, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.ensureIndexLocked()
 	if id, ok := t.lookupLocked(top); ok {
-		return t.entries[id], false
+		return t.entryLocked(id), false
 	}
-	cs := make([]geo.Point, len(candidates))
-	copy(cs, candidates)
-	entry := TableEntry{Top: top, Candidates: cs, CreatedAt: at}
-	id := len(t.entries)
-	t.entries = append(t.entries, entry)
-	t.index.Insert(id, top)
-	return entry, true
+	id := t.appendLocked(top, timeToNanos(at), candidates)
+	return t.entryLocked(id), true
 }
 
-// Entries returns a copy of all rows, in insertion order.
+// appendLocked appends one entry to the packed layout (no duplicate
+// check) and returns its index. The caller holds the write lock.
+func (t *ObfuscationTable) appendLocked(top geo.Point, createdNs int64, candidates []geo.Point) int {
+	id := len(t.tops)
+	t.tops = append(t.tops, top)
+	t.createdNs = append(t.createdNs, createdNs)
+	t.offs = append(t.offs, uint32(len(t.arena)))
+	t.arena = append(t.arena, candidates...)
+	if t.index != nil {
+		t.index.Insert(id, top)
+	}
+	return id
+}
+
 // State returns the table's length and fingerprint-chain digest in one
-// read-locked pass, without copying entries — the cheap content proof
-// replication uses to decide how much of the table a replica already
-// holds.
+// read-locked pass, without materializing entries — the cheap content
+// proof replication uses to decide how much of the table a replica
+// already holds.
 func (t *ObfuscationTable) State() (int, uint64) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.entries), FingerprintTable(t.entries)
+	return len(t.tops), t.extendFingerprintLocked(FingerprintSeed, 0)
 }
 
+// extendFingerprintLocked folds entries[from:] onto fp straight from the
+// packed layout, bit-equal to ExtendFingerprint over the materialized
+// entries. The caller holds t.mu (either side).
+func (t *ObfuscationTable) extendFingerprintLocked(fp uint64, from int) uint64 {
+	for i := from; i < len(t.tops); i++ {
+		fp = fnvWord(fp, math.Float64bits(t.tops[i].X))
+		fp = fnvWord(fp, math.Float64bits(t.tops[i].Y))
+		fp = fnvWord(fp, uint64(fingerprintNanos(t.createdNs[i])))
+		cands := t.candsLocked(i)
+		fp = fnvWord(fp, uint64(len(cands)))
+		for _, c := range cands {
+			fp = fnvWord(fp, math.Float64bits(c.X))
+			fp = fnvWord(fp, math.Float64bits(c.Y))
+		}
+	}
+	return fp
+}
+
+// Entries returns all rows in insertion order. Candidate slices alias
+// the table's arena (read-only by contract), so the cost is one slice
+// of entry headers, not a deep copy.
 func (t *ObfuscationTable) Entries() []TableEntry {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	out := make([]TableEntry, len(t.entries))
-	copy(out, t.entries)
+	out := make([]TableEntry, len(t.tops))
+	for i := range t.tops {
+		out[i] = t.entryLocked(i)
+	}
 	return out
 }

@@ -151,8 +151,14 @@ var latencyValueLine = regexp.MustCompile(`(?m)^((?:edge_request_latency_seconds
 // the last checkpoint's duration gauge.
 var walTimingLine = regexp.MustCompile(`(?m)^(wal_checkpoint_duration_seconds) .*$`)
 
+// memValueLine matches the process-memory gauges, whose values depend
+// on allocator and GC state, not traffic.
+var memValueLine = regexp.MustCompile(`(?m)^(mem_(?:heap_alloc_bytes|sys_bytes|gc_total)) .*$`)
+
 func normalizeMetrics(s string) string {
-	return walTimingLine.ReplaceAllString(latencyValueLine.ReplaceAllString(s, "$1 *"), "$1 *")
+	s = latencyValueLine.ReplaceAllString(s, "$1 *")
+	s = walTimingLine.ReplaceAllString(s, "$1 *")
+	return memValueLine.ReplaceAllString(s, "$1 *")
 }
 
 // TestMetricsGolden locks the full /metrics exposition — family set,

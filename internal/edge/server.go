@@ -142,6 +142,7 @@ func NewServer(engine *core.Engine, provider AdProvider, clock Clock, logger *sl
 		s.wireDecodeErrs[c] = reg.Counter("wire_decode_errors_total", "Serving-path request bodies that failed to decode, by request codec.", telemetry.L("codec", c.String()))
 	}
 	engine.Instrument(reg)
+	telemetry.RegisterRuntimeMem(reg)
 	mux := http.NewServeMux()
 	routes := []struct {
 		pattern string

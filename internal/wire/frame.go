@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Raw frames are the codec's outer framing — [4B length][4B CRC32]
+// [payload] — factored out from the version/type payload envelope.
+// Decode routes through RawFramePayload, so there is exactly one
+// definition of what a well-formed frame is; callers that ship opaque
+// payloads under the same corruption-detection idiom (the engine's
+// cold-user spill frames use the identical layout on disk) get the
+// checksummed framing without the message envelope.
+
+// RawFrameOverhead is the fixed per-frame framing cost in bytes.
+const RawFrameOverhead = headerSize
+
+// AppendRawFrame appends payload to dst as one checksummed frame and
+// returns the extended slice.
+func AppendRawFrame(dst, payload []byte) []byte {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// RawFramePayload verifies a frame produced by AppendRawFrame and
+// returns its payload (aliasing data, not a copy). The frame must span
+// data exactly.
+func RawFramePayload(data []byte) ([]byte, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes, want at least the %d-byte header", ErrFrame, len(data), headerSize)
+	}
+	n := binary.LittleEndian.Uint32(data)
+	if n > MaxMessageBytes {
+		return nil, fmt.Errorf("%w: payload length %d exceeds %d", ErrFrame, n, MaxMessageBytes)
+	}
+	if uint32(len(data)-headerSize) != n {
+		return nil, fmt.Errorf("%w: header says %d payload bytes, frame has %d", ErrFrame, n, len(data)-headerSize)
+	}
+	payload := data[headerSize:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(data[4:]); got != want {
+		return nil, fmt.Errorf("%w: %08x, header says %08x", ErrChecksum, got, want)
+	}
+	return payload, nil
+}

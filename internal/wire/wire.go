@@ -114,19 +114,9 @@ func Encode(m Message) []byte { return Append(nil, m) }
 // exactly: checksummed length prefix, matching version and type bytes,
 // and a body with no bytes left over.
 func Decode(data []byte, m Message) error {
-	if len(data) < headerSize {
-		return fmt.Errorf("%w: %d bytes, want at least the %d-byte header", ErrFrame, len(data), headerSize)
-	}
-	n := binary.LittleEndian.Uint32(data)
-	if n > MaxMessageBytes {
-		return fmt.Errorf("%w: payload length %d exceeds %d", ErrFrame, n, MaxMessageBytes)
-	}
-	payload := data[headerSize:]
-	if uint32(len(payload)) != n {
-		return fmt.Errorf("%w: header says %d payload bytes, frame carries %d", ErrFrame, n, len(payload))
-	}
-	if sum := crc32.ChecksumIEEE(payload); sum != binary.LittleEndian.Uint32(data[4:]) {
-		return ErrChecksum
+	payload, err := RawFramePayload(data)
+	if err != nil {
+		return err
 	}
 	if len(payload) < 2 {
 		return fmt.Errorf("%w: payload too short for version and type", ErrFrame)

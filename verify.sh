@@ -66,10 +66,25 @@ for WIRE_CODEC in json binary; do
 done
 rm -f "$LOADGEN_OUT"
 
+# Memory-tier smoke: the same sweep MEM=1 ./bench.sh archives at a
+# million users, at toy scale. The sweep process itself exits non-zero
+# unless the population fingerprint is byte-identical at every resident
+# cap; the greps additionally pin that the capped runs really exercised
+# the cold tier (fault-ins happened) and that the identity claim made it
+# into the archived JSON.
+MEM_OUT="$(mktemp)"
+go run ./cmd/loadgen -sweep-mem -users 2000 -batch 64 -campaigns 20 -wire binary -out "$MEM_OUT"
+grep -q '"fingerprints_identical": true' "$MEM_OUT"
+grep -Eq '"core_faultins_total": [1-9]' "$MEM_OUT"
+rm -f "$MEM_OUT"
+
 # Kill-and-recover smoke: start edged on a WAL data directory with
 # fsync=always, drive reports and a rebuild, SIGKILL the process, restart
 # it from the same directory, and require /v1/stats and the
 # obfuscation-table fingerprint to survive the crash bit-for-bit.
+# -max-resident 4 at -shards 1 keeps at most 4 of the 9 users resident,
+# so the crash hits an engine with most of its population spilled, and
+# recovery replays the WAL into a capped engine that evicts as it goes.
 EDGED_ADDR=127.0.0.1:18431
 EDGED_BIN="$(mktemp)"
 WALDIR="$(mktemp -d)"
@@ -86,7 +101,7 @@ edged_ready() {
     return 1
 }
 
-"$EDGED_BIN" -addr "$EDGED_ADDR" -data-dir "$WALDIR" -fsync always -checkpoint-every 0 -campaigns 5 &
+"$EDGED_BIN" -addr "$EDGED_ADDR" -data-dir "$WALDIR" -fsync always -checkpoint-every 0 -campaigns 5 -shards 1 -max-resident 4 &
 EDGED_PID=$!
 edged_ready
 i=0
@@ -106,12 +121,16 @@ curl -fs "http://$EDGED_ADDR/metrics" | grep -q '^wal_appends_total [1-9]'
 go run ./cmd/loadgen -users 8 -workers 2 -requests 200 -batch 8 -mix 1:0 -wire binary -addr "http://$EDGED_ADDR" >/dev/null
 curl -fs "http://$EDGED_ADDR/metrics" | grep -q 'wire_requests_total{codec="binary"} [1-9]'
 curl -fs "http://$EDGED_ADDR/metrics" | grep -q 'wire_requests_total{codec="json"} [1-9]'
+# Nine users against a 4-user cap: the tier counters must show real
+# evict/fault-in churn, and the runtime memory gauges must be scraping.
+curl -fs "http://$EDGED_ADDR/metrics" | grep -q '^core_faultins_total [1-9]'
+curl -fs "http://$EDGED_ADDR/metrics" | grep -q '^mem_heap_alloc_bytes [1-9]'
 PRE_STATS="$(curl -fs "http://$EDGED_ADDR/v1/stats")"
 PRE_FP="$(curl -fs "http://$EDGED_ADDR/v1/fingerprint?user=smoke")"
 kill -9 "$EDGED_PID"
 wait "$EDGED_PID" || true
 
-"$EDGED_BIN" -addr "$EDGED_ADDR" -data-dir "$WALDIR" -fsync always -checkpoint-every 0 -campaigns 5 &
+"$EDGED_BIN" -addr "$EDGED_ADDR" -data-dir "$WALDIR" -fsync always -checkpoint-every 0 -campaigns 5 -shards 1 -max-resident 4 &
 EDGED_PID=$!
 edged_ready
 POST_STATS="$(curl -fs "http://$EDGED_ADDR/v1/stats")"
