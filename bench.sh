@@ -9,6 +9,8 @@
 #   REPL=1 ./bench.sh          # delta-replication sweep -> BENCH_pr8.json
 #   MEM=1 ./bench.sh           # million-user memory sweep -> BENCH_pr9.json,
 #                              # then a benchjson -diff gate vs BENCH_pr7.json
+#   SCENARIO=1 ./bench.sh      # workload-scenario sweep -> BENCH_pr10.json,
+#                              # then a benchjson -diff gate vs BENCH_pr9.json
 #   OUT=/tmp/b.json BENCH='BenchmarkTrim' BENCHTIME=1x ./bench.sh
 #
 # Knobs (environment):
@@ -41,6 +43,13 @@
 #             peak/steady HeapAlloc + RSS, fingerprint identity across
 #             caps) under the "mem" key, and finish with the gate
 #             `benchjson -diff BENCH_pr7.json $OUT`.
+#   SCENARIO  when set, run the same engine serving microbenches as
+#             BENCH_pr9 (so -diff matches), embed the cmd/lbasim
+#             -scenario-sweep document (attack success, re-identification
+#             rate, and entropy per workload scenario mode; the collude
+#             mode's single-vs-colluding and paper-band gates fail the
+#             sweep on violation) under the "scenario" key, and finish
+#             with the gate `benchjson -diff BENCH_pr9.json $OUT`.
 #   Extra knobs for either sweep:
 #   LOADGEN_USERS / LOADGEN_WORKERS / LOADGEN_REQUESTS
 #             workload size of the loadgen sweep (defaults 64/8/40000;
@@ -85,6 +94,18 @@ elif [ -n "${MEM:-}" ]; then
         -batch 64 \
         -wire binary \
         -out "$serving_json"
+elif [ -n "${SCENARIO:-}" ]; then
+    OUT="${OUT:-BENCH_pr10.json}"
+    # Same engine serving set as the MEM mode, so the diff gate vs
+    # BENCH_pr9 matches.
+    BENCH="${BENCH:-BenchmarkEngineReport\$|BenchmarkEngineReportBatch|BenchmarkEngineRequest\$|BenchmarkWire}"
+    PKGS="${PKGS:-. ./internal/wire}"
+    serving_json="$(mktemp)"
+    go run ./cmd/lbasim -scenario-sweep \
+        -users "${LOADGEN_USERS:-24}" \
+        -max-checkins "${SCENARIO_CHECKINS:-200}" \
+        -seed 1 \
+        -out "$serving_json"
 elif [ -n "${WIRE:-}" ]; then
     OUT="${OUT:-BENCH_pr7.json}"
     # The shared engine set deliberately skips EngineReportParallel: on a
@@ -123,6 +144,8 @@ if [ -n "${DURABLE:-}" ]; then
     go run ./cmd/benchjson -durable "$serving_json" < "$raw" > "$OUT"
 elif [ -n "${MEM:-}" ]; then
     go run ./cmd/benchjson -mem "$serving_json" < "$raw" > "$OUT"
+elif [ -n "${SCENARIO:-}" ]; then
+    go run ./cmd/benchjson -scenario "$serving_json" < "$raw" > "$OUT"
 elif [ -n "${REPL:-}" ]; then
     go run ./cmd/benchjson -repl "$serving_json" < "$raw" > "$OUT"
 elif [ -n "${WIRE:-}" ]; then
@@ -142,4 +165,9 @@ if [ -n "${MEM:-}" ] && [ -f BENCH_pr7.json ]; then
     # Perf-regression gate: the tiering refactor must not have slowed
     # the serving microbenches shared with the PR 7 archive.
     go run ./cmd/benchjson -diff BENCH_pr7.json "$OUT" -threshold "${DIFF_THRESHOLD:-30}"
+fi
+if [ -n "${SCENARIO:-}" ] && [ -f BENCH_pr9.json ]; then
+    # Perf-regression gate: the workload subsystem must not have slowed
+    # the serving microbenches shared with the PR 9 archive.
+    go run ./cmd/benchjson -diff BENCH_pr9.json "$OUT" -threshold "${DIFF_THRESHOLD:-30}"
 fi

@@ -72,6 +72,11 @@ type Report struct {
 	// -mem is given; BENCH_pr9.json carries the serving microbenchmarks
 	// and the macro memory-footprint sweep together.
 	Mem json.RawMessage `json:"mem,omitempty"`
+	// Scenario embeds a cmd/lbasim -scenario-sweep document (attack
+	// success, re-identification rate, and entropy per workload scenario
+	// mode) when -scenario is given; BENCH_pr10.json carries the engine
+	// microbenchmarks and the macro scenario sweep together.
+	Scenario json.RawMessage `json:"scenario,omitempty"`
 }
 
 func main() {
@@ -88,6 +93,7 @@ func run(args []string) error {
 	wireSweep := fs.String("wire", "", "embed this cmd/loadgen -sweep-wire JSON file under the wire key")
 	replSweep := fs.String("repl", "", "embed this cmd/lbasim -repl-sweep JSON file under the repl key")
 	memSweep := fs.String("mem", "", "embed this cmd/loadgen -sweep-mem JSON file under the mem key")
+	scnSweep := fs.String("scenario", "", "embed this cmd/lbasim -scenario-sweep JSON file under the scenario key")
 	diff := fs.Bool("diff", false, "compare two archives (old.json new.json) instead of reading stdin; exit non-zero on a regression past -threshold")
 	threshold := fs.Float64("threshold", 10, "with -diff, the ns/op slowdown in percent that counts as a regression")
 	if err := fs.Parse(args); err != nil {
@@ -133,6 +139,11 @@ func run(args []string) error {
 	}
 	if *memSweep != "" {
 		if rep.Mem, err = embed(*memSweep, "mem"); err != nil {
+			return err
+		}
+	}
+	if *scnSweep != "" {
+		if rep.Scenario, err = embed(*scnSweep, "scenario"); err != nil {
 			return err
 		}
 	}

@@ -194,7 +194,7 @@ func run(args []string) error {
 	region := trace.DefaultConfig().Region
 	rnd := randx.New(*seed, 0xEDEDED)
 	for i := 0; i < *campaigns; i++ {
-		loc := privRandomInRegion(rnd, region)
+		loc := privRandomInRegion(rnd, region.BBox)
 		campaign := adnet.Campaign{
 			ID:       fmt.Sprintf("campaign-%05d", i),
 			Location: loc,

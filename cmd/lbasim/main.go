@@ -58,6 +58,8 @@ func run(args []string) error {
 		chaos      = fs.Bool("chaos", false, "kill and revive edges mid-run (requires -edges > 1); health transitions are detector-driven")
 		replSweep  = fs.Bool("repl-sweep", false, "measure replicated bytes per merge round against the number of changed users and exit")
 		outPath    = fs.String("out", "", "with -repl-sweep, write the sweep document to this JSON file")
+		scenario   = fs.String("scenario", "", "replay a workload scenario through the multi-edge cluster: baseline | churn | gps-outage | traveler | collude")
+		scnSweep   = fs.Bool("scenario-sweep", false, "run every scenario mode on one seed and emit a JSON document (see -out)")
 		batch      = fs.Int("batch", 1, "check-ins per report call; >1 replays via POST /v1/report/batch (or batched cluster routing)")
 		wireFlag   = fs.String("wire", "json", "serving-path codec for the replay clients: json | binary")
 		logFormat  = fs.String("log-format", logx.FormatText, "structured log format: json | text")
@@ -85,6 +87,13 @@ func run(args []string) error {
 			e = 3
 		}
 		return runReplSweep(e, *users, *seed, *outPath)
+	}
+	if *scnSweep {
+		return runScenarioSweep(*users, *maxCk, *edges, *seed, *outPath)
+	}
+	if *scenario != "" {
+		_, err := runScenario(*scenario, *users, *maxCk, *edges, *seed)
+		return err
 	}
 
 	// Workload.
@@ -314,7 +323,7 @@ func runReplSweep(edges, users int, seed uint64, outPath string) error {
 		users = 8
 	}
 	region := trace.DefaultConfig().Region
-	cluster, _, err := buildSimCluster(region, edges, seed)
+	cluster, _, err := buildSimCluster(region.BBox, edges, seed)
 	if err != nil {
 		return err
 	}
@@ -463,7 +472,7 @@ func buildSimCluster(region geo.BBox, edges int, seed uint64) (*edgecluster.Clus
 // byte-identity audit of every edge's table, and the longitudinal attack
 // on the obfuscated request stream the ad providers would observe.
 func runCluster(cfg trace.Config, ds *trace.Dataset, edges int, chaos bool, seed uint64, batch int, codec edge.Codec, logger *slog.Logger) error {
-	cluster, mech, err := buildSimCluster(cfg.Region, edges, seed)
+	cluster, mech, err := buildSimCluster(cfg.Region.BBox, edges, seed)
 	if err != nil {
 		return err
 	}

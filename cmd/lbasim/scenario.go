@@ -1,0 +1,499 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/edgecluster"
+	"repro/internal/geo"
+	"repro/internal/geoind"
+	"repro/internal/profile"
+	"repro/internal/randx"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// paperBand500 is the paper's reported ceiling for the longitudinal
+// attack against the 10-fold ε=1 defense at the 500 m threshold (6.8%);
+// the collude gate tolerates one extra user on tiny smoke populations.
+const paperBand500 = 0.068
+
+// scenarioResult is one scenario mode's measured outcome; the sweep
+// document embeds one per mode into BENCH_pr10.json.
+type scenarioResult struct {
+	Mode      string `json:"mode"`
+	Users     int    `json:"users"`
+	Events    int    `json:"events"`
+	Mutations int    `json:"mutations"`
+	// Streams is the number of distinct advertising identifiers observed
+	// (> Users under churn and collude).
+	Streams int `json:"ad_id_streams"`
+	// EntropyMean is the mean per-user entropy of the defended request
+	// stream (bits; higher means the observable stream is more spread).
+	EntropyMean float64 `json:"entropy_mean_bits"`
+	// Hits200/Hits500 count users whose top-1 location the longitudinal
+	// attack recovers from the defended stream within 200 m / 500 m.
+	Hits200 int `json:"attack_top1_hits_200m"`
+	Hits500 int `json:"attack_top1_hits_500m"`
+	// MergeDropped counts check-ins excluded from secure aggregation for
+	// falling outside the merge region (traveler exercises this).
+	MergeDropped int `json:"merge_dropped_checkins"`
+	// Degraded counts merges that ran with at least one edge missing.
+	Degraded int `json:"degraded_merges"`
+	// Collusion is only present for the collude mode.
+	Collusion *collusionResult `json:"collusion,omitempty"`
+}
+
+// collusionResult measures the colluding cross-network adversary: the
+// join quality, and the re-identification rates with and without the
+// defense. Rates are at the 500 m threshold.
+type collusionResult struct {
+	Networks int `json:"networks"`
+	Streams  int `json:"pseudonym_streams"`
+	Joins    int `json:"joins"`
+	// Precision is the fraction of multi-stream identities whose members
+	// all belong to one ground-truth user; Recall is the fraction of
+	// users whose streams fully collapsed into one identity.
+	Precision float64 `json:"link_precision"`
+	Recall    float64 `json:"link_recall"`
+	// SingleRate is the per-network adversary: the fraction of pseudonym
+	// streams (one-time geo-IND deployment) whose owner's top-1 the
+	// attack recovers. ColludeRate is the same adversary after joining
+	// logs across networks, per user.
+	SingleRate  float64 `json:"single_network_rate_500m"`
+	ColludeRate float64 `json:"colluding_rate_500m"`
+	// DefendedRate is the colluding adversary against the Edge-PrivLocAd
+	// cluster's output stream — the paper-band check.
+	DefendedRate float64 `json:"defended_colluding_rate_500m"`
+}
+
+// scenarioSweepDoc is the JSON document -scenario-sweep emits; bench.sh
+// embeds it under the "scenario" key of BENCH_pr10.json.
+type scenarioSweepDoc struct {
+	Users       int              `json:"users"`
+	MaxCheckIns int              `json:"max_checkins"`
+	Edges       int              `json:"edges"`
+	Seed        uint64           `json:"seed"`
+	Scenarios   []scenarioResult `json:"scenarios"`
+}
+
+// runScenarioSweep measures every scenario mode on one seed and writes
+// the sweep document.
+func runScenarioSweep(users, maxCk, edges int, seed uint64, outPath string) error {
+	doc := scenarioSweepDoc{Users: users, MaxCheckIns: maxCk, Edges: scenarioEdges(edges), Seed: seed}
+	for _, mode := range workload.Modes() {
+		res, err := runScenario(string(mode), users, maxCk, edges, seed)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", mode, err)
+		}
+		doc.Scenarios = append(doc.Scenarios, res)
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", outPath, err)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	return nil
+}
+
+// scenarioEdges resolves the edge count: scenarios always run through
+// the multi-edge cluster (failover and out-of-region merges are part of
+// what they exercise).
+func scenarioEdges(edges int) int {
+	if edges < 2 {
+		return 3
+	}
+	return edges
+}
+
+// runScenario composes the named workload scenario and replays it
+// through a multi-edge cluster: events report under the advertising
+// identifier the ecosystem observes (the device ID under collude —
+// pseudonymization happens at the bid layer, not on the device), merge
+// through secure aggregation, and request ads at every event position.
+// The longitudinal attack then mines the defended streams, and the
+// collude mode additionally mounts the cross-network join with and
+// without the defense.
+func runScenario(modeName string, users, maxCk, edges int, seed uint64) (scenarioResult, error) {
+	mode, err := workload.ParseMode(modeName)
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	edges = scenarioEdges(edges)
+
+	tcfg := trace.DefaultConfig()
+	tcfg.NumUsers = users
+	tcfg.MaxCheckIns = maxCk
+	tcfg.Seed = seed
+	wl, err := workload.Build(workload.Synthetic{Config: tcfg}, workload.Config{Mode: mode, Seed: seed})
+	if err != nil {
+		return scenarioResult{}, err
+	}
+
+	reg := telemetry.NewRegistry()
+	wl.Instrument(reg)
+	cluster, mech, err := buildScenarioCluster(wl.Extent, tcfg.Region.BBox, edges, seed)
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	cluster.Instrument(reg)
+
+	// One-time geo-IND comparison deployment for the collude mode: the
+	// same events, obfuscated once with planar Laplace instead of the
+	// n-fold table — the paper's weak baseline.
+	oneTime, err := geoind.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	oneTimeRnd := randx.New(seed, 0x10CA1)
+
+	res := scenarioResult{
+		Mode:      string(mode),
+		Users:     wl.Stats.Users,
+		Events:    wl.Stats.Events,
+		Mutations: wl.Stats.Mutations,
+	}
+
+	// Replay. The edge keys profiles by the identifier it is handed:
+	// per-generation ad-IDs under churn (a reset looks like a brand-new
+	// device), the stable device ID otherwise.
+	reportID := func(e workload.Event) string {
+		if mode == workload.ModeCollude {
+			return e.User
+		}
+		return e.AdID
+	}
+	var (
+		defended   []attack.Observation // the ad networks' defended view
+		oneTimeObs []attack.Observation // same events under one-time geo-IND
+		perUserObs = make(map[string][]geo.Point)
+		truthOwner = make(map[string]string) // pseudonym -> ground-truth user
+	)
+	streamIDs := make(map[string]bool)
+	for _, st := range wl.Streams {
+		if len(st.Events) == 0 {
+			continue
+		}
+		ids := make(map[string]bool)
+		for _, e := range st.Events {
+			if _, err := cluster.Report(reportID(e), e.Pos, e.Time); err != nil {
+				return scenarioResult{}, fmt.Errorf("reporting %s: %w", st.User, err)
+			}
+			ids[reportID(e)] = true
+			truthOwner[e.AdID] = e.User
+			streamIDs[e.AdID] = true
+		}
+		for _, id := range sortedKeys(ids) {
+			_, stats, err := cluster.MergeProfilesStats(id, tcfg.End)
+			if err != nil {
+				return scenarioResult{}, fmt.Errorf("merging %s: %w", id, err)
+			}
+			if stats.Degraded {
+				res.Degraded++
+			}
+			res.MergeDropped += stats.Dropped
+		}
+		// The edge computes one obfuscated output per session and serves
+		// it to every SDK request in that burst — a burst must never hand
+		// the adversary independent noise samples of the same position.
+		sessionOut := make(map[int]geo.Point)
+		for _, e := range st.Events {
+			out, ok := sessionOut[e.Session]
+			if !ok {
+				var err error
+				out, _, err = cluster.Request(reportID(e), e.Pos)
+				if err != nil {
+					return scenarioResult{}, fmt.Errorf("requesting for %s: %w", st.User, err)
+				}
+				sessionOut[e.Session] = out
+			}
+			defended = append(defended, attack.Observation{AdID: e.AdID, Net: e.Net, Loc: out, Time: e.Time})
+			perUserObs[e.User] = append(perUserObs[e.User], out)
+			if mode == workload.ModeCollude {
+				pts, err := oneTime.Obfuscate(oneTimeRnd, e.Pos)
+				if err != nil {
+					return scenarioResult{}, fmt.Errorf("one-time obfuscation: %w", err)
+				}
+				oneTimeObs = append(oneTimeObs, attack.Observation{AdID: e.AdID, Net: e.Net, Loc: pts[0], Time: e.Time})
+			}
+		}
+	}
+	res.Streams = len(streamIDs)
+
+	// Entropy of the defended stream, mean over users with observations.
+	entUsers := 0
+	for _, u := range wl.Dataset.Users {
+		obs := perUserObs[u.ID]
+		if len(obs) == 0 {
+			continue
+		}
+		p, err := profile.Build(obs, 50)
+		if err != nil {
+			return scenarioResult{}, fmt.Errorf("profiling %s: %w", u.ID, err)
+		}
+		res.EntropyMean += p.Entropy()
+		entUsers++
+	}
+	if entUsers > 0 {
+		res.EntropyMean /= float64(entUsers)
+	}
+
+	// The longitudinal attack against the defended per-ad-ID streams: a
+	// user counts as compromised if any identifier it ever carried leaks
+	// its top-1 location.
+	rAlpha, err := mech.ConfidenceRadius(0.05)
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	defendedOpts := attack.Options{Theta: 500, ClusterRadius: rAlpha}
+	byAdID := groupByAdID(defended)
+	for _, u := range wl.Dataset.Users {
+		hit200, hit500 := false, false
+		for id, owner := range truthOwner {
+			if owner != u.ID {
+				continue
+			}
+			inferred, err := attack.TopN(byAdID[id], 1, defendedOpts)
+			if err != nil {
+				continue // stream too sparse to attack
+			}
+			truth := []geo.Point{u.TrueTops[0].Pos}
+			hit200 = hit200 || attack.Succeeds(inferred, truth, 1, 200)
+			hit500 = hit500 || attack.Succeeds(inferred, truth, 1, 500)
+		}
+		if hit200 {
+			res.Hits200++
+		}
+		if hit500 {
+			res.Hits500++
+		}
+	}
+
+	fmt.Printf("scenario %s: users=%d events=%d mutations=%d ad_id_streams=%d entropy_mean=%.2f bits merge_dropped=%d degraded=%d\n",
+		res.Mode, res.Users, res.Events, res.Mutations, res.Streams, res.EntropyMean, res.MergeDropped, res.Degraded)
+	fmt.Printf("scenario %s: longitudinal attack on defended streams: top-1 within 200m %d/%d users, within 500m %d/%d\n",
+		res.Mode, res.Hits200, res.Users, res.Hits500, res.Users)
+
+	if mode == workload.ModeCollude {
+		col, err := runCollusion(wl, oneTimeObs, defended, truthOwner, rAlpha)
+		if err != nil {
+			return scenarioResult{}, err
+		}
+		res.Collusion = &col
+		attack.RecordCollusion(reg, &attack.CollusionStats{Joins: col.Joins, Pairs: col.Streams * (col.Streams - 1) / 2})
+	}
+	return res, nil
+}
+
+// runCollusion mounts the cross-network adversary. The one-time geo-IND
+// deployment carries the headline comparison: each network alone attacks
+// its pseudonym streams (SingleRate), then the colluding adversary joins
+// the logs by timestamp+radius correlation and attacks the merged
+// streams (ColludeRate). The same join against the Edge-PrivLocAd
+// cluster's output gives DefendedRate. Gates: collusion must strictly
+// beat the single-network adversary, and the defense must hold the
+// colluding adversary inside the paper band.
+func runCollusion(wl *workload.Workload, oneTimeObs, defended []attack.Observation, truthOwner map[string]string, rAlpha float64) (collusionResult, error) {
+	col := collusionResult{Networks: wl.Config.Networks}
+	users := wl.Stats.Users
+	oneTimeOpts := attack.Options{Theta: math.Max(150, rAlpha/4), ClusterRadius: rAlpha}
+	defendedOpts := attack.Options{Theta: 500, ClusterRadius: rAlpha}
+	top1 := make(map[string]geo.Point, users)
+	for _, u := range wl.Dataset.Users {
+		top1[u.ID] = u.TrueTops[0].Pos
+	}
+	succeeds := func(obs []attack.Observation, owner string, opts attack.Options) bool {
+		pts := make([]geo.Point, len(obs))
+		for i, o := range obs {
+			pts[i] = o.Loc
+		}
+		inferred, err := attack.TopN(pts, 1, opts)
+		if err != nil {
+			return false
+		}
+		return attack.Succeeds(inferred, []geo.Point{top1[owner]}, 1, 500)
+	}
+
+	// Single-network adversary: every pseudonym stream attacked alone.
+	byStream := groupObsByStream(oneTimeObs)
+	singleHits := 0
+	for _, s := range byStream {
+		if succeeds(s, truthOwner[s[0].AdID], oneTimeOpts) {
+			singleHits++
+		}
+	}
+	col.Streams = len(byStream)
+	col.SingleRate = float64(singleHits) / float64(len(byStream))
+
+	// Colluding adversary: join, then attack the merged streams.
+	linked, stats, err := attack.Collude(oneTimeObs, attack.CollusionOptions{})
+	if err != nil {
+		return collusionResult{}, err
+	}
+	col.Joins = stats.Joins
+	pure, impure := 0, 0
+	reidentified := make(map[string]bool)
+	collapsed := make(map[string]bool)
+	for _, l := range linked {
+		owner := truthOwner[l.AdIDs[0]]
+		mixed := false
+		for _, id := range l.AdIDs[1:] {
+			if truthOwner[id] != owner {
+				mixed = true
+			}
+		}
+		if len(l.AdIDs) > 1 {
+			if mixed {
+				impure++
+			} else {
+				pure++
+			}
+		}
+		if !mixed && len(l.Nets) >= 2 {
+			collapsed[owner] = true
+		}
+		if !mixed && succeeds(l.Observations, owner, oneTimeOpts) {
+			reidentified[owner] = true
+		}
+	}
+	if pure+impure > 0 {
+		col.Precision = float64(pure) / float64(pure+impure)
+	}
+	col.Recall = float64(len(collapsed)) / float64(users)
+	col.ColludeRate = float64(len(reidentified)) / float64(users)
+
+	// The same colluding adversary against the defended stream.
+	defLinked, _, err := attack.Collude(defended, attack.CollusionOptions{})
+	if err != nil {
+		return collusionResult{}, err
+	}
+	defReid := make(map[string]bool)
+	for _, l := range defLinked {
+		owner := truthOwner[l.AdIDs[0]]
+		mixed := false
+		for _, id := range l.AdIDs[1:] {
+			if truthOwner[id] != owner {
+				mixed = true
+			}
+		}
+		if !mixed && succeeds(l.Observations, owner, defendedOpts) {
+			defReid[owner] = true
+		}
+	}
+	col.DefendedRate = float64(len(defReid)) / float64(users)
+
+	fmt.Printf("collusion: networks=%d pseudonym_streams=%d joins=%d precision=%.2f recall=%.2f\n",
+		col.Networks, col.Streams, col.Joins, col.Precision, col.Recall)
+	fmt.Printf("collusion: one-time geo-IND re-identification: single-network %.1f%%, colluding %.1f%%; defended colluding %.1f%%\n",
+		100*col.SingleRate, 100*col.ColludeRate, 100*col.DefendedRate)
+
+	if col.ColludeRate <= col.SingleRate {
+		return collusionResult{}, fmt.Errorf("colluding adversary (%.1f%%) did not beat the single-network attack (%.1f%%)",
+			100*col.ColludeRate, 100*col.SingleRate)
+	}
+	// Paper band: ≤6.8% at 500 m, with one user of slack for tiny smoke
+	// populations where a single hit overshoots the band.
+	allowed := math.Max(paperBand500*float64(users), 1) / float64(users)
+	if col.DefendedRate > allowed+1e-9 {
+		return collusionResult{}, fmt.Errorf("defense did not hold against collusion: %.1f%% > %.1f%% band",
+			100*col.DefendedRate, 100*allowed)
+	}
+	fmt.Printf("collusion: defense holds — colluding adversary degraded from %.1f%% to %.1f%% (paper band ≤ %.1f%%)\n",
+		100*col.ColludeRate, 100*col.DefendedRate, 100*allowed)
+	return col, nil
+}
+
+// buildScenarioCluster is buildSimCluster with the coverage extent
+// decoupled from the merge region: traveler events leave the home box,
+// so edges must cover the full workload extent, while secure aggregation
+// still only merges home-region check-ins (out-of-region ones count as
+// Dropped).
+func buildScenarioCluster(cover, merge geo.BBox, edges int, seed uint64) (*edgecluster.Cluster, *geoind.NFoldGaussian, error) {
+	mech, err := geoind.NewNFoldGaussian(geoind.Params{Radius: 500, Epsilon: 1, Delta: 0.01, N: 10})
+	if err != nil {
+		return nil, nil, fmt.Errorf("building mechanism: %w", err)
+	}
+	nomadic, err := geoind.NewPlanarLaplace(math.Log(4), 200)
+	if err != nil {
+		return nil, nil, fmt.Errorf("building nomadic mechanism: %w", err)
+	}
+	diag := math.Hypot(cover.Width(), cover.Height())
+	coverage := make([]geo.Circle, edges)
+	for i := range coverage {
+		coverage[i] = geo.Circle{
+			Center: geo.Point{
+				X: cover.MinX + (float64(i)+0.5)*cover.Width()/float64(edges),
+				Y: cover.MinY + cover.Height()/2,
+			},
+			Radius: diag,
+		}
+	}
+	cluster, err := edgecluster.New(edgecluster.Config{
+		Engine:      core.Config{Mechanism: mech, NomadicMechanism: nomadic, Seed: seed},
+		Coverage:    coverage,
+		MergeRegion: merge,
+		Seed:        seed,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("building cluster: %w", err)
+	}
+	return cluster, mech, nil
+}
+
+// groupByAdID buckets observation locations per advertising identifier.
+func groupByAdID(obs []attack.Observation) map[string][]geo.Point {
+	out := make(map[string][]geo.Point)
+	for _, o := range obs {
+		out[o.AdID] = append(out[o.AdID], o.Loc)
+	}
+	return out
+}
+
+// groupObsByStream buckets observations per (network, ad-ID) stream in
+// deterministic order.
+func groupObsByStream(obs []attack.Observation) [][]attack.Observation {
+	type key struct {
+		net  int
+		adID string
+	}
+	m := make(map[key][]attack.Observation)
+	for _, o := range obs {
+		m[key{o.Net, o.AdID}] = append(m[key{o.Net, o.AdID}], o)
+	}
+	keys := make([]key, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].net != keys[j].net {
+			return keys[i].net < keys[j].net
+		}
+		return keys[i].adID < keys[j].adID
+	})
+	out := make([][]attack.Observation, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
+}
+
+// sortedKeys returns the map's keys sorted (deterministic merge order).
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

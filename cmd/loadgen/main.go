@@ -43,6 +43,7 @@ import (
 	"repro/internal/trace"
 	"repro/internal/tracing"
 	"repro/internal/wal"
+	"repro/internal/workload"
 )
 
 // Stream selector bases for the generator's independent PRNG families.
@@ -94,6 +95,10 @@ type config struct {
 	// it, least-recently-touched users spill to a temp dir and fault
 	// back in transparently (0 = unbounded, untiered).
 	MaxResident int `json:"max_resident,omitempty"`
+	// Scenario replays a composed workload scenario (internal/workload
+	// mode name) instead of the uniform synthetic load: workers drain the
+	// scenario's event sequence through the same closed-loop HTTP path.
+	Scenario string `json:"scenario,omitempty"`
 
 	mixReports, mixAds int
 	codec              edge.Codec
@@ -143,6 +148,12 @@ type result struct {
 	// Tier is present only for -max-resident runs: the engine's
 	// memory-tier counters after the run.
 	Tier *tierResult `json:"tier,omitempty"`
+	// Scenario fields are present only for -scenario runs: the composed
+	// workload's totals and how much of it the budget replayed.
+	Scenario          string `json:"scenario,omitempty"`
+	ScenarioEvents    int    `json:"scenario_events,omitempty"`
+	ScenarioMutations int    `json:"scenario_mutations,omitempty"`
+	ScenarioReplayed  int64  `json:"scenario_replayed,omitempty"`
 }
 
 // tierResult is the engine's memory-tier state after a capped run.
@@ -185,6 +196,7 @@ func run(args []string, out *os.File) error {
 		wireFlag  = fs.String("wire", "json", "serving-path codec: json | binary")
 		dataDir   = fs.String("data-dir", "", "WAL directory for the in-process server (empty durable runs use a temp dir)")
 		fsyncFlag = fs.String("fsync", "", "WAL fsync policy for the in-process server: always | interval[=<duration>] | never; empty or \"none\" disables the WAL")
+		scenario  = fs.String("scenario", "", "replay a composed workload scenario instead of uniform load: baseline | churn | gps-outage | traveler | collude")
 		outPath   = fs.String("out", "", "write output to this file instead of stdout")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -194,7 +206,12 @@ func run(args []string, out *os.File) error {
 		Users: *users, Workers: *workers, Requests: *requests, Duration: *duration,
 		Mix: *mix, Batch: *batch, Shards: *shards, Campaigns: *campaigns,
 		Seed: *seed, Addr: *addr, DataDir: *dataDir, Fsync: *fsyncFlag, Wire: *wireFlag,
-		MaxResident: *maxRes,
+		MaxResident: *maxRes, Scenario: *scenario,
+	}
+	if cfg.Scenario != "" {
+		if _, err := workload.ParseMode(cfg.Scenario); err != nil {
+			return fmt.Errorf("-scenario: %w", err)
+		}
 	}
 	if cfg.MaxResident < 0 {
 		return fmt.Errorf("-max-resident must be >= 0")
@@ -290,6 +307,9 @@ func run(args []string, out *os.File) error {
 	if cfg.MaxResident > 0 {
 		name += fmt.Sprintf("/cap=%d", cfg.MaxResident)
 	}
+	if cfg.Scenario != "" {
+		name += "/scenario=" + cfg.Scenario
+	}
 	res, err := runOne(cfg, name)
 	if err != nil {
 		return err
@@ -300,6 +320,10 @@ func run(args []string, out *os.File) error {
 		return enc.Encode(res)
 	}
 	fmt.Fprintf(w, "loadgen: %s users=%d workers=%d mix=%s\n", res.Name, cfg.Users, cfg.Workers, cfg.Mix)
+	if res.Scenario != "" {
+		fmt.Fprintf(w, "scenario: mode=%s events=%d mutations=%d replayed=%d\n",
+			res.Scenario, res.ScenarioEvents, res.ScenarioMutations, res.ScenarioReplayed)
+	}
 	fmt.Fprintf(w, "ingested %d check-ins + %d ad requests (%d HTTP ops) in %.2fs\n",
 		res.CheckIns, res.AdRequests, res.HTTPOps, res.ElapsedSec)
 	fmt.Fprintf(w, "throughput: %.0f checkins/s, %.0f ads/s, %.0f http_ops/s\n",
@@ -502,6 +526,36 @@ func runOne(cfg config, name string) (*result, error) {
 	baseTime := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
 	region := trace.DefaultConfig().Region
 
+	// Scenario mode: compose the workload up front and let the workers
+	// drain its global event sequence through the same HTTP path, instead
+	// of synthesizing uniform positions. The cursor hands each worker a
+	// contiguous claim, so every event replays exactly once.
+	var (
+		scn       *workload.Workload
+		scnEvents []workload.Event
+		scnCursor atomic.Int64
+	)
+	if cfg.Scenario != "" {
+		mode, err := workload.ParseMode(cfg.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		tcfg := trace.DefaultConfig()
+		tcfg.NumUsers = cfg.Users
+		tcfg.MaxCheckIns = 400
+		tcfg.Seed = cfg.Seed
+		scn, err = workload.Build(workload.Synthetic{Config: tcfg}, workload.Config{
+			Mode: mode, Seed: cfg.Seed, Parallelism: cfg.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("composing scenario: %w", err)
+		}
+		scnEvents = scn.Flatten()
+		if srv != nil {
+			scn.Instrument(srv.Registry())
+		}
+	}
+
 	var wg sync.WaitGroup
 	errCh := make(chan error, cfg.Workers)
 	ctx := context.Background()
@@ -529,22 +583,46 @@ func runOne(cfg config, name string) (*result, error) {
 				if budget.Add(-cost) < 0 {
 					return
 				}
-				uid := rnd.IntN(cfg.Users)
-				user := fmt.Sprintf("u%05d", uid)
-				pos := geo.Point{
-					X: region.MinX + rnd.Float64()*region.Width(),
-					Y: region.MinY + rnd.Float64()*region.Height(),
+				var user string
+				var pos geo.Point
+				var claimed []workload.Event
+				if scn != nil {
+					// Claim the next cost events from the scenario sequence;
+					// the run ends when the composed workload is drained.
+					lo := scnCursor.Add(cost) - cost
+					if lo >= int64(len(scnEvents)) {
+						return
+					}
+					hi := min(lo+cost, int64(len(scnEvents)))
+					claimed = scnEvents[lo:hi]
+					user, pos = claimed[0].AdID, claimed[0].Pos
+				} else {
+					uid := rnd.IntN(cfg.Users)
+					user = fmt.Sprintf("u%05d", uid)
+					pos = geo.Point{
+						X: region.MinX + rnd.Float64()*region.Width(),
+						Y: region.MinY + rnd.Float64()*region.Height(),
+					}
+					if isReport {
+						reports = reports[:0]
+						for i := 0; i < cfg.Batch; i++ {
+							seq := userClock[uid].Add(1)
+							reports = append(reports, edge.ReportRequest{
+								UserID: user,
+								Pos:    pos.Add(rnd.GaussianPolar(50)),
+								Time:   baseTime.Add(time.Duration(seq) * time.Minute),
+							})
+						}
+					}
+				}
+				if scn != nil && isReport {
+					reports = reports[:0]
+					for _, e := range claimed {
+						reports = append(reports, edge.ReportRequest{UserID: e.AdID, Pos: e.Pos, Time: e.Time})
+					}
+					cost = int64(len(reports))
 				}
 				if isReport {
-					reports = reports[:0]
-					for i := 0; i < cfg.Batch; i++ {
-						seq := userClock[uid].Add(1)
-						reports = append(reports, edge.ReportRequest{
-							UserID: user,
-							Pos:    pos.Add(rnd.GaussianPolar(50)),
-							Time:   baseTime.Add(time.Duration(seq) * time.Minute),
-						})
-					}
 					start := time.Now()
 					if cfg.Batch == 1 {
 						err = cl.Report(ctx, reports[0].UserID, reports[0].Pos, reports[0].Time)
@@ -603,6 +681,12 @@ func runOne(cfg config, name string) (*result, error) {
 		ReportOverflow: int64(reportHist.Overflow()),
 		AdsOverflow:    int64(adsHist.Overflow()),
 		BatchRejected:  rejected.Load(),
+	}
+	if scn != nil {
+		res.Scenario = string(scn.Mode)
+		res.ScenarioEvents = scn.Stats.Events
+		res.ScenarioMutations = scn.Stats.Mutations
+		res.ScenarioReplayed = min(scnCursor.Load(), int64(len(scnEvents)))
 	}
 	if srv != nil {
 		res.Stages = tracing.StageBreakdown(srv.Registry())

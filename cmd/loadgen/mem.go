@@ -210,7 +210,7 @@ func runMemOne(base config, maxResident int, name string) (*memResult, error) {
 			for uid := lo; uid < hi; uid++ {
 				items = append(items, edge.ReportRequest{
 					UserID: memUserID(uid),
-					Pos:    memHome(region, uid).Add(rnd.GaussianPolar(50)),
+					Pos:    memHome(region.BBox, uid).Add(rnd.GaussianPolar(50)),
 					Time:   at,
 				})
 			}

@@ -1,0 +1,237 @@
+package attack
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/telemetry"
+)
+
+// Observation is one bid-request record as a single ad network logs it:
+// a pseudonymous advertising identifier, the network that served the
+// request, and the (already obfuscated, if a defense is on) location.
+// The colluding adversary merges these across networks before running
+// the longitudinal attack — no single network's log is enough.
+type Observation struct {
+	// AdID is the per-network advertising identifier.
+	AdID string
+	// Net is the ad network that logged the request.
+	Net int
+	// Loc is the reported location.
+	Loc geo.Point
+	// Time is the bid timestamp.
+	Time time.Time
+}
+
+// CollusionOptions parameterises the cross-network join. Zero fields
+// take the documented defaults.
+type CollusionOptions struct {
+	// Window is the maximum timestamp gap for two observations on
+	// different networks to count as one co-occurrence (default 15m —
+	// multi-SDK apps fire their networks within a session).
+	Window time.Duration
+	// Radius is the maximum distance between co-occurring observations
+	// (default 2000 m: twice the defense's obfuscation radius plus
+	// margin, so defended streams still correlate).
+	Radius float64
+	// MinMatches is how many co-occurrences two streams need before the
+	// adversary links them (default 3 — one coincidence is noise).
+	MinMatches int
+}
+
+func (o CollusionOptions) withDefaults() CollusionOptions {
+	if o.Window <= 0 {
+		o.Window = 15 * time.Minute
+	}
+	if o.Radius <= 0 {
+		o.Radius = 2000
+	}
+	if o.MinMatches <= 0 {
+		o.MinMatches = 3
+	}
+	return o
+}
+
+// Linked is one joined identity: the pseudonyms the adversary believes
+// belong to a single device, and their merged observation stream.
+type Linked struct {
+	// AdIDs are the member pseudonyms, sorted.
+	AdIDs []string
+	// Nets are the distinct networks contributing, sorted.
+	Nets []int
+	// Observations is the merged stream in time order.
+	Observations []Observation
+}
+
+// Locations returns the merged observation coordinates in time order —
+// the input the longitudinal attack (TopN) consumes.
+func (l Linked) Locations() []geo.Point {
+	pts := make([]geo.Point, len(l.Observations))
+	for i, o := range l.Observations {
+		pts[i] = o.Loc
+	}
+	return pts
+}
+
+// CollusionStats summarises one join run.
+type CollusionStats struct {
+	// Observations is the merged log size across all networks.
+	Observations int
+	// Streams is the number of per-network pseudonym streams seen.
+	Streams int
+	// Pairs is the number of cross-network stream pairs scored.
+	Pairs int
+	// Joins is the number of accepted links (union operations that merged
+	// two previously separate components).
+	Joins int
+	// Linked is the number of resulting identities spanning >1 stream.
+	Linked int
+}
+
+// Collude joins per-network bid logs by timestamp+radius correlation:
+// streams on different networks whose observations repeatedly co-occur
+// within (Window, Radius) are assumed to be SDKs on the same device and
+// merged. The result is deterministic for a given input ordering-free
+// observation set (streams are keyed and iterated in sorted order).
+func Collude(obs []Observation, opts CollusionOptions) ([]Linked, CollusionStats, error) {
+	opts = opts.withDefaults()
+	var stats CollusionStats
+	stats.Observations = len(obs)
+	if len(obs) == 0 {
+		return nil, stats, fmt.Errorf("attack: collusion over empty observation log")
+	}
+
+	// Partition into per-(network, ad-ID) streams, time-sorted, with a
+	// deterministic stream order.
+	type streamKey struct {
+		net  int
+		adID string
+	}
+	byStream := make(map[streamKey][]Observation)
+	for _, o := range obs {
+		k := streamKey{o.Net, o.AdID}
+		byStream[k] = append(byStream[k], o)
+	}
+	keys := make([]streamKey, 0, len(byStream))
+	for k := range byStream {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].net != keys[j].net {
+			return keys[i].net < keys[j].net
+		}
+		return keys[i].adID < keys[j].adID
+	})
+	streams := make([][]Observation, len(keys))
+	for i, k := range keys {
+		s := byStream[k]
+		sort.Slice(s, func(a, b int) bool { return s[a].Time.Before(s[b].Time) })
+		streams[i] = s
+	}
+	stats.Streams = len(streams)
+
+	// Score every cross-network pair and union-find the accepted links.
+	parent := make([]int, len(streams))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < len(streams); i++ {
+		for j := i + 1; j < len(streams); j++ {
+			if keys[i].net == keys[j].net {
+				continue // a network never needs to join its own log
+			}
+			stats.Pairs++
+			if coOccurrences(streams[i], streams[j], opts) < opts.MinMatches {
+				continue
+			}
+			ri, rj := find(i), find(j)
+			if ri != rj {
+				parent[ri] = rj
+				stats.Joins++
+			}
+		}
+	}
+
+	// Emit components in first-member order.
+	members := make(map[int][]int)
+	for i := range streams {
+		r := find(i)
+		members[r] = append(members[r], i)
+	}
+	roots := make([]int, 0, len(members))
+	for r := range members {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(a, b int) bool { return members[roots[a]][0] < members[roots[b]][0] })
+
+	out := make([]Linked, 0, len(roots))
+	for _, r := range roots {
+		var l Linked
+		nets := make(map[int]bool)
+		for _, idx := range members[r] {
+			l.AdIDs = append(l.AdIDs, keys[idx].adID)
+			nets[keys[idx].net] = true
+			l.Observations = append(l.Observations, streams[idx]...)
+		}
+		sort.Strings(l.AdIDs)
+		for n := range nets {
+			l.Nets = append(l.Nets, n)
+		}
+		sort.Ints(l.Nets)
+		sort.Slice(l.Observations, func(a, b int) bool {
+			if !l.Observations[a].Time.Equal(l.Observations[b].Time) {
+				return l.Observations[a].Time.Before(l.Observations[b].Time)
+			}
+			return l.Observations[a].AdID < l.Observations[b].AdID
+		})
+		if len(members[r]) > 1 {
+			stats.Linked++
+		}
+		out = append(out, l)
+	}
+	return out, stats, nil
+}
+
+// coOccurrences counts a-observations with at least one b-observation
+// inside (Window, Radius), sweeping both time-sorted streams with two
+// pointers.
+func coOccurrences(a, b []Observation, opts CollusionOptions) int {
+	count := 0
+	lo := 0
+	for _, oa := range a {
+		from := oa.Time.Add(-opts.Window)
+		for lo < len(b) && b[lo].Time.Before(from) {
+			lo++
+		}
+		to := oa.Time.Add(opts.Window)
+		for j := lo; j < len(b) && !b[j].Time.After(to); j++ {
+			if oa.Loc.Dist(b[j].Loc) <= opts.Radius {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// RecordCollusion registers the colluding adversary's join telemetry
+// with reg. Read-through counters: the stats pointer may keep updating
+// after registration.
+func RecordCollusion(reg *telemetry.Registry, stats *CollusionStats) {
+	reg.CounterFunc("attack_collusion_joins_total",
+		"Cross-network stream links accepted by the colluding adversary.",
+		func() uint64 { return uint64(stats.Joins) })
+	reg.CounterFunc("attack_collusion_pairs_total",
+		"Cross-network stream pairs scored for timestamp+radius correlation.",
+		func() uint64 { return uint64(stats.Pairs) })
+}

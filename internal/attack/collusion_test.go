@@ -1,0 +1,163 @@
+package attack
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// obsFromStream converts a workload stream into the per-network
+// observation log a deployment of colluding networks would hold.
+func obsFromStream(st workload.Stream) []Observation {
+	obs := make([]Observation, len(st.Events))
+	for i, e := range st.Events {
+		obs[i] = Observation{AdID: e.AdID, Net: e.Net, Loc: e.Pos, Time: e.Time}
+	}
+	return obs
+}
+
+func colludeWorkload(t *testing.T) *workload.Workload {
+	t.Helper()
+	cfg := trace.DefaultConfig()
+	cfg.NumUsers = 25
+	cfg.MaxCheckIns = 150
+	cfg.Seed = 21
+	w, err := workload.Build(workload.Synthetic{Config: cfg}, workload.Config{
+		Mode: workload.ModeCollude,
+		Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestColludeJoinsDualSDKStreams runs the join over a composed collude
+// workload: pseudonym streams belonging to the same ground-truth user
+// must link, streams of different users must not.
+func TestColludeJoinsDualSDKStreams(t *testing.T) {
+	w := colludeWorkload(t)
+	var obs []Observation
+	truth := make(map[string]string) // pseudonym -> ground-truth user
+	for _, st := range w.Streams {
+		for _, e := range st.Events {
+			truth[e.AdID] = e.User
+		}
+		obs = append(obs, obsFromStream(st)...)
+	}
+
+	linked, stats, err := Collude(obs, CollusionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Joins == 0 || stats.Linked == 0 {
+		t.Fatalf("no links accepted: %+v", stats)
+	}
+	// Precision must be perfect on the raw streams: a link never spans
+	// two ground-truth users.
+	for _, l := range linked {
+		owner := truth[l.AdIDs[0]]
+		for _, id := range l.AdIDs[1:] {
+			if truth[id] != owner {
+				t.Fatalf("link %v spans users %q and %q", l.AdIDs, owner, truth[id])
+			}
+		}
+		for i := 1; i < len(l.Observations); i++ {
+			if l.Observations[i].Time.Before(l.Observations[i-1].Time) {
+				t.Fatalf("merged stream unsorted at %d", i)
+			}
+		}
+	}
+	// Recall: most users' streams should fully collapse to one identity.
+	collapsed := 0
+	for _, l := range linked {
+		if len(l.Nets) >= 2 {
+			collapsed++
+		}
+	}
+	if collapsed*2 < w.Stats.Users {
+		t.Fatalf("only %d of %d users had their streams joined", collapsed, w.Stats.Users)
+	}
+}
+
+func TestColludeDeterministic(t *testing.T) {
+	w := colludeWorkload(t)
+	var obs []Observation
+	for _, st := range w.Streams {
+		obs = append(obs, obsFromStream(st)...)
+	}
+	a, sa, err := Collude(obs, CollusionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shuffle-free reversal: observation order must not matter.
+	rev := make([]Observation, len(obs))
+	for i, o := range obs {
+		rev[len(obs)-1-i] = o
+	}
+	b, sb, err := Collude(rev, CollusionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb || len(a) != len(b) {
+		t.Fatalf("stats differ across input order: %+v vs %+v", sa, sb)
+	}
+	for i := range a {
+		if len(a[i].AdIDs) != len(b[i].AdIDs) {
+			t.Fatalf("component %d differs", i)
+		}
+		for j := range a[i].AdIDs {
+			if a[i].AdIDs[j] != b[i].AdIDs[j] {
+				t.Fatalf("component %d member %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestColludeRejectsCoincidence(t *testing.T) {
+	base := time.Unix(0, 0).UTC()
+	// Two users on two networks, each a tight stream of their own, with a
+	// single chance co-occurrence between them — below MinMatches.
+	var obs []Observation
+	for i := 0; i < 10; i++ {
+		obs = append(obs, Observation{AdID: "a", Net: 0, Loc: geo.Point{X: 0}, Time: base.Add(time.Duration(i) * time.Hour)})
+		obs = append(obs, Observation{AdID: "b", Net: 1, Loc: geo.Point{X: 50000}, Time: base.Add(time.Duration(i) * time.Hour)})
+	}
+	obs = append(obs, Observation{AdID: "b", Net: 1, Loc: geo.Point{X: 10}, Time: base.Add(30 * time.Minute)})
+	linked, stats, err := Collude(obs, CollusionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Joins != 0 || len(linked) != 2 {
+		t.Fatalf("one coincidence linked streams: %+v", stats)
+	}
+}
+
+func TestColludeEmpty(t *testing.T) {
+	if _, _, err := Collude(nil, CollusionOptions{}); err == nil {
+		t.Fatal("empty log must error")
+	}
+}
+
+func TestRecordCollusion(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	stats := &CollusionStats{}
+	RecordCollusion(reg, stats)
+	stats.Joins = 4
+	stats.Pairs = 9
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dump := buf.String()
+	if !strings.Contains(dump, "attack_collusion_joins_total 4") ||
+		!strings.Contains(dump, "attack_collusion_pairs_total 9") {
+		t.Fatalf("metrics missing collusion counters:\n%s", dump)
+	}
+}

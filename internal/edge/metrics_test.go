@@ -15,12 +15,15 @@ import (
 	"time"
 
 	"repro/internal/adnet"
+	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/geoind"
 	"repro/internal/randx"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/wal"
+	"repro/internal/workload"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
@@ -81,9 +84,38 @@ func newMetricsFixtureOpts(t *testing.T, opts ...ServerOption) *metricsFixture {
 	}
 	f.srv = srv
 	store.Instrument(srv.Registry())
+	instrumentScenario(t, srv.Registry())
 	f.ts = httptest.NewServer(srv.Handler())
 	t.Cleanup(f.ts.Close)
 	return f
+}
+
+// instrumentScenario registers the workload and collusion telemetry
+// families into the fixture registry the way lbasim's scenario runner
+// does, from a tiny fixed collude workload, so the golden exposition
+// locks workload_events_total{mode=...} and attack_collusion_*_total.
+func instrumentScenario(t *testing.T, reg *telemetry.Registry) {
+	t.Helper()
+	tcfg := trace.DefaultConfig()
+	tcfg.NumUsers = 6
+	tcfg.MaxCheckIns = 30
+	tcfg.Seed = 5
+	wl, err := workload.Build(workload.Synthetic{Config: tcfg}, workload.Config{Mode: workload.ModeCollude, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl.Instrument(reg)
+	var obs []attack.Observation
+	for _, s := range wl.Streams {
+		for _, e := range s.Events {
+			obs = append(obs, attack.Observation{AdID: e.AdID, Net: e.Net, Loc: e.Pos, Time: e.Time})
+		}
+	}
+	_, stats, err := attack.Collude(obs, attack.CollusionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack.RecordCollusion(reg, &stats)
 }
 
 func (f *metricsFixture) post(t *testing.T, path string, body any) *http.Response {

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+)
+
+// Region names a city-scale generation extent: a WGS-84 projection
+// origin plus the bounding box of the local plane around it. Lifting the
+// extent out of the generator lets traveler scenarios and external-trace
+// adapters supply cities other than the paper's Shanghai box without
+// forking the generator.
+type Region struct {
+	// Name identifies the extent (e.g. "shanghai").
+	Name string
+	// Origin is the WGS-84 projection origin that maps the plane back to
+	// lat/lon.
+	Origin geo.LatLon
+	// BBox is the coordinate extent in plane metres around Origin.
+	geo.BBox
+}
+
+// NewRegion projects the WGS-84 corner pair into the plane around origin
+// and returns the named region.
+func NewRegion(name string, origin, min, max geo.LatLon) (Region, error) {
+	proj, err := geo.NewProjection(origin)
+	if err != nil {
+		return Region{}, fmt.Errorf("trace: region %s: %w", name, err)
+	}
+	if err := min.Validate(); err != nil {
+		return Region{}, fmt.Errorf("trace: region %s min corner: %w", name, err)
+	}
+	if err := max.Validate(); err != nil {
+		return Region{}, fmt.Errorf("trace: region %s max corner: %w", name, err)
+	}
+	lo, hi := proj.ToPlane(min), proj.ToPlane(max)
+	r := Region{
+		Name:   name,
+		Origin: origin,
+		BBox:   geo.BBox{MinX: lo.X, MinY: lo.Y, MaxX: hi.X, MaxY: hi.Y},
+	}
+	if r.Width() <= 0 || r.Height() <= 0 {
+		return Region{}, fmt.Errorf("trace: region %s has degenerate extent %+v", name, r.BBox)
+	}
+	return r, nil
+}
+
+// mustRegion backs the built-in catalog; the fixed coordinates are
+// always valid, so reaching the panic is a programming error here.
+func mustRegion(name string, origin, min, max geo.LatLon) Region {
+	r, err := NewRegion(name, origin, min, max)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Shanghai returns the paper's region: the Shanghai bounding box
+// (lat ∈ [30.7, 31.4], lon ∈ [121, 122]) projected around its centre.
+func Shanghai() Region {
+	return mustRegion("shanghai",
+		geo.LatLon{Lat: 31.05, Lon: 121.5},
+		geo.LatLon{Lat: 30.7, Lon: 121},
+		geo.LatLon{Lat: 31.4, Lon: 122})
+}
+
+// Cities returns the built-in region catalog: Shanghai plus the three
+// nearby cities traveler scenarios roam to. Every region carries its own
+// origin, so each can also drive the generator directly.
+func Cities() []Region {
+	return []Region{
+		Shanghai(),
+		mustRegion("suzhou",
+			geo.LatLon{Lat: 31.325, Lon: 120.625},
+			geo.LatLon{Lat: 31.2, Lon: 120.45},
+			geo.LatLon{Lat: 31.45, Lon: 120.8}),
+		mustRegion("hangzhou",
+			geo.LatLon{Lat: 30.275, Lon: 120.2},
+			geo.LatLon{Lat: 30.1, Lon: 120.0},
+			geo.LatLon{Lat: 30.45, Lon: 120.4}),
+		mustRegion("nanjing",
+			geo.LatLon{Lat: 32.05, Lon: 118.775},
+			geo.LatLon{Lat: 31.9, Lon: 118.6},
+			geo.LatLon{Lat: 32.2, Lon: 118.95}),
+	}
+}
+
+// InPlane re-projects the region's extent into the plane of another
+// origin, so a traveler trip to Suzhou can be expressed in Shanghai's
+// coordinates. Equirectangular projection error stays small at the
+// few-hundred-km separations of the built-in catalog.
+func (r Region) InPlane(origin geo.LatLon) (geo.BBox, error) {
+	own, err := geo.NewProjection(r.Origin)
+	if err != nil {
+		return geo.BBox{}, fmt.Errorf("trace: region %s: %w", r.Name, err)
+	}
+	target, err := geo.NewProjection(origin)
+	if err != nil {
+		return geo.BBox{}, fmt.Errorf("trace: re-projecting region %s: %w", r.Name, err)
+	}
+	lo := target.ToPlane(own.ToLatLon(geo.Point{X: r.MinX, Y: r.MinY}))
+	hi := target.ToPlane(own.ToLatLon(geo.Point{X: r.MaxX, Y: r.MaxY}))
+	return geo.BBox{MinX: lo.X, MinY: lo.Y, MaxX: hi.X, MaxY: hi.Y}, nil
+}

@@ -99,9 +99,12 @@ type Config struct {
 	// weekday business hours (work place), everything else uniformly.
 	// Off, all timestamps are uniform over the window.
 	Diurnal bool
-	// Region is the coordinate extent in plane metres; users' locations
-	// are drawn uniformly inside it.
-	Region geo.BBox
+	// Region is the named generation extent (projection origin plus the
+	// coordinate bounds in plane metres); users' locations are drawn
+	// uniformly inside it. DefaultConfig uses Shanghai(); traveler
+	// scenarios and external adapters can supply any Cities() entry or
+	// their own NewRegion.
+	Region Region
 	// Start / End bound check-in timestamps (paper: 2019-06-01…2021-05-31).
 	Start time.Time
 	End   time.Time
@@ -118,15 +121,6 @@ type Config struct {
 // bounding box (lat ∈ [30.7, 31.4], lon ∈ [121, 122]) projected around its
 // centre, the paper's observation window, and its per-user volume range.
 func DefaultConfig() Config {
-	origin := geo.LatLon{Lat: 31.05, Lon: 121.5}
-	proj, err := geo.NewProjection(origin)
-	if err != nil {
-		// The fixed origin is always valid; reaching here is a programming
-		// error in this package.
-		panic(fmt.Sprintf("trace: default projection: %v", err))
-	}
-	min := proj.ToPlane(geo.LatLon{Lat: 30.7, Lon: 121})
-	max := proj.ToPlane(geo.LatLon{Lat: 31.4, Lon: 122})
 	return Config{
 		NumUsers:     1000,
 		MinCheckIns:  20,
@@ -136,7 +130,7 @@ func DefaultConfig() Config {
 		ZipfExponent: 1.5,
 		WanderSigma:  15,
 		NomadicScale: 1.5,
-		Region:       geo.BBox{MinX: min.X, MinY: min.Y, MaxX: max.X, MaxY: max.Y},
+		Region:       Shanghai(),
 		Start:        time.Date(2019, 6, 1, 0, 0, 0, 0, time.UTC),
 		End:          time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC),
 		Seed:         1,
@@ -144,7 +138,7 @@ func DefaultConfig() Config {
 }
 
 // DefaultOrigin is the projection origin of DefaultConfig's region.
-func DefaultOrigin() geo.LatLon { return geo.LatLon{Lat: 31.05, Lon: 121.5} }
+func DefaultOrigin() geo.LatLon { return Shanghai().Origin }
 
 // Validate checks the configuration domain.
 func (c Config) Validate() error {
@@ -163,6 +157,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("trace: nomadic scale %g must be non-negative", c.NomadicScale)
 	case c.Region.Width() <= 0 || c.Region.Height() <= 0:
 		return fmt.Errorf("trace: degenerate region %+v", c.Region)
+	case c.Region.Origin.Validate() != nil:
+		return fmt.Errorf("trace: region origin: %v", c.Region.Origin.Validate())
 	case !c.Start.Before(c.End):
 		return fmt.Errorf("trace: time window [%v, %v) empty", c.Start, c.End)
 	}
@@ -177,7 +173,7 @@ func Generate(cfg Config) (*Dataset, error) {
 	}
 	rnd := randx.New(cfg.Seed, 0x9E3779B97F4A7C15)
 	ds := &Dataset{
-		Origin: DefaultOrigin(),
+		Origin: cfg.Region.Origin,
 		Users:  make([]*User, cfg.NumUsers),
 	}
 	// Users are generated in parallel, each from the stream derived from
@@ -217,7 +213,7 @@ func generateUser(cfg Config, rnd *randx.Rand, id string) (*User, error) {
 	numTops := cfg.MinTops + rnd.IntN(cfg.MaxTops-cfg.MinTops+1)
 	tops := make([]geo.Point, numTops)
 	for i := range tops {
-		tops[i] = randomInRegion(rnd, cfg.Region)
+		tops[i] = randomInRegion(rnd, cfg.Region.BBox)
 	}
 
 	zipf, err := randx.NewZipf(rnd, numTops, cfg.ZipfExponent)
@@ -257,7 +253,7 @@ func generateUser(cfg Config, rnd *randx.Rand, id string) (*User, error) {
 		checkIns = append(checkIns, CheckIn{Pos: pos, Time: at})
 	}
 	for i := 0; i < nomadic; i++ {
-		checkIns = append(checkIns, CheckIn{Pos: randomInRegion(rnd, cfg.Region), Time: randTime()})
+		checkIns = append(checkIns, CheckIn{Pos: randomInRegion(rnd, cfg.Region.BBox), Time: randTime()})
 	}
 
 	sortCheckIns(checkIns)

@@ -35,7 +35,7 @@ func TestConfigValidate(t *testing.T) {
 		{"zipf", func(c *Config) { c.ZipfExponent = 0 }},
 		{"wander", func(c *Config) { c.WanderSigma = -1 }},
 		{"nomadic", func(c *Config) { c.NomadicScale = -0.1 }},
-		{"region", func(c *Config) { c.Region = geo.BBox{} }},
+		{"region", func(c *Config) { c.Region = Region{} }},
 		{"time", func(c *Config) { c.End = c.Start }},
 	}
 	for _, tt := range mutations {

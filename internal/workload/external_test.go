@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestExternalSourceRoundTrip(t *testing.T) {
+	// A dataset exported through trace.WriteCSV must come back through
+	// the adapter with the same users and check-in counts.
+	cfg := trace.DefaultConfig()
+	cfg.NumUsers = 10
+	cfg.MaxCheckIns = 60
+	cfg.Seed = 5
+	ds, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+
+	src := &ExternalSource{R: &buf, Origin: ds.Origin}
+	got, err := src.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Users) != len(ds.Users) {
+		t.Fatalf("users %d != %d", len(got.Users), len(ds.Users))
+	}
+	if src.Stats.SkippedFields+src.Stats.SkippedCoords != 0 {
+		t.Fatalf("clean export skipped rows: %+v", src.Stats)
+	}
+	for i, u := range got.Users {
+		want := ds.Users[i]
+		if u.ID != want.ID || len(u.CheckIns) != len(want.CheckIns) {
+			t.Fatalf("user %d: got %s/%d check-ins, want %s/%d",
+				i, u.ID, len(u.CheckIns), want.ID, len(want.CheckIns))
+		}
+		if len(u.TrueTops) == 0 {
+			t.Fatalf("user %s has no empirical tops", u.ID)
+		}
+		for j := 1; j < len(u.TrueTops); j++ {
+			if u.TrueTops[j].Count > u.TrueTops[j-1].Count {
+				t.Fatalf("user %s tops not sorted by count", u.ID)
+			}
+		}
+		// Round-tripping through 7-decimal WGS-84 keeps positions within a
+		// couple of centimetres.
+		for j := range u.CheckIns {
+			if d := u.CheckIns[j].Pos.Dist(want.CheckIns[j].Pos); d > 0.1 {
+				t.Fatalf("user %s check-in %d drifted %.3fm", u.ID, j, d)
+			}
+			// The interchange format carries millisecond timestamps.
+			if !u.CheckIns[j].Time.Equal(want.CheckIns[j].Time.Truncate(time.Millisecond)) {
+				t.Fatalf("user %s check-in %d time mismatch", u.ID, j)
+			}
+		}
+	}
+}
+
+func TestExternalSourceSkipsAndCounts(t *testing.T) {
+	in := strings.Join([]string{
+		"user_id,lat,lon,timestamp_ms",
+		"u1,31.10,121.50,2000",      // ok
+		"u1,31.11,121.51,1000",      // ok but out of order
+		"u1,31.12",                  // truncated
+		"u1,91.00,121.50,3000",      // lat out of range
+		"u1,notanum,121.50,4000",    // unparsable lat
+		"u1,31.13,121.52,notanum",   // unparsable timestamp
+		"",                          // blank line ignored
+		"u2,31.20,121.60,5000,spam", // extra column ignored
+		",31.20,121.60,6000",        // empty user
+	}, "\n")
+	src := &ExternalSource{R: strings.NewReader(in)}
+	ds, err := src.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skipped fields: the truncated row, the two unparsable ones, and the
+	// empty-user row.
+	want := ExternalStats{Rows: 8, Kept: 3, SkippedFields: 4, SkippedCoords: 1, OutOfOrder: 1}
+	if src.Stats != want {
+		t.Fatalf("stats %+v, want %+v", src.Stats, want)
+	}
+	if len(ds.Users) != 2 || ds.Users[0].ID != "u1" || ds.Users[1].ID != "u2" {
+		t.Fatalf("unexpected users: %+v", ds.Users)
+	}
+	// The out-of-order row is re-sorted, not dropped.
+	cs := ds.Users[0].CheckIns
+	if len(cs) != 2 || !cs[0].Time.Before(cs[1].Time) {
+		t.Fatalf("u1 check-ins not re-sorted: %+v", cs)
+	}
+}
+
+func TestExternalSourceTSVNoHeader(t *testing.T) {
+	in := "u1\t31.10\t121.50\t2000\nu1\t31.11\t121.51\t3000\n"
+	src := &ExternalSource{R: strings.NewReader(in)}
+	ds, err := src.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Users) != 1 || len(ds.Users[0].CheckIns) != 2 {
+		t.Fatalf("TSV without header misparsed: %+v", src.Stats)
+	}
+}
+
+func TestExternalSourceEmpty(t *testing.T) {
+	if _, err := (&ExternalSource{R: strings.NewReader("")}).Dataset(); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, err := (&ExternalSource{R: strings.NewReader("garbage\nmore,garbage\n")}).Dataset(); err == nil {
+		t.Fatal("all-malformed input must error")
+	}
+}
+
+// TestExternalSourceFeedsBuild pins the adapter into the scenario
+// composer: an external trace must drive any mode end to end.
+func TestExternalSourceFeedsBuild(t *testing.T) {
+	cfg := trace.DefaultConfig()
+	cfg.NumUsers = 6
+	cfg.MaxCheckIns = 80
+	cfg.Seed = 9
+	ds, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Build(&ExternalSource{R: &buf, Origin: ds.Origin}, Config{Mode: ModeCollude, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats.Events == 0 || w.Stats.Users != 6 {
+		t.Fatalf("external-fed collude workload empty: %+v", w.Stats)
+	}
+}
+
+// FuzzExternalSource pins the adapter's never-panic contract: arbitrary
+// byte soup — truncated lines, bad coordinates, out-of-order timestamps,
+// binary junk — either yields a dataset or a clean error, and the stats
+// always balance.
+func FuzzExternalSource(f *testing.F) {
+	f.Add([]byte("user_id,lat,lon,timestamp_ms\nu1,31.1,121.5,1000\n"))
+	f.Add([]byte("u1,31.1,121.5,1000\nu1,31.2"))
+	f.Add([]byte("u1\t31.1\t121.5\t9e99\n"))
+	f.Add([]byte("u1,91,181,1000\nu1,31.1,121.5,-5\nu1,31.1,121.5,3\nu1,31.1,121.5,2\n"))
+	f.Add([]byte(",,,\n\x00\xff\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := &ExternalSource{R: bytes.NewReader(data)}
+		ds, err := src.Dataset()
+		if kept := src.Stats.Kept + src.Stats.SkippedFields + src.Stats.SkippedCoords; kept != src.Stats.Rows {
+			t.Fatalf("stats do not balance: %+v", src.Stats)
+		}
+		if err != nil {
+			return
+		}
+		if len(ds.Users) == 0 {
+			t.Fatal("nil error but empty dataset")
+		}
+		for _, u := range ds.Users {
+			if u.ID == "" {
+				t.Fatal("kept an empty user ID")
+			}
+			for i := 1; i < len(u.CheckIns); i++ {
+				if u.CheckIns[i].Time.Before(u.CheckIns[i-1].Time) {
+					t.Fatalf("user %q check-ins unsorted", u.ID)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,17 @@
+package workload
+
+import "repro/internal/telemetry"
+
+// Instrument registers the workload's telemetry with reg: the composed
+// event and mutation totals, labelled by scenario mode. The counters are
+// read-through (CounterFunc), so a workload composed before the registry
+// existed still reports its totals.
+func (w *Workload) Instrument(reg *telemetry.Registry) {
+	mode := telemetry.L("mode", string(w.Mode))
+	reg.CounterFunc("workload_events_total",
+		"Scenario events composed by internal/workload.",
+		func() uint64 { return uint64(w.Stats.Events) }, mode)
+	reg.CounterFunc("workload_mutations_total",
+		"Scenario-specific elaborations applied (device resets, outage drops, trip relocations, dual-SDK sessions).",
+		func() uint64 { return uint64(w.Stats.Mutations) }, mode)
+}

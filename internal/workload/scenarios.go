@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/randx"
+	"repro/internal/trace"
+)
+
+// composeChurn resets the device's advertising identifier mid-trace:
+// each reset starts a fresh generation, so both the edge profile and the
+// attacker's longitudinal stream are keyed on a new ad-ID from that
+// point on. Mutations counts resets.
+func composeChurn(cfg Config, u *trace.User, window timeWindow, rnd *randx.Rand) ([]Event, Stats) {
+	var resets []time.Time
+	if rnd.Float64() < cfg.ChurnProb {
+		n := 1 + rnd.IntN(cfg.ChurnMax)
+		span := window.to.Sub(window.from)
+		for i := 0; i < n; i++ {
+			resets = append(resets, window.from.Add(time.Duration(rnd.Float64()*float64(span))))
+		}
+		sort.Slice(resets, func(i, j int) bool { return resets[i].Before(resets[j]) })
+	}
+	ev := make([]Event, len(u.CheckIns))
+	for i, c := range u.CheckIns {
+		gen := 0
+		for _, r := range resets {
+			if !c.Time.Before(r) {
+				gen++
+			}
+		}
+		ev[i] = Event{
+			User:    u.ID,
+			AdID:    fmt.Sprintf("%s/g%d", u.ID, gen),
+			Session: i,
+			Pos:     c.Pos,
+			Time:    c.Time,
+		}
+	}
+	return ev, Stats{Events: len(ev), Mutations: len(resets)}
+}
+
+// composeOutage drops check-ins that fall inside a correlated space-time
+// outage window (every affected device in the area goes dark together).
+// Mutations counts dropped check-ins.
+func composeOutage(outages []outage, u *trace.User) ([]Event, Stats) {
+	var ev []Event
+	dropped := 0
+	for i, c := range u.CheckIns {
+		out := false
+		for _, o := range outages {
+			if !c.Time.Before(o.From) && c.Time.Before(o.To) && o.Area.Contains(c.Pos) {
+				out = true
+				break
+			}
+		}
+		if out {
+			dropped++
+			continue
+		}
+		ev = append(ev, Event{User: u.ID, AdID: u.ID, Session: i, Pos: c.Pos, Time: c.Time})
+	}
+	return ev, Stats{Events: len(ev), Mutations: dropped}
+}
+
+// trip is one relocation window: check-ins during [From, To) are moved
+// near Base inside an away city.
+type trip struct {
+	From, To time.Time
+	Base     geo.Point
+}
+
+// composeTraveler relocates trip windows into away cities: a traveler's
+// check-ins during a trip cluster around a "hotel" point drawn in the
+// destination extent, which lies outside the home region. Mutations
+// counts relocated check-ins.
+func composeTraveler(cfg Config, cities []geo.BBox, u *trace.User, window timeWindow, rnd *randx.Rand) ([]Event, Stats) {
+	var trips []trip
+	if rnd.Float64() < cfg.TravelerProb {
+		n := 1 + rnd.IntN(cfg.TripsMax)
+		span := window.to.Sub(window.from)
+		for i := 0; i < n; i++ {
+			city := cities[rnd.IntN(len(cities))]
+			base := geo.Point{
+				X: city.MinX + rnd.Float64()*city.Width(),
+				Y: city.MinY + rnd.Float64()*city.Height(),
+			}
+			start := window.from.Add(time.Duration(rnd.Float64() * float64(span)))
+			days := 2 + rnd.Float64()*float64(cfg.TripMaxDays-2)
+			trips = append(trips, trip{
+				From: start,
+				To:   start.Add(time.Duration(days * 24 * float64(time.Hour))),
+				Base: base,
+			})
+		}
+		sort.Slice(trips, func(i, j int) bool { return trips[i].From.Before(trips[j].From) })
+	}
+	ev := make([]Event, len(u.CheckIns))
+	relocated := 0
+	for i, c := range u.CheckIns {
+		pos := c.Pos
+		for _, t := range trips {
+			if !c.Time.Before(t.From) && c.Time.Before(t.To) {
+				jitter := rnd.GaussianPolar(150)
+				pos = geo.Point{X: t.Base.X + jitter.X, Y: t.Base.Y + jitter.Y}
+				relocated++
+				break
+			}
+		}
+		ev[i] = Event{User: u.ID, AdID: u.ID, Session: i, Pos: pos, Time: c.Time}
+	}
+	return ev, Stats{Events: len(ev), Mutations: relocated}
+}
+
+// Pseudonym derives the stable per-(user, network) advertising
+// identifier collude mode attaches to bid requests. Exported so the
+// colluding-adversary evaluation can recover ground truth without the
+// streams carrying it.
+func Pseudonym(seed uint64, userIndex, net int) string {
+	h := randx.Mix64(randx.Mix64(seed+uint64(userIndex+1)*randx.GoldenGamma) + uint64(net+1)*randx.GoldenGamma)
+	return fmt.Sprintf("p%016x@n%d", h, net)
+}
+
+// composeCollude sessionizes check-ins into short request bursts and
+// splits them across the device's installed ad networks: each network
+// sees only its own pseudonymous slice, and dual-SDK sessions — the same
+// app session served through two SDKs — report the same true location to
+// two networks minutes apart, which is exactly the timestamp+radius
+// correlation the colluding adversary joins on. Mutations counts
+// dual-SDK sessions.
+func composeCollude(cfg Config, u *trace.User, idx int, rnd *randx.Rand) ([]Event, Stats) {
+	// The device installs AppsPerUser of the Networks ad SDKs.
+	perm := rnd.Perm(cfg.Networks)
+	apps := append([]int(nil), perm[:cfg.AppsPerUser]...)
+	sort.Ints(apps)
+
+	var ev []Event
+	dual := 0
+	for ci, c := range u.CheckIns {
+		burst := 1 + rnd.IntN(cfg.SessionMax)
+		isDual := len(apps) > 1 && rnd.Float64() < cfg.DualSDKProb
+		if isDual {
+			dual++
+			if burst < 2 {
+				burst = 2
+			}
+		}
+		primary := apps[rnd.IntN(len(apps))]
+		secondary := primary
+		if isDual {
+			for secondary == primary {
+				secondary = apps[rnd.IntN(len(apps))]
+			}
+		}
+		at := c.Time
+		for j := 0; j < burst; j++ {
+			if j > 0 {
+				at = at.Add(time.Duration((30 + rnd.Float64()*180) * float64(time.Second)))
+			}
+			net := primary
+			if isDual && j%2 == 1 {
+				net = secondary
+			}
+			jitter := rnd.GaussianPolar(25)
+			ev = append(ev, Event{
+				User:    u.ID,
+				AdID:    Pseudonym(cfg.Seed, idx, net),
+				Net:     net,
+				Session: ci,
+				Pos:     geo.Point{X: c.Pos.X + jitter.X, Y: c.Pos.Y + jitter.Y},
+				Time:    at,
+			})
+		}
+	}
+	return ev, Stats{Events: len(ev), Mutations: dual}
+}

@@ -16,8 +16,10 @@ go test -race ./...
 # The fault-tolerance surfaces (failover routing, degraded merges, journal
 # catch-up, client retries, bounded provider calls) are concurrency-heavy;
 # run their packages under the race detector a second time with -count=2
-# to shake out interleavings the single pass missed.
-go test -race -count=2 ./internal/edgecluster ./internal/client ./internal/edge
+# to shake out interleavings the single pass missed. The explicit -timeout
+# covers the doubled runtime: one -race pass of edgecluster alone takes
+# ~6 min on a 1-CPU host, so two runs legitimately exceed Go's 10m default.
+go test -race -count=2 -timeout 30m ./internal/edgecluster ./internal/client ./internal/edge
 
 # Short fuzz smoke over the delta replication codec: round-trip identity
 # and the content-addressing invariant (extending the base fingerprint by
@@ -27,6 +29,11 @@ go test -race -count=2 ./internal/edgecluster ./internal/client ./internal/edge
 # byte-identical to a one-shot snapshot import).
 go test ./internal/wire -run '^$' -fuzz 'FuzzReplDelta$' -fuzztime 10s
 go test ./internal/edgecluster -run '^$' -fuzz 'FuzzDeltaCatchUpEquivalence$' -fuzztime 15s
+
+# External-trace adapter fuzz smoke: hostile CSV/TSV input (truncated
+# lines, junk coordinates, out-of-order timestamps) must never panic the
+# adapter — rows are skipped and counted, never trusted.
+go test ./internal/workload -run '^$' -fuzz 'FuzzExternalSource$' -fuzztime 10s
 
 # Chaos smoke: kill edge endpoints under live traffic and let the
 # ping-based failure detector confirm and revive them — the simulation
@@ -52,6 +59,21 @@ OUT="$BENCH_SMOKE" BENCH='BenchmarkTrim' BENCHTIME=1x PKGS=./internal/cluster/ .
 go run ./cmd/benchjson -diff "$BENCH_SMOKE" "$BENCH_SMOKE" -threshold 5
 rm -f "$BENCH_SMOKE"
 
+# Smoke-tier perf-regression gate against the newest committed archive:
+# run the shared engine serving benches at a cheap benchtime and diff
+# them against the latest BENCH_pr*.json (sort -V, so pr10 sorts after
+# pr9). The 50ms benchtime is time-based, not -x iteration-based: a
+# fixed low iteration count measures warmup for ns-scale ops and trips
+# the gate spuriously. Smoke runs are still noisy, hence the generous
+# threshold — this catches order-of-magnitude regressions on every
+# verify, while the real 30% gate runs in the full ./bench.sh sweeps.
+latest_bench="$(ls BENCH_pr*.json | sort -V | tail -1)"
+BENCH_SMOKE="$(mktemp)"
+OUT="$BENCH_SMOKE" BENCH='BenchmarkEngineReport$|BenchmarkEngineReportBatch|BenchmarkEngineRequest$|BenchmarkWire' \
+    BENCHTIME=50ms PKGS='. ./internal/wire' ./bench.sh
+go run ./cmd/benchjson -diff "$latest_bench" "$BENCH_SMOKE" -threshold "${SMOKE_DIFF_THRESHOLD:-200}"
+rm -f "$BENCH_SMOKE"
+
 # Smoke the serving path under closed-loop load in both wire codecs: a
 # few hundred batched requests against an in-process edge, so every
 # verify exercises the sharded engine, /v1/report/batch, the pooled
@@ -65,6 +87,20 @@ for WIRE_CODEC in json binary; do
     grep -q '^tracing: active_spans=0$' "$LOADGEN_OUT"
 done
 rm -f "$LOADGEN_OUT"
+
+# Workload-scenario smoke: loadgen replays a churn workload (device
+# resets mid-trace) through the serving path, and lbasim runs the
+# colluding cross-edge adversary end to end. The lbasim run exits
+# non-zero unless the colluding join beats the single-network attack AND
+# the n-fold Gaussian defense degrades it back inside the paper band;
+# the greps pin that both scenario paths actually engaged.
+SCN_OUT="$(mktemp)"
+go run ./cmd/loadgen -scenario churn -users 64 -workers 4 -requests 2000 -batch 16 -campaigns 20 | tee "$SCN_OUT"
+grep -Eq '^scenario: mode=churn events=[1-9][0-9]* mutations=[1-9][0-9]* replayed=[1-9][0-9]*$' "$SCN_OUT"
+go run ./cmd/lbasim -scenario collude -users 12 -max-checkins 120 | tee "$SCN_OUT"
+grep -q 'collusion: defense holds' "$SCN_OUT"
+grep -Eq 'joins=[1-9]' "$SCN_OUT"
+rm -f "$SCN_OUT"
 
 # Memory-tier smoke: the same sweep MEM=1 ./bench.sh archives at a
 # million users, at toy scale. The sweep process itself exits non-zero
